@@ -1,0 +1,132 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md's experiment index E1-E13), then
+   runs the Bechamel micro-benchmarks behind Table 1's computational-
+   efficiency column (E14).
+
+   dune exec bench/main.exe            -- everything
+   dune exec bench/main.exe -- quick   -- smaller workloads
+   dune exec bench/main.exe -- micro   -- only the Bechamel suite *)
+
+open Sfq_base
+open Sfq_experiments
+
+let line = String.make 78 '='
+
+let section title =
+  Printf.printf "%s\n%s\n%s\n\n" line title line
+
+(* ------------------------------------------------------------------ *)
+(* E1-E13: the paper's tables and figures                               *)
+
+let run_experiments ~quick =
+  section "SFQ paper reproduction: tables and figures (DESIGN.md E1-E13)";
+  Ex1_wfq_unfair.(print (run ()));
+  Ex2_variable_rate.(print (run ()));
+  Fig1_tcp_fairness.(print (run ()));
+  Table1_fairness.(print (run ~quick ()));
+  Fig2a_delay_reduction.(print (run ~quick ()));
+  Fig2b_avg_delay.(print (run ~duration:(if quick then 50.0 else 200.0) ()));
+  Scfq_delay_gap.(print (run ()));
+  Fig3_link_sharing.(print (run ~pkts_per_conn:(if quick then 1500 else 4000) ()));
+  Hier_sharing.(print (run ()));
+  Delay_shifting.(print (run ()));
+  Bound_validation.(print (run ()));
+  End_to_end.(print (run ()));
+  Fair_airport_exp.(print (run ()));
+  Priority_residual.(print (run ()));
+  Tie_break_ablation.(print (run ()));
+  Gsfq_video.(print (run ()));
+  E2e_ebf.(print (run ()));
+  Busy_rule_ablation.(print (run ()));
+  Fig1_topology.(print (run ()))
+
+(* ------------------------------------------------------------------ *)
+(* E14: per-packet cost of each discipline (Table 1, complexity column) *)
+
+let flow_counts = [ 4; 64; 512 ]
+
+let disciplines nflows =
+  let weights = Weights.uniform 1000.0 in
+  let capacity = 1000.0 *. float_of_int nflows in
+  [
+    ("fifo", fun () -> Disc.make Disc.Fifo weights);
+    ("sfq", fun () -> Disc.make Disc.Sfq weights);
+    ("scfq", fun () -> Disc.make Disc.Scfq weights);
+    ("wfq-fluid", fun () -> Disc.make (Disc.Wfq { capacity }) weights);
+    ("wfq-real", fun () -> Disc.make (Disc.Wfq_real { capacity }) weights);
+    ("fqs", fun () -> Disc.make (Disc.Fqs { capacity }) weights);
+    ("wf2q", fun () -> Disc.make (Disc.Wf2q { capacity }) weights);
+    ("drr", fun () -> Disc.make (Disc.Drr { quantum = 1000.0 }) weights);
+    ("wrr", fun () -> Disc.make Disc.Wrr weights);
+    ("virtual-clock", fun () -> Disc.make Disc.Virtual_clock weights);
+    ("fair-airport", fun () -> Disc.make Disc.Fair_airport weights);
+  ]
+
+(* Steady state: the queue holds one packet per flow; each measured run
+   enqueues one packet (round-robin over flows) and dequeues one. The
+   clock passed in advances so time-driven disciplines do real work. *)
+let op_test ~name ~nflows make_sched =
+  let sched = make_sched () in
+  let seqs = Array.make nflows 0 in
+  let now = ref 0.0 in
+  let flow = ref 0 in
+  for f = 0 to nflows - 1 do
+    seqs.(f) <- 1;
+    sched.Sched.enqueue ~now:0.0 (Packet.make ~flow:f ~seq:1 ~len:1000 ~born:0.0 ())
+  done;
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "%s/%d flows" name nflows)
+    (Bechamel.Staged.stage (fun () ->
+         let f = !flow in
+         flow := (f + 1) mod nflows;
+         seqs.(f) <- seqs.(f) + 1;
+         now := !now +. 1e-4;
+         sched.Sched.enqueue ~now:!now
+           (Packet.make ~flow:f ~seq:seqs.(f) ~len:1000 ~born:!now ());
+         ignore (sched.Sched.dequeue ~now:!now)))
+
+let run_micro () =
+  section "E14: per-packet enqueue+dequeue cost (Table 1 complexity column)";
+  let open Bechamel in
+  let tests =
+    List.concat_map
+      (fun nflows ->
+        List.map (fun (name, make) -> op_test ~name ~nflows make) (disciplines nflows))
+      flow_counts
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let table = Sfq_util.Text_table.create [ "discipline"; "flows"; "ns/packet" ] in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt in
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          let ns =
+            match Analyze.OLS.estimates est with Some (x :: _) -> x | Some [] | None -> nan
+          in
+          match String.split_on_char '/' (Test.Elt.name elt) with
+          | [ disc; flows ] ->
+            Sfq_util.Text_table.add_row table
+              [ disc; flows; Printf.sprintf "%.0f" ns ]
+          | _ ->
+            Sfq_util.Text_table.add_row table
+              [ Test.Elt.name elt; ""; Printf.sprintf "%.0f" ns ])
+        (Test.elements test))
+    tests;
+  Sfq_util.Text_table.print table;
+  print_endline
+    "(SFQ and SCFQ pay one O(log Q) heap operation per packet; WFQ's fluid clock\n\
+    \ adds the GPS simulation on top; DRR/WRR are O(1); Fair Airport runs two\n\
+    \ schedulers. The paper's claim: SFQ has SCFQ's cost, below WFQ's.)";
+  print_newline ()
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "quick" args in
+  let micro_only = List.mem "micro" args in
+  if not micro_only then run_experiments ~quick;
+  run_micro ()

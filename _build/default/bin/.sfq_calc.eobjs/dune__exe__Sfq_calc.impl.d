@@ -1,0 +1,1 @@
+bin/sfq_calc.ml: Admission Arg Bounds Cmd Cmdliner Format List Printf Sfq_core String Term

@@ -1,0 +1,1 @@
+bin/sfq_demo.mli:

@@ -1,0 +1,183 @@
+(* sfq-calc: the paper's closed forms as a command-line calculator.
+
+   Answers the provisioning questions an operator of an SFQ link would
+   ask without running a simulation:
+
+     sfq-calc delay --capacity 100e6 --len 1600 --flows 20 --delta 0
+     sfq-calc fairness --lmax-f 1600 --rate-f 64e3 --lmax-m 1600 --rate-m 1e6
+     sfq-calc admit --capacity 1e6 --flow 64e3:1600 --flow 300e3:8000
+     sfq-calc e2e --hops 5 --capacity 1e6 --len 2000 --others-lmax 6000 \
+                  --rate 100e3 --sigma 8000 --prop 0.001
+     sfq-calc compare --capacity 100e6 --len 1600 --rate 64e3 --flows 20 *)
+
+open Sfq_core
+open Cmdliner
+
+let ms x = Printf.sprintf "%.3f ms" (1000.0 *. x)
+
+(* ------------------------------------------------------------------ *)
+(* delay: Theorem 4 for one flow on an SFQ FC server                    *)
+
+let delay capacity len flows delta =
+  let sum_other = float_of_int (flows - 1) *. len in
+  let bound = Bounds.sfq_departure ~eat:0.0 ~sum_other_lmax:sum_other ~len ~capacity ~delta in
+  Printf.printf
+    "Theorem 4: a packet departs within %s of its expected arrival time\n\
+     (C = %g b/s, l = %g bits, %d flows of equal max length, delta = %g bits)\n"
+    (ms bound) capacity len flows delta;
+  0
+
+let delay_cmd =
+  let capacity = Arg.(required & opt (some float) None & info [ "capacity" ] ~doc:"Server rate, bits/s.") in
+  let len = Arg.(required & opt (some float) None & info [ "len" ] ~doc:"Packet length, bits.") in
+  let flows = Arg.(value & opt int 2 & info [ "flows" ] ~doc:"Number of flows (for the sum of other flows' max lengths).") in
+  let delta = Arg.(value & opt float 0.0 & info [ "delta" ] ~doc:"FC burstiness delta(C), bits.") in
+  Cmd.v
+    (Cmd.info "delay" ~doc:"SFQ delay guarantee (Theorem 4)")
+    Term.(const delay $ capacity $ len $ flows $ delta)
+
+(* ------------------------------------------------------------------ *)
+(* fairness: Theorem 1 H(f,m) plus the competition                      *)
+
+let fairness lmax_f rate_f lmax_m rate_m =
+  let sfq = Bounds.h_sfq ~lmax_f ~r_f:rate_f ~lmax_m ~r_m:rate_m in
+  let lower = Bounds.h_lower_bound ~lmax_f ~r_f:rate_f ~lmax_m ~r_m:rate_m in
+  let drr = Bounds.h_drr ~lmax_f ~r_f:rate_f ~lmax_m ~r_m:rate_m in
+  Printf.printf
+    "lower bound on any packet algorithm : %.6f s\n\
+     SFQ / SCFQ (Theorem 1)              : %.6f s\n\
+     WFQ (at least, Example 1)           : %.6f s\n\
+     DRR (min weight 1, Sec 1.2)         : %.6f s\n"
+    lower sfq sfq drr;
+  0
+
+let fairness_cmd =
+  let f name doc = Arg.(required & opt (some float) None & info [ name ] ~doc) in
+  Cmd.v
+    (Cmd.info "fairness" ~doc:"Fairness measures H(f,m) (Table 1)")
+    Term.(
+      const fairness
+      $ f "lmax-f" "Max packet length of flow f, bits."
+      $ f "rate-f" "Rate of flow f, bits/s."
+      $ f "lmax-m" "Max packet length of flow m, bits."
+      $ f "rate-m" "Rate of flow m, bits/s.")
+
+(* ------------------------------------------------------------------ *)
+(* admit: admission control and per-flow contracts                     *)
+
+let parse_flow s =
+  match String.split_on_char ':' s with
+  | [ rate; len ] -> begin
+    try Ok (float_of_string rate, int_of_string len)
+    with _ -> Error (`Msg (Printf.sprintf "bad flow spec %S (want RATE:MAXLEN)" s))
+  end
+  | _ -> Error (`Msg (Printf.sprintf "bad flow spec %S (want RATE:MAXLEN)" s))
+
+let flow_conv = Arg.conv (parse_flow, fun ppf (r, l) -> Format.fprintf ppf "%g:%d" r l)
+
+let admit capacity delta flows =
+  let specs =
+    List.mapi (fun i (rate, max_len) -> { Admission.flow = i; rate; max_len }) flows
+  in
+  let server = { Admission.capacity; delta } in
+  match Admission.admit server specs with
+  | None ->
+    Printf.printf "REJECT: total reserved rate %g b/s exceeds capacity %g b/s\n"
+      (List.fold_left (fun a s -> a +. s.Admission.rate) 0.0 specs)
+      capacity;
+    1
+  | Some guarantees ->
+    Printf.printf "ADMIT (spare capacity %g b/s). Contracts (Theorems 1, 2, 4):\n"
+      (Admission.max_admissible_rate server specs);
+    List.iter
+      (fun g ->
+        Printf.printf
+          "  flow %d (r=%g, lmax=%d): delay-to-EAT <= %s; throughput deficit <= %.0f bits\n"
+          g.Admission.spec.Admission.flow g.Admission.spec.Admission.rate
+          g.Admission.spec.Admission.max_len (ms g.Admission.delay_bound)
+          g.Admission.throughput_deficit)
+      guarantees;
+    0
+
+let admit_cmd =
+  let capacity = Arg.(required & opt (some float) None & info [ "capacity" ] ~doc:"Server rate, bits/s.") in
+  let delta = Arg.(value & opt float 0.0 & info [ "delta" ] ~doc:"FC burstiness, bits.") in
+  let flows =
+    Arg.(non_empty & opt_all flow_conv [] & info [ "flow" ] ~doc:"Flow spec RATE:MAXLEN (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "admit" ~doc:"Admission control with per-flow contracts")
+    Term.(const admit $ capacity $ delta $ flows)
+
+(* ------------------------------------------------------------------ *)
+(* e2e: Corollary 1 for a leaky-bucket flow over identical hops         *)
+
+let e2e hops capacity len others rate sigma prop =
+  let spec = { Admission.flow = 0; rate; max_len = int_of_float len } in
+  let servers = List.init hops (fun _ -> { Admission.capacity; delta = 0.0 }) in
+  let bound =
+    Admission.e2e_guarantee ~servers
+      ~per_hop_others_lmax:(List.init hops (fun _ -> others))
+      ~spec
+      ~prop_delays:(List.init (max 0 (hops - 1)) (fun _ -> prop))
+      ~sigma
+  in
+  Printf.printf
+    "Corollary 1 / Sec A.5: end-to-end delay <= %s for a (sigma=%g, rho=%g) flow\n\
+     over %d SFQ hops of %g b/s (others' lmax sum %g bits/hop, prop %gs/hop)\n"
+    (ms bound) sigma rate hops capacity others prop;
+  0
+
+let e2e_cmd =
+  let i name doc = Arg.(required & opt (some float) None & info [ name ] ~doc) in
+  let hops = Arg.(value & opt int 1 & info [ "hops" ] ~doc:"Number of SFQ servers on the path.") in
+  let prop = Arg.(value & opt float 0.0 & info [ "prop" ] ~doc:"Propagation delay per hop, s.") in
+  Cmd.v
+    (Cmd.info "e2e" ~doc:"End-to-end delay bound (Corollary 1)")
+    Term.(
+      const e2e $ hops
+      $ i "capacity" "Per-hop rate, bits/s."
+      $ i "len" "Packet length, bits."
+      $ i "others-lmax" "Sum of other flows' max lengths per hop, bits."
+      $ i "rate" "Reserved rate rho, bits/s."
+      $ i "sigma" "Leaky-bucket burst, bits."
+      $ prop)
+
+(* ------------------------------------------------------------------ *)
+(* compare: the Fig 2(a) / Sec 2.3 discipline comparison at a point     *)
+
+let compare_disc capacity len rate flows =
+  let sum_other = float_of_int (flows - 1) *. len in
+  let sfq = Bounds.sfq_departure ~eat:0.0 ~sum_other_lmax:sum_other ~len ~capacity ~delta:0.0 in
+  let scfq = Bounds.scfq_departure ~eat:0.0 ~sum_other_lmax:sum_other ~len ~rate ~capacity in
+  let wfq = Bounds.wfq_departure ~eat:0.0 ~len ~rate ~lmax:len ~capacity in
+  Printf.printf
+    "delay-to-EAT bounds for a %g b/s flow of %g-bit packets among %d flows on %g b/s:\n\
+    \  SFQ  (Thm 4)  : %s\n\
+    \  SCFQ (eq. 56) : %s  (gap to SFQ: %s, eq. 57)\n\
+    \  WFQ           : %s\n\
+     SFQ wins for this flow iff its share is below 1/(Q-1) (eq. 60): %b\n"
+    rate len flows capacity (ms sfq) (ms scfq)
+    (ms (Bounds.scfq_sfq_gap ~len ~rate ~capacity))
+    (ms wfq)
+    (Bounds.wfq_sfq_delta_uniform ~len ~rate ~nflows:flows ~capacity > 0.0);
+  0
+
+let compare_cmd =
+  let i name doc = Arg.(required & opt (some float) None & info [ name ] ~doc) in
+  let flows = Arg.(value & opt int 2 & info [ "flows" ] ~doc:"Number of flows.") in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"SFQ vs SCFQ vs WFQ delay bounds at one point")
+    Term.(
+      const compare_disc
+      $ i "capacity" "Server rate, bits/s."
+      $ i "len" "Packet length, bits."
+      $ i "rate" "The flow's reserved rate, bits/s."
+      $ flows)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info = Cmd.info "sfq-calc" ~doc:"Closed-form SFQ guarantees calculator" in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info [ delay_cmd; fairness_cmd; admit_cmd; e2e_cmd; compare_cmd ]))

@@ -1,0 +1,1 @@
+examples/cpu_scheduler.mli:

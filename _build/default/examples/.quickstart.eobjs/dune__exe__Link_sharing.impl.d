@@ -1,0 +1,1 @@
+examples/link_sharing.ml: Hsfq Rate_process Server Service_log Sfq_analysis Sfq_core Sfq_netsim Sfq_sched Sfq_util Sim Source Text_table

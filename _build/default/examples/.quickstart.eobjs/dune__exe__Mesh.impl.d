@@ -1,0 +1,1 @@
+examples/mesh.ml: Admission Float Hashtbl Net Packet Printf Rate_process Server Sfq Sfq_base Sfq_core Sfq_netsim Sfq_util Sim Source Text_table Weights

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Packet Printf Rate_process Server Sfq Sfq_base Sfq_core Sfq_netsim Sim Weights

@@ -1,0 +1,1 @@
+examples/variable_rate_fairness.ml: Fairness List Printf Rate_process Rng Server Service_log Sfq_analysis Sfq_base Sfq_core Sfq_netsim Sfq_sched Sfq_util Sim Source Text_table Weights

@@ -1,0 +1,1 @@
+examples/variable_rate_fairness.mli:

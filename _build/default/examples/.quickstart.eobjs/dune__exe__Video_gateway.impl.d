@@ -1,0 +1,1 @@
+examples/video_gateway.ml: Hashtbl List Mpeg Packet Rate_process Rng Server Sfq_base Sfq_core Sfq_netsim Sfq_sched Sfq_util Sim Source Stats Text_table Weights

@@ -1,0 +1,89 @@
+(* SFQ as a CPU scheduler.
+
+   The paper's authors went on to use start-time fair queueing for
+   CPU scheduling (Goyal, Guo & Vin, OSDI '96) precisely because of the
+   property demonstrated here: the "server" is a CPU whose capacity
+   available to applications fluctuates (interrupts, kernel work), and
+   SFQ's fairness needs no assumption about capacity.
+
+   Model: "packets" are 1 ms work quanta; each thread is a flow with a
+   weight (its CPU share). The CPU's effective speed fluctuates around
+   80% of nominal. An interactive thread (low weight, intermittent)
+   competes with batch threads — its scheduling latency is what an
+   interactive user feels.
+
+   Run with: dune exec examples/cpu_scheduler.exe *)
+
+open Sfq_base
+open Sfq_util
+open Sfq_netsim
+
+(* One "bit" = 1 us of work at nominal speed; a quantum is 1000 us. *)
+let quantum = 1000
+let duration = 5.0
+
+let cpu seed =
+  (* Effective speed wanders between 0.5x and 1.0x nominal: 1e6 us of
+     work per second at full speed. *)
+  Rate_process.fc_random ~c:0.75e6 ~delta:50_000.0 ~seg:0.005 ~spread:0.25e6
+    ~rng:(Rng.create seed)
+
+let run (name, sched) =
+  let sim = Sim.create () in
+  let server = Server.create sim ~name ~rate:(cpu 31) ~sched () in
+  let latency = Stats.create () in
+  let batch_done = ref 0 in
+  Server.on_depart server (fun p ~start:_ ~departed ->
+      if p.Packet.flow = 0 then Stats.add latency (departed -. p.Packet.born)
+      else incr batch_done);
+  (* Interactive thread: wakes every 50 ms, needs one quantum. *)
+  ignore
+    (Source.cbr sim ~target:(Server.inject server) ~flow:0 ~len:quantum
+       ~rate:(float_of_int quantum /. 0.05)
+       ~start:0.0 ~stop:duration);
+  (* Three batch threads, always runnable. *)
+  for flow = 1 to 3 do
+    ignore
+      (Source.greedy sim ~server ~flow ~len:quantum ~total:1_000_000 ~window:2 ~start:0.0 ())
+  done;
+  Sim.run sim ~until:duration;
+  (name, Stats.mean latency, Stats.max_value latency, !batch_done)
+
+let () =
+  (* The interactive thread's weight is provisioned ABOVE its 2% demand
+     (5% share) so its finish tags never run ahead of the virtual time;
+     that is how a real system reserves for latency-sensitive work. *)
+  let weights = Weights.of_fun (fun f -> if f = 0 then 0.05e6 else 0.2333e6) in
+  let disciplines =
+    [
+      ("FIFO (run queue)", Sfq_sched.Fifo.sched (Sfq_sched.Fifo.create ()));
+      ("round robin", Sfq_sched.Wrr.sched (Sfq_sched.Wrr.create ~credits:(fun _ -> 1) weights));
+      ("SFQ", Sfq_core.Sfq.sched (Sfq_core.Sfq.create weights));
+      ( "SFQ + interactive tie-break",
+        Sfq_core.Sfq.sched
+          (Sfq_core.Sfq.create
+             ~tie:(Sfq_sched.Tag_queue.Low_rate (fun f -> Weights.get weights f))
+             weights) );
+    ]
+  in
+  let table =
+    Text_table.create
+      [ "scheduler"; "interactive avg ms"; "interactive max ms"; "batch quanta done" ]
+  in
+  List.iter
+    (fun d ->
+      let name, avg, max_v, batch = run d in
+      Text_table.add_row table
+        [
+          name;
+          Text_table.cell_f ~decimals:2 (1000.0 *. avg);
+          Text_table.cell_f ~decimals:2 (1000.0 *. max_v);
+          string_of_int batch;
+        ])
+    disciplines;
+  print_endline
+    "CPU with fluctuating effective speed; 1 interactive + 3 batch threads:";
+  Text_table.print table;
+  print_endline
+    "(SFQ keeps interactive latency near one quantum without costing batch\n\
+    \ throughput; the §2.3 low-rate tie-break shaves the tail further.)"

@@ -1,0 +1,61 @@
+(* Quickstart: the SFQ scheduler in isolation.
+
+   Build a scheduler, push packets from two weighted flows, and watch
+   the start-tag order interleave them in proportion to their weights.
+   Run with: dune exec examples/quickstart.exe *)
+
+open Sfq_base
+open Sfq_core
+
+let () =
+  (* Flow 1 reserves twice flow 2's rate. Weights are bits/s; tags are
+     seconds of normalized service. *)
+  let weights = Weights.of_list [ (1, 2000.0); (2, 1000.0) ] in
+  let sched = Sfq.create weights in
+
+  (* Both flows dump four 1000-bit packets at t = 0. *)
+  let now = 0.0 in
+  List.iter
+    (fun flow ->
+      for seq = 1 to 4 do
+        let pkt = Packet.make ~flow ~seq ~len:1000 ~born:now () in
+        let start_tag, finish_tag = Sfq.enqueue_tagged sched ~now pkt in
+        Printf.printf "enqueue flow %d seq %d: S = %.2f  F = %.2f\n" flow seq start_tag
+          finish_tag
+      done)
+    [ 1; 2 ];
+
+  (* Dequeue in SFQ order: smallest start tag first. Flow 1 should get
+     two slots for every one of flow 2's. *)
+  print_endline "\nservice order (note the 2:1 interleaving):";
+  let rec drain () =
+    match Sfq.dequeue sched ~now with
+    | None -> ()
+    | Some p ->
+      Printf.printf "  serve flow %d seq %d   (v = %.2f)\n" p.Packet.flow p.Packet.seq
+        (Sfq.vtime sched);
+      drain ()
+  in
+  drain ();
+
+  (* The same scheduler driving a simulated 1 Mb/s link. *)
+  print_endline "\nnow on a simulated server:";
+  let open Sfq_netsim in
+  let sim = Sim.create () in
+  let server =
+    Server.create sim ~name:"link"
+      ~rate:(Rate_process.constant 1.0e6)
+      ~sched:(Sfq.sched (Sfq.create weights))
+      ()
+  in
+  Server.on_depart server (fun p ~start:_ ~departed ->
+      Printf.printf "  t=%.4fs  delivered flow %d seq %d\n" departed p.Packet.flow
+        p.Packet.seq);
+  Sim.schedule sim ~at:0.0 (fun () ->
+      List.iter
+        (fun flow ->
+          for seq = 1 to 3 do
+            Server.inject server (Packet.make ~flow ~seq ~len:1000 ~born:0.0 ())
+          done)
+        [ 1; 2 ]);
+  Sim.run_all sim ()

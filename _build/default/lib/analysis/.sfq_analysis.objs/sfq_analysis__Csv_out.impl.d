@@ -1,0 +1,1 @@
+lib/analysis/csv_out.ml: Buffer Fun List Printf String

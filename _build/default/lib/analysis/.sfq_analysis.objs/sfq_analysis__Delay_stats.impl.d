@@ -1,0 +1,1 @@
+lib/analysis/delay_stats.ml: Array Float Format Packet Sfq_base Sfq_netsim Sfq_util Stats Trace

@@ -1,0 +1,1 @@
+lib/analysis/delay_stats.mli: Format Packet Sfq_base Sfq_netsim Trace

@@ -1,0 +1,1 @@
+lib/analysis/fairness.ml: Float List Service_log Sfq_util Vec

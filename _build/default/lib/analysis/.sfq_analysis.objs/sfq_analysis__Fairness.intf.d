@@ -1,0 +1,1 @@
+lib/analysis/fairness.mli: Packet Service_log Sfq_base

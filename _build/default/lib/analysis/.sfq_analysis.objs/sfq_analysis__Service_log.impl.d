@@ -1,0 +1,1 @@
+lib/analysis/service_log.ml: Flow_table Packet Server Sfq_base Sfq_netsim Sfq_util Sim Vec

@@ -1,0 +1,1 @@
+lib/analysis/service_log.mli: Packet Server Sfq_base Sfq_netsim Sfq_util

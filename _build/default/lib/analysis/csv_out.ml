@@ -1,0 +1,29 @@
+let escape field =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') field
+  in
+  if not needs_quoting then field
+  else begin
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let line fields = String.concat "," (List.map escape fields) ^ "\n"
+
+let to_string ~header ~rows =
+  line header ^ String.concat "" (List.map line rows)
+
+let write ~path ~header ~rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~header ~rows))
+
+let of_series pairs =
+  List.map (fun (x, y) -> [ Printf.sprintf "%.9g" x; Printf.sprintf "%.9g" y ]) pairs

@@ -1,0 +1,11 @@
+(** Minimal CSV writing (RFC-4180-style quoting) for exporting
+    experiment series to external plotting tools. *)
+
+val escape : string -> string
+(** Quote a field if it contains commas, quotes or newlines. *)
+
+val to_string : header:string list -> rows:string list list -> string
+val write : path:string -> header:string list -> rows:string list list -> unit
+
+val of_series : (float * float) list -> string list list
+(** [(x, y)] pairs as printable rows. *)

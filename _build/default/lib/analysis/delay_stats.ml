@@ -1,0 +1,49 @@
+open Sfq_util
+open Sfq_base
+open Sfq_netsim
+
+type summary = {
+  flow : Packet.flow;
+  count : int;
+  mean : float;
+  max : float;
+  p50 : float;
+  p99 : float;
+  jitter : float;
+}
+
+let of_delays ~flow delays =
+  let n = Array.length delays in
+  if n = 0 then None
+  else begin
+    let s = Stats.create () in
+    Array.iter (Stats.add s) delays;
+    let jitter =
+      if n < 2 then 0.0
+      else begin
+        let acc = ref 0.0 in
+        for i = 1 to n - 1 do
+          acc := !acc +. Float.abs (delays.(i) -. delays.(i - 1))
+        done;
+        !acc /. float_of_int (n - 1)
+      end
+    in
+    Some
+      {
+        flow;
+        count = n;
+        mean = Stats.mean s;
+        max = Stats.max_value s;
+        p50 = Stats.percentile delays 50.0;
+        p99 = Stats.percentile delays 99.0;
+        jitter;
+      }
+  end
+
+let of_trace trace flow = of_delays ~flow (Trace.delays trace flow)
+let end_to_end trace flow = of_delays ~flow (Trace.end_to_end_delays trace flow)
+
+let pp ppf s =
+  Format.fprintf ppf
+    "flow %d: n=%d mean=%.4fs max=%.4fs p50=%.4fs p99=%.4fs jitter=%.4fs" s.flow s.count
+    s.mean s.max s.p50 s.p99 s.jitter

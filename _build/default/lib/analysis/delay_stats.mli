@@ -1,0 +1,33 @@
+(** Per-flow delay summaries.
+
+    Thin aggregation over {!Sfq_netsim.Trace} records producing the
+    quantities the paper's evaluation talks about: average and maximum
+    delay (Figs. 2(a)/2(b)), percentiles, and delay jitter
+    (consecutive-packet delay variation — the quantity Jitter EDD's
+    regulation is supposed to crush). *)
+
+open Sfq_base
+open Sfq_netsim
+
+type summary = {
+  flow : Packet.flow;
+  count : int;
+  mean : float;
+  max : float;
+  p50 : float;
+  p99 : float;
+  jitter : float;  (** mean |delay_i − delay_{i−1}| in departure order *)
+}
+
+val of_trace : Trace.t -> Packet.flow -> summary option
+(** Queueing+service delay at the traced server; [None] if the flow has
+    no records. *)
+
+val end_to_end : Trace.t -> Packet.flow -> summary option
+(** Same, but measured from packet creation ([born]) — end-to-end when
+    the trace sits on the last hop. *)
+
+val of_delays : flow:Packet.flow -> float array -> summary option
+(** Summarize an explicit delay series (departure order). *)
+
+val pp : Format.formatter -> summary -> unit

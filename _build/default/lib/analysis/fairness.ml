@@ -1,0 +1,87 @@
+open Sfq_util
+
+let intersect_intervals a b =
+  let rec go a b acc =
+    match (a, b) with
+    | [], _ | _, [] -> List.rev acc
+    | (a1, a2) :: arest, (b1, b2) :: brest ->
+      let lo = Float.max a1 b1 and hi = Float.min a2 b2 in
+      let acc = if lo < hi then (lo, hi) :: acc else acc in
+      if a2 < b2 then go arest b acc else go a brest acc
+  in
+  go a b []
+
+(* Completions of f or m inside [lo,hi], as signed normalized lengths,
+   in finish order. *)
+let window_events log ~f ~m ~r_f ~r_m ~lo ~hi =
+  Vec.fold (Service_log.completions log) ~init:[] ~f:(fun acc c ->
+      if c.Service_log.start >= lo && c.finish <= hi then begin
+        if c.flow = f then (c.start, c.finish, float_of_int c.len /. r_f) :: acc
+        else if c.flow = m then (c.start, c.finish, -.(float_of_int c.len /. r_m)) :: acc
+        else acc
+      end
+      else acc)
+  |> List.rev
+
+let exact_h log ~f ~m ~r_f ~r_m ~until =
+  let both =
+    intersect_intervals
+      (Service_log.busy_intervals log f ~until)
+      (Service_log.busy_intervals log m ~until)
+  in
+  let worst_in (lo, hi) =
+    let events = window_events log ~f ~m ~r_f ~r_m ~lo ~hi in
+    let starts = lo :: List.map (fun (s, _, _) -> s) events in
+    let worst_from t1 =
+      let rec go acc best = function
+        | [] -> best
+        | (s, _, v) :: rest ->
+          let acc = if s >= t1 then acc +. v else acc in
+          go acc (Float.max best (Float.abs acc)) rest
+      in
+      go 0.0 0.0 events
+    in
+    List.fold_left (fun best t1 -> Float.max best (worst_from t1)) 0.0 starts
+  in
+  List.fold_left (fun best iv -> Float.max best (worst_in iv)) 0.0 both
+
+let approx_h log ~f ~m ~r_f ~r_m ~until =
+  let both =
+    intersect_intervals
+      (Service_log.busy_intervals log f ~until)
+      (Service_log.busy_intervals log m ~until)
+  in
+  let worst_in (lo, hi) =
+    (* Drawdown/draw-up of the running difference sampled at finishes. *)
+    let min_seen = ref 0.0 and max_seen = ref 0.0 and acc = ref 0.0 and best = ref 0.0 in
+    Vec.iter (Service_log.completions log) ~f:(fun c ->
+        if c.Service_log.finish >= lo && c.finish <= hi then begin
+          if c.flow = f then acc := !acc +. (float_of_int c.len /. r_f)
+          else if c.flow = m then acc := !acc -. (float_of_int c.len /. r_m);
+          if c.flow = f || c.flow = m then begin
+            best := Float.max !best (Float.max (!acc -. !min_seen) (!max_seen -. !acc));
+            min_seen := Float.min !min_seen !acc;
+            max_seen := Float.max !max_seen !acc
+          end
+        end);
+    !best
+  in
+  List.fold_left (fun best iv -> Float.max best (worst_in iv)) 0.0 both
+
+let max_pairwise_h log ~rates ~until ~exact =
+  let measure = if exact then exact_h else approx_h in
+  let rec pairs acc = function
+    | [] -> acc
+    | (f, r_f) :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc (m, r_m) -> Float.max acc (measure log ~f ~m ~r_f ~r_m ~until))
+          acc rest
+      in
+      pairs acc rest
+  in
+  pairs 0.0 rates
+
+let throughput log flow ~t1 ~t2 =
+  if t2 <= t1 then invalid_arg "Fairness.throughput: empty interval";
+  Service_log.service log flow ~t1 ~t2 /. (t2 -. t1)

@@ -1,0 +1,49 @@
+open Sfq_util
+open Sfq_base
+open Sfq_netsim
+
+type completion = { flow : Packet.flow; start : float; finish : float; len : int }
+
+type flow_acct = {
+  mutable backlog : int;
+  mutable opened_at : float;  (* start of the current busy interval *)
+  intervals : (float * float) Vec.t;
+}
+
+type t = { completions : completion Vec.t; acct : flow_acct Flow_table.t }
+
+let attach server =
+  let t =
+    {
+      completions = Vec.create ();
+      acct =
+        Flow_table.create ~default:(fun _ ->
+            { backlog = 0; opened_at = nan; intervals = Vec.create () });
+    }
+  in
+  let sim = Server.sim server in
+  Server.on_inject server (fun p ->
+      let a = Flow_table.find t.acct p.Packet.flow in
+      if a.backlog = 0 then a.opened_at <- Sim.now sim;
+      a.backlog <- a.backlog + 1);
+  Server.on_depart server (fun p ~start ~departed ->
+      Vec.push t.completions
+        { flow = p.Packet.flow; start; finish = departed; len = p.Packet.len };
+      let a = Flow_table.find t.acct p.Packet.flow in
+      a.backlog <- a.backlog - 1;
+      if a.backlog = 0 then Vec.push a.intervals (a.opened_at, departed));
+  t
+
+let completions t = t.completions
+let flows t = Flow_table.flows t.acct
+
+let busy_intervals t flow ~until =
+  let a = Flow_table.find t.acct flow in
+  let closed = Vec.to_list a.intervals in
+  if a.backlog > 0 && a.opened_at <= until then closed @ [ (a.opened_at, until) ]
+  else closed
+
+let service t flow ~t1 ~t2 =
+  Vec.fold t.completions ~init:0.0 ~f:(fun acc c ->
+      if c.flow = flow && c.start >= t1 && c.finish <= t2 then acc +. float_of_int c.len
+      else acc)

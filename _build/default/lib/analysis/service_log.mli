@@ -1,0 +1,33 @@
+(** Per-flow service accounting at one server.
+
+    Records every service completion (with its service-start time,
+    which the paper's definition of "served in [t1,t2]" needs: a packet
+    counts only if it both starts and finishes inside the interval) and
+    the per-flow backlogged intervals (a flow is backlogged from the
+    arrival that makes its queue non-empty until the departure that
+    empties it — the packet in service counts as backlog). This is the
+    measurement substrate for the empirical fairness index
+    {!Fairness}. *)
+
+open Sfq_base
+open Sfq_netsim
+
+type completion = { flow : Packet.flow; start : float; finish : float; len : int }
+
+type t
+
+val attach : Server.t -> t
+
+val completions : t -> completion Sfq_util.Vec.t
+(** In finish order. *)
+
+val flows : t -> Packet.flow list
+
+val busy_intervals : t -> Packet.flow -> until:float -> (float * float) list
+(** Maximal intervals during which the flow was continuously
+    backlogged, in time order; an interval still open at measurement
+    time is closed at [until]. *)
+
+val service : t -> Packet.flow -> t1:float -> t2:float -> float
+(** [W_f(t1,t2)] in bits: total length of the flow's packets that start
+    and finish service within [\[t1, t2\]]. *)

@@ -1,0 +1,1 @@
+lib/base/flow_table.ml: Hashtbl List Packet

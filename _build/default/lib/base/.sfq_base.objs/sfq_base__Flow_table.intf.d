@@ -1,0 +1,1 @@
+lib/base/flow_table.mli: Packet

@@ -1,0 +1,1 @@
+lib/base/packet.ml: Format

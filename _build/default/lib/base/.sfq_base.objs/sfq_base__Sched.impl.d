@@ -1,0 +1,1 @@
+lib/base/sched.ml: List Packet

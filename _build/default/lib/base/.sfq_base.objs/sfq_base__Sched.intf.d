@@ -1,0 +1,1 @@
+lib/base/sched.mli: Packet

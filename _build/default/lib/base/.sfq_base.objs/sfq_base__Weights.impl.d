@@ -1,0 +1,1 @@
+lib/base/weights.ml: Hashtbl List Packet

@@ -1,0 +1,21 @@
+type 'a t = { table : (Packet.flow, 'a) Hashtbl.t; default : Packet.flow -> 'a }
+
+let create ~default = { table = Hashtbl.create 16; default }
+
+let find t flow =
+  match Hashtbl.find_opt t.table flow with
+  | Some v -> v
+  | None ->
+    let v = t.default flow in
+    Hashtbl.replace t.table flow v;
+    v
+
+let find_opt t flow = Hashtbl.find_opt t.table flow
+let set t flow v = Hashtbl.replace t.table flow v
+let remove t flow = Hashtbl.remove t.table flow
+let mem t flow = Hashtbl.mem t.table flow
+let iter t ~f = Hashtbl.iter f t.table
+let fold t ~init ~f = Hashtbl.fold f t.table init
+let flows t = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare
+let length t = Hashtbl.length t.table
+let clear t = Hashtbl.reset t.table

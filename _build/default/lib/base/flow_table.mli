@@ -1,0 +1,26 @@
+(** Per-flow mutable state, keyed by {!Packet.flow}.
+
+    A thin wrapper over [Hashtbl] that creates missing entries from a
+    [default] function — every scheduler keeps per-flow tags/queues and
+    must treat a never-seen flow as freshly initialized, per the
+    paper's convention [F(p_f^0) = 0]. *)
+
+type 'a t
+
+val create : default:(Packet.flow -> 'a) -> 'a t
+val find : 'a t -> Packet.flow -> 'a
+(** Creates (and remembers) the default entry when absent. *)
+
+val find_opt : 'a t -> Packet.flow -> 'a option
+(** Does not create the entry. *)
+
+val set : 'a t -> Packet.flow -> 'a -> unit
+val remove : 'a t -> Packet.flow -> unit
+val mem : 'a t -> Packet.flow -> bool
+val iter : 'a t -> f:(Packet.flow -> 'a -> unit) -> unit
+val fold : 'a t -> init:'b -> f:(Packet.flow -> 'a -> 'b -> 'b) -> 'b
+val flows : 'a t -> Packet.flow list
+(** Flows with a (created) entry, ascending. *)
+
+val length : 'a t -> int
+val clear : 'a t -> unit

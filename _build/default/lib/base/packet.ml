@@ -1,0 +1,28 @@
+type flow = int
+
+type t = {
+  flow : flow;
+  seq : int;
+  len : int;
+  born : float;
+  rate : float option;
+}
+
+let make ?rate ~flow ~seq ~len ~born () =
+  if len <= 0 then invalid_arg "Packet.make: len must be positive";
+  if seq <= 0 then invalid_arg "Packet.make: seq must be positive";
+  (match rate with
+  | Some r when r <= 0.0 -> invalid_arg "Packet.make: rate must be positive"
+  | Some _ | None -> ());
+  { flow; seq; len; born; rate }
+
+let bits_of_bytes b = 8 * b
+let bytes_of_bits b = b / 8
+
+let pp ppf p =
+  Format.fprintf ppf "pkt(flow=%d seq=%d len=%db born=%.6f)" p.flow p.seq p.len p.born
+
+let to_string p = Format.asprintf "%a" pp p
+
+let compare_by_flow_seq a b =
+  match compare a.flow b.flow with 0 -> compare a.seq b.seq | c -> c

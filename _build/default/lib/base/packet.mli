@@ -1,0 +1,39 @@
+(** Packets and flows.
+
+    A {e flow} is the sequence of packets transmitted by one source
+    (Zhang's terminology, adopted by the paper). Flows are plain
+    integers; per-flow configuration (weights, rates) lives in the
+    schedulers, not here.
+
+    Packet lengths are in {b bits} throughout the library — the paper's
+    formulas divide lengths by rates in bits/s to obtain virtual times,
+    so using bits avoids a factor-of-8 trap at every call site. Use
+    {!bits_of_bytes} at the edges. *)
+
+type flow = int
+
+type t = private {
+  flow : flow;
+  seq : int;  (** per-flow sequence number, 1-based, assigned by the source *)
+  len : int;  (** length in bits; positive *)
+  born : float;
+      (** creation time at the source; end-to-end delay is measured
+          from here. Per-hop arrival times are the [now] arguments of
+          the scheduler calls, not this field. *)
+  rate : float option;
+      (** per-packet rate override in bits/s, for the generalized SFQ
+          of §2.3 (variable rate allocation) and for Delay EDD. [None]
+          means "use the flow's configured weight/rate". *)
+}
+
+val make : ?rate:float -> flow:flow -> seq:int -> len:int -> born:float -> unit -> t
+(** @raise Invalid_argument if [len <= 0], [seq <= 0] or [rate <= 0]. *)
+
+val bits_of_bytes : int -> int
+val bytes_of_bits : int -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val compare_by_flow_seq : t -> t -> int
+(** Order by [(flow, seq)]; used by conservation tests. *)

@@ -1,0 +1,25 @@
+type t = {
+  name : string;
+  enqueue : now:float -> Packet.t -> unit;
+  dequeue : now:float -> Packet.t option;
+  peek : unit -> Packet.t option;
+  size : unit -> int;
+  backlog : Packet.flow -> int;
+}
+
+let is_empty t = t.size () = 0
+
+let drain t ~now =
+  let rec loop acc =
+    match t.dequeue ~now with None -> List.rev acc | Some p -> loop (p :: acc)
+  in
+  loop []
+
+let drain_n t ~now n =
+  let rec loop k acc =
+    if k = 0 then List.rev acc
+    else begin
+      match t.dequeue ~now with None -> List.rev acc | Some p -> loop (k - 1) (p :: acc)
+    end
+  in
+  loop n []

@@ -1,0 +1,38 @@
+(** The scheduler interface.
+
+    A scheduling discipline, to the rest of the library, is a record of
+    closures over hidden state. Servers ({!Sfq_netsim.Server}), the
+    hierarchical scheduler and the experiment harness are polymorphic
+    over the discipline without functor plumbing: each concrete
+    scheduler module ([Sfq], [Wfq], [Drr], ...) exposes its typed API
+    plus a [sched : t -> Sched.t] view.
+
+    Contract every discipline must honour (and that the conservation
+    property tests check):
+    - [enqueue] never drops a packet (queues are unbounded; losses are
+      modeled above the scheduler if needed);
+    - [dequeue ~now] returns [None] iff no packet is queued;
+    - packets of one flow leave in FIFO order (all the paper's
+      disciplines are per-flow FIFO);
+    - [now] arguments are non-decreasing across calls — schedulers may
+      assume time never runs backwards;
+    - [peek] returns the packet the next [dequeue] at the same instant
+      would return, without removing it (needed by hierarchical SFQ to
+      stamp parent-level tags with the head packet's length). *)
+
+type t = {
+  name : string;
+  enqueue : now:float -> Packet.t -> unit;
+  dequeue : now:float -> Packet.t option;
+  peek : unit -> Packet.t option;
+  size : unit -> int;  (** total queued packets *)
+  backlog : Packet.flow -> int;  (** queued packets of one flow *)
+}
+
+val is_empty : t -> bool
+
+val drain : t -> now:float -> Packet.t list
+(** Dequeue everything at time [now]; mainly for tests. *)
+
+val drain_n : t -> now:float -> int -> Packet.t list
+(** Dequeue at most [n] packets at time [now]. *)

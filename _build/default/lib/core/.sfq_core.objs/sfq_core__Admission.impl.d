@@ -1,0 +1,1 @@
+lib/core/admission.ml: Bounds Float Hashtbl List Packet Printf Sfq_base Stdlib

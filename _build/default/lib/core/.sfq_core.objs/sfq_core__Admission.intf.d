@@ -1,0 +1,1 @@
+lib/core/admission.mli: Packet Sfq_base

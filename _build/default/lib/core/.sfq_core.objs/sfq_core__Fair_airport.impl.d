@@ -1,0 +1,1 @@
+lib/core/fair_airport.ml: Ds_heap Float Flow_table Packet Queue Sched Sfq_base Sfq_util Weights

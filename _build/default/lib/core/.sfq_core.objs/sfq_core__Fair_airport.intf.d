@@ -1,0 +1,1 @@
+lib/core/fair_airport.mli: Packet Sched Sfq_base Weights

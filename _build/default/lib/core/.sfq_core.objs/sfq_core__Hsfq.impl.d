@@ -1,0 +1,1 @@
+lib/core/hsfq.ml: Float Hashtbl List Packet Sched Sfq_base

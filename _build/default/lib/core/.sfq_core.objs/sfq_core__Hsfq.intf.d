@@ -1,0 +1,1 @@
+lib/core/hsfq.mli: Packet Sched Sfq_base

@@ -1,0 +1,1 @@
+lib/core/sfq.ml: Ds_heap Float Flow_table Packet Sched Sfq_base Sfq_sched Sfq_util Tag_queue Weights

@@ -1,0 +1,1 @@
+lib/core/sfq.mli: Packet Sched Sfq_base Sfq_sched Tag_queue Weights

@@ -1,0 +1,80 @@
+open Sfq_base
+
+type flow_spec = { flow : Packet.flow; rate : float; max_len : int }
+type server = { capacity : float; delta : float }
+
+type guarantee = {
+  spec : flow_spec;
+  delay_bound : float;
+  throughput_deficit : float;
+  fairness_vs : (Packet.flow * float) list;
+}
+
+let validate specs =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if s.rate <= 0.0 || s.max_len <= 0 then
+        invalid_arg (Printf.sprintf "Admission: invalid spec for flow %d" s.flow);
+      if Hashtbl.mem seen s.flow then
+        invalid_arg (Printf.sprintf "Admission: duplicate flow %d" s.flow);
+      Hashtbl.replace seen s.flow ())
+    specs
+
+let admissible server specs =
+  validate specs;
+  if server.capacity <= 0.0 || server.delta < 0.0 then
+    invalid_arg "Admission: invalid server parameters";
+  List.fold_left (fun acc s -> acc +. s.rate) 0.0 specs <= server.capacity +. 1e-9
+
+let guarantee_of server specs spec =
+  let sum_lmax = List.fold_left (fun acc s -> acc +. float_of_int s.max_len) 0.0 specs in
+  let sum_other_lmax = sum_lmax -. float_of_int spec.max_len in
+  let delay_bound =
+    Bounds.sfq_departure ~eat:0.0 ~sum_other_lmax ~len:(float_of_int spec.max_len)
+      ~capacity:server.capacity ~delta:server.delta
+  in
+  (* Theorem 2 rearranged: W_f >= r_f (t2-t1) - deficit. *)
+  let throughput_deficit =
+    (spec.rate *. sum_lmax /. server.capacity)
+    +. (spec.rate *. server.delta /. server.capacity)
+    +. float_of_int spec.max_len
+  in
+  let fairness_vs =
+    List.filter_map
+      (fun other ->
+        if other.flow = spec.flow then None
+        else
+          Some
+            ( other.flow,
+              Bounds.h_sfq
+                ~lmax_f:(float_of_int spec.max_len)
+                ~r_f:spec.rate
+                ~lmax_m:(float_of_int other.max_len)
+                ~r_m:other.rate ))
+      specs
+  in
+  { spec; delay_bound; throughput_deficit; fairness_vs }
+
+let admit server specs =
+  if admissible server specs then Some (List.map (guarantee_of server specs) specs)
+  else None
+
+let max_admissible_rate server specs =
+  validate specs;
+  Float.max 0.0 (server.capacity -. List.fold_left (fun acc s -> acc +. s.rate) 0.0 specs)
+
+let e2e_guarantee ~servers ~per_hop_others_lmax ~spec ~prop_delays ~sigma =
+  let k = List.length servers in
+  if List.length per_hop_others_lmax <> k then
+    invalid_arg "Admission.e2e_guarantee: one others-lmax per server required";
+  if List.length prop_delays <> Stdlib.max 0 (k - 1) then
+    invalid_arg "Admission.e2e_guarantee: one propagation delay per hop required";
+  let betas =
+    List.map2
+      (fun server others ->
+        Bounds.sfq_beta ~sum_other_lmax:others ~len:(float_of_int spec.max_len)
+          ~capacity:server.capacity ~delta:server.delta)
+      servers per_hop_others_lmax
+  in
+  Bounds.e2e_delay_leaky_bucket ~sigma ~rate:spec.rate ~betas ~taus:prop_delays

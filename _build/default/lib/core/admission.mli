@@ -1,0 +1,59 @@
+(** Admission control and guarantee computation.
+
+    The paper's guarantees are conditional on admission control:
+    Theorems 2–5 require [Σ_n r_n <= C] (or [Σ_n R_n(v) <= C] with
+    variable rates), Theorem 7 requires the eq.-67 schedulability test,
+    and the end-to-end bound composes per-server constants. This module
+    packages those checks and evaluates the resulting contractual
+    bounds for an admitted flow set, so callers can answer "if I admit
+    this set, what can I promise each flow?" before any packet flows.
+
+    All lengths in bits, rates in bits/s, times in seconds. *)
+
+open Sfq_base
+
+type flow_spec = {
+  flow : Packet.flow;
+  rate : float;  (** reserved rate r_f *)
+  max_len : int;  (** l_f^max *)
+}
+
+type server = {
+  capacity : float;  (** average rate C of the (possibly FC) server *)
+  delta : float;  (** δ(C); 0 for a constant-rate server *)
+}
+
+type guarantee = {
+  spec : flow_spec;
+  delay_bound : float;
+      (** Theorem 4: departure within this of the packet's EAT *)
+  throughput_deficit : float;
+      (** Theorem 2: bits by which [W_f(t1,t2)] may lag
+          [r_f (t2 - t1)] in any backlogged interval *)
+  fairness_vs : (Packet.flow * float) list;
+      (** Theorem 1 H(f,m) against every other admitted flow *)
+}
+
+val admissible : server -> flow_spec list -> bool
+(** [Σ r <= C], with distinct flow ids and positive parameters.
+    @raise Invalid_argument on malformed specs (non-positive rate or
+    length, duplicate flow id). *)
+
+val admit : server -> flow_spec list -> guarantee list option
+(** [None] if not admissible; otherwise the per-flow contracts an SFQ
+    server of these parameters provides. *)
+
+val max_admissible_rate : server -> flow_spec list -> float
+(** Spare capacity: the largest rate a new flow could reserve. *)
+
+val e2e_guarantee :
+  servers:server list ->
+  per_hop_others_lmax:float list ->
+  spec:flow_spec ->
+  prop_delays:float list ->
+  sigma:float ->
+  float
+(** End-to-end delay bound (Corollary 1 / §A.5) for a
+    (σ, [spec.rate])-leaky-bucket flow crossing the given servers,
+    where [per_hop_others_lmax] is Σ_{n≠f} l_n^max at each hop.
+    @raise Invalid_argument on list-length mismatches. *)

@@ -1,0 +1,60 @@
+let per_flow_terms ~lmax_f ~r_f ~lmax_m ~r_m = (lmax_f /. r_f) +. (lmax_m /. r_m)
+
+let h_lower_bound ~lmax_f ~r_f ~lmax_m ~r_m = 0.5 *. per_flow_terms ~lmax_f ~r_f ~lmax_m ~r_m
+let h_sfq ~lmax_f ~r_f ~lmax_m ~r_m = per_flow_terms ~lmax_f ~r_f ~lmax_m ~r_m
+let h_scfq = h_sfq
+let h_wfq_lower = h_sfq
+let h_drr ~lmax_f ~r_f ~lmax_m ~r_m = 1.0 +. per_flow_terms ~lmax_f ~r_f ~lmax_m ~r_m
+
+let h_fair_airport ~lmax_f ~r_f ~lmax_m ~r_m ~lmax ~capacity =
+  (3.0 *. per_flow_terms ~lmax_f ~r_f ~lmax_m ~r_m) +. (2.0 *. lmax /. capacity)
+
+let sfq_departure ~eat ~sum_other_lmax ~len ~capacity ~delta =
+  eat +. (sum_other_lmax /. capacity) +. (len /. capacity) +. (delta /. capacity)
+
+let scfq_departure ~eat ~sum_other_lmax ~len ~rate ~capacity =
+  eat +. (sum_other_lmax /. capacity) +. (len /. rate)
+
+let wfq_departure ~eat ~len ~rate ~lmax ~capacity = eat +. (len /. rate) +. (lmax /. capacity)
+
+let edd_departure ~deadline ~lmax ~capacity ~delta =
+  deadline +. (lmax /. capacity) +. (delta /. capacity)
+
+let scfq_sfq_gap ~len ~rate ~capacity = (len /. rate) -. (len /. capacity)
+
+let wfq_sfq_delta ~len ~rate ~lmax ~sum_other_lmax ~capacity =
+  (len /. rate) +. (lmax /. capacity) -. (sum_other_lmax /. capacity) -. (len /. capacity)
+
+let wfq_sfq_delta_uniform ~len ~rate ~nflows ~capacity =
+  (len /. rate) -. (float_of_int (nflows - 1) *. len /. capacity)
+
+let sfq_throughput_lower ~rate ~t1 ~t2 ~sum_lmax ~lmax_f ~capacity ~delta =
+  (rate *. (t2 -. t1))
+  -. (rate *. sum_lmax /. capacity)
+  -. (rate *. delta /. capacity)
+  -. lmax_f
+
+let fc_virtual_server ~rate ~sum_lmax ~lmax_f ~capacity ~delta =
+  (rate, (rate *. sum_lmax /. capacity) +. (rate *. delta /. capacity) +. lmax_f)
+
+let flat_departure_rhs ~nflows ~len ~capacity ~delta =
+  (float_of_int (nflows - 1) *. len /. capacity) +. (delta /. capacity) +. (len /. capacity)
+
+let shifted_departure_rhs ~partition_size ~len ~partition_rate ~nparts ~capacity ~delta =
+  (float_of_int (partition_size + 1) *. len /. partition_rate)
+  +. ((delta +. (float_of_int nparts *. len)) /. capacity)
+
+let delay_shift_improves ~partition_size ~nflows ~nparts ~partition_rate ~capacity =
+  float_of_int (partition_size + 1) /. float_of_int (nflows - nparts)
+  < partition_rate /. capacity
+
+let sfq_beta ~sum_other_lmax ~len ~capacity ~delta =
+  (sum_other_lmax /. capacity) +. (len /. capacity) +. (delta /. capacity)
+
+let e2e_departure ~eat_first ~betas ~taus =
+  eat_first +. List.fold_left ( +. ) 0.0 betas +. List.fold_left ( +. ) 0.0 taus
+
+let e2e_delay_leaky_bucket ~sigma ~rate ~betas ~taus =
+  (sigma /. rate) +. List.fold_left ( +. ) 0.0 betas +. List.fold_left ( +. ) 0.0 taus
+
+let ebf_tail ~b ~alpha ~gamma = b *. exp (-.alpha *. gamma)

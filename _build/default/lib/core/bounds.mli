@@ -1,0 +1,110 @@
+(** Closed-form bounds from the paper, used by Table 1, Fig. 2(a), the
+    §2.3 delay-gap numbers, the delay-shifting analysis and the
+    bound-validation experiments. All lengths in bits, rates in bits/s,
+    times in seconds. *)
+
+(** {1 Fairness measures H(f,m) (Table 1)} *)
+
+val h_lower_bound : lmax_f:float -> r_f:float -> lmax_m:float -> r_m:float -> float
+(** Golestani's lower bound [1/2 (l_f^max/r_f + l_m^max/r_m)] on any
+    packet algorithm's fairness measure. *)
+
+val h_sfq : lmax_f:float -> r_f:float -> lmax_m:float -> r_m:float -> float
+(** Theorem 1: [l_f^max/r_f + l_m^max/r_m]. Also SCFQ's measure. *)
+
+val h_scfq : lmax_f:float -> r_f:float -> lmax_m:float -> r_m:float -> float
+
+val h_wfq_lower : lmax_f:float -> r_f:float -> lmax_m:float -> r_m:float -> float
+(** Example 1's lower bound on WFQ's measure (same expression as
+    {!h_sfq}, but for WFQ it is only a {e lower} bound). *)
+
+val h_drr : lmax_f:float -> r_f:float -> lmax_m:float -> r_m:float -> float
+(** [1 + l_f^max/r_f + l_m^max/r_m], valid when the minimum weight in
+    the system is 1 (§1.2). *)
+
+val h_fair_airport :
+  lmax_f:float -> r_f:float -> lmax_m:float -> r_m:float -> lmax:float -> capacity:float -> float
+(** Theorem 8: [3(l_f^max/r_f + l_m^max/r_m) + 2 l^max/C]. *)
+
+(** {1 Single-server departure bounds} *)
+
+val sfq_departure :
+  eat:float -> sum_other_lmax:float -> len:float -> capacity:float -> delta:float -> float
+(** Theorem 4: [EAT + Σ_{n≠f} l_n^max/C + l/C + δ(C)/C]. *)
+
+val scfq_departure : eat:float -> sum_other_lmax:float -> len:float -> rate:float -> capacity:float -> float
+(** Eq. 56 (tight bound for a constant-rate SCFQ server):
+    [EAT + Σ_{n≠f} l_n^max/C + l/r]. *)
+
+val wfq_departure : eat:float -> len:float -> rate:float -> lmax:float -> capacity:float -> float
+(** [EAT + l/r + l^max/C] (§2.3; also Theorem 9's Fair Airport
+    bound). *)
+
+val edd_departure : deadline:float -> lmax:float -> capacity:float -> delta:float -> float
+(** Theorem 7: [D + l^max/C + δ(C)/C]. *)
+
+val scfq_sfq_gap : len:float -> rate:float -> capacity:float -> float
+(** Eq. 57, per server: [l/r − l/C]; the extra delay SCFQ can add over
+    SFQ. 24.4 ms for l = 200 B, r = 64 Kb/s, C = 100 Mb/s. *)
+
+val wfq_sfq_delta :
+  len:float -> rate:float -> lmax:float -> sum_other_lmax:float -> capacity:float -> float
+(** Eq. 58: max-delay reduction of SFQ over WFQ for one packet:
+    [l/r + l^max/C − Σ_{n≠f} l_n^max/C − l/C]. *)
+
+val wfq_sfq_delta_uniform : len:float -> rate:float -> nflows:int -> capacity:float -> float
+(** Eq. 59 (all packets of length [len]):
+    [l/r − (|Q|−1) l/C]. Positive iff the flow uses at most a
+    [1/(|Q|−1)] share (eq. 60) — Fig. 2(a)'s quantity. *)
+
+(** {1 Throughput guarantees} *)
+
+val sfq_throughput_lower :
+  rate:float -> t1:float -> t2:float -> sum_lmax:float -> lmax_f:float -> capacity:float -> delta:float -> float
+(** Theorem 2: a continuously backlogged flow receives at least
+    [r_f(t2−t1) − r_f Σ_n l_n^max/C − r_f δ(C)/C − l_f^max]. *)
+
+val fc_virtual_server :
+  rate:float -> sum_lmax:float -> lmax_f:float -> capacity:float -> delta:float -> float * float
+(** Eq. 65: the virtual server seen by a class with rate [r_f] under an
+    FC [(C, δ)] parent is FC with parameters
+    [(r_f, r_f Σ l^max/C + r_f δ/C + l_f^max)]. Returns
+    [(rate, delta')]. *)
+
+(** {1 Hierarchical delay shifting (§3)} *)
+
+val flat_departure_rhs : nflows:int -> len:float -> capacity:float -> delta:float -> float
+(** Eq. 69's bound minus EAT: [(|Q|−1)l/C + δ/C + l/C], equal packet
+    lengths. *)
+
+val shifted_departure_rhs :
+  partition_size:int -> len:float -> partition_rate:float -> nparts:int -> capacity:float -> delta:float -> float
+(** Eq. 71's bound minus EAT: [(|Q_i|+1)l/C_i + (δ(C)+Kl)/C]. *)
+
+val delay_shift_improves :
+  partition_size:int -> nflows:int -> nparts:int -> partition_rate:float -> capacity:float -> bool
+(** Eq. 73: hierarchical scheduling lowers the bound iff
+    [(|Q_i|+1)/(|Q|−K) < C_i/C]. *)
+
+(** {1 End-to-end delay (Corollary 1, §A.5)} *)
+
+val sfq_beta : sum_other_lmax:float -> len:float -> capacity:float -> delta:float -> float
+(** The per-server constant [β = Σ_{n≠f} l_n^max/C + l/C + δ/C] of
+    eq. 61. *)
+
+val e2e_departure : eat_first:float -> betas:float list -> taus:float list -> float
+(** Deterministic Corollary 1: [EAT^1 + Σ_n max β^n + Σ τ^{n,n+1}]
+    (each [betas] element should already be the per-server max over
+    packets seen so far). [taus] has one entry per hop between
+    consecutive servers. *)
+
+val e2e_delay_leaky_bucket :
+  sigma:float -> rate:float -> betas:float list -> taus:float list -> float
+(** §A.5: end-to-end delay bound for a [(σ, ρ)]-leaky-bucket flow with
+    reserved rate [rate ≥ ρ] at every server:
+    [σ/rate − l/rate + Σβ + Στ + l/rate = σ/rate + Σβ + Στ]. *)
+
+(** {1 EBF tail (Theorems 3 and 5)} *)
+
+val ebf_tail : b:float -> alpha:float -> gamma:float -> float
+(** [B e^{−α γ}], the probability the EBF deviation exceeds [γ]. *)

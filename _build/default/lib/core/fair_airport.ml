@@ -1,0 +1,242 @@
+open Sfq_util
+open Sfq_base
+
+type record = { pkt : Packet.t; arrival : float; mutable stamp : float }
+
+type flow_state = {
+  flow : Packet.flow;
+  rate : float;
+  gsq_q : record Queue.t;  (* released packets, FIFO; front = oldest unserved *)
+  wait_q : record Queue.t;  (* not-yet-released packets, FIFO *)
+  mutable rc_floor : float;  (* EAT chain over the GSQ-released subsequence *)
+  mutable stag : float;  (* ASQ start tag of the flow's oldest unserved packet *)
+  mutable ftag_prev : float;  (* finish tag of the last ASQ-served packet *)
+  mutable asq_version : int;
+  mutable reg_version : int;
+}
+
+(* Heap entries carry a version; an entry is stale once the flow's
+   corresponding version moved on. *)
+type versioned = { key : float; uid : int; version : int; fs : flow_state }
+
+type t = {
+  weights : Weights.t;
+  flows : flow_state Flow_table.t;
+  gsq : versioned Ds_heap.t;  (* key = Virtual Clock stamp; never stale *)
+  asq : versioned Ds_heap.t;  (* key = SFQ start tag; versioned *)
+  regulator : versioned Ds_heap.t;  (* key = eligibility time; versioned *)
+  mutable v_asq : float;
+  mutable max_finish_asq : float;
+  mutable count : int;
+  mutable next_uid : int;
+  mutable gsq_served : int;
+  mutable asq_served : int;
+}
+
+let compare_versioned a b =
+  match compare a.key b.key with 0 -> compare a.uid b.uid | c -> c
+
+let create weights =
+  {
+    weights;
+    flows =
+      Flow_table.create ~default:(fun flow ->
+          {
+            flow;
+            rate = Weights.get weights flow;
+            gsq_q = Queue.create ();
+            wait_q = Queue.create ();
+            rc_floor = neg_infinity;
+            stag = 0.0;
+            ftag_prev = 0.0;
+            asq_version = 0;
+            reg_version = 0;
+          });
+    gsq = Ds_heap.create ~cmp:compare_versioned ();
+    asq = Ds_heap.create ~cmp:compare_versioned ();
+    regulator = Ds_heap.create ~cmp:compare_versioned ();
+    v_asq = 0.0;
+    max_finish_asq = 0.0;
+    count = 0;
+    next_uid = 0;
+    gsq_served = 0;
+    asq_served = 0;
+  }
+
+let uid t =
+  let u = t.next_uid in
+  t.next_uid <- t.next_uid + 1;
+  u
+
+let flow_front fs =
+  match Queue.peek_opt fs.gsq_q with Some r -> Some r | None -> Queue.peek_opt fs.wait_q
+
+(* The flow is ASQ-servable iff its oldest unserved packet has not been
+   released to the GSQ (rule 5). *)
+let push_asq_entry t fs =
+  fs.asq_version <- fs.asq_version + 1;
+  if Queue.is_empty fs.gsq_q then begin
+    match Queue.peek_opt fs.wait_q with
+    | Some _ ->
+      Ds_heap.add t.asq { key = fs.stag; uid = uid t; version = fs.asq_version; fs }
+    | None -> ()
+  end
+
+let push_regulator_entry t fs =
+  fs.reg_version <- fs.reg_version + 1;
+  match Queue.peek_opt fs.wait_q with
+  | Some r ->
+    let eligible = Float.max r.arrival fs.rc_floor in
+    Ds_heap.add t.regulator { key = eligible; uid = uid t; version = fs.reg_version; fs }
+  | None -> ()
+
+let enqueue t ~now pkt =
+  let fs = Flow_table.find t.flows pkt.Packet.flow in
+  let flow_was_idle = flow_front fs = None in
+  Queue.push { pkt; arrival = now; stamp = nan } fs.wait_q;
+  t.count <- t.count + 1;
+  if flow_was_idle then begin
+    (* New ASQ busy period for the flow: eq. 4 with the ASQ clock. *)
+    fs.stag <- Float.max t.v_asq fs.ftag_prev;
+    push_asq_entry t fs;
+    push_regulator_entry t fs
+  end
+  else if Queue.length fs.wait_q = 1 then
+    (* Earlier packets are all In-GSQ; this one is the regulator head. *)
+    push_regulator_entry t fs
+
+(* Rule 2: move the flow's regulator head into the GSQ and advance the
+   flow's regulator clock. *)
+let release t fs ~eligible =
+  match Queue.take_opt fs.wait_q with
+  | None -> assert false
+  | Some r ->
+    r.stamp <- eligible +. (float_of_int r.pkt.Packet.len /. fs.rate);
+    fs.rc_floor <- r.stamp;
+    Queue.push r fs.gsq_q;
+    Ds_heap.add t.gsq { key = r.stamp; uid = uid t; version = 0; fs };
+    (* The flow's front may just have become GSQ-only. *)
+    push_asq_entry t fs;
+    push_regulator_entry t fs
+
+let rec process_regulator t ~now =
+  match Ds_heap.min_elt t.regulator with
+  | Some e when e.key <= now ->
+    ignore (Ds_heap.pop_min t.regulator);
+    if e.version = e.fs.reg_version then release t e.fs ~eligible:e.key;
+    process_regulator t ~now
+  | Some _ | None -> ()
+
+(* The ASQ busy period ends only when the server polls for work and
+   finds none — not when the count momentarily hits zero while the last
+   packet is still in service. *)
+let on_idle_poll t = t.v_asq <- Float.max t.v_asq t.max_finish_asq
+
+let serve_gsq t =
+  let rec pop () =
+    match Ds_heap.pop_min t.gsq with
+    | None -> None
+    | Some e -> begin
+      (* GSQ entries are never stale: within a flow stamps are FIFO and
+         only the GSQ dequeues gsq_q. *)
+      match Queue.take_opt e.fs.gsq_q with
+      | None -> pop () (* defensive; should not happen *)
+      | Some r ->
+        assert (r.stamp = e.key);
+        Some (e.fs, r)
+    end
+  in
+  match pop () with
+  | None -> None
+  | Some (fs, r) ->
+    t.count <- t.count - 1;
+    t.gsq_served <- t.gsq_served + 1;
+    (* Rule 5: the next ASQ packet inherits the removed packet's start
+       tag — fs.stag already holds it, so we only need to re-expose the
+       flow to the ASQ if its new front is un-released. *)
+    push_asq_entry t fs;
+    Some r.pkt
+
+let serve_asq t =
+  let rec pop () =
+    match Ds_heap.pop_min t.asq with
+    | None -> None
+    | Some e -> if e.version = e.fs.asq_version then Some e else pop ()
+  in
+  match pop () with
+  | None -> None
+  | Some e -> begin
+    let fs = e.fs in
+    match Queue.take_opt fs.wait_q with
+    | None -> assert false
+    | Some r ->
+      t.count <- t.count - 1;
+      t.asq_served <- t.asq_served + 1;
+      t.v_asq <- fs.stag;
+      let ftag = fs.stag +. (float_of_int r.pkt.Packet.len /. fs.rate) in
+      fs.ftag_prev <- ftag;
+      if ftag > t.max_finish_asq then t.max_finish_asq <- ftag;
+      fs.stag <- ftag;
+      (* Rule 4: the packet leaves the regulator without advancing the
+         flow's regulator clock. *)
+      push_regulator_entry t fs;
+      push_asq_entry t fs;
+      Some r.pkt
+  end
+
+let dequeue t ~now =
+  process_regulator t ~now;
+  match serve_gsq t with
+  | Some p -> Some p
+  | None -> begin
+    match serve_asq t with
+    | Some p -> Some p
+    | None ->
+      on_idle_poll t;
+      None
+  end
+
+let peek t =
+  let rec gsq_head () =
+    match Ds_heap.min_elt t.gsq with
+    | None -> None
+    | Some e -> begin
+      match Queue.peek_opt e.fs.gsq_q with
+      | Some r when r.stamp = e.key -> Some r.pkt
+      | Some _ | None ->
+        ignore (Ds_heap.pop_min t.gsq);
+        gsq_head ()
+    end
+  in
+  let rec asq_head () =
+    match Ds_heap.min_elt t.asq with
+    | None -> None
+    | Some e ->
+      if e.version = e.fs.asq_version then
+        match Queue.peek_opt e.fs.wait_q with Some r -> Some r.pkt | None -> None
+      else begin
+        ignore (Ds_heap.pop_min t.asq);
+        asq_head ()
+      end
+  in
+  match gsq_head () with Some p -> Some p | None -> asq_head ()
+
+let size t = t.count
+
+let backlog t flow =
+  match Flow_table.find_opt t.flows flow with
+  | None -> 0
+  | Some fs -> Queue.length fs.gsq_q + Queue.length fs.wait_q
+
+let gsq_served t = t.gsq_served
+let asq_served t = t.asq_served
+
+let sched t =
+  {
+    Sched.name = "fair-airport";
+    enqueue = (fun ~now pkt -> enqueue t ~now pkt);
+    dequeue = (fun ~now -> dequeue t ~now);
+    peek = (fun () -> peek t);
+    size = (fun () -> size t);
+    backlog = (fun flow -> backlog t flow);
+  }

@@ -1,0 +1,52 @@
+(** Fair Airport scheduling (paper Appendix B).
+
+    Goal: WFQ's delay guarantee {e and} fairness over variable-rate
+    servers, at Virtual-Clock cost. Every arriving packet joins a
+    per-flow rate regulator and an Auxiliary Service Queue (ASQ, an
+    SFQ); when the regulator releases it (at its expected arrival time
+    [EAT^RC]) it joins the Guaranteed Service Queue (GSQ, a Virtual
+    Clock) unless the ASQ already served it. The server is
+    work-conserving and gives the GSQ priority.
+
+    Rules implemented (numbering as in the paper):
+    2. a packet leaves the regulator at [EAT^RC], computed over the
+       subsequence of the flow's packets that went through the GSQ —
+       packets the ASQ served out of idle bandwidth do {e not} advance
+       the flow's regulator clock;
+    4. a packet is removed from the regulator when the ASQ serves it;
+    5. a GSQ-eligible packet leaves the ASQ only once the GSQ has
+       served it, and on removal the next ASQ packet of the flow
+       inherits its start tag.
+
+    Guarantees reproduced by the test-suite and the [fair-airport]
+    experiment: departure by [EAT + l/r + l^max/C] (Theorem 9, the WFQ
+    bound) and fairness within
+    [3(l_f^max/r_f + l_m^max/r_m) + 2 l^max/C] (Theorem 8), the latter
+    on servers with fluctuating capacity ≥ C.
+
+    Weights are interpreted as reserved rates in bits/s. *)
+
+open Sfq_base
+
+type t
+
+val create : Weights.t -> t
+val enqueue : t -> now:float -> Packet.t -> unit
+val dequeue : t -> now:float -> Packet.t option
+
+val peek : t -> Packet.t option
+(** Best-effort: exact unless a regulator release is pending at the
+    current instant (the release chain is not simulated). The
+    experiments never use Fair Airport as a hierarchy leaf, where
+    exactness would matter. *)
+
+val size : t -> int
+val backlog : t -> Packet.flow -> int
+
+val gsq_served : t -> int
+(** Packets served through the Guaranteed Service Queue so far. *)
+
+val asq_served : t -> int
+(** Packets served through the Auxiliary Service Queue so far. *)
+
+val sched : t -> Sched.t

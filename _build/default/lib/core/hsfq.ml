@@ -1,0 +1,200 @@
+open Sfq_base
+
+type node = {
+  owner : int;  (* hierarchy id, to reject foreign class handles *)
+  mutable kind : kind;
+  mutable edge : edge option;  (* None for the root *)
+}
+
+and kind = Internal of internal | Leaf of Sched.t
+
+and internal = {
+  mutable children : edge list;
+  mutable v : float;
+  mutable max_finish_served : float;
+  mutable next_seq : int;
+}
+
+and edge = {
+  child : node;
+  weight : float;
+  parent : node;
+  mutable stag : float;
+  mutable fprev : float;  (* finish tag of the child's previous emission *)
+  mutable active : bool;
+  mutable seq : int;  (* tie-break among equal start tags *)
+}
+
+type class_ = node
+
+type t = {
+  id : int;
+  root_node : node;
+  mutable classifier : (Packet.t -> class_) option;
+  mutable count : int;
+}
+
+let next_id = ref 0
+
+let fresh_internal () =
+  Internal { children = []; v = 0.0; max_finish_served = 0.0; next_seq = 0 }
+
+let create () =
+  incr next_id;
+  let id = !next_id in
+  { id; root_node = { owner = id; kind = fresh_internal (); edge = None }; classifier = None; count = 0 }
+
+let root t = t.root_node
+
+let internal_of node =
+  match node.kind with
+  | Internal i -> i
+  | Leaf _ -> invalid_arg "Hsfq: parent class is a leaf"
+
+let add_edge t ~parent ~weight child_kind =
+  if weight <= 0.0 then invalid_arg "Hsfq: weight must be positive";
+  if parent.owner <> t.id then invalid_arg "Hsfq: class from another hierarchy";
+  let i = internal_of parent in
+  let child = { owner = t.id; kind = child_kind; edge = None } in
+  let edge = { child; weight; parent; stag = 0.0; fprev = 0.0; active = false; seq = 0 } in
+  child.edge <- Some edge;
+  i.children <- i.children @ [ edge ];
+  child
+
+let add_class t ~parent ~weight = add_edge t ~parent ~weight (fresh_internal ())
+let add_leaf t ~parent ~weight inner = add_edge t ~parent ~weight (Leaf inner)
+
+let set_classifier t f = t.classifier <- Some f
+
+let classifier_by_flow assoc =
+  let table = Hashtbl.create 16 in
+  List.iter (fun (f, c) -> Hashtbl.replace table f c) assoc;
+  fun pkt -> Hashtbl.find table pkt.Packet.flow
+
+let rec node_peek node =
+  match node.kind with
+  | Leaf inner -> inner.Sched.peek ()
+  | Internal i -> begin
+    match min_active_edge i with None -> None | Some e -> node_peek e.child
+  end
+
+and min_active_edge i =
+  List.fold_left
+    (fun best e ->
+      if not e.active then best
+      else begin
+        match best with
+        | None -> Some e
+        | Some b ->
+          if e.stag < b.stag || (e.stag = b.stag && e.seq < b.seq) then Some e else best
+      end)
+    None i.children
+
+let subtree_nonempty node =
+  match node.kind with
+  | Leaf inner -> inner.Sched.size () > 0
+  | Internal i -> List.exists (fun e -> e.active) i.children
+
+(* Walk from a leaf to the root activating edges whose subtree just
+   became non-empty. Stops at the first already-active edge: its
+   ancestors are necessarily active too. *)
+let rec activate_upwards node =
+  match node.edge with
+  | None -> ()
+  | Some e ->
+    if not e.active then begin
+      let i = internal_of e.parent in
+      e.stag <- Float.max i.v e.fprev;
+      e.seq <- i.next_seq;
+      i.next_seq <- i.next_seq + 1;
+      e.active <- true;
+      activate_upwards e.parent
+    end
+
+let enqueue t ~now pkt =
+  let classify =
+    match t.classifier with
+    | Some f -> f
+    | None -> invalid_arg "Hsfq.enqueue: no classifier set"
+  in
+  let leaf = classify pkt in
+  if leaf.owner <> t.id then invalid_arg "Hsfq.enqueue: class from another hierarchy";
+  match leaf.kind with
+  | Internal _ -> invalid_arg "Hsfq.enqueue: classifier returned a non-leaf class"
+  | Leaf inner ->
+    let was_empty = inner.Sched.size () = 0 in
+    inner.Sched.enqueue ~now pkt;
+    t.count <- t.count + 1;
+    if was_empty then activate_upwards leaf
+
+let rec node_dequeue node ~now =
+  match node.kind with
+  | Leaf inner -> inner.Sched.dequeue ~now
+  | Internal i -> begin
+    match min_active_edge i with
+    | None -> None
+    | Some e -> begin
+      (* The emitted packet's length fixes this emission's finish tag;
+         peek is guaranteed to agree with the recursive dequeue. *)
+      match node_peek e.child with
+      | None -> assert false (* active edge over an empty subtree *)
+      | Some head ->
+        let ftag = e.stag +. (float_of_int head.Packet.len /. e.weight) in
+        i.v <- e.stag;
+        let p = node_dequeue e.child ~now in
+        e.fprev <- ftag;
+        if ftag > i.max_finish_served then i.max_finish_served <- ftag;
+        if subtree_nonempty e.child then begin
+          e.stag <- ftag;
+          e.seq <- i.next_seq;
+          i.next_seq <- i.next_seq + 1
+        end
+        else e.active <- false;
+        (* When the subtree empties, [i.v] stays at the emission's
+           start tag: the emitted packet is conceptually still in
+           service, and bumping v to the max finish tag here would
+           punish a same-instant refill and overtax newly activating
+           siblings (it would replay, one level up, the busy-period bug
+           the flat scheduler's idle-poll rule exists to avoid). A
+           frozen v is safe: reactivating children take
+           max(v, F_prev), so nobody mines stale credit. The root —
+           where the real server genuinely polls an empty queue — bumps
+           v in the None branch of [dequeue]. *)
+        p
+    end
+  end
+
+let dequeue t ~now =
+  match node_dequeue t.root_node ~now with
+  | None ->
+    (match t.root_node.kind with
+    | Internal i -> i.v <- Float.max i.v i.max_finish_served
+    | Leaf _ -> ());
+    None
+  | Some p ->
+    t.count <- t.count - 1;
+    Some p
+
+let peek t = node_peek t.root_node
+let size t = t.count
+
+let rec node_backlog node flow =
+  match node.kind with
+  | Leaf inner -> inner.Sched.backlog flow
+  | Internal i -> List.fold_left (fun acc e -> acc + node_backlog e.child flow) 0 i.children
+
+let backlog t flow = node_backlog t.root_node flow
+
+let class_vtime t node =
+  if node.owner <> t.id then invalid_arg "Hsfq.class_vtime: class from another hierarchy";
+  match node.kind with Internal i -> i.v | Leaf _ -> 0.0
+
+let sched t =
+  {
+    Sched.name = "hsfq";
+    enqueue = (fun ~now pkt -> enqueue t ~now pkt);
+    dequeue = (fun ~now -> dequeue t ~now);
+    peek = (fun () -> peek t);
+    size = (fun () -> size t);
+    backlog = (fun flow -> backlog t flow);
+  }

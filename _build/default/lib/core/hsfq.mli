@@ -1,0 +1,61 @@
+(** Hierarchical SFQ link sharing (paper §3).
+
+    A link-sharing structure is a tree of weighted classes. Each
+    internal class runs SFQ over its children, treating every child as
+    a flow whose "packets" are whatever the child's subtree emits next;
+    leaf classes hold an arbitrary inner discipline ({!Sfq_base.Sched}),
+    so a class can internally run SFQ, Delay EDD (for the
+    delay/throughput separation of §3), FIFO, or anything else.
+
+    Scheduling recurses: the root picks the active child with the
+    smallest start tag, that child picks among its children, and so on
+    down to a leaf. Because SFQ is fair on variable-rate servers
+    (Theorem 1 makes no assumption about capacity), each subtree sees a
+    fair share of whatever fluctuating bandwidth its parent grants —
+    Example 3's requirement — and by eq. 65 each virtual server is
+    itself an FC/EBF server, so Theorems 2–5 apply at every level.
+
+    Tag mechanics per child edge: on activation (subtree empty →
+    non-empty) [S = max(v_parent, F_prev)]; when the child is selected,
+    its emitted packet's length [l] fixes [F = S + l/w]; if the subtree
+    stays non-empty the next emission gets [S' = F]. The parent's
+    virtual time is the start tag of the child in service, and reverts
+    to the largest serviced finish tag when the class goes idle —
+    ordinary SFQ, one level up. *)
+
+open Sfq_base
+
+type t
+type class_
+
+val create : unit -> t
+
+val root : t -> class_
+
+val add_class : t -> parent:class_ -> weight:float -> class_
+(** New internal class. @raise Invalid_argument if [parent] is a leaf
+    or [weight <= 0]. *)
+
+val add_leaf : t -> parent:class_ -> weight:float -> Sched.t -> class_
+(** New leaf class with the given inner discipline. *)
+
+val set_classifier : t -> (Packet.t -> class_) -> unit
+(** Route packets to leaves. Required before the first [enqueue]. *)
+
+val classifier_by_flow : (Packet.flow * class_) list -> Packet.t -> class_
+(** Convenience classifier: flow-id table.
+    @raise Not_found for an unlisted flow. *)
+
+val enqueue : t -> now:float -> Packet.t -> unit
+(** @raise Invalid_argument if no classifier is set, or
+    [Invalid_argument] if the classifier returns a non-leaf class or a
+    class from another hierarchy. *)
+
+val dequeue : t -> now:float -> Packet.t option
+val peek : t -> Packet.t option
+val size : t -> int
+val backlog : t -> Packet.flow -> int
+val sched : t -> Sched.t
+
+val class_vtime : t -> class_ -> float
+(** Virtual time of an internal class (0 for leaves); for tests. *)

@@ -1,0 +1,64 @@
+(** Start-time Fair Queuing — the paper's contribution (§2).
+
+    Each packet gets a start tag and a finish tag:
+
+    {v S(p_f^j) = max( v(A(p_f^j)), F(p_f^{j-1}) )        (eq. 4)
+   F(p_f^j) = S(p_f^j) + l_f^j / r_f,  F(p_f^0) = 0    (eq. 5) v}
+
+    Packets are transmitted in increasing {e start}-tag order, and the
+    virtual time [v(t)] is simply the start tag of the packet in
+    service — no fluid simulation, no assumed capacity. At the end of
+    a busy period [v] is set to the largest finish tag of any serviced
+    packet.
+
+    Because the tags never reference the server's rate, Theorem 1's
+    fairness bound
+
+    {v |W_f(t1,t2)/r_f − W_m(t1,t2)/r_m| ≤ l_f^max/r_f + l_m^max/r_m v}
+
+    holds {e regardless of how the server's capacity varies} — the
+    property WFQ lacks and the reason SFQ can sit under a higher-
+    priority traffic class, a flow-controlled link, or another SFQ in a
+    link-sharing hierarchy.
+
+    The generalized form of §2.3 (per-packet rates [r_f^j], eq. 36) is
+    supported via {!Sfq_base.Packet.t}'s [rate] field. *)
+
+open Sfq_base
+open Sfq_sched
+
+type t
+
+type busy_rule =
+  | Idle_poll
+      (** the busy period ends when the server polls an empty queue
+          after a completion — the correct reading of §2 step 2 for a
+          packet server, and the default *)
+  | On_empty
+      (** the busy period "ends" the moment the queue becomes empty,
+          even though a packet is still in service — a natural-looking
+          but subtly wrong implementation shortcut, kept selectable for
+          the [busy-rule] ablation experiment, which shows it silently
+          doubles the measured unfairness *)
+
+val create : ?tie:Tag_queue.tie -> ?busy_rule:busy_rule -> Weights.t -> t
+(** [tie] refines ordering among equal start tags (default arrival
+    order); §2.3 notes the delay guarantee is tie-independent but a
+    low-throughput-first rule improves average delay. *)
+
+val enqueue : t -> now:float -> Packet.t -> unit
+
+val enqueue_tagged : t -> now:float -> Packet.t -> float * float
+(** Like {!enqueue} but returns the [(start_tag, finish_tag)] assigned;
+    used by tests that check eqs. 4–5 directly. *)
+
+val dequeue : t -> now:float -> Packet.t option
+val peek : t -> Packet.t option
+val size : t -> int
+val backlog : t -> Packet.flow -> int
+
+val vtime : t -> float
+(** Current virtual time: start tag of the packet most recently put in
+    service, or the busy-period-end value (max serviced finish tag). *)
+
+val sched : t -> Sched.t

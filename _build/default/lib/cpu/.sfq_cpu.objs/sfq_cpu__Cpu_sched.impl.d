@@ -1,0 +1,1 @@
+lib/cpu/cpu_sched.ml: Float Hashtbl List Packet Server Sfq_base Sfq_core Sfq_netsim Sim Stdlib Weights

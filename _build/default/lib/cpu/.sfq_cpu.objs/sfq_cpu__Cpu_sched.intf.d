@@ -1,0 +1,1 @@
+lib/cpu/cpu_sched.mli: Packet Sfq_base Sfq_netsim

@@ -1,0 +1,104 @@
+open Sfq_base
+open Sfq_netsim
+
+type thread = {
+  name : string;
+  flow : Packet.flow;
+  mutable pending : float;  (* work-units owed *)
+  mutable queued : bool;  (* a quantum of this thread is in the scheduler *)
+  mutable seq : int;
+  mutable cpu_time : float;
+  mutable completions : int;
+  owner : t;
+}
+
+and t = {
+  sim : Sim.t;
+  server : Server.t;
+  quantum : int;
+  threads : (Packet.flow, thread) Hashtbl.t;
+  weight_table : (Packet.flow, float) Hashtbl.t;
+  mutable next_flow : int;
+  mutable slice_handlers : (thread -> start:float -> finished:float -> work:int -> unit) list;
+}
+
+(* At most one quantum per thread is in the scheduler: the next one is
+   requested only when the previous completes, so SFQ's per-flow tag
+   chain paces the thread at its weight and a waking thread re-enters
+   at the current virtual time. *)
+let enqueue_slice t thread =
+  if not thread.queued then begin
+    thread.queued <- true;
+    thread.seq <- thread.seq + 1;
+    let len =
+      Stdlib.min t.quantum (Stdlib.max 1 (int_of_float (Float.ceil thread.pending)))
+    in
+    Server.inject t.server
+      (Packet.make ~flow:thread.flow ~seq:thread.seq ~len ~born:(Sim.now t.sim) ())
+  end
+
+let create sim ~speed ?(quantum = 1000) () =
+  if quantum <= 0 then invalid_arg "Cpu_sched.create: quantum must be positive";
+  let weight_table = Hashtbl.create 16 in
+  let weights =
+    Weights.of_fun (fun flow ->
+        match Hashtbl.find_opt weight_table flow with Some w -> w | None -> 1.0)
+  in
+  let sched = Sfq_core.Sfq.sched (Sfq_core.Sfq.create weights) in
+  let server = Server.create sim ~name:"cpu" ~rate:speed ~sched () in
+  let t =
+    {
+      sim;
+      server;
+      quantum;
+      threads = Hashtbl.create 16;
+      weight_table;
+      next_flow = 0;
+      slice_handlers = [];
+    }
+  in
+  Server.on_depart server (fun p ~start ~departed ->
+      match Hashtbl.find_opt t.threads p.Packet.flow with
+      | None -> ()
+      | Some thread ->
+        thread.queued <- false;
+        thread.cpu_time <- thread.cpu_time +. float_of_int p.Packet.len;
+        thread.pending <- Float.max 0.0 (thread.pending -. float_of_int p.Packet.len);
+        List.iter
+          (fun h -> h thread ~start ~finished:departed ~work:p.Packet.len)
+          (List.rev t.slice_handlers);
+        if thread.pending > 0.0 then enqueue_slice t thread
+        else thread.completions <- thread.completions + 1);
+  t
+
+let spawn t ~name ~weight =
+  if weight <= 0.0 then invalid_arg "Cpu_sched.spawn: weight must be positive";
+  t.next_flow <- t.next_flow + 1;
+  let flow = t.next_flow in
+  Hashtbl.replace t.weight_table flow weight;
+  let thread =
+    {
+      name;
+      flow;
+      pending = 0.0;
+      queued = false;
+      seq = 0;
+      cpu_time = 0.0;
+      completions = 0;
+      owner = t;
+    }
+  in
+  Hashtbl.replace t.threads flow thread;
+  thread
+
+let add_work thread w =
+  if w <= 0.0 then invalid_arg "Cpu_sched.add_work: work must be positive";
+  thread.pending <- thread.pending +. w;
+  enqueue_slice thread.owner thread
+
+let on_slice t h = t.slice_handlers <- h :: t.slice_handlers
+let cpu_time thread = thread.cpu_time
+let pending_work thread = thread.pending
+let completions thread = thread.completions
+let thread_name thread = thread.name
+let thread_flow thread = thread.flow

@@ -1,0 +1,54 @@
+(** Proportional-share CPU scheduling with SFQ — the paper's own
+    extension direction.
+
+    §4 closes by demonstrating "the feasibility of employing SFQ for
+    scheduling [a] network interface in operating systems where the
+    processing capacity available ... varies over time", and the
+    authors' follow-up (Goyal, Guo & Vin, OSDI '96) applied exactly
+    this algorithm to CPU scheduling. This module packages that use:
+    threads are flows, quanta are packets, and the CPU is a server
+    whose effective speed is any {!Sfq_netsim.Rate_process} (interrupt
+    load, frequency scaling, hypervisor stealing — the variable-rate
+    server again, which is why SFQ and not WFQ is the right arbiter).
+
+    Work is measured in {b microseconds at nominal speed}: a CPU whose
+    rate process sits at [0.5e6] work-units/s runs at half nominal.
+    Each thread keeps at most one quantum in the scheduler at a time,
+    so a thread that wakes after sleeping re-enters at the current
+    virtual time (SFQ's [max(v, F_prev)]) — it neither hoards credit
+    nor gets punished, the property round-robin and Virtual-Clock-style
+    schedulers miss. *)
+
+open Sfq_base
+
+type t
+type thread
+
+val create :
+  Sfq_netsim.Sim.t -> speed:Sfq_netsim.Rate_process.t -> ?quantum:int -> unit -> t
+(** [quantum] is the maximum contiguous slice in work-units (default
+    1000 = 1 ms at nominal speed). *)
+
+val spawn : t -> name:string -> weight:float -> thread
+(** Register a thread with a CPU share weight.
+    @raise Invalid_argument if [weight <= 0]. *)
+
+val add_work : thread -> float -> unit
+(** Give the thread [w] work-units to execute; it becomes (or stays)
+    runnable. Callable from simulator events (e.g. to model periodic
+    wakeups). *)
+
+val on_slice : t -> (thread -> start:float -> finished:float -> work:int -> unit) -> unit
+(** Observe every completed slice. *)
+
+val cpu_time : thread -> float
+(** Work-units completed so far. *)
+
+val pending_work : thread -> float
+(** Work-units still owed (runnable if positive). *)
+
+val completions : thread -> int
+(** Number of times the thread ran out of work (went to sleep). *)
+
+val thread_name : thread -> string
+val thread_flow : thread -> Packet.flow

@@ -1,0 +1,1 @@
+lib/experiments/bound_validation.mli:

@@ -1,0 +1,1 @@
+lib/experiments/busy_rule_ablation.ml: Bounds Fairness Packet Printf Rate_process Server Service_log Sfq Sfq_analysis Sfq_base Sfq_core Sfq_netsim Sim Weights

@@ -1,0 +1,1 @@
+lib/experiments/busy_rule_ablation.mli:

@@ -1,0 +1,1 @@
+lib/experiments/delay_shifting.ml: Bounds Disc Hsfq List Printf Rate_process Server Sfq_base Sfq_core Sfq_netsim Sfq_sched Sfq_util Sim Source Text_table Trace Weights

@@ -1,0 +1,1 @@
+lib/experiments/disc.ml: Drr Fair_airport Fifo Fqs Scfq Sfq_core Sfq_sched Virtual_clock Wf2q Wfq Wrr

@@ -1,0 +1,1 @@
+lib/experiments/disc.mli: Sched Sfq_base Weights

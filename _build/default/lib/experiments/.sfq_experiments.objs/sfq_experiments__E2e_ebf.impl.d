@@ -1,0 +1,1 @@
+lib/experiments/e2e_ebf.ml: Array Bounds Disc Float Hashtbl List Packet Printf Rate_process Rng Server Sfq_base Sfq_core Sfq_netsim Sfq_sched Sfq_util Sim Source Stdlib Tandem Text_table Vec Weights

@@ -1,0 +1,1 @@
+lib/experiments/e2e_ebf.mli:

@@ -1,0 +1,1 @@
+lib/experiments/end_to_end.ml: Bounds Disc Float List Packet Printf Rate_process Server Sfq_base Sfq_core Sfq_netsim Sfq_util Sim Source Stdlib Tandem Text_table Weights

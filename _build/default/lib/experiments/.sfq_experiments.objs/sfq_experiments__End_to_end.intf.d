@@ -1,0 +1,1 @@
+lib/experiments/end_to_end.mli:

@@ -1,0 +1,1 @@
+lib/experiments/ex1_wfq_unfair.ml: Disc Fairness List Packet Printf Rate_process Server Service_log Sfq_analysis Sfq_base Sfq_core Sfq_netsim Sfq_util Sim String Text_table Weights

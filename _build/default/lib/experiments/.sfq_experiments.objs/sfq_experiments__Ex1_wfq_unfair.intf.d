@@ -1,0 +1,1 @@
+lib/experiments/ex1_wfq_unfair.mli:

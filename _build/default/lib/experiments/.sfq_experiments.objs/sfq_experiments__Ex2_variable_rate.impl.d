@@ -1,0 +1,1 @@
+lib/experiments/ex2_variable_rate.ml: Disc Packet Printf Rate_process Server Service_log Sfq_analysis Sfq_base Sfq_netsim Sfq_sched Sfq_util Sim Text_table Weights Wfq

@@ -1,0 +1,1 @@
+lib/experiments/ex2_variable_rate.mli:

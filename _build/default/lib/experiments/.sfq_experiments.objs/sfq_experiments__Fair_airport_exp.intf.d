@@ -1,0 +1,1 @@
+lib/experiments/fair_airport_exp.mli:

@@ -1,0 +1,1 @@
+lib/experiments/fig1_tcp_fairness.ml: Disc List Mpeg Printf Rate_process Rng Server Sfq_base Sfq_netsim Sfq_util Sim Stdlib Tcp Text_table Weights

@@ -1,0 +1,1 @@
+lib/experiments/fig1_topology.ml: Disc Mpeg Net Packet Rate_process Rng Server Sfq_base Sfq_netsim Sfq_sched Sfq_util Sim Tcp Text_table Weights

@@ -1,0 +1,1 @@
+lib/experiments/fig2a_delay_reduction.mli:

@@ -1,0 +1,1 @@
+lib/experiments/fig2b_avg_delay.ml: Disc List Packet Printf Rate_process Rng Server Sfq_base Sfq_netsim Sfq_util Sim Source Stats Text_table Weights

@@ -1,0 +1,1 @@
+lib/experiments/fig2b_avg_delay.mli:

@@ -1,0 +1,1 @@
+lib/experiments/fig3_link_sharing.ml: Array Disc Float List Packet Printf Rate_process Rng Server Sfq_base Sfq_netsim Sfq_util Sim Source Text_table Weights

@@ -1,0 +1,1 @@
+lib/experiments/gsfq_video.ml: Bounds Float Hashtbl Packet Printf Rate_process Server Sfq Sfq_base Sfq_core Sfq_netsim Sfq_sched Sim Source Weights

@@ -1,0 +1,1 @@
+lib/experiments/gsfq_video.mli:

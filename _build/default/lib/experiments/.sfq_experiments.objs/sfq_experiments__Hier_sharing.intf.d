@@ -1,0 +1,1 @@
+lib/experiments/hier_sharing.mli:

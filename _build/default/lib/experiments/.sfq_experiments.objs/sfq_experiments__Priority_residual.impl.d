@@ -1,0 +1,1 @@
+lib/experiments/priority_residual.ml: Array Bounds Disc Float Hashtbl List Packet Printf Rate_process Rng Server Sfq_base Sfq_core Sfq_netsim Sfq_sched Sfq_util Shaper Sim Source Vec Weights

@@ -1,0 +1,1 @@
+lib/experiments/priority_residual.mli:

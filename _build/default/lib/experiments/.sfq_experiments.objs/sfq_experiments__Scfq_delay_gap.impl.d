@@ -1,0 +1,1 @@
+lib/experiments/scfq_delay_gap.ml: Bounds Disc List Packet Printf Rate_process Server Sfq_base Sfq_core Sfq_netsim Sfq_util Sim Source Text_table Trace Weights

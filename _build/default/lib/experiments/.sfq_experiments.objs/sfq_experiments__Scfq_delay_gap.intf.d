@@ -1,0 +1,1 @@
+lib/experiments/scfq_delay_gap.mli:

@@ -1,0 +1,1 @@
+lib/experiments/table1_fairness.ml: Disc Fairness List Packet Printf Rate_process Server Service_log Sfq_analysis Sfq_base Sfq_core Sfq_netsim Sfq_util Sim Stdlib Text_table Weights

@@ -1,0 +1,1 @@
+lib/experiments/tie_break_ablation.ml: List Packet Rate_process Server Sfq Sfq_base Sfq_core Sfq_netsim Sfq_sched Sfq_util Sim Source Stats Text_table Weights

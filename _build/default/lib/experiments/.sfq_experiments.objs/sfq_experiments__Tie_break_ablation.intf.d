@@ -1,0 +1,1 @@
+lib/experiments/tie_break_ablation.mli:

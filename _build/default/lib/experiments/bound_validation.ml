@@ -1,0 +1,156 @@
+open Sfq_util
+open Sfq_base
+open Sfq_core
+open Sfq_netsim
+open Sfq_analysis
+
+type ebf_point = { gamma : float; violations : int; samples : int }
+
+type result = {
+  thm2_worst_slack_bits : float;
+  thm2_intervals : int;
+  thm4_worst_slack_ms : float;
+  thm4_packets : int;
+  ebf_tail : ebf_point list;
+}
+
+let capacity = 1.0e6
+let delta = 20_000.0 (* bits *)
+let pkt_len = 8 * 250
+let nflows = 5
+let flow_rate = capacity /. float_of_int nflows (* Σ r_n = C exactly *)
+let duration = 60.0
+
+(* Theorem 2: all flows continuously backlogged on an FC server. *)
+let thm2 ~seed =
+  let sim = Sim.create () in
+  let rng = Rng.create seed in
+  let rate = Rate_process.fc_random ~c:capacity ~delta ~seg:0.05 ~spread:(0.5 *. capacity) ~rng in
+  let weights = Weights.uniform flow_rate in
+  let server =
+    Server.create sim ~name:"thm2" ~rate ~sched:(Disc.make Disc.Sfq weights) ()
+  in
+  let log = Service_log.attach server in
+  for flow = 1 to nflows do
+    ignore (Source.greedy sim ~server ~flow ~len:pkt_len ~total:1_000_000 ~window:4 ~start:0.0 ())
+  done;
+  Sim.run sim ~until:duration;
+  let sum_lmax = float_of_int (nflows * pkt_len) in
+  let worst = ref infinity and count = ref 0 in
+  let grid = [ 0.5; 1.0; 2.0; 5.0; 10.0; 20.0 ] in
+  List.iter
+    (fun span ->
+      let t1 = ref 1.0 in
+      while !t1 +. span < duration -. 1.0 do
+        let t2 = !t1 +. span in
+        incr count;
+        let w = Service_log.service log 1 ~t1:!t1 ~t2 in
+        let bound =
+          Bounds.sfq_throughput_lower ~rate:flow_rate ~t1:!t1 ~t2 ~sum_lmax
+            ~lmax_f:(float_of_int pkt_len) ~capacity ~delta
+        in
+        worst := Float.min !worst (w -. bound);
+        t1 := !t1 +. (span /. 2.0)
+      done)
+    grid;
+  (!worst, !count)
+
+(* Theorem 4: paced flows (arrival = EAT); check each departure. *)
+let thm4 ~seed =
+  let sim = Sim.create () in
+  let rng = Rng.create (seed + 1) in
+  let rate = Rate_process.fc_random ~c:capacity ~delta ~seg:0.05 ~spread:(0.5 *. capacity) ~rng in
+  let weights = Weights.uniform flow_rate in
+  let server = Server.create sim ~name:"thm4" ~rate ~sched:(Disc.make Disc.Sfq weights) () in
+  (* EAT per flow, recomputed exactly as eq. 37 from arrivals. *)
+  let eat = Sfq_sched.Eat.create () in
+  let worst = ref infinity and count = ref 0 in
+  let sum_other_lmax = float_of_int ((nflows - 1) * pkt_len) in
+  let eat_of = Hashtbl.create 64 in
+  Server.on_inject server (fun p ->
+      let e =
+        Sfq_sched.Eat.on_arrival eat ~now:(Sim.now sim) ~flow:p.Packet.flow ~len:p.Packet.len
+          ~rate:flow_rate
+      in
+      Hashtbl.replace eat_of (p.Packet.flow, p.Packet.seq) e);
+  Server.on_depart server (fun p ~start:_ ~departed ->
+      match Hashtbl.find_opt eat_of (p.Packet.flow, p.Packet.seq) with
+      | None -> ()
+      | Some e ->
+        incr count;
+        let bound =
+          Bounds.sfq_departure ~eat:e ~sum_other_lmax ~len:(float_of_int p.Packet.len)
+            ~capacity ~delta
+        in
+        worst := Float.min !worst (bound -. departed));
+  for flow = 1 to nflows do
+    ignore
+      (Source.cbr sim ~target:(Server.inject server) ~flow ~len:pkt_len ~rate:flow_rate
+         ~start:0.0 ~stop:duration)
+  done;
+  Sim.run sim ~until:(duration +. 2.0);
+  (1000.0 *. !worst, !count)
+
+(* Theorems 3/5: EBF tail of the throughput shortfall. *)
+let ebf ~seed =
+  let sim = Sim.create () in
+  let rng = Rng.create (seed + 2) in
+  let rate = Rate_process.ebf ~c:capacity ~scale:(0.3 *. capacity) ~seg:0.05 ~rng in
+  let weights = Weights.uniform flow_rate in
+  let server = Server.create sim ~name:"ebf" ~rate ~sched:(Disc.make Disc.Sfq weights) () in
+  let log = Service_log.attach server in
+  for flow = 1 to nflows do
+    ignore (Source.greedy sim ~server ~flow ~len:pkt_len ~total:1_000_000 ~window:4 ~start:0.0 ())
+  done;
+  Sim.run sim ~until:duration;
+  let sum_lmax = float_of_int (nflows * pkt_len) in
+  let span = 1.0 in
+  let gammas = [ 0.0; 10_000.0; 20_000.0; 40_000.0; 80_000.0 ] in
+  List.map
+    (fun gamma ->
+      let violations = ref 0 and samples = ref 0 in
+      let t1 = ref 1.0 in
+      while !t1 +. span < duration -. 1.0 do
+        let t2 = !t1 +. span in
+        incr samples;
+        let w = Service_log.service log 1 ~t1:!t1 ~t2 in
+        let bound =
+          Bounds.sfq_throughput_lower ~rate:flow_rate ~t1:!t1 ~t2 ~sum_lmax
+            ~lmax_f:(float_of_int pkt_len) ~capacity ~delta:0.0
+          -. (flow_rate *. gamma /. capacity)
+        in
+        if w < bound then incr violations;
+        t1 := !t1 +. 0.25
+      done;
+      { gamma; violations = !violations; samples = !samples })
+    gammas
+
+let run ?(seed = 3) () =
+  let thm2_worst_slack_bits, thm2_intervals = thm2 ~seed in
+  let thm4_worst_slack_ms, thm4_packets = thm4 ~seed in
+  { thm2_worst_slack_bits; thm2_intervals; thm4_worst_slack_ms; thm4_packets; ebf_tail = ebf ~seed }
+
+let print r =
+  print_endline "== Theorems 2/4 (FC) and 3/5 (EBF) bound validation ==";
+  Printf.printf
+    "Theorem 2 (throughput): worst slack %.0f bits over %d intervals (>= 0 means the bound held)\n"
+    r.thm2_worst_slack_bits r.thm2_intervals;
+  Printf.printf
+    "Theorem 4 (delay): worst slack %.3f ms over %d packets (>= 0 means the bound held)\n"
+    r.thm4_worst_slack_ms r.thm4_packets;
+  print_endline "EBF tail (throughput shortfall beyond gamma):";
+  let t = Text_table.create [ "gamma bits"; "violations"; "samples"; "frequency" ] in
+  List.iter
+    (fun p ->
+      Text_table.add_row t
+        [
+          Printf.sprintf "%.0f" p.gamma;
+          string_of_int p.violations;
+          string_of_int p.samples;
+          (if p.samples = 0 then "-"
+           else Printf.sprintf "%.3f" (float_of_int p.violations /. float_of_int p.samples));
+        ])
+    r.ebf_tail;
+  Text_table.print t;
+  print_endline "(frequency should decay roughly exponentially in gamma: Definition 2.)";
+  print_newline ()

@@ -1,0 +1,25 @@
+(** Empirical validation of SFQ's analytical guarantees on
+    variable-rate servers.
+
+    - Theorem 2 (throughput, FC server): greedy flows on a randomized
+      FC server; [W_f(t1,t2)] is checked against the bound on a grid of
+      intervals. Reports the worst (smallest) slack.
+    - Theorem 4 (delay, FC server): flows paced at their reservations
+      (so EAT = arrival); every departure is checked against
+      [EAT + Σ_{n≠f} l^max/C + l/C + δ/C]. Reports the worst slack.
+    - Theorem 3/5 (EBF): on an EBF server, the frequency of throughput
+      shortfalls beyond γ is tabulated for several γ, exhibiting the
+      exponential tail. *)
+
+type ebf_point = { gamma : float; violations : int; samples : int }
+
+type result = {
+  thm2_worst_slack_bits : float;  (** min over intervals of W_f − bound; ≥ 0 iff Theorem 2 holds *)
+  thm2_intervals : int;
+  thm4_worst_slack_ms : float;  (** min over packets of bound − departure *)
+  thm4_packets : int;
+  ebf_tail : ebf_point list;
+}
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit

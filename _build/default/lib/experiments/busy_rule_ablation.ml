@@ -1,0 +1,55 @@
+open Sfq_base
+open Sfq_core
+open Sfq_netsim
+open Sfq_analysis
+
+type result = { h_idle_poll : float; h_on_empty : float; bound : float }
+
+let pkt_len = 1_000
+let rate = 100.0
+let n = 30
+
+(* The trigger: flow f's first packet enters service the instant it is
+   injected (the queue is then momentarily empty while the packet is on
+   the wire), and the rest of both flows' bursts arrive within that
+   same instant. Under the on-empty shortcut v jumps to F(p_f^1) before
+   flow m's first packet is stamped, so m loses its head start and the
+   uid tie sends flow f twice in a row — one extra packet of
+   unfairness, i.e. H doubles from l/r to 2l/r. *)
+let measure busy_rule =
+  let weights = Weights.uniform rate in
+  let sim = Sim.create () in
+  let server =
+    Server.create sim ~name:"ablation" ~rate:(Rate_process.constant (4.0 *. rate))
+      ~sched:(Sfq.sched (Sfq.create ~busy_rule weights)) ()
+  in
+  let log = Service_log.attach server in
+  Sim.schedule sim ~at:0.0 (fun () ->
+      Server.inject server (Packet.make ~flow:1 ~seq:1 ~len:pkt_len ~born:0.0 ());
+      for seq = 2 to n do
+        Server.inject server (Packet.make ~flow:1 ~seq ~len:pkt_len ~born:0.0 ())
+      done;
+      for seq = 1 to n do
+        Server.inject server (Packet.make ~flow:2 ~seq ~len:pkt_len ~born:0.0 ())
+      done);
+  Sim.run_all sim ();
+  Fairness.exact_h log ~f:1 ~m:2 ~r_f:rate ~r_m:rate ~until:(Sim.now sim)
+
+let run ?seed:_ () =
+  {
+    h_idle_poll = measure Sfq.Idle_poll;
+    h_on_empty = measure Sfq.On_empty;
+    bound =
+      Bounds.h_sfq ~lmax_f:(float_of_int pkt_len) ~r_f:rate
+        ~lmax_m:(float_of_int pkt_len) ~r_m:rate;
+  }
+
+let print r =
+  print_endline "== Ablation: busy-period rule (idle-poll vs on-empty) ==";
+  Printf.printf
+    "Theorem 1 bound: %.1f s\n\
+     measured H, idle-poll rule (correct): %.1f s\n\
+     measured H, on-empty shortcut:        %.1f s\n\
+     (the shortcut bumps v while a packet is still in service; arrivals in that\n\
+    \ window pay a full extra packet of normalized service — H doubles.)\n\n"
+    r.bound r.h_idle_poll r.h_on_empty

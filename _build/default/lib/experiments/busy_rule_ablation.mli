@@ -1,0 +1,28 @@
+(** Ablation: the busy-period rule (DESIGN.md "busy-period semantics").
+
+    §2 step 2 sets v to the max serviced finish tag "at the end of a
+    busy period". A packet implementation must decide when that is.
+    Two readings:
+
+    - {b idle-poll} (correct, the library default): the busy period
+      ends when the server polls an empty queue after a completion;
+    - {b on-empty} (the tempting shortcut): it ends the instant the
+      queue becomes empty — even though a packet is still on the wire.
+
+    The shortcut silently costs a factor of ~2 in measured fairness:
+    any flow whose packets arrive while the queue is momentarily empty
+    gets its start tag bumped past the in-service packet's finish tag.
+    The experiment runs interleaved-arrival workloads (packets arriving
+    during service — i.e., every real network) under both rules and
+    reports the empirical H. This library had exactly this bug until
+    the Example-1 reproduction caught it; the ablation keeps the cost
+    of the wrong choice measurable. *)
+
+type result = {
+  h_idle_poll : float;
+  h_on_empty : float;
+  bound : float;  (** Theorem 1 *)
+}
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit

@@ -1,0 +1,25 @@
+(** §3 delay shifting (eqs. 69–73): reduce the maximum delay of a
+    partition of flows at the expense of the rest by scheduling the
+    partitions hierarchically with a more-than-proportional rate for
+    the favoured partition.
+
+    Setup: |Q| equal flows with equal-length packets, each paced at its
+    reserved rate. Flat SFQ gives every flow the eq. 69 bound. Then the
+    flows are split into K partitions and partition 1 — satisfying
+    eq. 73 — gets an outsized rate. Measured and predicted maximum
+    delays are reported for a flow of partition 1 (should drop) and one
+    of the others (should rise, staying within eq. 71). *)
+
+type result = {
+  flat_bound_ms : float;  (** eq. 69 rhs minus EAT *)
+  flat_measured_fav_ms : float;
+  flat_measured_other_ms : float;
+  shifted_bound_fav_ms : float;  (** eq. 71 for partition 1 *)
+  shifted_bound_other_ms : float;
+  shifted_measured_fav_ms : float;
+  shifted_measured_other_ms : float;
+  eq73_satisfied : bool;
+}
+
+val run : unit -> result
+val print : result -> unit

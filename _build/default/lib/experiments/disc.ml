@@ -1,0 +1,42 @@
+open Sfq_sched
+open Sfq_core
+
+type spec =
+  | Sfq
+  | Wfq of { capacity : float }
+  | Wfq_real of { capacity : float }
+  | Fqs of { capacity : float }
+  | Wf2q of { capacity : float }
+  | Scfq
+  | Drr of { quantum : float }
+  | Wrr
+  | Virtual_clock
+  | Fair_airport
+  | Fifo
+
+let name = function
+  | Sfq -> "SFQ"
+  | Wfq _ -> "WFQ"
+  | Wfq_real _ -> "WFQ(real)"
+  | Fqs _ -> "FQS"
+  | Wf2q _ -> "WF2Q"
+  | Scfq -> "SCFQ"
+  | Drr _ -> "DRR"
+  | Wrr -> "WRR"
+  | Virtual_clock -> "VirtualClock"
+  | Fair_airport -> "FairAirport"
+  | Fifo -> "FIFO"
+
+let make spec weights =
+  match spec with
+  | Sfq -> Sfq_core.Sfq.sched (Sfq_core.Sfq.create weights)
+  | Wfq { capacity } -> Wfq.sched (Wfq.create ~capacity weights)
+  | Wfq_real { capacity } -> Wfq.sched (Wfq.create ~capacity ~clock:`Real weights)
+  | Fqs { capacity } -> Fqs.sched (Fqs.create ~capacity weights)
+  | Wf2q { capacity } -> Wf2q.sched (Wf2q.create ~capacity weights)
+  | Scfq -> Scfq.sched (Scfq.create weights)
+  | Drr { quantum } -> Drr.sched (Drr.create ~quantum weights)
+  | Wrr -> Wrr.sched (Wrr.create weights)
+  | Virtual_clock -> Virtual_clock.sched (Virtual_clock.create weights)
+  | Fair_airport -> Fair_airport.sched (Fair_airport.create weights)
+  | Fifo -> Fifo.sched (Fifo.create ())

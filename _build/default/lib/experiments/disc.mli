@@ -1,0 +1,23 @@
+(** Discipline factory shared by the experiments: build any scheduler
+    in the library from a uniform spec, so experiments can sweep over
+    algorithms. *)
+
+open Sfq_base
+
+type spec =
+  | Sfq
+  | Wfq of { capacity : float }  (** assumed GPS capacity, bits/s; textbook fluid clock *)
+  | Wfq_real of { capacity : float }
+      (** WFQ with the practical really-backlogged-set clock (see {!Sfq_sched.Wfq}) *)
+  | Fqs of { capacity : float }
+  | Wf2q of { capacity : float }
+      (** Bennett & Zhang's WF2Q: WFQ restricted to GPS-eligible packets *)
+  | Scfq
+  | Drr of { quantum : float }  (** bits per round per unit weight *)
+  | Wrr
+  | Virtual_clock
+  | Fair_airport
+  | Fifo
+
+val name : spec -> string
+val make : spec -> Weights.t -> Sched.t

@@ -1,0 +1,28 @@
+(** Theorem 5 / Corollary 1, stochastic version: end-to-end delay
+    through Exponentially Bounded Fluctuation servers.
+
+    The paper's most distinctive analysis composes {e probabilistic}
+    per-hop guarantees: if each of K EBF servers promises
+    [P(L <= EAT + β + γ) >= 1 − B e^{−λγ}], the network promises
+    eq. 64's tail with [Σ B^n] and the harmonic-mean-style combined
+    exponent. This experiment runs a leaky-bucket flow through K EBF
+    servers with cross traffic, measures the empirical end-to-end delay
+    tail at several γ, and checks it against the composed bound
+    (which must upper-bound the empirical frequency at every γ where
+    the bound is below 1 — the regime where it says anything). *)
+
+type tail_point = {
+  gamma_ms : float;
+  empirical : float;  (** fraction of packets later than base + γ *)
+  bound : float;  (** eq. 64 tail (may exceed 1 where vacuous) *)
+}
+
+type result = {
+  k : int;
+  base_ms : float;  (** deterministic part: σ/ρ + Σβ + Στ *)
+  points : tail_point list;
+  violations : int;  (** γ points where empirical > min(1, bound) *)
+}
+
+val run : ?seed:int -> ?k:int -> unit -> result
+val print : result -> unit

@@ -1,0 +1,17 @@
+(** §2.4 / Corollary 1: end-to-end delay through a tandem of SFQ
+    servers.
+
+    A (σ, ρ)-leaky-bucket flow with reserved rate ρ traverses K SFQ
+    servers in series; each hop also carries backlogged cross traffic.
+    §A.5 turns Corollary 1 into the closed-form bound
+    [σ/ρ + Σ_k β_k + Σ τ] for such a flow; the experiment measures the
+    worst end-to-end delay for K = 1..5 and reports it against the
+    bound. The deterministic (FC with δ = 0) case must never violate
+    the bound. *)
+
+type point = { k : int; measured_max_ms : float; bound_ms : float }
+
+type result = { points : point list }
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit

@@ -1,0 +1,82 @@
+open Sfq_util
+open Sfq_base
+open Sfq_netsim
+open Sfq_analysis
+
+type result = {
+  wfq_order : (int * int) list;
+  wfq_h : float;
+  sfq_h : float;
+  h_lower_bound : float;
+  h_sfq_bound : float;
+}
+
+let flow_f = 1
+let flow_m = 2
+let lmax = 10_000 (* bits *)
+
+(* Both flows have weight 1 bit/s so normalized service is in seconds
+   and l^max/r = 10000 s; the absolute scale is irrelevant to H. *)
+let weights = Weights.uniform 1.0
+
+let packets =
+  (* f: 9999 then 10000 bits; m: 10000 then 4999 + 4999. Finish tags
+     under WFQ: f → 9999, 19999; m → 10000, 14999, 19998. Strict order
+     p_f^1 < p_m^1 < p_m^2 < p_m^3 < p_f^2: the paper's Example 1
+     schedule, without relying on tie-breaking. *)
+  [
+    (flow_f, 1, lmax - 1);
+    (flow_f, 2, lmax);
+    (flow_m, 1, lmax);
+    (flow_m, 2, (lmax / 2) - 1);
+    (flow_m, 3, (lmax / 2) - 1);
+  ]
+
+let run_disc spec =
+  let sim = Sim.create () in
+  let server =
+    Server.create sim ~name:"ex1" ~rate:(Rate_process.constant 10_000.0)
+      ~sched:(Disc.make spec weights) ()
+  in
+  let log = Service_log.attach server in
+  let order = ref [] in
+  Server.on_depart server (fun p ~start:_ ~departed:_ ->
+      order := (p.Packet.flow, p.Packet.seq) :: !order);
+  Sim.schedule sim ~at:0.0 (fun () ->
+      List.iter
+        (fun (flow, seq, len) ->
+          Server.inject server (Packet.make ~flow ~seq ~len ~born:0.0 ()))
+        packets);
+  Sim.run_all sim ();
+  let h =
+    Fairness.exact_h log ~f:flow_f ~m:flow_m ~r_f:1.0 ~r_m:1.0 ~until:(Sim.now sim)
+  in
+  (List.rev !order, h)
+
+let run () =
+  let wfq_order, wfq_h = run_disc (Disc.Wfq { capacity = 10_000.0 }) in
+  let _, sfq_h = run_disc Disc.Sfq in
+  let l = float_of_int lmax in
+  {
+    wfq_order;
+    wfq_h;
+    sfq_h;
+    h_lower_bound = Sfq_core.Bounds.h_lower_bound ~lmax_f:l ~r_f:1.0 ~lmax_m:l ~r_m:1.0;
+    h_sfq_bound = Sfq_core.Bounds.h_sfq ~lmax_f:l ~r_f:1.0 ~lmax_m:l ~r_m:1.0;
+  }
+
+let print r =
+  print_endline "== Example 1: WFQ is at least 2x from the fairness lower bound ==";
+  let order =
+    String.concat ", "
+      (List.map (fun (f, s) -> Printf.sprintf "p_%s^%d" (if f = flow_f then "f" else "m") s) r.wfq_order)
+  in
+  Printf.printf "WFQ service order: %s\n" order;
+  let t = Text_table.create [ "quantity"; "value (s)"; "note" ] in
+  Text_table.add_row t [ "lower bound on any H(f,m)"; Text_table.cell_f r.h_lower_bound; "Golestani" ];
+  Text_table.add_row t [ "Theorem 1 bound (SFQ)"; Text_table.cell_f r.h_sfq_bound; "= 2x lower bound" ];
+  Text_table.add_row t
+    [ "measured H under WFQ"; Text_table.cell_f r.wfq_h; "~2x lower bound: Example 1" ];
+  Text_table.add_row t [ "measured H under SFQ"; Text_table.cell_f r.sfq_h; "within Theorem 1" ];
+  Text_table.print t;
+  print_newline ()

@@ -1,0 +1,20 @@
+(** Example 1 (paper §1.2): WFQ's fairness measure is at least a factor
+    of two from the lower bound.
+
+    The paper's scenario, made tie-free by one-bit length perturbations
+    so a real WFQ server (not an adversarial tie-break) produces the
+    order [p_f^1, p_m^1, p_m^2, p_m^3, p_f^2]: flow [m] then receives
+    ~2·l^max of service in a window where [f] — equally weighted and
+    continuously backlogged — receives none. The same workload under
+    SFQ stays within Theorem 1's bound with room to spare. *)
+
+type result = {
+  wfq_order : (int * int) list;  (** (flow, seq) service order under WFQ *)
+  wfq_h : float;  (** measured sup |W_f/r_f − W_m/r_m|, seconds *)
+  sfq_h : float;
+  h_lower_bound : float;  (** ½(l_f^max/r_f + l_m^max/r_m) *)
+  h_sfq_bound : float;  (** Theorem 1 bound = 2 × lower bound *)
+}
+
+val run : unit -> result
+val print : result -> unit

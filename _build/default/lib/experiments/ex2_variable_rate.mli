@@ -1,0 +1,22 @@
+(** Example 2 (paper §1.2): WFQ is unfair when the actual server rate
+    differs from the assumed rate; SFQ is not.
+
+    The server really serves 1 pkt/s during [0,1) and C pkt/s during
+    [1,2); WFQ's GPS emulation assumes C throughout. Flow f dumps C+1
+    packets at t=0; flow m becomes backlogged at t=1. Fair allocation
+    would give each ~C/2 packets of service during [1,2]; WFQ gives
+    flow f almost everything (its fluid clock already ran to v(1)=C, so
+    f's queued finish tags all precede m's first). SFQ splits [1,2]
+    evenly. *)
+
+type result = {
+  c : float;  (** the paper's C, in packets/s *)
+  wfq_v1 : float;  (** WFQ virtual time at t=1 (paper predicts C) *)
+  wfq_wf : float;  (** packets of f served in [1,2] under WFQ *)
+  wfq_wm : float;
+  sfq_wf : float;
+  sfq_wm : float;
+}
+
+val run : ?c:float -> unit -> result
+val print : result -> unit

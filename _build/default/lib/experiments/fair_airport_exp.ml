@@ -1,0 +1,102 @@
+open Sfq_util
+open Sfq_base
+open Sfq_core
+open Sfq_netsim
+open Sfq_analysis
+
+type result = {
+  fa_max_ms : float;
+  vc_max_ms : float;
+  sfq_max_ms : float;
+  wfq_bound_ms : float;
+  fa_h : float;
+  fa_h_bound : float;
+  gsq_served : int;
+  asq_served : int;
+}
+
+let capacity = 1.0e6
+let pkt_len = 8 * 250
+let tagged = 0
+let tagged_rate = 50.0e3
+let nothers = 4
+let duration = 20.0
+
+(* Delay scenario: tagged flow paced at its reservation among
+   backlogged competitors; Σ r = C. *)
+let delay_run spec =
+  let other_rate = (capacity -. tagged_rate) /. float_of_int nothers in
+  let weights =
+    Weights.of_fun (fun f -> if f = tagged then tagged_rate else other_rate)
+  in
+  let sim = Sim.create () in
+  let server =
+    Server.create sim ~name:"fa-delay" ~rate:(Rate_process.constant capacity)
+      ~sched:(Disc.make spec weights) ()
+  in
+  let trace = Trace.attach server in
+  for i = 1 to nothers do
+    ignore (Source.greedy sim ~server ~flow:i ~len:pkt_len ~total:1_000_000 ~window:4 ~start:0.0 ())
+  done;
+  ignore
+    (Source.cbr sim ~target:(Server.inject server) ~flow:tagged ~len:pkt_len ~rate:tagged_rate
+       ~start:0.0 ~stop:duration);
+  Sim.run sim ~until:(duration +. 1.0);
+  (1000.0 *. Trace.max_delay trace tagged, server)
+
+(* Fairness scenario: two greedy flows on a fluctuating server whose
+   rate never drops below [floor]. *)
+let fairness_run ~seed =
+  let floor_rate = 0.5 *. capacity in
+  let rng = Rng.create seed in
+  let rate =
+    (* Uniform in [floor, capacity]: minimum capacity = floor, as
+       Theorem 8 requires. *)
+    Rate_process.fc_random ~c:(0.75 *. capacity) ~delta:1.0e9 ~seg:0.02
+      ~spread:(0.25 *. capacity) ~rng
+  in
+  let r_f = 0.25 *. capacity and r_m = 0.25 *. capacity in
+  let weights = Weights.uniform r_f in
+  let fa = Fair_airport.create weights in
+  let sim = Sim.create () in
+  let server = Server.create sim ~name:"fa-fair" ~rate ~sched:(Fair_airport.sched fa) () in
+  let log = Service_log.attach server in
+  ignore (Source.greedy sim ~server ~flow:1 ~len:pkt_len ~total:1_000_000 ~window:4 ~start:0.0 ());
+  ignore (Source.greedy sim ~server ~flow:2 ~len:pkt_len ~total:1_000_000 ~window:4 ~start:0.0 ());
+  Sim.run sim ~until:duration;
+  let h = Fairness.exact_h log ~f:1 ~m:2 ~r_f ~r_m ~until:(Sim.now sim) in
+  let l = float_of_int pkt_len in
+  let bound =
+    Bounds.h_fair_airport ~lmax_f:l ~r_f ~lmax_m:l ~r_m ~lmax:l ~capacity:floor_rate
+  in
+  (h, bound, Fair_airport.gsq_served fa, Fair_airport.asq_served fa)
+
+let run ?(seed = 23) () =
+  let fa_max_ms, _ = delay_run Disc.Fair_airport in
+  let vc_max_ms, _ = delay_run Disc.Virtual_clock in
+  let sfq_max_ms, _ = delay_run Disc.Sfq in
+  let fa_h, fa_h_bound, gsq_served, asq_served = fairness_run ~seed in
+  let len = float_of_int pkt_len in
+  {
+    fa_max_ms;
+    vc_max_ms;
+    sfq_max_ms;
+    wfq_bound_ms =
+      1000.0 *. Bounds.wfq_departure ~eat:0.0 ~len ~rate:tagged_rate ~lmax:len ~capacity;
+    fa_h;
+    fa_h_bound;
+    gsq_served;
+    asq_served;
+  }
+
+let print r =
+  print_endline "== Appendix B: Fair Airport ==";
+  let t = Text_table.create [ "discipline"; "paced-flow max delay ms"; "Thm 9 / WFQ bound ms" ] in
+  Text_table.add_row t
+    [ "FairAirport"; Text_table.cell_f ~decimals:2 r.fa_max_ms; Text_table.cell_f ~decimals:2 r.wfq_bound_ms ];
+  Text_table.add_row t [ "VirtualClock"; Text_table.cell_f ~decimals:2 r.vc_max_ms; "" ];
+  Text_table.add_row t [ "SFQ"; Text_table.cell_f ~decimals:2 r.sfq_max_ms; "(different bound)" ];
+  Text_table.print t;
+  Printf.printf
+    "fairness on fluctuating server: H = %.4f s (Theorem 8 bound %.4f s); GSQ/ASQ split: %d/%d\n\n"
+    r.fa_h r.fa_h_bound r.gsq_served r.asq_served

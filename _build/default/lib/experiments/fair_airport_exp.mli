@@ -1,0 +1,26 @@
+(** Appendix B: Fair Airport = WFQ's delay guarantee + fairness on
+    variable-rate servers.
+
+    - Delay (Theorem 9): a paced flow among backlogged competitors on a
+      constant-rate server; its max delay must stay within the WFQ
+      bound [EAT + l/r + l^max/C] — compare against plain SFQ (whose
+      bound is different) and Virtual Clock.
+    - Fairness (Theorem 8): two greedy flows on a server whose rate
+      fluctuates {e above} a floor C; H must stay within
+      [3(l_f/r_f + l_m/r_m) + 2 l^max/C].
+    - The GSQ/ASQ split shows the airport mechanism actually engages
+      (both queues serve packets). *)
+
+type result = {
+  fa_max_ms : float;
+  vc_max_ms : float;
+  sfq_max_ms : float;
+  wfq_bound_ms : float;  (** Theorem 9 rhs minus EAT *)
+  fa_h : float;
+  fa_h_bound : float;  (** Theorem 8 *)
+  gsq_served : int;
+  asq_served : int;
+}
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit

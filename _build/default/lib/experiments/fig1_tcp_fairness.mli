@@ -1,0 +1,34 @@
+(** Fig. 1 of the paper: TCP throughput fairness over a variable-rate
+    server, WFQ vs SFQ.
+
+    Topology 1(a): three sources share a 2.5 Mb/s switch output link.
+    Source 1 is MPEG VBR video (1.21 Mb/s average, 50-byte cells) sent
+    at strict priority, so the residual capacity seen by the other two
+    is variable. Sources 2 and 3 are TCP Reno with 200-byte packets;
+    source 3 starts 500 ms into the 1-second run. The WFQ scheduler
+    computes tags against the full 2.5 Mb/s link capacity (as the
+    paper's implementation did).
+
+    Paper's numbers for the [0.5 s, 1.0 s] window: WFQ delivered 342
+    packets of source 2 and almost none of source 3 (2 packets in the
+    first 435 ms); SFQ delivered 189 and 190. The shape to reproduce:
+    near-total starvation of the late flow under WFQ, a ~50/50 split
+    under SFQ. *)
+
+type run_stats = {
+  src2_window : int;  (** in-order packets delivered in [0.5, 1.0] *)
+  src3_window : int;
+  src3_first_435ms : int;  (** delivered in [0.5, 0.935] *)
+  src2_series : (float * int) list;
+  src3_series : (float * int) list;
+}
+
+type result = {
+  wfq_fluid : run_stats;  (** WFQ with the textbook fluid GPS clock *)
+  wfq_real : run_stats;  (** WFQ with the practical backlogged-set clock *)
+  sfq : run_stats;
+  video_rate_bps : float;  (** measured average video rate *)
+}
+
+val run : ?seed:int -> ?duration:float -> unit -> result
+val print : result -> unit

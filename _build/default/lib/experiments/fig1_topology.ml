@@ -1,0 +1,79 @@
+open Sfq_util
+open Sfq_base
+open Sfq_netsim
+
+type run_stats = { src2_window : int; src3_window : int }
+type result = { wfq : run_stats; sfq : run_stats }
+
+let bottleneck = 2.5e6
+let access = 10.0e6
+let tcp_len = 8 * 200
+let video_flow = 1
+let src2 = 2
+let src3 = 3
+
+let run_disc spec ~seed ~duration =
+  let sim = Sim.create () in
+  let rng = Rng.create seed in
+  let net = Net.create sim in
+  let h1 = Net.add_node net "h1" and h2 = Net.add_node net "h2" in
+  let h3 = Net.add_node net "h3" and sw = Net.add_node net "sw" in
+  let dst = Net.add_node net "dst" in
+  let fifo () = Sfq_sched.Fifo.sched (Sfq_sched.Fifo.create ()) in
+  let weights = Weights.of_list [ (src2, 1.0); (src3, 1.0) ] in
+  let acc node = Net.link net ~src:node ~dst:sw ~rate:(Rate_process.constant access)
+      ~sched:(fifo ()) ~prop_delay:0.0005 () in
+  let h1sw = acc h1 in
+  let _h2sw = acc h2 and _h3sw = acc h3 in
+  let swdst =
+    Net.link net ~src:sw ~dst ~rate:(Rate_process.constant bottleneck)
+      ~sched:(Disc.make spec weights) ~prop_delay:0.0005 ~flow_buffer_limit:80 ()
+  in
+  Net.route net ~flow:src2 [ h2; sw; dst ];
+  Net.route net ~flow:src3 [ h3; sw; dst ];
+  (* The video flow crosses its access link normally, then enters the
+     bottleneck's strict-priority queue (it has no Net route: its hop
+     off the access link is wired by hand). *)
+  Server.on_depart h1sw (fun p ~start:_ ~departed:_ ->
+      if p.Packet.flow = video_flow then
+        Sim.schedule_after sim ~delay:0.0005 (fun () -> Server.inject_priority swdst p));
+  ignore
+    (Mpeg.vbr sim
+       ~target:(Server.inject h1sw)
+       ~flow:video_flow ~avg_rate:1.21e6 ~rng:(Rng.split rng) ~start:0.0 ~stop:duration ());
+  let tcp flow start =
+    Tcp.reno_over sim
+      ~inject:(Net.inject net)
+      ~subscribe:(fun handler -> Net.on_delivered net (fun p ~at:_ -> handler p))
+      ~flow ~pkt_len:tcp_len ~start ~rto:0.15 ()
+  in
+  let t2 = tcp src2 0.0 in
+  let t3 = tcp src3 (duration /. 2.0) in
+  Sim.run sim ~until:duration;
+  let mid = duration /. 2.0 in
+  let in_window t = Tcp.delivered_before t duration - Tcp.delivered_before t mid in
+  { src2_window = in_window t2; src3_window = in_window t3 }
+
+let run ?(seed = 11) ?(duration = 1.0) () =
+  {
+    wfq = run_disc (Disc.Wfq_real { capacity = bottleneck }) ~seed ~duration;
+    sfq = run_disc Disc.Sfq ~seed ~duration;
+  }
+
+let print r =
+  print_endline
+    "== E20: Fig 1(a) on the full host/switch topology (two-hop TCP paths) ==";
+  let t =
+    Text_table.create [ "discipline"; "src2 pkts (0.5-1.0s)"; "src3 pkts"; "expected shape" ]
+  in
+  Text_table.add_row t
+    [
+      "WFQ (real clock)";
+      string_of_int r.wfq.src2_window;
+      string_of_int r.wfq.src3_window;
+      "late flow starved";
+    ];
+  Text_table.add_row t
+    [ "SFQ"; string_of_int r.sfq.src2_window; string_of_int r.sfq.src3_window; "even split" ];
+  Text_table.print t;
+  print_newline ()

@@ -1,0 +1,19 @@
+(** Fig. 1(a) on the full topology (E20).
+
+    The flat Fig. 1(b) experiment ({!Fig1_tcp_fairness}) models only
+    the bottleneck switch. This variant builds the paper's actual
+    topology with {!Sfq_netsim.Net}: three source hosts with 10 Mb/s
+    access links into the switch, the 2.5 Mb/s switch→destination
+    bottleneck, and the video flow given strict priority at the
+    bottleneck only. TCP runs end-to-end over the two-hop path
+    ({!Sfq_netsim.Tcp.reno_over}). The result must show the same shape
+    as the flat experiment — starvation of the late flow under WFQ, an
+    even split under SFQ — demonstrating the conclusion is not an
+    artifact of the single-server abstraction. *)
+
+type run_stats = { src2_window : int; src3_window : int }
+
+type result = { wfq : run_stats; sfq : run_stats }
+
+val run : ?seed:int -> ?duration:float -> unit -> result
+val print : result -> unit

@@ -1,0 +1,26 @@
+(** Fig. 2(a) of the paper: reduction in maximum delay under SFQ
+    relative to WFQ, as a function of the number of flows and the
+    flow's rate (eq. 59: [Δ = l/r_f − (|Q|−1)·l/C], 200-byte packets,
+    C = 100 Mb/s).
+
+    Two parts:
+    - the closed-form surface exactly as plotted in the paper;
+    - a simulated cross-check for a subset of points: one tagged flow
+      of rate [r] paced at its reservation among [|Q|−1] continuously
+      backlogged flows sharing the rest of the link, max packet delay
+      measured under WFQ and under SFQ. *)
+
+type point = { nflows : int; rate : float; delta_ms : float }
+
+type sim_point = {
+  nflows : int;
+  rate : float;
+  wfq_max_ms : float;
+  sfq_max_ms : float;
+  predicted_delta_ms : float;
+}
+
+type result = { closed_form : point list; simulated : sim_point list }
+
+val run : ?quick:bool -> unit -> result
+val print : result -> unit

@@ -1,0 +1,22 @@
+(** Fig. 2(b) of the paper: average packet delay of low-throughput
+    flows, WFQ vs SFQ, at varying link utilization.
+
+    Workload exactly as §2.3: a 1 Mb/s link, 200-byte packets, seven
+    Poisson flows of 100 Kb/s plus n ∈ {2..10} Poisson flows of
+    32 Kb/s; the switch is simulated for [duration] seconds and the
+    mean delay over all low-throughput (32 Kb/s) flows' packets is
+    reported. The paper's headline: at 80.81% utilization WFQ's average
+    is 53% higher than SFQ's. *)
+
+type point = {
+  n_low : int;
+  utilization : float;  (** offered load / capacity *)
+  wfq_avg_ms : float;
+  sfq_avg_ms : float;
+  ratio : float;  (** wfq / sfq *)
+}
+
+type result = { points : point list; duration : float }
+
+val run : ?duration:float -> ?seed:int -> unit -> result
+val print : result -> unit

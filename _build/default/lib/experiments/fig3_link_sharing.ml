@@ -1,0 +1,137 @@
+open Sfq_util
+open Sfq_base
+open Sfq_netsim
+
+type phase = { label : string; t1 : float; t2 : float; rates_mbps : float array }
+
+type result = {
+  phases : phase list;
+  finish_times : float array;
+  series : (float * float array) list;
+}
+
+let capacity = 48.0e6
+let pkt_len = 8 * 4096
+
+let run ?(pkts_per_conn = 4000) ?(seed = 5) () =
+  let sim = Sim.create () in
+  let rng = Rng.create seed in
+  let weights = Weights.of_list [ (1, 1.0); (2, 2.0); (3, 3.0) ] in
+  let rate =
+    Rate_process.fc_random ~c:capacity ~delta:(float_of_int (4 * pkt_len)) ~seg:0.01
+      ~spread:(0.25 *. capacity) ~rng
+  in
+  let server =
+    Server.create sim ~name:"atm-if" ~rate ~sched:(Disc.make Disc.Sfq weights) ()
+  in
+  (* Cumulative bits served per connection, sampled every window. *)
+  let served = [| 0.0; 0.0; 0.0 |] in
+  Server.on_depart server (fun p ~start:_ ~departed:_ ->
+      served.(p.Packet.flow - 1) <- served.(p.Packet.flow - 1) +. float_of_int p.Packet.len);
+  let counters =
+    Array.init 3 (fun i ->
+        Source.greedy sim ~server ~flow:(i + 1) ~len:pkt_len ~total:pkts_per_conn ~window:4
+          ~start:0.0 ())
+  in
+  let window = 0.05 in
+  let series = ref [] in
+  let prev = [| 0.0; 0.0; 0.0 |] in
+  let rec sample () =
+    let rates =
+      Array.init 3 (fun i ->
+          let r = (served.(i) -. prev.(i)) /. window /. 1.0e6 in
+          prev.(i) <- served.(i);
+          r)
+    in
+    series := (Sim.now sim, rates) :: !series;
+    if Array.exists (fun c -> c.Source.finished_at = None) counters then
+      Sim.schedule_after sim ~delay:window sample
+  in
+  Sim.schedule sim ~at:window sample;
+  Sim.run_all sim ();
+  let finish_times =
+    Array.map
+      (fun c -> match c.Source.finished_at with Some t -> t | None -> Sim.now sim)
+      counters
+  in
+  let series = List.rev !series in
+  (* Phase boundaries: connection 3 (weight 3) finishes first, then 2. *)
+  let fin = Array.copy finish_times in
+  Array.sort compare fin;
+  let rate_in t1 t2 =
+    if t2 <= t1 then [| 0.0; 0.0; 0.0 |]
+    else begin
+      let acc = [| 0.0; 0.0; 0.0 |] in
+      let prev_t = ref t1 in
+      ignore prev_t;
+      List.iter
+        (fun (te, rates) ->
+          if te > t1 +. 1e-9 && te <= t2 +. 1e-9 then
+            Array.iteri (fun i r -> acc.(i) <- acc.(i) +. r) rates)
+        series;
+      let n =
+        List.length
+          (List.filter (fun (te, _) -> te > t1 +. 1e-9 && te <= t2 +. 1e-9) series)
+      in
+      if n = 0 then acc else Array.map (fun x -> x /. float_of_int n) acc
+    end
+  in
+  let phases =
+    [
+      { label = "all three active"; t1 = 0.0; t2 = fin.(0); rates_mbps = rate_in 0.0 fin.(0) };
+      {
+        label = "two remaining";
+        t1 = fin.(0);
+        t2 = fin.(1);
+        rates_mbps = rate_in fin.(0) fin.(1);
+      };
+      { label = "last one"; t1 = fin.(1); t2 = fin.(2); rates_mbps = rate_in fin.(1) fin.(2) };
+    ]
+  in
+  { phases; finish_times; series }
+
+let print r =
+  print_endline "== Fig 3(b): weighted link sharing on a fluctuating ~48 Mb/s interface ==";
+  let t =
+    Text_table.create
+      [ "phase"; "interval s"; "conn1 Mb/s"; "conn2 Mb/s"; "conn3 Mb/s"; "ratio (w=1:2:3)" ]
+  in
+  List.iter
+    (fun p ->
+      let r1 = p.rates_mbps.(0) and r2 = p.rates_mbps.(1) and r3 = p.rates_mbps.(2) in
+      let base = if r1 > 0.01 then r1 else Float.max r2 r3 in
+      let ratio =
+        if base > 0.01 then
+          Printf.sprintf "%.2f : %.2f : %.2f" (r1 /. base) (r2 /. base) (r3 /. base)
+        else "-"
+      in
+      Text_table.add_row t
+        [
+          p.label;
+          Printf.sprintf "%.2f-%.2f" p.t1 p.t2;
+          Text_table.cell_f ~decimals:2 r1;
+          Text_table.cell_f ~decimals:2 r2;
+          Text_table.cell_f ~decimals:2 r3;
+          ratio;
+        ])
+    r.phases;
+  Text_table.print t;
+  (* The figure itself: per-connection throughput in each sampling
+     window (the paper plots throughput vs time). Print every 4th
+     window to keep the series legible. *)
+  let curve = Text_table.create [ "t (s)"; "conn1 Mb/s"; "conn2 Mb/s"; "conn3 Mb/s" ] in
+  List.iteri
+    (fun i (at, rates) ->
+      if i mod 4 = 0 then
+        Text_table.add_row curve
+          [
+            Printf.sprintf "%.2f" at;
+            Text_table.cell_f ~decimals:1 rates.(0);
+            Text_table.cell_f ~decimals:1 rates.(1);
+            Text_table.cell_f ~decimals:1 rates.(2);
+          ])
+    r.series;
+  print_endline "throughput over time (the Fig 3(b) curves):";
+  Text_table.print curve;
+  print_endline "(paper: 1:2:3 while all active, then 1:2, then full bandwidth to the survivor.)";
+  print_newline ()

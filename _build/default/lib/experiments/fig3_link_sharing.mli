@@ -1,0 +1,25 @@
+(** Fig. 3(b) of the paper: throughput of three weighted connections
+    over a network interface whose realizable bandwidth fluctuates.
+
+    The paper's Solaris/FORE-ATM testbed is replaced by a simulated
+    interface (DESIGN.md §2): an FC rate process around 48 Mb/s. Three
+    greedy connections with weights 1:2:3 each transmit a fixed number
+    of 4 KB packets and terminate. Expected shape: throughput ratios
+    1:2:3 while all three are active, 1:2 after the weight-3 connection
+    finishes, then full bandwidth to the survivor. *)
+
+type phase = {
+  label : string;
+  t1 : float;
+  t2 : float;
+  rates_mbps : float array;  (** per connection, index 0..2 *)
+}
+
+type result = {
+  phases : phase list;
+  finish_times : float array;
+  series : (float * float array) list;  (** (window end, per-conn Mb/s) *)
+}
+
+val run : ?pkts_per_conn:int -> ?seed:int -> unit -> result
+val print : result -> unit

@@ -1,0 +1,23 @@
+(** §3 / Example 3: hierarchical link sharing.
+
+    Link-sharing structure: root has subclasses A and B; A has
+    subclasses C and D; every class has weight 1. While B is idle, A
+    holds the whole link and C, D get 50% each; when B becomes active, A
+    drops to 50% and C, D must each get 25% — which requires the
+    intra-A scheduler to stay fair while A's bandwidth varies, i.e.
+    exactly SFQ's variable-rate fairness.
+
+    Flows: C and D backlogged throughout; B's flow active only in the
+    middle third of the run. *)
+
+type shares = { c : float; d : float; b : float }
+(** Fractions of link capacity received in a phase. *)
+
+type result = {
+  phase1 : shares;  (** B idle: expect C=D=0.5 *)
+  phase2 : shares;  (** B active: expect C=D=0.25, B=0.5 *)
+  phase3 : shares;  (** B idle again *)
+}
+
+val run : ?capacity:float -> ?duration:float -> unit -> result
+val print : result -> unit

@@ -1,0 +1,117 @@
+open Sfq_util
+open Sfq_base
+open Sfq_core
+open Sfq_netsim
+
+type result = {
+  residual_fc_holds : bool;
+  residual_worst_deficit : float;
+  sigma : float;
+  thm4_worst_slack_ms : float;
+  packets_checked : int;
+}
+
+let capacity = 1.0e6
+let rho = 0.4e6
+let sigma = 20_000.0 (* bits *)
+let pkt_len = 8 * 250
+let n_low = 3
+let low_rate = (capacity -. rho) /. float_of_int n_low (* Σ = C − ρ exactly *)
+let duration = 60.0
+
+let run ?(seed = 17) () =
+  let sim = Sim.create () in
+  ignore (Rng.create seed);
+  let weights = Weights.uniform low_rate in
+  let server =
+    Server.create sim ~name:"prio" ~rate:(Rate_process.constant capacity)
+      ~sched:(Disc.make Disc.Sfq weights) ()
+  in
+  (* High-priority aggregate: a violently bursty on-off source, tamed
+     by the (σ, ρ) shaper before it reaches the priority queue. *)
+  let shaper =
+    Shaper.create sim ~sigma ~rho ~target:(Server.inject_priority server)
+  in
+  ignore
+    (Source.on_off sim ~target:(Shaper.inject shaper) ~flow:99 ~len:pkt_len
+       ~peak_rate:(2.0 *. capacity) ~on:0.03 ~off:0.02 ~start:0.0 ~stop:duration);
+  (* Residual work tracking: every low-priority service completion adds
+     to W_low; the FC claim is about this process. *)
+  let low_events = Vec.create () in
+  let eat = Sfq_sched.Eat.create () in
+  let eat_of = Hashtbl.create 64 in
+  let worst_slack = ref infinity and checked = ref 0 in
+  Server.on_inject server (fun p ->
+      if p.Packet.flow <> 99 then begin
+        let e =
+          Sfq_sched.Eat.on_arrival eat ~now:(Sim.now sim) ~flow:p.Packet.flow
+            ~len:p.Packet.len ~rate:low_rate
+        in
+        Hashtbl.replace eat_of (p.Packet.flow, p.Packet.seq) e
+      end);
+  Server.on_depart server (fun p ~start:_ ~departed ->
+      if p.Packet.flow <> 99 then begin
+        Vec.push low_events (departed, float_of_int p.Packet.len);
+        match Hashtbl.find_opt eat_of (p.Packet.flow, p.Packet.seq) with
+        | None -> ()
+        | Some e ->
+          incr checked;
+          (* Theorem 4 with the residual server (C−ρ, σ). *)
+          let bound =
+            Bounds.sfq_departure ~eat:e
+              ~sum_other_lmax:(float_of_int ((n_low - 1) * pkt_len))
+              ~len:(float_of_int p.Packet.len) ~capacity:(capacity -. rho) ~delta:sigma
+          in
+          worst_slack := Float.min !worst_slack (bound -. departed)
+      end);
+  for flow = 1 to n_low do
+    ignore
+      (Source.cbr sim ~target:(Server.inject server) ~flow ~len:pkt_len ~rate:low_rate
+         ~start:0.0 ~stop:duration)
+  done;
+  Sim.run sim ~until:(duration +. 2.0);
+  (* Definition 1 check of the residual work process on an interval
+     grid, within the low-priority busy period (the paper's FC
+     definition is per busy period; the low-priority queue here is
+     continuously backlogged modulo pacing jitter, so a coarse grid
+     over the middle of the run is the right probe). *)
+  let completions = Vec.to_array low_events in
+  let work t1 t2 =
+    Array.fold_left
+      (fun acc (at, len) -> if at > t1 && at <= t2 then acc +. len else acc)
+      0.0 completions
+  in
+  let worst_deficit = ref 0.0 in
+  let residual = capacity -. rho in
+  let t = ref 2.0 in
+  while !t < duration -. 4.0 do
+    let spans = [ 0.5; 1.0; 2.0; 4.0 ] in
+    List.iter
+      (fun span ->
+        let t2 = !t +. span in
+        if t2 < duration -. 2.0 then begin
+          let deficit = (residual *. span) -. work !t t2 in
+          if deficit > !worst_deficit then worst_deficit := deficit
+        end)
+      spans;
+    t := !t +. 0.25
+  done;
+  {
+    residual_fc_holds = !worst_deficit <= sigma +. float_of_int pkt_len;
+    residual_worst_deficit = !worst_deficit;
+    sigma;
+    thm4_worst_slack_ms = 1000.0 *. !worst_slack;
+    packets_checked = !checked;
+  }
+
+let print r =
+  print_endline "== §2.3 priority residual: shaped (sigma, rho) priority traffic over SFQ ==";
+  Printf.printf
+    "residual work process: worst deficit vs (C-rho)t = %.0f bits (sigma = %.0f, +1 pkt \
+     tolerance) -> FC model %s\n"
+    r.residual_worst_deficit r.sigma
+    (if r.residual_fc_holds then "holds" else "VIOLATED");
+  Printf.printf
+    "Theorem 4 with the residual (C-rho, sigma) server: worst slack %.3f ms over %d \
+     packets (>= 0 means the bound held)\n\n"
+    r.thm4_worst_slack_ms r.packets_checked

@@ -1,0 +1,24 @@
+(** §2.3's priority-residual model: "if the bandwidth requirement of
+    flows that are given higher priority can be characterized by a
+    leaky bucket with average rate ρ and burstiness σ ... then the
+    residual bandwidth available to the lower priority flows can be
+    modeled as fluctuation constrained with parameters (C − ρ, σ)".
+
+    The experiment shapes a bursty high-priority aggregate through a
+    (σ, ρ) leaky bucket ({!Sfq_netsim.Shaper}) into a server's strict
+    priority queue, runs paced low-priority flows under SFQ below it,
+    and checks every low-priority departure against Theorem 4
+    instantiated with the residual FC server (C − ρ, σ). It also
+    verifies the residual work process itself satisfies Definition 1
+    with those parameters. *)
+
+type result = {
+  residual_fc_holds : bool;  (** Definition 1 with (C−ρ, σ) on a grid of intervals *)
+  residual_worst_deficit : float;  (** bits; must be <= σ *)
+  sigma : float;
+  thm4_worst_slack_ms : float;  (** min over packets of bound − departure *)
+  packets_checked : int;
+}
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit

@@ -1,0 +1,21 @@
+(** §2.3's SCFQ-vs-SFQ maximum-delay comparison.
+
+    Closed form (eq. 57): a packet can leave an SCFQ server
+    [l/r − l/C] later than the SFQ bound allows — 24.4 ms for a
+    200-byte packet of a 64 Kb/s flow on a 100 Mb/s link, growing to
+    122 ms over five servers. Simulated part: the 64 Kb/s flow is paced
+    at its reservation among backlogged competitors and its max delay is
+    measured under SCFQ, SFQ and WFQ. *)
+
+type result = {
+  gap_one_server_ms : float;  (** eq. 57 at the paper's parameters *)
+  gap_five_servers_ms : float;
+  scfq_max_ms : float;
+  sfq_max_ms : float;
+  wfq_max_ms : float;
+  scfq_bound_ms : float;  (** eq. 56 bound minus EAT *)
+  sfq_bound_ms : float;  (** Theorem 4 bound minus EAT *)
+}
+
+val run : ?nflows:int -> unit -> result
+val print : result -> unit

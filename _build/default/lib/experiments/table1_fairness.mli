@@ -1,0 +1,38 @@
+(** Table 1 of the paper: fairness properties of WFQ, FQS, SCFQ, DRR
+    (and, beyond the paper's table, Virtual Clock, WRR, Fair Airport
+    and SFQ itself), measured empirically.
+
+    Three workloads, each run under every discipline:
+
+    - {b backlogged}: two equally weighted flows continuously
+      backlogged on a constant-rate server — the baseline fairness
+      scenario of §1.2;
+    - {b variable-rate}: the same pair on a randomized Fluctuation
+      Constrained server — the "fairness over variable rate servers"
+      column (WFQ degrades; SFQ/SCFQ/DRR do not);
+    - {b catch-up}: flow f uses idle bandwidth before flow m becomes
+      backlogged — the scenario where Virtual Clock's unfairness is
+      unbounded (§1.1) and where WFQ pays for its assumed-rate clock;
+    - {b high-weight} (DRR column): two weight-100 flows plus one
+      weight-1 flow, quantum pinned by the min-weight flow — the
+      paper's "50 times larger than SCFQ" example.
+
+    All H values are the empirical sup of |W_f/r_f − W_m/r_m| in
+    seconds, comparable against Theorem 1's closed form. *)
+
+type row = {
+  disc : string;
+  h_backlogged : float;
+  h_variable : float;
+  h_catch_up : float;
+  h_high_weight : float;
+}
+
+type result = {
+  rows : row list;
+  h_bound_equal : float;  (** Theorem 1 bound for the equal-weight pair *)
+  h_bound_high : float;  (** Theorem 1 bound for the weight-100 pair *)
+}
+
+val run : ?quick:bool -> unit -> result
+val print : result -> unit

@@ -1,0 +1,25 @@
+(** §2.3 tie-breaking ablation.
+
+    The paper proves SFQ's delay guarantee is independent of the rule
+    used to break equal start tags, then remarks that "a tie-breaking
+    rule may give higher priority to interactive, low-throughput
+    applications to reduce the average delay". This experiment
+    quantifies that design choice: low-rate paced flows and high-rate
+    backlogged flows are arranged so start-tag ties are frequent
+    (synchronized arrivals, equal packet sizes), and the low-rate
+    flows' delays are measured under the three rules the library
+    offers. The theorem-level check: the {e maximum} delay must match
+    across rules (tie independence); the average should favour
+    [Low_rate]. *)
+
+type row = {
+  rule : string;
+  low_avg_ms : float;
+  low_max_ms : float;
+  high_avg_ms : float;
+}
+
+type result = { rows : row list }
+
+val run : unit -> result
+val print : result -> unit

@@ -1,0 +1,1 @@
+lib/netsim/jitter_edd.ml: Ds_heap Float Flow_table Hashtbl List Packet Printf Sched Sfq_base Sfq_sched Sfq_util Sim

@@ -1,0 +1,1 @@
+lib/netsim/jitter_edd.mli: Packet Sched Sfq_base Sfq_sched Sim

@@ -1,0 +1,1 @@
+lib/netsim/mpeg.ml: Array Float Packet Rng Sfq_base Sfq_util Sim Stdlib

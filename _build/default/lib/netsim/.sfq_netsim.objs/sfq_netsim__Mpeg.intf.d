@@ -1,0 +1,1 @@
+lib/netsim/mpeg.mli: Packet Sfq_base Sfq_util Sim

@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Array Hashtbl List Packet Printf Server Sfq_base Sim

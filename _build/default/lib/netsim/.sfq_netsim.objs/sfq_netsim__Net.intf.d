@@ -1,0 +1,1 @@
+lib/netsim/net.mli: Packet Rate_process Sched Server Sfq_base Sim

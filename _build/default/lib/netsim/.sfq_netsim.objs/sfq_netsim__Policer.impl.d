@@ -1,0 +1,1 @@
+lib/netsim/policer.ml: Float Packet Sfq_base Sim

@@ -1,0 +1,1 @@
+lib/netsim/policer.mli: Packet Sfq_base Sim

@@ -1,0 +1,1 @@
+lib/netsim/rate_process.ml: Float List Rng Running_min Sfq_util Vec

@@ -1,0 +1,1 @@
+lib/netsim/rate_process.mli: Sfq_util

@@ -1,0 +1,1 @@
+lib/netsim/server.ml: List Packet Queue Rate_process Sched Sfq_base Sim

@@ -1,0 +1,1 @@
+lib/netsim/server.mli: Packet Rate_process Sched Sfq_base Sim

@@ -1,0 +1,1 @@
+lib/netsim/shaper.ml: Float Packet Queue Sfq_base Sim

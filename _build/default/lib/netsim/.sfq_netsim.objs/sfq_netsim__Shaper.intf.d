@@ -1,0 +1,1 @@
+lib/netsim/shaper.mli: Packet Sfq_base Sim

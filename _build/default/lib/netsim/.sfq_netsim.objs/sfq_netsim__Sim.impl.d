@@ -1,0 +1,1 @@
+lib/netsim/sim.ml: Ds_heap Printf Sfq_util

@@ -1,0 +1,1 @@
+lib/netsim/source.ml: Float Packet Rng Server Sfq_base Sfq_util Sim Stdlib

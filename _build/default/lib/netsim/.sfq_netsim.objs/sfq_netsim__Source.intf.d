@@ -1,0 +1,1 @@
+lib/netsim/source.mli: Packet Server Sfq_base Sfq_util Sim

@@ -1,0 +1,1 @@
+lib/netsim/tandem.ml: Array List Server Sim

@@ -1,0 +1,1 @@
+lib/netsim/tandem.mli: Packet Server Sfq_base Sim

@@ -1,0 +1,1 @@
+lib/netsim/tcp.ml: Float Hashtbl Packet Server Sfq_base Sfq_util Sim Stdlib Vec

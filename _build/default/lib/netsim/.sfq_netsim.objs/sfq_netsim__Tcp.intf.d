@@ -1,0 +1,1 @@
+lib/netsim/tcp.mli: Packet Server Sfq_base Sim

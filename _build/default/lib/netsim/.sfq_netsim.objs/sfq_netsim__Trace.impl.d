@@ -1,0 +1,1 @@
+lib/netsim/trace.ml: Array Float Flow_table List Packet Queue Server Sfq_base Sfq_util Sim Vec

@@ -1,0 +1,1 @@
+lib/netsim/trace.mli: Packet Server Sfq_base Sfq_util

@@ -1,0 +1,124 @@
+open Sfq_util
+open Sfq_base
+
+type entry = { eligible_at : float; deadline : float; uid : int; pkt : Packet.t }
+
+type t = {
+  sim : Sim.t;
+  specs : (Packet.flow, Sfq_sched.Delay_edd.flow_spec) Hashtbl.t;
+  eat : Sfq_sched.Eat.t;
+  held : entry Ds_heap.t;  (* ordered by eligibility time *)
+  ready : entry Ds_heap.t;  (* ordered by deadline *)
+  counts : int Flow_table.t;
+  mutable notifier : unit -> unit;
+  mutable wakeup_at : float;  (* earliest scheduled wakeup; infinity if none *)
+  mutable next_uid : int;
+  mutable last_now : float;
+}
+
+let create sim specs =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (flow, spec) ->
+      let { Sfq_sched.Delay_edd.rate; deadline; max_len } = spec in
+      if rate <= 0.0 || deadline <= 0.0 || max_len <= 0 then
+        invalid_arg (Printf.sprintf "Jitter_edd: invalid spec for flow %d" flow);
+      Hashtbl.replace table flow spec)
+    specs;
+  let by_eligibility a b =
+    match compare a.eligible_at b.eligible_at with 0 -> compare a.uid b.uid | c -> c
+  in
+  let by_deadline a b =
+    match compare a.deadline b.deadline with 0 -> compare a.uid b.uid | c -> c
+  in
+  {
+    sim;
+    specs = table;
+    eat = Sfq_sched.Eat.create ();
+    held = Ds_heap.create ~cmp:by_eligibility ();
+    ready = Ds_heap.create ~cmp:by_deadline ();
+    counts = Flow_table.create ~default:(fun _ -> 0);
+    notifier = (fun () -> ());
+    wakeup_at = infinity;
+    next_uid = 0;
+    last_now = 0.0;
+  }
+
+let set_notifier t f = t.notifier <- f
+
+let promote t ~now =
+  t.last_now <- Float.max t.last_now now;
+  let rec go () =
+    match Ds_heap.min_elt t.held with
+    | Some e when e.eligible_at <= now +. 1e-12 ->
+      ignore (Ds_heap.pop_min t.held);
+      Ds_heap.add t.ready e;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+(* Make sure a wakeup fires at the earliest held eligibility. The
+   wakeup promotes matured packets itself before notifying, so a kick
+   against a busy server can never re-arm a same-instant wakeup for the
+   same packet (no event livelock). *)
+let rec arm_wakeup t =
+  match Ds_heap.min_elt t.held with
+  | Some e when e.eligible_at < t.wakeup_at -. 1e-12 ->
+    t.wakeup_at <- e.eligible_at;
+    Sim.schedule t.sim
+      ~at:(Float.max e.eligible_at (Sim.now t.sim))
+      (fun () ->
+        t.wakeup_at <- infinity;
+        promote t ~now:(Sim.now t.sim);
+        arm_wakeup t;
+        t.notifier ())
+  | Some _ | None -> ()
+
+let enqueue t ~now pkt =
+  let flow = pkt.Packet.flow in
+  let spec =
+    match Hashtbl.find_opt t.specs flow with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "Jitter_edd: undeclared flow %d" flow)
+  in
+  let rate = match pkt.Packet.rate with Some r -> r | None -> spec.Sfq_sched.Delay_edd.rate in
+  let eligible_at = Sfq_sched.Eat.on_arrival t.eat ~now ~flow ~len:pkt.Packet.len ~rate in
+  let deadline = eligible_at +. spec.Sfq_sched.Delay_edd.deadline in
+  let e = { eligible_at; deadline; uid = t.next_uid; pkt } in
+  t.next_uid <- t.next_uid + 1;
+  Flow_table.set t.counts flow (Flow_table.find t.counts flow + 1);
+  if eligible_at <= now +. 1e-12 then Ds_heap.add t.ready e
+  else begin
+    Ds_heap.add t.held e;
+    arm_wakeup t
+  end;
+  t.last_now <- Float.max t.last_now now
+
+let dequeue t ~now =
+  promote t ~now;
+  match Ds_heap.pop_min t.ready with
+  | Some e ->
+    Flow_table.set t.counts e.pkt.Packet.flow (Flow_table.find t.counts e.pkt.Packet.flow - 1);
+    Some e.pkt
+  | None ->
+    arm_wakeup t;
+    None
+
+let peek t =
+  promote t ~now:t.last_now;
+  match Ds_heap.min_elt t.ready with Some e -> Some e.pkt | None -> None
+
+let size t = Ds_heap.length t.held + Ds_heap.length t.ready
+let held t = Ds_heap.length t.held
+let backlog t flow = Flow_table.find t.counts flow
+
+let sched t =
+  {
+    Sched.name = "jitter-edd";
+    enqueue = (fun ~now pkt -> enqueue t ~now pkt);
+    dequeue = (fun ~now -> dequeue t ~now);
+    peek = (fun () -> peek t);
+    size = (fun () -> size t);
+    backlog = (fun flow -> backlog t flow);
+  }

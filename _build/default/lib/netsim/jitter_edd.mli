@@ -1,0 +1,43 @@
+(** Jitter EDD — the non-work-conserving rate-controlled EDF discipline
+    Appendix B cites as Fair Airport's complexity class.
+
+    Each packet is {e held} by a regulator until its expected arrival
+    time (eq. 37) and only then competes, earliest-deadline-first
+    (deadline = EAT + d_f), for the link. Holding reconstructs the
+    flow's reserved-rate spacing at every hop, which removes the
+    jitter upstream queueing introduced — the property the
+    [jitter removal] test demonstrates — at the cost of idling the
+    link while packets wait (non-work-conserving).
+
+    Because a dequeue can legitimately return [None] while packets are
+    held, the discipline needs a way to wake its server when the next
+    packet matures: it schedules a simulator event that calls the
+    registered notifier (wire it to {!Server.kick}). *)
+
+open Sfq_base
+
+type t
+
+val create : Sim.t -> (Packet.flow * Sfq_sched.Delay_edd.flow_spec) list -> t
+(** Flow specs as for {!Sfq_sched.Delay_edd} (rate, deadline, max_len);
+    flows must be declared up front.
+    @raise Invalid_argument on malformed specs or later on an
+    undeclared flow. *)
+
+val set_notifier : t -> (unit -> unit) -> unit
+(** Called (from a simulator event) when a held packet becomes
+    eligible while the queue was otherwise empty. Typically
+    [fun () -> Server.kick server]. *)
+
+val enqueue : t -> now:float -> Packet.t -> unit
+val dequeue : t -> now:float -> Packet.t option
+(** [None] when nothing is {e eligible} — held packets may exist; the
+    notifier will fire when the earliest matures. *)
+
+val peek : t -> Packet.t option
+val size : t -> int
+(** Held + eligible. *)
+
+val held : t -> int
+val backlog : t -> Packet.flow -> int
+val sched : t -> Sched.t

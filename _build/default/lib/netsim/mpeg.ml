@@ -1,0 +1,50 @@
+open Sfq_util
+open Sfq_base
+
+type t = { mutable frames : int; mutable packets : int; mutable bits : float }
+
+type frame_kind = I | P | B
+
+let gop = [| I; B; B; P; B; B; P; B; B; P; B; B |]
+let relative_mean = function I -> 5.0 | P -> 2.5 | B -> 1.0
+
+(* Mean relative frame size over one GOP: (5 + 3*2.5 + 8*1) / 12. *)
+let gop_mean = Array.fold_left (fun acc k -> acc +. relative_mean k) 0.0 gop /. 12.0
+
+let vbr sim ~target ~flow ~avg_rate ?(fps = 30.0) ?(pkt_len = 400) ?(sigma = 0.3) ~rng ~start
+    ~stop () =
+  if avg_rate <= 0.0 || fps <= 0.0 || pkt_len <= 0 || sigma < 0.0 then
+    invalid_arg "Mpeg.vbr: bad parameters";
+  let stats = { frames = 0; packets = 0; bits = 0.0 } in
+  let frame_interval = 1.0 /. fps in
+  let mean_frame_bits = avg_rate /. fps in
+  (* E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); correct the mean so
+     the long-run rate hits avg_rate despite the noise. *)
+  let correction = exp (-.(sigma *. sigma) /. 2.0) in
+  let seq = ref 0 in
+  let frame_index = ref 0 in
+  let emit_cell () =
+    incr seq;
+    target (Packet.make ~flow ~seq:!seq ~len:pkt_len ~born:(Sim.now sim) ())
+  in
+  let rec next_frame () =
+    if Sim.now sim +. frame_interval <= stop then begin
+      let kind = gop.(!frame_index mod Array.length gop) in
+      incr frame_index;
+      let rel = relative_mean kind /. gop_mean in
+      let noise = if sigma = 0.0 then 1.0 else Rng.lognormal rng ~mu:0.0 ~sigma *. correction in
+      let frame_bits = mean_frame_bits *. rel *. noise in
+      let cells = Stdlib.max 1 (int_of_float (Float.round (frame_bits /. float_of_int pkt_len))) in
+      stats.frames <- stats.frames + 1;
+      stats.packets <- stats.packets + cells;
+      stats.bits <- stats.bits +. float_of_int (cells * pkt_len);
+      (* Spread the frame's cells evenly over the frame interval. *)
+      let gap = frame_interval /. float_of_int cells in
+      for k = 0 to cells - 1 do
+        Sim.schedule_after sim ~delay:(float_of_int k *. gap) emit_cell
+      done;
+      Sim.schedule_after sim ~delay:frame_interval next_frame
+    end
+  in
+  Sim.schedule sim ~at:start next_frame;
+  stats

@@ -1,0 +1,35 @@
+(** Synthetic MPEG VBR video source.
+
+    Substitutes the paper's digitized "Frasier" trace (1.21 Mb/s
+    average, 50-byte packets) with a GOP-structured model: a 12-frame
+    IBBPBBPBBPBB group of pictures at [fps] frames/s, frame sizes drawn
+    lognormally around per-type means in the classical I:P:B ≈ 5:2.5:1
+    ratio, scaled so the long-run average matches [avg_rate]. Each
+    frame is packetized into [pkt_len]-bit cells spread evenly over the
+    frame interval.
+
+    Why the substitution preserves the experiment (DESIGN.md §2): the
+    Fig. 1 experiment only needs a high-priority flow with unpredictable
+    multiple-time-scale rate variation so that the residual capacity
+    seen by the TCP flows fluctuates; GOP structure (frame scale) plus
+    lognormal size noise (scene scale) reproduces exactly that. *)
+
+open Sfq_base
+
+type t = { mutable frames : int; mutable packets : int; mutable bits : float }
+
+val vbr :
+  Sim.t ->
+  target:(Packet.t -> unit) ->
+  flow:Packet.flow ->
+  avg_rate:float ->
+  ?fps:float ->
+  ?pkt_len:int ->
+  ?sigma:float ->
+  rng:Sfq_util.Rng.t ->
+  start:float ->
+  stop:float ->
+  unit ->
+  t
+(** Defaults: [fps] 30, [pkt_len] 400 bits (50 bytes, the paper's cell
+    size), lognormal shape [sigma] 0.3. *)

@@ -1,0 +1,108 @@
+open Sfq_base
+
+type node = { name : string; index : int }
+
+type link_state = { server : Server.t; prop_delay : float }
+
+type t = {
+  sim : Sim.t;
+  nodes : (string, node) Hashtbl.t;
+  links : (int * int, link_state) Hashtbl.t;
+  routes : (Packet.flow, node array) Hashtbl.t;
+  mutable delivered_handlers : (Packet.t -> at:float -> unit) list;
+  mutable delivered : int;
+  mutable next_index : int;
+}
+
+let create sim =
+  {
+    sim;
+    nodes = Hashtbl.create 16;
+    links = Hashtbl.create 16;
+    routes = Hashtbl.create 16;
+    delivered_handlers = [];
+    delivered = 0;
+    next_index = 0;
+  }
+
+let add_node t name =
+  if Hashtbl.mem t.nodes name then
+    invalid_arg (Printf.sprintf "Net.add_node: duplicate node %S" name);
+  let node = { name; index = t.next_index } in
+  t.next_index <- t.next_index + 1;
+  Hashtbl.replace t.nodes name node;
+  node
+
+let node_name node = node.name
+
+let find_link t ~src ~dst = Hashtbl.find_opt t.links (src.index, dst.index)
+
+(* Position of [node] on the flow's route, if any. *)
+let hop_index route node =
+  let rec go i = if i >= Array.length route then None else if route.(i).index = node.index then Some i else go (i + 1) in
+  go 0
+
+let deliver t p =
+  t.delivered <- t.delivered + 1;
+  let at = Sim.now t.sim in
+  List.iter (fun h -> h p ~at) (List.rev t.delivered_handlers)
+
+(* Inject [p] into the link starting at route position [i]. *)
+let rec send_from t route i p =
+  if i >= Array.length route - 1 then deliver t p
+  else begin
+    let src = route.(i) and dst = route.(i + 1) in
+    match find_link t ~src ~dst with
+    | None -> assert false (* validated at [route] time *)
+    | Some ls -> Server.inject ls.server p
+  end
+
+and forward t ls ~src ~dst p =
+  (* Called when p finishes service on (src,dst): continue after the
+     propagation delay. *)
+  ignore src;
+  match Hashtbl.find_opt t.routes p.Packet.flow with
+  | None -> () (* local traffic injected directly at the server *)
+  | Some route -> begin
+    match hop_index route dst with
+    | None -> ()
+    | Some i ->
+      Sim.schedule_after t.sim ~delay:ls.prop_delay (fun () -> send_from t route i p)
+  end
+
+let link t ~src ~dst ~rate ~sched ?(prop_delay = 0.0) ?flow_buffer_limit () =
+  if prop_delay < 0.0 then invalid_arg "Net.link: negative propagation delay";
+  if Hashtbl.mem t.links (src.index, dst.index) then
+    invalid_arg (Printf.sprintf "Net.link: %s->%s already exists" src.name dst.name);
+  let server =
+    Server.create t.sim
+      ~name:(Printf.sprintf "%s->%s" src.name dst.name)
+      ~rate ~sched ?flow_buffer_limit ()
+  in
+  let ls = { server; prop_delay } in
+  Hashtbl.replace t.links (src.index, dst.index) ls;
+  Server.on_depart server (fun p ~start:_ ~departed:_ -> forward t ls ~src ~dst p);
+  server
+
+let server t ~src ~dst =
+  match find_link t ~src ~dst with Some ls -> ls.server | None -> raise Not_found
+
+let route t ~flow path =
+  (match path with
+  | [] | [ _ ] -> invalid_arg "Net.route: a route needs at least two nodes"
+  | _ -> ());
+  let arr = Array.of_list path in
+  for i = 0 to Array.length arr - 2 do
+    if find_link t ~src:arr.(i) ~dst:arr.(i + 1) = None then
+      invalid_arg
+        (Printf.sprintf "Net.route: missing link %s->%s" arr.(i).name arr.(i + 1).name)
+  done;
+  Hashtbl.replace t.routes flow arr
+
+let inject t p =
+  match Hashtbl.find_opt t.routes p.Packet.flow with
+  | None -> invalid_arg (Printf.sprintf "Net.inject: no route for flow %d" p.Packet.flow)
+  | Some route -> send_from t route 0 p
+
+let on_delivered t h = t.delivered_handlers <- h :: t.delivered_handlers
+let delivered t = t.delivered

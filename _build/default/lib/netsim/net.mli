@@ -1,0 +1,50 @@
+(** Multi-node networks: nodes, directed links, static per-flow routes.
+
+    {!Tandem} wires a single chain; this module builds arbitrary
+    topologies — the "network of servers" setting of §2.4, where each
+    hop is an output link with its own scheduler and rate process (the
+    paper's Fig. 1(a) topology is three hosts, a switch and a sink).
+
+    Each directed link owns a {!Server} (the output queue of its source
+    node) plus a propagation delay. Forwarding is per-flow source
+    routing: a flow's route is the list of nodes it visits; when a
+    packet finishes service on link (u,v) it is injected, after the
+    propagation delay, into link (v,w) for the next node w on its
+    route, until the route ends. *)
+
+open Sfq_base
+
+type t
+type node
+
+val create : Sim.t -> t
+val add_node : t -> string -> node
+(** @raise Invalid_argument on a duplicate name. *)
+
+val node_name : node -> string
+
+val link :
+  t -> src:node -> dst:node -> rate:Rate_process.t -> sched:Sched.t ->
+  ?prop_delay:float -> ?flow_buffer_limit:int -> unit -> Server.t
+(** Create the directed link src→dst and return its server (for
+    attaching traces, handlers, priority traffic).
+    @raise Invalid_argument if the link already exists or
+    [prop_delay < 0]. *)
+
+val server : t -> src:node -> dst:node -> Server.t
+(** @raise Not_found if no such link. *)
+
+val route : t -> flow:Packet.flow -> node list -> unit
+(** Set the flow's path. Every consecutive pair must be linked.
+    @raise Invalid_argument on a path shorter than 2 nodes or with a
+    missing link. *)
+
+val inject : t -> Packet.t -> unit
+(** Send a packet down its flow's route from the first node.
+    @raise Invalid_argument if the flow has no route. *)
+
+val on_delivered : t -> (Packet.t -> at:float -> unit) -> unit
+(** Fires when a packet completes its route (after the last link's
+    service and propagation). *)
+
+val delivered : t -> int

@@ -1,0 +1,46 @@
+open Sfq_base
+
+type t = {
+  sim : Sim.t;
+  sigma : float;
+  rho : float;
+  target : Packet.t -> unit;
+  on_drop : Packet.t -> unit;
+  mutable tokens : float;
+  mutable refilled_at : float;
+  mutable passed : int;
+  mutable dropped : int;
+}
+
+let create sim ~sigma ~rho ~target ?(on_drop = fun _ -> ()) () =
+  if sigma <= 0.0 || rho <= 0.0 then
+    invalid_arg "Policer.create: sigma and rho must be positive";
+  {
+    sim;
+    sigma;
+    rho;
+    target;
+    on_drop;
+    tokens = sigma;
+    refilled_at = 0.0;
+    passed = 0;
+    dropped = 0;
+  }
+
+let inject t p =
+  let now = Sim.now t.sim in
+  t.tokens <- Float.min t.sigma (t.tokens +. (t.rho *. (now -. t.refilled_at)));
+  t.refilled_at <- now;
+  let need = float_of_int p.Packet.len in
+  if t.tokens >= need -. 1e-9 then begin
+    t.tokens <- t.tokens -. need;
+    t.passed <- t.passed + 1;
+    t.target p
+  end
+  else begin
+    t.dropped <- t.dropped + 1;
+    t.on_drop p
+  end
+
+let passed t = t.passed
+let dropped t = t.dropped

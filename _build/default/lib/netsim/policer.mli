@@ -1,0 +1,21 @@
+(** Leaky-bucket policer.
+
+    The enforcement-side counterpart of {!Shaper}: instead of delaying
+    non-conforming packets it {e drops} them, which is how a network
+    ingress holds a source to the (σ, ρ) characterization its
+    admission-control contract assumed (§2.3's leaky-bucket
+    characterizations are only meaningful if somebody enforces them).
+    Conforming packets pass through unchanged and undelayed. *)
+
+open Sfq_base
+
+type t
+
+val create :
+  Sim.t -> sigma:float -> rho:float -> target:(Packet.t -> unit) ->
+  ?on_drop:(Packet.t -> unit) -> unit -> t
+(** @raise Invalid_argument unless [sigma > 0] and [rho > 0]. *)
+
+val inject : t -> Packet.t -> unit
+val passed : t -> int
+val dropped : t -> int

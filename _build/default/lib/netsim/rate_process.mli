@@ -1,0 +1,66 @@
+(** Time-varying server capacity.
+
+    A rate process is a lazily generated piecewise-constant rate
+    function [r(t)] (bits/s). A {!Server} integrates it to find packet
+    completion times, which is how this library models the paper's
+    variable-rate servers:
+
+    - {!constant} — the classical fixed-capacity link;
+    - {!square}, {!fc_random} — Fluctuation Constrained servers
+      (Definition 1): in any interval the work done is at least
+      [C(t2−t1) − δ(C)]. [fc_random] draws random segment rates but
+      clamps them against the remaining drawdown budget of
+      [X(t) = C·t − W(t)], so Definition 1 holds {e by construction}
+      for every interval (Definition 1 ⟺ the drawdown of [X] never
+      exceeds δ);
+    - {!ebf} — Exponentially Bounded Fluctuation (Definition 2):
+      per-segment Laplace rate noise, whose iid sum has an
+      exponentially bounded lower tail;
+    - {!on_off}, {!of_segments} — deterministic shapes for targeted
+      tests (Example 2 uses [of_segments]).
+
+    All processes are defined from t = 0 and never end. *)
+
+type t
+
+val constant : float -> t
+(** @raise Invalid_argument if the rate is not positive. *)
+
+val square : c:float -> swing:float -> period:float -> t
+(** Alternates [c+swing] and [c−swing], each for [period/2], high phase
+    first. FC with parameters [(c, swing·period/2)].
+    @raise Invalid_argument unless [0 <= swing < c] and [period > 0]. *)
+
+val fc_random : c:float -> delta:float -> seg:float -> spread:float -> rng:Sfq_util.Rng.t -> t
+(** Segments of duration [seg] with rates uniform in [[c−spread,
+    c+spread]], clamped so the drawdown of [C·t − W(t)] stays below
+    [delta]. FC with parameters [(c, delta)].
+    @raise Invalid_argument unless [0 < spread <= c], [delta > 0],
+    [seg > 0]. *)
+
+val ebf : c:float -> scale:float -> seg:float -> rng:Sfq_util.Rng.t -> t
+(** Segments of duration [seg] with rate [max(0.01·c, c + Laplace(0,
+    scale))]. EBF around average rate [c]; the [ebf] experiment
+    measures the empirical [(B, α)]. *)
+
+val on_off : on_rate:float -> on:float -> off:float -> ?start_on:bool -> unit -> t
+(** Alternates [on_rate] and 0. *)
+
+val of_segments : (float * float) list -> tail:float -> t
+(** Explicit [(duration, rate)] list, then [tail] forever.
+    @raise Invalid_argument on negative durations/rates or
+    non-positive [tail]. *)
+
+val rate_at : t -> float -> float
+val work : t -> t1:float -> t2:float -> float
+(** [∫_{t1}^{t2} r]. Requires [t1 <= t2]. *)
+
+val time_to_serve : t -> from:float -> amount:float -> float
+(** Earliest [te] with [work ~t1:from ~t2:te = amount]. [amount] in
+    bits, must be positive. *)
+
+val nominal_rate : t -> float
+(** The average/assumed rate [C] the process was built around. *)
+
+val nominal_delta : t -> float option
+(** The FC burstiness δ(C) when the process is FC by construction. *)

@@ -1,0 +1,99 @@
+open Sfq_base
+
+type t = {
+  sim : Sim.t;
+  name : string;
+  rate : Rate_process.t;
+  sched : Sched.t;
+  priority : Packet.t Queue.t;
+  flow_buffer_limit : int option;
+  mutable busy : bool;
+  mutable drops : int;
+  mutable departed : int;
+  mutable work_done : float;
+  mutable inject_handlers : (Packet.t -> unit) list;
+  mutable drop_handlers : (Packet.t -> unit) list;
+  mutable depart_handlers : (Packet.t -> start:float -> departed:float -> unit) list;
+}
+
+let create sim ~name ~rate ~sched ?flow_buffer_limit () =
+  (match flow_buffer_limit with
+  | Some n when n <= 0 -> invalid_arg "Server.create: flow_buffer_limit must be positive"
+  | Some _ | None -> ());
+  {
+    sim;
+    name;
+    rate;
+    sched;
+    priority = Queue.create ();
+    flow_buffer_limit;
+    busy = false;
+    drops = 0;
+    departed = 0;
+    work_done = 0.0;
+    inject_handlers = [];
+    drop_handlers = [];
+    depart_handlers = [];
+  }
+
+let next_packet t ~now =
+  match Queue.take_opt t.priority with
+  | Some p -> Some p
+  | None -> t.sched.Sched.dequeue ~now
+
+let rec start_service t =
+  if not t.busy then begin
+    let now = Sim.now t.sim in
+    match next_packet t ~now with
+    | None -> ()
+    | Some p ->
+      t.busy <- true;
+      let finish =
+        Rate_process.time_to_serve t.rate ~from:now ~amount:(float_of_int p.Packet.len)
+      in
+      Sim.schedule t.sim ~at:finish (fun () -> complete t p ~start:now)
+  end
+
+and complete t p ~start =
+  let departed = Sim.now t.sim in
+  t.busy <- false;
+  t.departed <- t.departed + 1;
+  t.work_done <- t.work_done +. float_of_int p.Packet.len;
+  List.iter (fun h -> h p ~start ~departed) (List.rev t.depart_handlers);
+  start_service t
+
+let accept t p =
+  List.iter (fun h -> h p) (List.rev t.inject_handlers);
+  start_service t
+
+let inject t p =
+  let full =
+    match t.flow_buffer_limit with
+    | None -> false
+    | Some limit -> t.sched.Sched.backlog p.Packet.flow >= limit
+  in
+  if full then begin
+    t.drops <- t.drops + 1;
+    List.iter (fun h -> h p) (List.rev t.drop_handlers)
+  end
+  else begin
+    t.sched.Sched.enqueue ~now:(Sim.now t.sim) p;
+    accept t p
+  end
+
+let inject_priority t p =
+  Queue.push p t.priority;
+  accept t p
+
+let kick t = start_service t
+
+let on_inject t h = t.inject_handlers <- h :: t.inject_handlers
+let on_drop t h = t.drop_handlers <- h :: t.drop_handlers
+let on_depart t h = t.depart_handlers <- h :: t.depart_handlers
+let sched t = t.sched
+let sim t = t.sim
+let name t = t.name
+let busy t = t.busy
+let drops t = t.drops
+let departed t = t.departed
+let work_done t = t.work_done

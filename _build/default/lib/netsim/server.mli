@@ -1,0 +1,61 @@
+(** A packet server: one output link with a scheduling discipline and a
+    (possibly fluctuating) service rate.
+
+    The server is work-conserving and non-preemptive: whenever it is
+    idle and a packet is queued it begins serving the discipline's
+    choice, and the packet completes when the rate process has
+    delivered [len] bits. An optional strict-priority queue sits above
+    the discipline — the Fig. 1 experiment sends the MPEG video flow
+    through it, which is exactly how the paper makes the output link
+    "appear as a variable rate server" to the TCP flows scheduled
+    below.
+
+    Handlers observe the life cycle: [on_inject] fires at arrival (after
+    a drop decision), [on_depart] at service completion with the
+    service start time. Per-flow drop-tail buffers ([flow_buffer_limit])
+    model finite switch memory for the TCP experiments; the default is
+    unbounded. *)
+
+open Sfq_base
+
+type t
+
+val create :
+  Sim.t ->
+  name:string ->
+  rate:Rate_process.t ->
+  sched:Sched.t ->
+  ?flow_buffer_limit:int ->
+  unit ->
+  t
+
+val inject : t -> Packet.t -> unit
+(** Enqueue at the discipline (or drop if the flow's buffer is full)
+    and start service if idle. *)
+
+val inject_priority : t -> Packet.t -> unit
+(** Enqueue at the strict-priority FIFO (never dropped). *)
+
+val kick : t -> unit
+(** Re-poll the discipline if the server is idle. Work-conserving
+    disciplines never need this; non-work-conserving ones (Jitter EDD's
+    regulator) call it from a timer when a held packet becomes
+    eligible. *)
+
+val on_inject : t -> (Packet.t -> unit) -> unit
+(** Add an arrival handler (fires for accepted packets only). *)
+
+val on_drop : t -> (Packet.t -> unit) -> unit
+
+val on_depart : t -> (Packet.t -> start:float -> departed:float -> unit) -> unit
+(** Add a completion handler. [start] is when service began. Fires for
+    priority packets too. *)
+
+val sched : t -> Sched.t
+val sim : t -> Sim.t
+val name : t -> string
+val busy : t -> bool
+val drops : t -> int
+val departed : t -> int
+val work_done : t -> float
+(** Total bits served so far (priority + scheduled). *)

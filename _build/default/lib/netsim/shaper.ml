@@ -1,0 +1,68 @@
+open Sfq_base
+
+type t = {
+  sim : Sim.t;
+  sigma : float;
+  rho : float;
+  target : Packet.t -> unit;
+  queue : Packet.t Queue.t;
+  mutable tokens : float;
+  mutable refilled_at : float;
+  mutable release_scheduled : bool;
+  mutable released : int;
+}
+
+let create sim ~sigma ~rho ~target =
+  if sigma <= 0.0 || rho <= 0.0 then invalid_arg "Shaper.create: sigma and rho must be positive";
+  {
+    sim;
+    sigma;
+    rho;
+    target;
+    queue = Queue.create ();
+    tokens = sigma (* bucket starts full *);
+    refilled_at = 0.0;
+    release_scheduled = false;
+    released = 0;
+  }
+
+let refill t =
+  let now = Sim.now t.sim in
+  t.tokens <- Float.min t.sigma (t.tokens +. (t.rho *. (now -. t.refilled_at)));
+  t.refilled_at <- now
+
+let rec release t =
+  refill t;
+  match Queue.peek_opt t.queue with
+  | None -> ()
+  | Some p ->
+    let need = float_of_int p.Packet.len in
+    (* The microbit tolerance and the floor on the retry delay guard
+       against a float livelock: with an exact comparison the residual
+       token deficit can shrink below the clock's ULP, making the
+       computed delay round to zero and the release event re-fire at
+       the same instant forever. *)
+    if t.tokens >= need -. 1e-6 then begin
+      ignore (Queue.take t.queue);
+      t.tokens <- t.tokens -. need;
+      t.released <- t.released + 1;
+      t.target p;
+      release t
+    end
+    else if not t.release_scheduled then begin
+      t.release_scheduled <- true;
+      Sim.schedule_after t.sim
+        ~delay:(Float.max ((need -. t.tokens) /. t.rho) 1e-9)
+        (fun () ->
+          t.release_scheduled <- false;
+          release t)
+    end
+
+let inject t p =
+  if float_of_int p.Packet.len > t.sigma then
+    invalid_arg "Shaper.inject: packet longer than sigma can never conform";
+  Queue.push p t.queue;
+  release t
+
+let backlog t = Queue.length t.queue
+let released t = t.released

@@ -1,0 +1,28 @@
+(** Leaky-bucket traffic shaper.
+
+    Delays packets so the output conforms to a (σ, ρ) envelope: at most
+    [σ + ρ·(t2−t1)] bits leave in any interval. §2.3 of the paper uses
+    exactly this device — "such a characterization may be enforced by
+    shaping the higher priority flows through a leaky bucket" — to turn
+    a priority-sharing link into an FC server of parameters
+    [(C − ρ, σ)] for the lower-priority traffic; the [residual]
+    experiment validates that model.
+
+    The shaper is a token bucket drained by departures: a packet leaves
+    as soon as [len] tokens are available, in FIFO order. Tokens accrue
+    at ρ bits/s up to a cap of σ. *)
+
+open Sfq_base
+
+type t
+
+val create : Sim.t -> sigma:float -> rho:float -> target:(Packet.t -> unit) -> t
+(** @raise Invalid_argument unless [sigma > 0] and [rho > 0]. Packets
+    longer than [sigma] bits would never conform and raise at
+    {!inject} time. *)
+
+val inject : t -> Packet.t -> unit
+val backlog : t -> int
+(** Packets currently held back. *)
+
+val released : t -> int

@@ -1,0 +1,60 @@
+open Sfq_util
+
+type event = { at : float; seq : int; fn : unit -> unit }
+
+type t = {
+  queue : event Ds_heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable fired : int;
+}
+
+let compare_event a b =
+  match compare a.at b.at with 0 -> compare a.seq b.seq | c -> c
+
+let create () =
+  { queue = Ds_heap.create ~cmp:compare_event (); clock = 0.0; next_seq = 0; fired = 0 }
+
+let now t = t.clock
+
+let schedule t ~at fn =
+  if at < t.clock then
+    invalid_arg (Printf.sprintf "Sim.schedule: at=%g is before now=%g" at t.clock);
+  Ds_heap.add t.queue { at; seq = t.next_seq; fn };
+  t.next_seq <- t.next_seq + 1
+
+let schedule_after t ~delay fn =
+  if delay < 0.0 then invalid_arg "Sim.schedule_after: negative delay";
+  schedule t ~at:(t.clock +. delay) fn
+
+let fire t e =
+  t.clock <- e.at;
+  t.fired <- t.fired + 1;
+  e.fn ()
+
+let run t ~until =
+  let rec loop () =
+    match Ds_heap.min_elt t.queue with
+    | Some e when e.at <= until ->
+      ignore (Ds_heap.pop_min t.queue);
+      fire t e;
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if until > t.clock then t.clock <- until
+
+let run_all t ?(limit = 100_000_000) () =
+  let rec loop n =
+    if n < limit then begin
+      match Ds_heap.pop_min t.queue with
+      | Some e ->
+        fire t e;
+        loop (n + 1)
+      | None -> ()
+    end
+  in
+  loop 0
+
+let pending t = Ds_heap.length t.queue
+let events_fired t = t.fired

@@ -1,0 +1,49 @@
+(** Traffic sources.
+
+    Every source is a generator of {!Sfq_base.Packet.t} wired to a
+    [target] (usually [Server.inject]) through simulator events. All
+    take [start]/[stop] bounds in seconds and manage their own per-flow
+    sequence numbers. *)
+
+open Sfq_base
+
+type counter = { mutable sent : int; mutable finished_at : float option }
+(** Mutable view of a source's progress (packets injected; when the
+    source completed its budget, for budget-limited sources). *)
+
+val cbr :
+  Sim.t -> target:(Packet.t -> unit) -> flow:Packet.flow -> len:int -> rate:float ->
+  start:float -> stop:float -> counter
+(** Constant bit rate: one [len]-bit packet every [len/rate] seconds. *)
+
+val poisson :
+  Sim.t -> target:(Packet.t -> unit) -> flow:Packet.flow -> len:int -> rate:float ->
+  rng:Sfq_util.Rng.t -> start:float -> stop:float -> counter
+(** Poisson arrivals with mean rate [rate] bits/s (exponential
+    interarrivals of mean [len/rate]); the Fig. 2(b) workload. *)
+
+val on_off :
+  Sim.t -> target:(Packet.t -> unit) -> flow:Packet.flow -> len:int -> peak_rate:float ->
+  on:float -> off:float -> start:float -> stop:float -> counter
+(** CBR at [peak_rate] during on-periods, silent during off-periods. *)
+
+val burst :
+  Sim.t -> target:(Packet.t -> unit) -> flow:Packet.flow -> len:int -> burst_size:int ->
+  interval:float -> start:float -> stop:float -> counter
+(** [burst_size] back-to-back packets every [interval] seconds. *)
+
+val leaky_bucket :
+  Sim.t -> target:(Packet.t -> unit) -> flow:Packet.flow -> len:int -> sigma:float ->
+  rho:float -> flush_every:float -> start:float -> stop:float -> counter
+(** Greedy but (σ, ρ)-conforming: a token bucket (burst [sigma] bits,
+    rate [rho] bits/s) is flushed into whole packets every
+    [flush_every] seconds. Used by the end-to-end delay experiment,
+    whose bound (§A.5) assumes leaky-bucket conformance. *)
+
+val greedy :
+  Sim.t -> server:Server.t -> ?priority:bool -> flow:Packet.flow -> len:int ->
+  total:int -> window:int -> start:float -> unit -> counter
+(** Backlogging source: keeps [window] packets outstanding at [server]
+    until [total] have been injected — the Fig. 3 "connection
+    transmitting N packets". [finished_at] is set when the last packet
+    {e departs} the server. *)

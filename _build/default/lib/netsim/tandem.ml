@@ -1,0 +1,24 @@
+type t = { sim : Sim.t; servers : Server.t array }
+
+let chain sim ~servers ~prop_delays ?(forward = fun _ -> true) () =
+  (match servers with [] -> invalid_arg "Tandem.chain: empty chain" | _ :: _ -> ());
+  if List.length prop_delays <> List.length servers - 1 then
+    invalid_arg "Tandem.chain: need one propagation delay per hop";
+  List.iter
+    (fun d -> if d < 0.0 then invalid_arg "Tandem.chain: negative propagation delay")
+    prop_delays;
+  let arr = Array.of_list servers in
+  List.iteri
+    (fun i delay ->
+      let next = arr.(i + 1) in
+      Server.on_depart arr.(i) (fun p ~start:_ ~departed:_ ->
+          if forward p then Sim.schedule_after sim ~delay (fun () -> Server.inject next p)))
+    prop_delays;
+  { sim; servers = arr }
+
+let first t = t.servers.(0)
+let last t = t.servers.(Array.length t.servers - 1)
+let inject t p = Server.inject t.servers.(0) p
+
+let on_exit t h =
+  Server.on_depart (last t) (fun p ~start:_ ~departed -> h p ~departed)

@@ -1,0 +1,26 @@
+(** Tandem (chain) topologies for the end-to-end experiments.
+
+    Wires [server_i]'s departures into [server_{i+1}]'s input after a
+    fixed propagation delay — the network of K servers of §2.4 and
+    Corollary 1. Inject traffic at [first]; observe deliveries with
+    {!on_exit}. *)
+
+open Sfq_base
+
+type t
+
+val chain :
+  Sim.t -> servers:Server.t list -> prop_delays:float list ->
+  ?forward:(Packet.t -> bool) -> unit -> t
+(** [prop_delays] must have one entry per hop, i.e.
+    [List.length servers - 1] entries. [forward] selects which
+    departures continue to the next hop (default: all); hop-local cross
+    traffic should return [false] so it exits at its own hop.
+    @raise Invalid_argument on a length mismatch or empty chain. *)
+
+val first : t -> Server.t
+val last : t -> Server.t
+val inject : t -> Packet.t -> unit
+
+val on_exit : t -> (Packet.t -> departed:float -> unit) -> unit
+(** Fires when a packet finishes service at the last server. *)

@@ -1,0 +1,149 @@
+open Sfq_util
+open Sfq_base
+
+type t = {
+  sim : Sim.t;
+  inject : Packet.t -> unit;
+  flow : Packet.flow;
+  pkt_len : int;
+  ack_delay : float;
+  rto : float;
+  (* sender *)
+  mutable send_max : int;  (* edge of the current send window *)
+  mutable high_water : int;  (* highest sequence number ever sent *)
+  mutable highest_acked : int;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable dupacks : int;
+  mutable timer_gen : int;
+  mutable sent : int;
+  mutable retransmits : int;
+  mutable timeouts : int;
+  (* receiver *)
+  mutable next_expected : int;
+  out_of_order : (int, unit) Hashtbl.t;
+  deliveries : (float * int) Vec.t;
+}
+
+let send_packet t seq ~retransmit =
+  t.sent <- t.sent + 1;
+  if retransmit then t.retransmits <- t.retransmits + 1;
+  let pkt = Packet.make ~flow:t.flow ~seq ~len:t.pkt_len ~born:(Sim.now t.sim) () in
+  t.inject pkt
+
+let rec arm_timer t =
+  t.timer_gen <- t.timer_gen + 1;
+  let gen = t.timer_gen in
+  Sim.schedule_after t.sim ~delay:t.rto (fun () ->
+      if gen = t.timer_gen && t.highest_acked < t.send_max then on_timeout t)
+
+and on_timeout t =
+  t.timeouts <- t.timeouts + 1;
+  t.ssthresh <- Float.max (t.cwnd /. 2.0) 2.0;
+  t.cwnd <- 1.0;
+  t.dupacks <- 0;
+  (* Go-back-N: resend from the first unacknowledged segment. *)
+  t.send_max <- t.highest_acked;
+  try_send t;
+  arm_timer t
+
+and try_send t =
+  let window_edge = t.highest_acked + int_of_float t.cwnd in
+  while t.send_max < window_edge do
+    t.send_max <- t.send_max + 1;
+    (* A send below the previous send_max only happens after a timeout
+       rewound it, i.e. it is a go-back-N retransmission. *)
+    send_packet t t.send_max ~retransmit:(t.send_max <= t.high_water)
+  done;
+  if t.send_max > t.high_water then t.high_water <- t.send_max
+
+let on_ack t ackno =
+  if ackno > t.highest_acked then begin
+    t.highest_acked <- ackno;
+    t.dupacks <- 0;
+    if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1.0
+    else t.cwnd <- t.cwnd +. (1.0 /. t.cwnd);
+    arm_timer t;
+    try_send t
+  end
+  else begin
+    t.dupacks <- t.dupacks + 1;
+    if t.dupacks = 3 then begin
+      (* Fast retransmit; simplified recovery (no window inflation). *)
+      t.ssthresh <- Float.max (t.cwnd /. 2.0) 2.0;
+      t.cwnd <- t.ssthresh;
+      t.dupacks <- 0;
+      send_packet t (t.highest_acked + 1) ~retransmit:true;
+      arm_timer t
+    end
+  end
+
+let receiver_receive t seq =
+  if seq >= t.next_expected then begin
+    Hashtbl.replace t.out_of_order seq ();
+    (* Advance over any contiguous buffered run (TCP receivers buffer
+       out-of-order segments; the cumulative ack jumps once the hole is
+       filled). *)
+    while Hashtbl.mem t.out_of_order t.next_expected do
+      Hashtbl.remove t.out_of_order t.next_expected;
+      t.next_expected <- t.next_expected + 1
+    done;
+    if seq < t.next_expected then Vec.push t.deliveries (Sim.now t.sim, t.next_expected - 1)
+  end;
+  (* Cumulative ack regardless (duplicate ack on out-of-order data). *)
+  let ackno = t.next_expected - 1 in
+  Sim.schedule_after t.sim ~delay:t.ack_delay (fun () -> on_ack t ackno)
+
+let reno_over sim ~inject ~subscribe ~flow ~pkt_len ~start ?(ack_delay = 0.001)
+    ?(rto = 0.2) ?(init_ssthresh = 64.0) () =
+  if pkt_len <= 0 then invalid_arg "Tcp.reno: pkt_len must be positive";
+  if rto <= 0.0 || ack_delay < 0.0 then invalid_arg "Tcp.reno: bad delays";
+  let t =
+    {
+      sim;
+      inject;
+      flow;
+      pkt_len;
+      ack_delay;
+      rto;
+      send_max = 0;
+      high_water = 0;
+      highest_acked = 0;
+      cwnd = 1.0;
+      ssthresh = init_ssthresh;
+      dupacks = 0;
+      timer_gen = 0;
+      sent = 0;
+      retransmits = 0;
+      timeouts = 0;
+      next_expected = 1;
+      out_of_order = Hashtbl.create 64;
+      deliveries = Vec.create ();
+    }
+  in
+  subscribe (fun p -> if p.Packet.flow = flow then receiver_receive t p.Packet.seq);
+  Sim.schedule sim ~at:start (fun () ->
+      try_send t;
+      arm_timer t);
+  t
+
+let reno sim ~server ~flow ~pkt_len ~start ?(fwd_delay = 0.001) ?ack_delay ?rto
+    ?init_ssthresh () =
+  if fwd_delay < 0.0 then invalid_arg "Tcp.reno: bad delays";
+  reno_over sim
+    ~inject:(fun p -> Server.inject server p)
+    ~subscribe:(fun handler ->
+      Server.on_depart server (fun p ~start:_ ~departed:_ ->
+          Sim.schedule_after sim ~delay:fwd_delay (fun () -> handler p)))
+    ~flow ~pkt_len ~start ?ack_delay ?rto ?init_ssthresh ()
+
+let delivered t = t.next_expected - 1
+let delivery_series t = Vec.to_list t.deliveries
+
+let delivered_before t time =
+  Vec.fold t.deliveries ~init:0 ~f:(fun acc (at, n) -> if at < time then Stdlib.max acc n else acc)
+
+let sent t = t.sent
+let retransmits t = t.retransmits
+let timeouts t = t.timeouts
+let cwnd t = t.cwnd

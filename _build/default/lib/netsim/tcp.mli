@@ -1,0 +1,74 @@
+(** Simplified TCP Reno over the simulator.
+
+    Substitutes the REAL simulator's TCP Reno sources used by the
+    paper's Fig. 1 (DESIGN.md §2). The control loop is faithful where
+    it matters for that experiment — throughput adapts to whatever
+    bandwidth the scheduler grants:
+
+    - slow start / congestion avoidance over a packet-granularity
+      congestion window;
+    - three duplicate acks trigger fast retransmit with
+      [ssthresh = cwnd/2];
+    - a retransmission timeout collapses to [cwnd = 1] and go-back-N
+      resend;
+    - the receiver buffers out-of-order segments and acks cumulatively
+      (so a fast retransmit repairs a single hole in one round trip).
+
+    Simplifications: acks travel on an uncongested reverse path with
+    fixed delay; sequence numbers count packets; the source always has
+    data. Packet losses arise from the bottleneck server's per-flow
+    drop-tail buffer. *)
+
+open Sfq_base
+
+type t
+
+val reno :
+  Sim.t ->
+  server:Server.t ->
+  flow:Packet.flow ->
+  pkt_len:int ->
+  start:float ->
+  ?fwd_delay:float ->
+  ?ack_delay:float ->
+  ?rto:float ->
+  ?init_ssthresh:float ->
+  unit ->
+  t
+(** Single-bottleneck form: inject at [server], receive on its
+    departures after [fwd_delay]. Defaults: [fwd_delay] and
+    [ack_delay] 1 ms, [rto] 200 ms, [init_ssthresh] 64 packets. The
+    connection starts sending at [start] and never finishes (stop the
+    simulation instead). *)
+
+val reno_over :
+  Sim.t ->
+  inject:(Packet.t -> unit) ->
+  subscribe:(((Packet.t -> unit) -> unit)) ->
+  flow:Packet.flow ->
+  pkt_len:int ->
+  start:float ->
+  ?ack_delay:float ->
+  ?rto:float ->
+  ?init_ssthresh:float ->
+  unit ->
+  t
+(** Topology-agnostic form: [inject] sends a data packet into the
+    network; [subscribe] registers the receiver's packet handler at
+    the network egress (e.g. wrap {!Net.on_delivered}). Used to run
+    TCP across multi-hop {!Net} topologies. *)
+
+val delivered : t -> int
+(** Packets received in order at the destination so far. *)
+
+val delivery_series : t -> (float * int) list
+(** [(time, cumulative in-order packets)] samples, one per in-order
+    arrival — the paper's Fig. 1(b) y-axis. *)
+
+val delivered_before : t -> float -> int
+(** In-order packets delivered strictly before the given time. *)
+
+val sent : t -> int
+val retransmits : t -> int
+val timeouts : t -> int
+val cwnd : t -> float

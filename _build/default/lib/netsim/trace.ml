@@ -1,0 +1,53 @@
+open Sfq_util
+open Sfq_base
+
+type record = {
+  flow : Packet.flow;
+  seq : int;
+  len : int;
+  born : float;
+  arrived : float;
+  start : float;
+  departed : float;
+}
+
+type t = { records : record Vec.t; pending : float Queue.t Flow_table.t }
+
+let attach server =
+  let t =
+    {
+      records = Vec.create ();
+      pending = Flow_table.create ~default:(fun _ -> Queue.create ());
+    }
+  in
+  let sim = Server.sim server in
+  Server.on_inject server (fun p ->
+      Queue.push (Sim.now sim) (Flow_table.find t.pending p.Packet.flow));
+  Server.on_depart server (fun p ~start ~departed ->
+      match Queue.take_opt (Flow_table.find t.pending p.Packet.flow) with
+      | None -> () (* packet injected before the trace was attached *)
+      | Some arrived ->
+        Vec.push t.records
+          {
+            flow = p.Packet.flow;
+            seq = p.Packet.seq;
+            len = p.Packet.len;
+            born = p.Packet.born;
+            arrived;
+            start;
+            departed;
+          });
+  t
+
+let records t = t.records
+let to_list t = Vec.to_list t.records
+let of_flow t flow = List.filter (fun r -> r.flow = flow) (to_list t)
+let count t = Vec.length t.records
+
+let delays t flow =
+  of_flow t flow |> List.map (fun r -> r.departed -. r.arrived) |> Array.of_list
+
+let end_to_end_delays t flow =
+  of_flow t flow |> List.map (fun r -> r.departed -. r.born) |> Array.of_list
+
+let max_delay t flow = Array.fold_left Float.max 0.0 (delays t flow)

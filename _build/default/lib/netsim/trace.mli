@@ -1,0 +1,37 @@
+(** Per-server packet life-cycle recording.
+
+    Attach to a {!Server} to get one record per served packet with its
+    arrival (inject), service-start and departure times. Arrival and
+    departure are matched per-flow FIFO — sound for every discipline in
+    this library (all are per-flow FIFO), including under drops (dropped
+    packets are never recorded as arrivals). *)
+
+open Sfq_base
+
+type record = {
+  flow : Packet.flow;
+  seq : int;
+  len : int;  (** bits *)
+  born : float;
+  arrived : float;  (** inject time at this server *)
+  start : float;  (** service start at this server *)
+  departed : float;
+}
+
+type t
+
+val attach : Server.t -> t
+val records : t -> record Sfq_util.Vec.t
+val to_list : t -> record list
+val of_flow : t -> Packet.flow -> record list
+val count : t -> int
+
+val delays : t -> Packet.flow -> float array
+(** Per-packet [departed − arrived] for one flow, in departure order. *)
+
+val end_to_end_delays : t -> Packet.flow -> float array
+(** Per-packet [departed − born]; meaningful at the last server of a
+    tandem. *)
+
+val max_delay : t -> Packet.flow -> float
+(** Max queueing+service delay at this server; 0 if no packets. *)

@@ -1,0 +1,1 @@
+lib/sched/delay_edd.ml: Eat Float Flow_table Hashtbl List Packet Printf Sched Sfq_base Tag_queue

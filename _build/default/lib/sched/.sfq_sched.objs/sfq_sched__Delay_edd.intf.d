@@ -1,0 +1,1 @@
+lib/sched/delay_edd.mli: Packet Sched Sfq_base

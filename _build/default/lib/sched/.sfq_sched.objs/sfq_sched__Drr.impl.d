@@ -1,0 +1,1 @@
+lib/sched/drr.ml: Flow_queues Flow_table Hashtbl Packet Queue Sched Sfq_base Weights

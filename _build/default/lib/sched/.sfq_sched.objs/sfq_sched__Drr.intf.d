@@ -1,0 +1,1 @@
+lib/sched/drr.mli: Packet Sched Sfq_base Weights

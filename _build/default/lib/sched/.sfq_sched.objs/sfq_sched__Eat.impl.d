@@ -1,0 +1,1 @@
+lib/sched/eat.ml: Float Flow_table Sfq_base

@@ -1,0 +1,1 @@
+lib/sched/eat.mli: Packet Sfq_base

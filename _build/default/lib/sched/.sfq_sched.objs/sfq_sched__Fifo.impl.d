@@ -1,0 +1,1 @@
+lib/sched/fifo.ml: Flow_table Packet Queue Sched Sfq_base

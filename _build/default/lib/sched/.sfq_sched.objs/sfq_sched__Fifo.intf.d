@@ -1,0 +1,1 @@
+lib/sched/fifo.mli: Packet Sched Sfq_base

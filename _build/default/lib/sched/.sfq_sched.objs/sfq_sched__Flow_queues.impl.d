@@ -1,0 +1,1 @@
+lib/sched/flow_queues.ml: Flow_table Packet Queue Sfq_base

@@ -1,0 +1,1 @@
+lib/sched/flow_queues.mli: Packet Sfq_base

@@ -1,0 +1,1 @@
+lib/sched/fqs.ml: Gps Sched Sfq_base Tag_queue

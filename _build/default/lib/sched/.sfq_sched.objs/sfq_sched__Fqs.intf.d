@@ -1,0 +1,1 @@
+lib/sched/fqs.mli: Packet Sched Sfq_base Tag_queue Weights

@@ -1,0 +1,1 @@
+lib/sched/gps.ml: Ds_heap Float Flow_table Hashtbl Packet Sfq_base Sfq_util Weights

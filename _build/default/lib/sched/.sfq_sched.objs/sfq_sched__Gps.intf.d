@@ -1,0 +1,1 @@
+lib/sched/gps.mli: Packet Sfq_base Weights

@@ -1,0 +1,1 @@
+lib/sched/scfq.ml: Float Flow_table Packet Sched Sfq_base Tag_queue Weights

@@ -1,0 +1,1 @@
+lib/sched/scfq.mli: Packet Sched Sfq_base Tag_queue Weights

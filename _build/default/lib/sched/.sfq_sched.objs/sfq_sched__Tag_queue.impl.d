@@ -1,0 +1,1 @@
+lib/sched/tag_queue.ml: Ds_heap Flow_table Packet Sfq_base Sfq_util

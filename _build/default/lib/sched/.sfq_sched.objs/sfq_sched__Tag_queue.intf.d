@@ -1,0 +1,1 @@
+lib/sched/tag_queue.mli: Packet Sfq_base

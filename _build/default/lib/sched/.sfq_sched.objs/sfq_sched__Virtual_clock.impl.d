@@ -1,0 +1,1 @@
+lib/sched/virtual_clock.ml: Eat Packet Sched Sfq_base Tag_queue Weights

@@ -1,0 +1,1 @@
+lib/sched/virtual_clock.mli: Packet Sched Sfq_base Tag_queue Weights

@@ -1,0 +1,1 @@
+lib/sched/wf2q.ml: Ds_heap Float Flow_table Gps Packet Sched Sfq_base Sfq_util Tag_queue

@@ -1,0 +1,1 @@
+lib/sched/wf2q.mli: Packet Sched Sfq_base Tag_queue Weights

@@ -1,0 +1,1 @@
+lib/sched/wfq.ml: Float Flow_table Gps Packet Sched Sfq_base Tag_queue Weights

@@ -1,0 +1,1 @@
+lib/sched/wrr.ml: Float Flow_queues Flow_table Packet Queue Sched Sfq_base Stdlib Weights

@@ -1,0 +1,1 @@
+lib/sched/wrr.mli: Packet Sched Sfq_base Weights

@@ -1,0 +1,109 @@
+open Sfq_base
+
+type flow_spec = { rate : float; deadline : float; max_len : int }
+
+type t = {
+  specs : (Packet.flow, flow_spec) Hashtbl.t;
+  eat : Eat.t;
+  queue : Tag_queue.t;
+  last_deadline : float Flow_table.t;
+}
+
+let check_spec (flow, { rate; deadline; max_len }) =
+  if rate <= 0.0 || deadline <= 0.0 || max_len <= 0 then
+    invalid_arg (Printf.sprintf "Delay_edd: invalid spec for flow %d" flow)
+
+let create specs =
+  List.iter check_spec specs;
+  let table = Hashtbl.create 16 in
+  List.iter (fun (f, s) -> Hashtbl.replace table f s) specs;
+  {
+    specs = table;
+    eat = Eat.create ();
+    queue = Tag_queue.create ();
+    last_deadline = Flow_table.create ~default:(fun _ -> nan);
+  }
+
+let spec t flow =
+  match Hashtbl.find_opt t.specs flow with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Delay_edd: undeclared flow %d" flow)
+
+let enqueue t ~now pkt =
+  let { rate; deadline; _ } = spec t pkt.Packet.flow in
+  let rate = match pkt.Packet.rate with Some r -> r | None -> rate in
+  let eat = Eat.on_arrival t.eat ~now ~flow:pkt.Packet.flow ~len:pkt.Packet.len ~rate in
+  let d = eat +. deadline in
+  Flow_table.set t.last_deadline pkt.Packet.flow d;
+  Tag_queue.push t.queue ~tag:d pkt
+
+let dequeue t ~now:_ =
+  match Tag_queue.pop t.queue with None -> None | Some (_, p) -> Some p
+
+let peek t = match Tag_queue.peek t.queue with None -> None | Some (_, p) -> Some p
+let size t = Tag_queue.size t.queue
+let backlog t flow = Tag_queue.backlog t.queue flow
+
+let deadline_of_last t flow =
+  let d = Flow_table.find t.last_deadline flow in
+  if Float.is_nan d then None else Some d
+
+(* Eq. 67 demand, evaluated as a right-limit: the transmission time of
+   packets of flow n that are due by [t + ε]. The demand function is a
+   right-continuous step function that jumps at t = d_n + k·l_n/r_n;
+   because the right-hand side of eq. 67 is increasing, checking the
+   post-jump value at every jump point checks the whole line. *)
+let demand_after specs ~capacity t =
+  List.fold_left
+    (fun acc (_, { rate; deadline; max_len }) ->
+      let l = float_of_int max_len in
+      if t < deadline -. 1e-12 then acc
+      else begin
+        let packets = Float.floor ((t -. deadline) *. rate /. l +. 1e-9) +. 1.0 in
+        acc +. (packets *. l /. capacity)
+      end)
+    0.0 specs
+
+let schedulable specs ~capacity ?horizon () =
+  List.iter check_spec specs;
+  if specs = [] then true
+  else begin
+    let utilization =
+      List.fold_left (fun acc (_, s) -> acc +. s.rate) 0.0 specs /. capacity
+    in
+    if utilization >= 1.0 then false
+    else begin
+      let horizon =
+        match horizon with
+        | Some h -> h
+        | None ->
+          (* Past t*, demand(t) <= U*t + slack <= t by utilization < 1. *)
+          let slack =
+            List.fold_left (fun acc (_, s) -> acc +. (float_of_int s.max_len /. capacity)) 0.0 specs
+          in
+          slack /. (1.0 -. utilization)
+      in
+      let points =
+        List.concat_map
+          (fun (_, { rate; deadline; max_len }) ->
+            let step = float_of_int max_len /. rate in
+            let rec gen k acc =
+              let t = deadline +. (float_of_int k *. step) in
+              if t > horizon then acc else gen (k + 1) (t :: acc)
+            in
+            gen 0 [])
+          specs
+      in
+      List.for_all (fun t -> demand_after specs ~capacity t <= t +. 1e-9) points
+    end
+  end
+
+let sched t =
+  {
+    Sched.name = "delay-edd";
+    enqueue = (fun ~now pkt -> enqueue t ~now pkt);
+    dequeue = (fun ~now -> dequeue t ~now);
+    peek = (fun () -> peek t);
+    size = (fun () -> size t);
+    backlog = (fun flow -> backlog t flow);
+  }

@@ -1,0 +1,142 @@
+open Sfq_base
+
+type t = {
+  quantum : float;
+  weights : Weights.t;
+  queues : Flow_queues.t;
+  active : Packet.flow Queue.t;
+  in_active : bool Flow_table.t;
+  deficit : float Flow_table.t;
+  mutable current : Packet.flow option;
+}
+
+(* The round-robin cursor state, abstracted so that the destructive
+   [dequeue] and the non-destructive [peek] share one decision loop:
+   [dequeue] runs it over the real state, [peek] over a copy/overlay. *)
+type cursor = {
+  get_deficit : Packet.flow -> float;
+  set_deficit : Packet.flow -> float -> unit;
+  take_active : unit -> Packet.flow option;
+  push_active : Packet.flow -> unit;
+  get_current : unit -> Packet.flow option;
+  set_current : Packet.flow option -> unit;
+}
+
+let create ?(quantum = 8000.0) weights =
+  if quantum <= 0.0 then invalid_arg "Drr.create: quantum must be positive";
+  {
+    quantum;
+    weights;
+    queues = Flow_queues.create ();
+    active = Queue.create ();
+    in_active = Flow_table.create ~default:(fun _ -> false);
+    deficit = Flow_table.create ~default:(fun _ -> 0.0);
+    current = None;
+  }
+
+let flow_quantum t f = t.quantum *. Weights.get t.weights f
+
+let enqueue t ~now:_ pkt =
+  let f = pkt.Packet.flow in
+  Flow_queues.push t.queues pkt;
+  let is_current = match t.current with Some c -> c = f | None -> false in
+  if (not (Flow_table.find t.in_active f)) && not is_current then begin
+    Queue.push f t.active;
+    Flow_table.set t.in_active f true
+  end
+
+(* Advance the cursor until some flow's head packet fits its deficit.
+   Returns the flow and packet that should be transmitted next, without
+   removing the packet. Deficits are credited and the active list
+   rotated as a side effect through the cursor. Terminates because each
+   revisit of a non-empty flow credits a positive quantum. *)
+let rec find_next t cur =
+  match cur.get_current () with
+  | Some f -> begin
+    match Flow_queues.head t.queues f with
+    | Some p when float_of_int p.Packet.len <= cur.get_deficit f -> Some (f, p)
+    | Some _ ->
+      (* Head does not fit: turn ends, deficit carries over. *)
+      cur.push_active f;
+      cur.set_current None;
+      find_next t cur
+    | None ->
+      cur.set_current None;
+      find_next t cur
+  end
+  | None -> begin
+    match cur.take_active () with
+    | None -> None
+    | Some f ->
+      if Flow_queues.flow_is_empty t.queues f then find_next t cur
+      else begin
+        cur.set_deficit f (cur.get_deficit f +. flow_quantum t f);
+        cur.set_current (Some f);
+        find_next t cur
+      end
+  end
+
+let real_cursor t =
+  {
+    get_deficit = (fun f -> Flow_table.find t.deficit f);
+    set_deficit = (fun f d -> Flow_table.set t.deficit f d);
+    take_active =
+      (fun () ->
+        match Queue.take_opt t.active with
+        | None -> None
+        | Some f ->
+          Flow_table.set t.in_active f false;
+          Some f);
+    push_active =
+      (fun f ->
+        Queue.push f t.active;
+        Flow_table.set t.in_active f true);
+    get_current = (fun () -> t.current);
+    set_current = (fun c -> t.current <- c);
+  }
+
+let dequeue t ~now:_ =
+  match find_next t (real_cursor t) with
+  | None -> None
+  | Some (f, p) ->
+    ignore (Flow_queues.pop t.queues f);
+    Flow_table.set t.deficit f (Flow_table.find t.deficit f -. float_of_int p.Packet.len);
+    if Flow_queues.flow_is_empty t.queues f then begin
+      Flow_table.set t.deficit f 0.0;
+      t.current <- None
+    end;
+    Some p
+
+let peek t =
+  let deficit_overlay = Hashtbl.create 8 in
+  let active = Queue.copy t.active in
+  let current = ref t.current in
+  let cur =
+    {
+      get_deficit =
+        (fun f ->
+          match Hashtbl.find_opt deficit_overlay f with
+          | Some d -> d
+          | None -> Flow_table.find t.deficit f);
+      set_deficit = (fun f d -> Hashtbl.replace deficit_overlay f d);
+      take_active = (fun () -> Queue.take_opt active);
+      push_active = (fun f -> Queue.push f active);
+      get_current = (fun () -> !current);
+      set_current = (fun c -> current := c);
+    }
+  in
+  match find_next t cur with None -> None | Some (_, p) -> Some p
+
+let size t = Flow_queues.size t.queues
+let backlog t flow = Flow_queues.backlog t.queues flow
+let deficit t flow = Flow_table.find t.deficit flow
+
+let sched t =
+  {
+    Sched.name = "drr";
+    enqueue = (fun ~now pkt -> enqueue t ~now pkt);
+    dequeue = (fun ~now -> dequeue t ~now);
+    peek = (fun () -> peek t);
+    size = (fun () -> size t);
+    backlog = (fun flow -> backlog t flow);
+  }

@@ -1,0 +1,34 @@
+(** Deficit Round Robin (Shreedhar & Varghese, SIGCOMM '95).
+
+    O(1) per packet: flows are served in round-robin order; each visit
+    credits the flow's deficit counter with [quantum * weight] bits and
+    the flow transmits head packets while they fit in the deficit. The
+    paper's Table 1 shows why DRR is a baseline and not the answer: its
+    fairness measure [1 + l_f^max/r_f + l_m^max/r_m] (for min weight 1)
+    deviates unboundedly from SFQ/SCFQ's as weights grow, and its
+    maximum delay depends on every other flow's weight.
+
+    Invariant (checked by the property tests): whenever a flow has
+    queued packets, [0 <= deficit < quantum*weight + l^max]. *)
+
+open Sfq_base
+
+type t
+
+val create : ?quantum:float -> Weights.t -> t
+(** [quantum] is the per-round credit in bits for a weight-1.0 flow
+    (default 8000.0 = 1000 bytes, a typical MTU). Flow [f] receives
+    [quantum *. weight f] bits per round.
+    @raise Invalid_argument if [quantum <= 0]. *)
+
+val enqueue : t -> now:float -> Packet.t -> unit
+val dequeue : t -> now:float -> Packet.t option
+val peek : t -> Packet.t option
+val size : t -> int
+val backlog : t -> Packet.flow -> int
+
+val deficit : t -> Packet.flow -> float
+(** Current deficit counter in bits (0 for unseen flows); exposed for
+    the invariant tests. *)
+
+val sched : t -> Sched.t

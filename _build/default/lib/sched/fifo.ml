@@ -1,0 +1,30 @@
+open Sfq_base
+
+type t = { queue : Packet.t Queue.t; counts : int Flow_table.t }
+
+let create () = { queue = Queue.create (); counts = Flow_table.create ~default:(fun _ -> 0) }
+
+let enqueue t ~now:_ pkt =
+  Queue.push pkt t.queue;
+  Flow_table.set t.counts pkt.Packet.flow (Flow_table.find t.counts pkt.Packet.flow + 1)
+
+let dequeue t ~now:_ =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some p ->
+    Flow_table.set t.counts p.Packet.flow (Flow_table.find t.counts p.Packet.flow - 1);
+    Some p
+
+let peek t = Queue.peek_opt t.queue
+let size t = Queue.length t.queue
+let backlog t flow = Flow_table.find t.counts flow
+
+let sched t =
+  {
+    Sched.name = "fifo";
+    enqueue = (fun ~now pkt -> enqueue t ~now pkt);
+    dequeue = (fun ~now -> dequeue t ~now);
+    peek = (fun () -> peek t);
+    size = (fun () -> size t);
+    backlog = (fun flow -> backlog t flow);
+  }

@@ -1,0 +1,19 @@
+(** First-come first-served — the null discipline.
+
+    Baseline for sanity checks and for modeling the per-class packet
+    queues inside hierarchical link-sharing leaves when no intra-class
+    discipline is wanted. *)
+
+open Sfq_base
+
+type t
+
+val create : unit -> t
+val enqueue : t -> now:float -> Packet.t -> unit
+val dequeue : t -> now:float -> Packet.t option
+val peek : t -> Packet.t option
+val size : t -> int
+val backlog : t -> Packet.flow -> int
+
+val sched : t -> Sched.t
+(** Discipline-agnostic view; see {!Sfq_base.Sched}. *)

@@ -1,0 +1,22 @@
+open Sfq_base
+
+type t = { queues : Packet.t Queue.t Flow_table.t; mutable total : int }
+
+let create () = { queues = Flow_table.create ~default:(fun _ -> Queue.create ()); total = 0 }
+
+let push t pkt =
+  Queue.push pkt (Flow_table.find t.queues pkt.Packet.flow);
+  t.total <- t.total + 1
+
+let head t flow = Queue.peek_opt (Flow_table.find t.queues flow)
+
+let pop t flow =
+  match Queue.take_opt (Flow_table.find t.queues flow) with
+  | None -> None
+  | Some p ->
+    t.total <- t.total - 1;
+    Some p
+
+let flow_is_empty t flow = Queue.is_empty (Flow_table.find t.queues flow)
+let backlog t flow = Queue.length (Flow_table.find t.queues flow)
+let size t = t.total

@@ -1,0 +1,18 @@
+(** Per-flow FIFO packet queues.
+
+    Shared engine of the round-robin disciplines (WRR, DRR), which keep
+    one FIFO per flow and rotate among flows rather than tagging
+    individual packets. *)
+
+open Sfq_base
+
+type t
+
+val create : unit -> t
+val push : t -> Packet.t -> unit
+val head : t -> Packet.flow -> Packet.t option
+val pop : t -> Packet.flow -> Packet.t option
+val flow_is_empty : t -> Packet.flow -> bool
+val backlog : t -> Packet.flow -> int
+val size : t -> int
+(** Total packets across all flows. *)

@@ -1,0 +1,32 @@
+open Sfq_base
+
+type t = { gps : Gps.t; queue : Tag_queue.t }
+
+let create ~capacity ?tie weights =
+  let queue = Tag_queue.create ?tie () in
+  {
+    gps =
+      Gps.create ~capacity ~real_system_empty:(fun () -> Tag_queue.is_empty queue) weights;
+    queue;
+  }
+
+let enqueue t ~now pkt =
+  let start_tag, _finish_tag = Gps.on_arrival t.gps ~now pkt in
+  Tag_queue.push t.queue ~tag:start_tag pkt
+
+let dequeue t ~now:_ =
+  match Tag_queue.pop t.queue with None -> None | Some (_, p) -> Some p
+
+let peek t = match Tag_queue.peek t.queue with None -> None | Some (_, p) -> Some p
+let size t = Tag_queue.size t.queue
+let backlog t flow = Tag_queue.backlog t.queue flow
+
+let sched t =
+  {
+    Sched.name = "fqs";
+    enqueue = (fun ~now pkt -> enqueue t ~now pkt);
+    dequeue = (fun ~now -> dequeue t ~now);
+    peek = (fun () -> peek t);
+    size = (fun () -> size t);
+    backlog = (fun flow -> backlog t flow);
+  }

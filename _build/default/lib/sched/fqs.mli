@@ -1,0 +1,20 @@
+(** Fair Queuing based on Start-time (Greenberg & Madras).
+
+    Identical tag computation to WFQ — including the expensive fluid
+    GPS virtual time and its assumed-capacity blind spot — but packets
+    are transmitted in increasing {e start}-tag order. The paper's §2.5
+    verdict, which Table 1 and the experiments reproduce: FQS has SFQ's
+    scheduling order but WFQ's clock, hence all of WFQ's disadvantages
+    and none of SFQ's efficiency. *)
+
+open Sfq_base
+
+type t
+
+val create : capacity:float -> ?tie:Tag_queue.tie -> Weights.t -> t
+val enqueue : t -> now:float -> Packet.t -> unit
+val dequeue : t -> now:float -> Packet.t option
+val peek : t -> Packet.t option
+val size : t -> int
+val backlog : t -> Packet.flow -> int
+val sched : t -> Sched.t

@@ -1,0 +1,94 @@
+open Sfq_util
+open Sfq_base
+
+type t = {
+  capacity : float;
+  weights : Weights.t;
+  real_system_empty : unit -> bool;
+  mutable v : float;
+  mutable updated : float;  (* real time at which [v] was last correct *)
+  mutable sum_active : float;  (* Σ r_j over the fluid-backlogged set *)
+  backlogged : (Packet.flow, unit) Hashtbl.t;
+  finish : float Flow_table.t;  (* per-flow largest finish tag this busy period *)
+  (* Fluid departure events: (finish_tag, flow). Entries go stale when a
+     flow receives more packets (its departure moves later); stale
+     entries are detected on pop by comparing against [finish]. *)
+  departures : (float * Packet.flow) Ds_heap.t;
+}
+
+let create ~capacity ?(real_system_empty = fun () -> true) weights =
+  if capacity <= 0.0 then invalid_arg "Gps.create: capacity must be positive";
+  {
+    capacity;
+    weights;
+    real_system_empty;
+    v = 0.0;
+    updated = 0.0;
+    sum_active = 0.0;
+    backlogged = Hashtbl.create 16;
+    finish = Flow_table.create ~default:(fun _ -> 0.0);
+    departures = Ds_heap.create ~cmp:compare ();
+  }
+
+let depart t flow =
+  Hashtbl.remove t.backlogged flow;
+  t.sum_active <- t.sum_active -. Weights.get t.weights flow;
+  if Hashtbl.length t.backlogged = 0 then t.sum_active <- 0.0
+
+let rec advance t ~now =
+  if t.sum_active > 0.0 then begin
+    match Ds_heap.min_elt t.departures with
+    | Some (tag, flow)
+      when (not (Hashtbl.mem t.backlogged flow)) || tag < Flow_table.find t.finish flow ->
+      (* Stale event: the flow already departed, or received more
+         packets and will depart later (a fresher event is queued). *)
+      ignore (Ds_heap.pop_min t.departures);
+      advance t ~now
+    | Some (tag, flow) ->
+      let dt = (tag -. t.v) *. t.sum_active /. t.capacity in
+      if t.updated +. dt <= now then begin
+        ignore (Ds_heap.pop_min t.departures);
+        t.v <- tag;
+        t.updated <- t.updated +. dt;
+        depart t flow;
+        advance t ~now
+      end
+      else begin
+        t.v <- t.v +. ((now -. t.updated) *. t.capacity /. t.sum_active);
+        t.updated <- now
+      end
+    | None ->
+      (* sum_active > 0 but no events: impossible by construction. *)
+      assert false
+  end
+  else t.updated <- now
+
+let on_arrival t ~now pkt =
+  advance t ~now;
+  if Hashtbl.length t.backlogged = 0 && t.real_system_empty () then begin
+    (* New busy period (fluid AND real systems drained): the round
+       number restarts. If real packets were still queued, a reset
+       would give this arrival a smaller tag than its flow's queued
+       predecessors. *)
+    t.v <- 0.0;
+    Flow_table.clear t.finish;
+    Ds_heap.clear t.departures
+  end;
+  let flow = pkt.Packet.flow in
+  let rate = Weights.get t.weights flow in
+  let prev_finish = Flow_table.find t.finish flow in
+  let start_tag = Float.max t.v prev_finish in
+  let finish_tag = start_tag +. (float_of_int pkt.Packet.len /. rate) in
+  Flow_table.set t.finish flow finish_tag;
+  if not (Hashtbl.mem t.backlogged flow) then begin
+    Hashtbl.replace t.backlogged flow ();
+    t.sum_active <- t.sum_active +. rate
+  end;
+  Ds_heap.add t.departures (finish_tag, flow);
+  (start_tag, finish_tag)
+
+let vtime t ~now =
+  advance t ~now;
+  t.v
+
+let backlogged_flows t = Hashtbl.length t.backlogged

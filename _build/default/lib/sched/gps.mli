@@ -1,0 +1,46 @@
+(** Fluid bit-by-bit weighted round-robin (GPS) virtual time.
+
+    WFQ (a.k.a. PGPS) stamps packets with start/finish tags computed
+    against the round number [v(t)] of a hypothetical fluid server of
+    {e assumed} capacity [c] (paper eq. 3):
+
+    {v dv/dt = c / Σ_{j ∈ B(t)} r_j v}
+
+    where [B(t)] is the set of fluid-backlogged flows. This module
+    simulates that fluid system in real time: [v] advances piecewise
+    linearly between fluid departure events (a flow leaves [B] when [v]
+    reaches the flow's largest finish tag). This is the computation the
+    paper calls "computationally expensive", and its reliance on the
+    {e assumed} capacity is exactly what breaks WFQ on variable-rate
+    servers (Example 2) — the fluid clock keeps running at [c] no
+    matter how fast the real server drains packets.
+
+    [v] resets to 0 (and all per-flow tags clear) at the start of a new
+    busy period — but only when the {e real} packet system is also
+    empty ([real_system_empty]). When the actual server is slower than
+    the assumed capacity the fluid system can drain while real packets
+    (carrying old tags) are still queued; resetting then would hand
+    later packets smaller tags than earlier queued ones of the same
+    flow, breaking per-flow FIFO. With matching rates the two systems
+    share busy periods and the guard never fires, so the textbook
+    behaviour is unchanged. *)
+
+open Sfq_base
+
+type t
+
+val create : capacity:float -> ?real_system_empty:(unit -> bool) -> Weights.t -> t
+(** [real_system_empty] (default: always [true]) tells the clock
+    whether the real packet queue has drained; see above.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val on_arrival : t -> now:float -> Packet.t -> float * float
+(** Advance the fluid system to [now], register the packet's arrival in
+    it, and return the packet's [(start_tag, finish_tag)] per eqs. 1–2.
+    Calls must have non-decreasing [now]. *)
+
+val vtime : t -> now:float -> float
+(** [v(now)] (advances the fluid simulation as a side effect). *)
+
+val backlogged_flows : t -> int
+(** Size of the fluid backlogged set [B]; exposed for tests. *)

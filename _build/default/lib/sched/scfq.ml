@@ -1,0 +1,54 @@
+open Sfq_base
+
+type t = {
+  weights : Weights.t;
+  queue : Tag_queue.t;
+  finish : float Flow_table.t;
+  mutable v : float;
+}
+
+let create ?tie weights =
+  {
+    weights;
+    queue = Tag_queue.create ?tie ();
+    finish = Flow_table.create ~default:(fun _ -> 0.0);
+    v = 0.0;
+  }
+
+let enqueue t ~now:_ pkt =
+  let flow = pkt.Packet.flow in
+  let rate = Weights.get t.weights flow in
+  let start_tag = Float.max t.v (Flow_table.find t.finish flow) in
+  let finish_tag = start_tag +. (float_of_int pkt.Packet.len /. rate) in
+  Flow_table.set t.finish flow finish_tag;
+  Tag_queue.push t.queue ~tag:finish_tag pkt
+
+let dequeue t ~now:_ =
+  match Tag_queue.pop t.queue with
+  | None ->
+    (* The server found no work after a completion: busy period over.
+       Restart the clock and the per-flow tags (an empty queue while a
+       packet is still in service does not end the busy period — the
+       server only calls dequeue when it needs the next packet). *)
+    t.v <- 0.0;
+    Flow_table.clear t.finish;
+    None
+  | Some (finish_tag, p) ->
+    (* Self-clocking: v(t) is the finish tag of the packet in service. *)
+    t.v <- finish_tag;
+    Some p
+
+let peek t = match Tag_queue.peek t.queue with None -> None | Some (_, p) -> Some p
+let size t = Tag_queue.size t.queue
+let backlog t flow = Tag_queue.backlog t.queue flow
+let vtime t = t.v
+
+let sched t =
+  {
+    Sched.name = "scfq";
+    enqueue = (fun ~now pkt -> enqueue t ~now pkt);
+    dequeue = (fun ~now -> dequeue t ~now);
+    peek = (fun () -> peek t);
+    size = (fun () -> size t);
+    backlog = (fun flow -> backlog t flow);
+  }

@@ -1,0 +1,25 @@
+(** Self-Clocked Fair Queuing (Golestani).
+
+    Like WFQ, schedules in increasing finish-tag order, but replaces
+    the fluid GPS clock with a self-clock: [v(t)] is the finish tag of
+    the packet in service. Fairness measure
+    [l_f^max/r_f + l_m^max/r_m] (same as SFQ); the cost is delay — a
+    packet can wait [Σ_{n≠f} l_n^max / C] longer than under WFQ
+    (eq. 56), which §2.3 quantifies at 24.4 ms for a 64 Kb/s flow on a
+    100 Mb/s link. The [scfq-gap] experiment reproduces that number. *)
+
+open Sfq_base
+
+type t
+
+val create : ?tie:Tag_queue.tie -> Weights.t -> t
+val enqueue : t -> now:float -> Packet.t -> unit
+val dequeue : t -> now:float -> Packet.t option
+val peek : t -> Packet.t option
+val size : t -> int
+val backlog : t -> Packet.flow -> int
+
+val vtime : t -> float
+(** Current self-clock value; exposed for tests. *)
+
+val sched : t -> Sched.t

@@ -1,0 +1,32 @@
+(** Priority queue of packets keyed by a scheduling tag.
+
+    Shared engine of every tag-based discipline (SFQ, WFQ, FQS, SCFQ,
+    Virtual Clock, Delay EDD): the discipline computes a float tag per
+    packet at enqueue time; this queue orders by [(tag, arrival
+    order)]. The arrival-order tie-break makes every discipline
+    deterministic and, because all the paper's disciplines assign
+    non-decreasing tags within a flow, preserves per-flow FIFO order.
+
+    An optional [tie] comparator refines ordering {e between equal
+    tags} before the arrival-order fallback — §2.3 of the paper notes
+    that SFQ's delay guarantee is tie-break independent but that a rule
+    favouring low-throughput flows reduces their average delay. *)
+
+open Sfq_base
+
+type t
+
+type tie = Arrival | Low_rate of (Packet.flow -> float) | High_rate of (Packet.flow -> float)
+(** [Arrival]: FIFO among equal tags. [Low_rate w]/[High_rate w]:
+    among equal tags prefer the flow with the smaller/larger weight
+    under [w], then arrival order. *)
+
+val create : ?tie:tie -> unit -> t
+val push : t -> tag:float -> Packet.t -> unit
+val pop : t -> (float * Packet.t) option
+(** Smallest-tag packet and its tag. *)
+
+val peek : t -> (float * Packet.t) option
+val size : t -> int
+val backlog : t -> Packet.flow -> int
+val is_empty : t -> bool

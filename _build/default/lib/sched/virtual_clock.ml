@@ -1,0 +1,31 @@
+open Sfq_base
+
+type t = { weights : Weights.t; eat : Eat.t; queue : Tag_queue.t }
+
+let create ?tie weights = { weights; eat = Eat.create (); queue = Tag_queue.create ?tie () }
+
+let packet_rate t pkt =
+  match pkt.Packet.rate with Some r -> r | None -> Weights.get t.weights pkt.Packet.flow
+
+let enqueue t ~now pkt =
+  let rate = packet_rate t pkt in
+  let eat = Eat.on_arrival t.eat ~now ~flow:pkt.Packet.flow ~len:pkt.Packet.len ~rate in
+  let stamp = eat +. (float_of_int pkt.Packet.len /. rate) in
+  Tag_queue.push t.queue ~tag:stamp pkt
+
+let dequeue t ~now:_ =
+  match Tag_queue.pop t.queue with None -> None | Some (_, p) -> Some p
+
+let peek t = match Tag_queue.peek t.queue with None -> None | Some (_, p) -> Some p
+let size t = Tag_queue.size t.queue
+let backlog t flow = Tag_queue.backlog t.queue flow
+
+let sched t =
+  {
+    Sched.name = "virtual-clock";
+    enqueue = (fun ~now pkt -> enqueue t ~now pkt);
+    dequeue = (fun ~now -> dequeue t ~now);
+    peek = (fun () -> peek t);
+    size = (fun () -> size t);
+    backlog = (fun flow -> backlog t flow);
+  }

@@ -1,0 +1,25 @@
+(** Virtual Clock (Zhang, SIGCOMM '90).
+
+    Each packet is stamped [EAT + l/r] and packets are served in
+    increasing stamp order. Provides the same delay guarantee as WFQ
+    ([EAT + l/r + l^max/C], Theorem 9's ingredient) but is {e unfair}:
+    a flow that used idle bandwidth accumulates stamps far in the
+    future and is then locked out while competitors catch up — the
+    paper's §1.1 argument for why real-time-but-unfair disciplines
+    mistreat VBR video. Used here as a baseline and as the Guaranteed
+    Service Queue inside {!Sfq_core.Fair_airport}. *)
+
+open Sfq_base
+
+type t
+
+val create : ?tie:Tag_queue.tie -> Weights.t -> t
+val enqueue : t -> now:float -> Packet.t -> unit
+(** Packets with a [rate] override use it in place of the flow
+    weight. *)
+
+val dequeue : t -> now:float -> Packet.t option
+val peek : t -> Packet.t option
+val size : t -> int
+val backlog : t -> Packet.flow -> int
+val sched : t -> Sched.t

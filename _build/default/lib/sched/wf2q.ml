@@ -1,0 +1,100 @@
+open Sfq_util
+open Sfq_base
+
+type entry = { stag : float; ftag : float; uid : int; pkt : Packet.t }
+
+type t = {
+  gps : Gps.t;
+  pending : entry Ds_heap.t;  (* not yet eligible, ordered by start tag *)
+  eligible : entry Ds_heap.t;  (* ordered by finish tag *)
+  counts : int Flow_table.t;
+  tie : Tag_queue.tie;
+  mutable last_now : float;
+  mutable next_uid : int;
+}
+
+let tie_compare tie a b =
+  let by_rate =
+    match (tie : Tag_queue.tie) with
+    | Arrival -> 0
+    | Low_rate w -> compare (w a.pkt.Packet.flow) (w b.pkt.Packet.flow)
+    | High_rate w -> compare (w b.pkt.Packet.flow) (w a.pkt.Packet.flow)
+  in
+  if by_rate <> 0 then by_rate else compare a.uid b.uid
+
+let create ~capacity ?(tie = Tag_queue.Arrival) weights =
+  let by_start a b =
+    match compare a.stag b.stag with 0 -> tie_compare tie a b | c -> c
+  in
+  let by_finish a b =
+    match compare a.ftag b.ftag with 0 -> tie_compare tie a b | c -> c
+  in
+  let pending = Ds_heap.create ~cmp:by_start () in
+  let eligible = Ds_heap.create ~cmp:by_finish () in
+  let real_system_empty () = Ds_heap.is_empty pending && Ds_heap.is_empty eligible in
+  {
+    gps = Gps.create ~capacity ~real_system_empty weights;
+    pending;
+    eligible;
+    counts = Flow_table.create ~default:(fun _ -> 0);
+    tie;
+    last_now = 0.0;
+    next_uid = 0;
+  }
+
+let enqueue t ~now pkt =
+  t.last_now <- Float.max t.last_now now;
+  let stag, ftag = Gps.on_arrival t.gps ~now pkt in
+  t.next_uid <- t.next_uid + 1;
+  Ds_heap.add t.pending { stag; ftag; uid = t.next_uid; pkt };
+  Flow_table.set t.counts pkt.Packet.flow (Flow_table.find t.counts pkt.Packet.flow + 1)
+
+(* Move packets the fluid system has started (S <= v) to the eligible
+   heap. *)
+let promote t ~now =
+  let v = Gps.vtime t.gps ~now in
+  let rec go () =
+    match Ds_heap.min_elt t.pending with
+    | Some e when e.stag <= v +. 1e-12 ->
+      ignore (Ds_heap.pop_min t.pending);
+      Ds_heap.add t.eligible e;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let take t e =
+  Flow_table.set t.counts e.pkt.Packet.flow (Flow_table.find t.counts e.pkt.Packet.flow - 1);
+  Some e.pkt
+
+let dequeue t ~now =
+  t.last_now <- Float.max t.last_now now;
+  promote t ~now;
+  match Ds_heap.pop_min t.eligible with
+  | Some e -> take t e
+  | None -> begin
+    (* Work conservation: nothing eligible, serve the earliest start
+       tag rather than idling. *)
+    match Ds_heap.pop_min t.pending with Some e -> take t e | None -> None
+  end
+
+let peek t =
+  promote t ~now:t.last_now;
+  match Ds_heap.min_elt t.eligible with
+  | Some e -> Some e.pkt
+  | None -> begin
+    match Ds_heap.min_elt t.pending with Some e -> Some e.pkt | None -> None
+  end
+
+let size t = Ds_heap.length t.pending + Ds_heap.length t.eligible
+let backlog t flow = Flow_table.find t.counts flow
+
+let sched t =
+  {
+    Sched.name = "wf2q";
+    enqueue = (fun ~now pkt -> enqueue t ~now pkt);
+    dequeue = (fun ~now -> dequeue t ~now);
+    peek = (fun () -> peek t);
+    size = (fun () -> size t);
+    backlog = (fun flow -> backlog t flow);
+  }

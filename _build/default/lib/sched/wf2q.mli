@@ -1,0 +1,34 @@
+(** Worst-case Fair Weighted Fair Queuing (WF²Q, Bennett & Zhang,
+    INFOCOM '96) — the contemporaneous repair of WFQ, included as the
+    strongest GPS-referencing baseline.
+
+    Like WFQ it stamps packets against the fluid GPS virtual time and
+    serves smallest finish tag first, but only among {e eligible}
+    packets — those whose start tag the fluid system has reached
+    ([S <= v(now)]), i.e. packets GPS itself would have begun serving.
+    Eligibility removes WFQ's ahead-of-fluid bursts (the source of
+    Example 1's factor-two unfairness) at the price of keeping the
+    expensive GPS clock, and it inherits WFQ's assumed-capacity blind
+    spot on variable-rate servers — which is why the paper's SFQ, not
+    WF²Q, is the variable-rate answer. The Table-1 workloads in this
+    repository exercise exactly that contrast.
+
+    If no packet is eligible at dequeue time the server must not idle
+    (work conservation): the packet with the smallest start tag is
+    served instead. *)
+
+open Sfq_base
+
+type t
+
+val create : capacity:float -> ?tie:Tag_queue.tie -> Weights.t -> t
+val enqueue : t -> now:float -> Packet.t -> unit
+val dequeue : t -> now:float -> Packet.t option
+val peek : t -> Packet.t option
+(** Best-effort: evaluated at the last time the scheduler saw; exact
+    whenever [peek] is called at the same instant as the next
+    [dequeue] (the {!Sfq_base.Sched} contract). *)
+
+val size : t -> int
+val backlog : t -> Packet.flow -> int
+val sched : t -> Sched.t

@@ -1,0 +1,113 @@
+open Sfq_base
+
+(* Practical clock: dv/dt = capacity / Σ weights of really-backlogged
+   flows; frozen while the queue is empty, reset when the server polls
+   an empty queue (end of the real busy period). *)
+type real_clock = {
+  capacity : float;
+  weights : Weights.t;
+  mutable v : float;
+  mutable updated : float;
+  mutable sum : float;
+  counts : int Flow_table.t;
+  finish : float Flow_table.t;
+}
+
+type clock = Fluid of Gps.t | Real of real_clock
+
+type t = { clock : clock; queue : Tag_queue.t }
+
+let create ~capacity ?(clock = `Fluid) ?tie weights =
+  let queue = Tag_queue.create ?tie () in
+  let clock =
+    match clock with
+    | `Fluid ->
+      Fluid
+        (Gps.create ~capacity
+           ~real_system_empty:(fun () -> Tag_queue.is_empty queue)
+           weights)
+    | `Real ->
+      if capacity <= 0.0 then invalid_arg "Wfq.create: capacity must be positive";
+      Real
+        {
+          capacity;
+          weights;
+          v = 0.0;
+          updated = 0.0;
+          sum = 0.0;
+          counts = Flow_table.create ~default:(fun _ -> 0);
+          finish = Flow_table.create ~default:(fun _ -> 0.0);
+        }
+  in
+  { clock; queue }
+
+let advance_real rc ~now =
+  if rc.sum > 0.0 then rc.v <- rc.v +. ((now -. rc.updated) *. rc.capacity /. rc.sum);
+  rc.updated <- now
+
+let enqueue t ~now pkt =
+  let finish_tag =
+    match t.clock with
+    | Fluid gps ->
+      let _start_tag, finish_tag = Gps.on_arrival gps ~now pkt in
+      finish_tag
+    | Real rc ->
+      advance_real rc ~now;
+      let flow = pkt.Packet.flow in
+      let rate = Weights.get rc.weights flow in
+      let start_tag = Float.max rc.v (Flow_table.find rc.finish flow) in
+      let finish_tag = start_tag +. (float_of_int pkt.Packet.len /. rate) in
+      Flow_table.set rc.finish flow finish_tag;
+      let n = Flow_table.find rc.counts flow in
+      Flow_table.set rc.counts flow (n + 1);
+      if n = 0 then rc.sum <- rc.sum +. rate;
+      finish_tag
+  in
+  Tag_queue.push t.queue ~tag:finish_tag pkt
+
+let dequeue t ~now =
+  match Tag_queue.pop t.queue with
+  | None ->
+    (match t.clock with
+    | Fluid _ -> () (* the fluid system resets itself per fluid busy period *)
+    | Real rc ->
+      (* Real busy period over: restart the clock. *)
+      advance_real rc ~now;
+      rc.v <- 0.0;
+      rc.updated <- now;
+      Flow_table.clear rc.finish);
+    None
+  | Some (_, p) ->
+    (match t.clock with
+    | Fluid _ -> ()
+    | Real rc ->
+      advance_real rc ~now;
+      let flow = p.Packet.flow in
+      let n = Flow_table.find rc.counts flow - 1 in
+      Flow_table.set rc.counts flow n;
+      if n = 0 then begin
+        rc.sum <- rc.sum -. Weights.get rc.weights flow;
+        if rc.sum < 1e-9 then rc.sum <- 0.0
+      end);
+    Some p
+
+let peek t = match Tag_queue.peek t.queue with None -> None | Some (_, p) -> Some p
+let size t = Tag_queue.size t.queue
+let backlog t flow = Tag_queue.backlog t.queue flow
+
+let vtime t ~now =
+  match t.clock with
+  | Fluid gps -> Gps.vtime gps ~now
+  | Real rc ->
+    advance_real rc ~now;
+    rc.v
+
+let sched t =
+  {
+    Sched.name = "wfq";
+    enqueue = (fun ~now pkt -> enqueue t ~now pkt);
+    dequeue = (fun ~now -> dequeue t ~now);
+    peek = (fun () -> peek t);
+    size = (fun () -> size t);
+    backlog = (fun flow -> backlog t flow);
+  }

@@ -1,0 +1,48 @@
+(** Weighted Fair Queuing (Demers–Keshav–Shenker), a.k.a. PGPS.
+
+    Packets are stamped with start/finish tags against the virtual time
+    of an {e assumed} constant capacity and transmitted in increasing
+    finish-tag order. Two clock implementations are provided:
+
+    - [`Fluid] (default): the textbook definition — eq. 3 over the
+      hypothetical bit-by-bit round-robin (GPS) system, simulated
+      exactly (see {!Gps});
+    - [`Real]: the practical implementation found in routers and in the
+      REAL simulator the paper used — the round number advances at
+      [C / Σ_{j ∈ B(t)} r_j] over the set of {e really} backlogged
+      flows, and resets when the real server idles.
+
+    The two agree whenever the actual service rate matches the assumed
+    capacity. They diverge on variable-rate servers — which is the
+    paper's point. Under [`Real], a slow actual server lets the clock
+    race ahead of the standing queue's tags, so a newly active flow
+    (tagged at the current clock) waits behind the entire old backlog:
+    the Fig. 1(b) starvation. Both clocks reproduce Example 2.
+
+    What the paper establishes about WFQ, all reproduced by the
+    experiment suite: fairness at least a factor 2 from the lower bound
+    (Example 1); unfairness on variable-rate servers (Example 2,
+    Fig. 1(b)); delay inversely coupled to the reserved rate
+    (Fig. 2). *)
+
+open Sfq_base
+
+type t
+
+val create :
+  capacity:float -> ?clock:[ `Fluid | `Real ] -> ?tie:Tag_queue.tie -> Weights.t -> t
+(** [capacity] is the assumed link rate in bits/s used by the virtual
+    clock — deliberately {e not} necessarily the real server's rate. *)
+
+val enqueue : t -> now:float -> Packet.t -> unit
+val dequeue : t -> now:float -> Packet.t option
+val peek : t -> Packet.t option
+val size : t -> int
+val backlog : t -> Packet.flow -> int
+
+val vtime : t -> now:float -> float
+(** Virtual time at [now] (advances the clock as a side effect);
+    exposed for tests (Example 2 checks [v(1) = C] under both
+    clocks). *)
+
+val sched : t -> Sched.t

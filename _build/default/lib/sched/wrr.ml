@@ -1,0 +1,101 @@
+open Sfq_base
+
+type t = {
+  credits : Packet.flow -> int;
+  queues : Flow_queues.t;
+  active : Packet.flow Queue.t;
+  in_active : bool Flow_table.t;
+  mutable current : (Packet.flow * int) option;  (* flow, remaining credits *)
+}
+
+let create ?credits weights =
+  let credits =
+    match credits with
+    | Some f -> f
+    | None -> fun flow -> Stdlib.max 1 (int_of_float (Float.ceil (Weights.get weights flow)))
+  in
+  {
+    credits;
+    queues = Flow_queues.create ();
+    active = Queue.create ();
+    in_active = Flow_table.create ~default:(fun _ -> false);
+    current = None;
+  }
+
+let enqueue t ~now:_ pkt =
+  let f = pkt.Packet.flow in
+  Flow_queues.push t.queues pkt;
+  let is_current = match t.current with Some (c, _) -> c = f | None -> false in
+  if (not (Flow_table.find t.in_active f)) && not is_current then begin
+    Queue.push f t.active;
+    Flow_table.set t.in_active f true
+  end
+
+let rec dequeue t ~now =
+  match t.current with
+  | Some (f, credits) when credits > 0 -> begin
+    match Flow_queues.pop t.queues f with
+    | Some p ->
+      if Flow_queues.flow_is_empty t.queues f then t.current <- None
+      else t.current <- Some (f, credits - 1);
+      Some p
+    | None ->
+      t.current <- None;
+      dequeue t ~now
+  end
+  | Some (f, _) ->
+    (* Credits exhausted: back of the line if still backlogged. *)
+    if not (Flow_queues.flow_is_empty t.queues f) then begin
+      Queue.push f t.active;
+      Flow_table.set t.in_active f true
+    end;
+    t.current <- None;
+    dequeue t ~now
+  | None -> begin
+    match Queue.take_opt t.active with
+    | None -> None
+    | Some f ->
+      Flow_table.set t.in_active f false;
+      if Flow_queues.flow_is_empty t.queues f then dequeue t ~now
+      else begin
+        t.current <- Some (f, t.credits f);
+        dequeue t ~now
+      end
+  end
+
+let peek t =
+  (* The next packet is always the head of some flow's FIFO; replaying
+     the cursor decisions on copies finds which one. *)
+  let active = Queue.copy t.active in
+  let rec go current =
+    match current with
+    | Some (f, credits) when credits > 0 -> begin
+      match Flow_queues.head t.queues f with
+      | Some p -> Some p
+      | None -> go None
+    end
+    | Some (f, _) ->
+      if not (Flow_queues.flow_is_empty t.queues f) then Queue.push f active;
+      go None
+    | None -> begin
+      match Queue.take_opt active with
+      | None -> None
+      | Some f ->
+        if Flow_queues.flow_is_empty t.queues f then go None
+        else go (Some (f, t.credits f))
+    end
+  in
+  go t.current
+
+let size t = Flow_queues.size t.queues
+let backlog t flow = Flow_queues.backlog t.queues flow
+
+let sched t =
+  {
+    Sched.name = "wrr";
+    enqueue = (fun ~now pkt -> enqueue t ~now pkt);
+    dequeue = (fun ~now -> dequeue t ~now);
+    peek = (fun () -> peek t);
+    size = (fun () -> size t);
+    backlog = (fun flow -> backlog t flow);
+  }

@@ -1,0 +1,23 @@
+(** Weighted Round Robin over packets.
+
+    Each active flow may transmit up to [credits f] packets per round,
+    in round-robin order. With equal-length packets this is the server
+    the paper uses to lower-bound DRR's maximum delay (§1.2, limitation
+    2); with variable-length packets it is unfair — which is exactly
+    why DRR exists. Kept as a baseline and as a teaching foil. *)
+
+open Sfq_base
+
+type t
+
+val create : ?credits:(Packet.flow -> int) -> Weights.t -> t
+(** [credits] is the number of packets flow [f] may send per round
+    (must be >= 1); the default rounds the flow's weight up to an
+    integer. *)
+
+val enqueue : t -> now:float -> Packet.t -> unit
+val dequeue : t -> now:float -> Packet.t option
+val peek : t -> Packet.t option
+val size : t -> int
+val backlog : t -> Packet.flow -> int
+val sched : t -> Sched.t

@@ -1,0 +1,1 @@
+lib/util/ds_heap.ml: Array List

@@ -1,0 +1,1 @@
+lib/util/running_min.mli:

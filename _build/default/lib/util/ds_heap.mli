@@ -1,0 +1,41 @@
+(** Imperative binary min-heap.
+
+    The heap is parameterized by an explicit comparison function supplied
+    at creation time, so ordering keys that combine a tag with an arrival
+    sequence number (the deterministic tie-break used by every scheduler
+    in this library) need no wrapper type. All operations are the
+    standard array-backed sift-up/sift-down: [add] and [pop_min] are
+    O(log n), [min_elt] is O(1). *)
+
+type 'a t
+
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap ordered by [cmp]. [capacity] is an
+    initial size hint for the backing array (default 16). *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** [add h x] inserts [x]; the backing array grows as needed. *)
+
+val min_elt : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop_min : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_min_exn : 'a t -> 'a
+(** Like {!pop_min}. @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+(** Remove every element (the backing array is retained). *)
+
+val iter : 'a t -> f:('a -> unit) -> unit
+(** Apply [f] to every element in unspecified order. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** All elements, smallest first. Does not modify the heap; costs
+    O(n log n). *)

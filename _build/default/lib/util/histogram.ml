@@ -1,0 +1,39 @@
+type t = { lo : float; hi : float; counts : int array; mutable total : int }
+
+let create ~lo ~hi ~bins =
+  if lo >= hi || bins <= 0 then invalid_arg "Histogram.create: need lo < hi and bins > 0";
+  { lo; hi; counts = Array.make bins 0; total = 0 }
+
+let nbins t = Array.length t.counts
+
+let add t x =
+  let bins = nbins t in
+  let idx =
+    if x < t.lo then 0
+    else if x >= t.hi then bins - 1
+    else begin
+      let i = int_of_float (float_of_int bins *. (x -. t.lo) /. (t.hi -. t.lo)) in
+      Stdlib.min i (bins - 1)
+    end
+  in
+  t.counts.(idx) <- t.counts.(idx) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+let bin_counts t = Array.copy t.counts
+
+let bin_bounds t i =
+  if i < 0 || i >= nbins t then invalid_arg "Histogram.bin_bounds: out of range";
+  let w = (t.hi -. t.lo) /. float_of_int (nbins t) in
+  (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w))
+
+let render ?(width = 40) t =
+  let peak = Array.fold_left Stdlib.max 1 t.counts in
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i c ->
+      let a, b = bin_bounds t i in
+      let bar = String.make (c * width / peak) '#' in
+      Buffer.add_string buf (Printf.sprintf "%10.4f-%10.4f %7d %s\n" a b c bar))
+    t.counts;
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Fixed-bin histograms with ASCII rendering.
+
+    Used by experiment reports to show delay distributions (what the
+    paper's averages and maxima summarize) without any plotting
+    dependency. Values below/above the range land in saturating
+    first/last bins. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** @raise Invalid_argument unless [lo < hi] and [bins > 0]. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val bin_counts : t -> int array
+val bin_bounds : t -> int -> float * float
+(** Bounds of bin [i]. @raise Invalid_argument out of range. *)
+
+val render : ?width:int -> t -> string
+(** One line per bin: range, count, and a proportional bar. *)

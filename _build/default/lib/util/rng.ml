@@ -1,0 +1,53 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = Int64.of_int seed }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = bits64 t }
+
+(* 53 uniform mantissa bits, in [0,1). *)
+let unit_float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float t bound =
+  if bound <= 0.0 then invalid_arg "Rng.float: bound must be positive";
+  unit_float t *. bound
+
+let uniform t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.uniform: hi < lo";
+  lo +. (unit_float t *. (hi -. lo))
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Modulo bias is below 2^-40 for the bounds used here. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (bits64 t) 1) (Int64.of_int bound))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1.0 -. unit_float t in
+  -.mean *. log u
+
+let gaussian t ~mu ~sigma =
+  let u1 = 1.0 -. unit_float t in
+  let u2 = unit_float t in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let lognormal t ~mu ~sigma = exp (gaussian t ~mu ~sigma)
+
+let laplace t ~mu ~b =
+  let u = unit_float t -. 0.5 in
+  let sign = if u < 0.0 then -1.0 else 1.0 in
+  mu -. (b *. sign *. log (1.0 -. (2.0 *. Float.abs u)))

@@ -1,0 +1,53 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every stochastic component of the library (Poisson sources, MPEG
+    frame sizes, FC/EBF rate processes, property-test workload
+    generators) takes an explicit [Rng.t] so that simulations are
+    reproducible from a seed, independently of the global [Random]
+    state. Splitmix64 is small, fast, passes BigCrush, and — unlike
+    [Random.State] — has a documented, stable algorithm, so recorded
+    experiment outputs stay valid across OCaml releases. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split t] is a new generator whose stream is independent of the
+    continuation of [t]'s stream (it is seeded from [t]'s next
+    output). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. [bound] must be
+    positive. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [\[lo, hi)]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be
+    positive. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean (inverse-CDF
+    method). *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normally distributed (Box–Muller; one draw per call, the antithetic
+    variate is discarded for simplicity). *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** exp of a Gaussian with parameters [mu], [sigma] (parameters of the
+    underlying normal, not of the lognormal itself). *)
+
+val laplace : t -> mu:float -> b:float -> float
+(** Laplace (double-exponential) with location [mu] and scale [b]; used
+    by the EBF rate process, whose deviation tail must be exponentially
+    bounded by construction. *)

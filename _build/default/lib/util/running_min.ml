@@ -1,0 +1,21 @@
+type t = {
+  mutable min_v : float;
+  mutable last : float;
+  mutable max_drawdown : float;
+  mutable seen : bool;
+}
+
+let create () = { min_v = infinity; last = nan; max_drawdown = 0.0; seen = false }
+
+let observe t x =
+  t.seen <- true;
+  t.last <- x;
+  if x < t.min_v then t.min_v <- x;
+  let dd = x -. t.min_v in
+  if dd > t.max_drawdown then t.max_drawdown <- dd
+
+let running_min t = t.min_v
+let drawdown t = t.max_drawdown
+
+let headroom t ~budget =
+  if not t.seen then infinity else budget -. (t.last -. t.min_v)

@@ -1,0 +1,26 @@
+(** Drawdown tracker for a real-valued process observed at increasing
+    sample points.
+
+    Feed values of a process [X(t)] (in order); [drawdown] is
+    [max_{t1 <= t2} (X(t2) - X(t1))] over everything observed so far,
+    i.e. the maximum rise above the running minimum. The FC rate
+    process uses this with [X(t) = C*t - W(t)] to enforce the
+    Fluctuation Constrained property (Definition 1 of the paper) by
+    construction: Definition 1 holds iff the drawdown of [X] never
+    exceeds [delta]. *)
+
+type t
+
+val create : unit -> t
+val observe : t -> float -> unit
+val running_min : t -> float
+(** +inf before the first observation. *)
+
+val drawdown : t -> float
+(** 0 before the first observation. *)
+
+val headroom : t -> budget:float -> float
+(** [headroom t ~budget] is how much the process may still rise above
+    its current value before the drawdown would exceed [budget]:
+    [budget - (last - running_min)]. +inf before the first
+    observation. *)

@@ -1,0 +1,39 @@
+(** Streaming and batch descriptive statistics.
+
+    {!t} is a Welford accumulator: numerically stable running mean and
+    variance plus min/max, O(1) per observation, no sample storage. The
+    batch helpers ([percentile], [median]) operate on explicit float
+    arrays and are used where order statistics are needed (delay
+    distributions). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 with fewer than two observations. *)
+
+val stddev : t -> float
+val min_value : t -> float
+(** +inf when empty. *)
+
+val max_value : t -> float
+(** -inf when empty. *)
+
+val merge : t -> t -> t
+(** Accumulator equivalent to having observed both streams. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]]; linear interpolation
+    between closest ranks. Sorts a copy; the input is not modified.
+    @raise Invalid_argument on an empty array or [p] outside range. *)
+
+val median : float array -> float
+
+val mean_of : float array -> float
+(** @raise Invalid_argument on an empty array. *)

@@ -1,0 +1,32 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row =
+  let ncols = List.length t.headers in
+  let n = List.length row in
+  if n > ncols then invalid_arg "Text_table.add_row: too many cells";
+  let padded = row @ List.init (ncols - n) (fun _ -> "") in
+  t.rows <- padded :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let width col =
+    List.fold_left
+      (fun acc row -> Stdlib.max acc (String.length (List.nth row col)))
+      0 all
+  in
+  let widths = List.init ncols width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line row =
+    String.concat "  " (List.map2 pad row widths) ^ "\n"
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) ^ "\n" in
+  line t.headers ^ sep ^ String.concat "" (List.map line rows)
+
+let print t = print_string (render t)
+
+let cell_f ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
+let cell_pct x = Printf.sprintf "%.1f%%" (100.0 *. x)

@@ -1,0 +1,29 @@
+(** Minimal fixed-width text tables for experiment reports.
+
+    The bench harness prints paper-vs-measured tables; this keeps the
+    formatting in one place. Columns are sized to their widest cell;
+    all output is plain ASCII so it diffs cleanly in
+    [bench_output.txt]. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer
+    rows raise [Invalid_argument]. *)
+
+val render : t -> string
+(** The full table, including a header separator line, newline
+    terminated. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Format a float cell ([decimals] defaults to 3). *)
+
+val cell_pct : float -> string
+(** Format a ratio as a percentage with one decimal, e.g. [0.53] ->
+    ["53.0%"]. *)

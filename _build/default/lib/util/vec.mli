@@ -1,0 +1,25 @@
+(** Growable array (OCaml 5.1 predates [Dynarray]).
+
+    Used for trace records and rate-process segments, where millions of
+    small records would stress the GC as list cells and need random
+    access for binary search. Amortized O(1) [push]. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument on out-of-bounds. *)
+
+val last : 'a t -> 'a option
+val iter : 'a t -> f:('a -> unit) -> unit
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
+val clear : 'a t -> unit
+
+val binary_search_last_le : 'a t -> key:('a -> float) -> float -> int option
+(** Index of the last element whose [key] is [<= x], assuming keys are
+    non-decreasing; [None] if even the first exceeds [x]. *)

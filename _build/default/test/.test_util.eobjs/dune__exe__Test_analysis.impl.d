@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Csv_out Fairness Filename Float List Packet Printf Rate_process Server Service_log Sfq_analysis Sfq_base Sfq_netsim Sfq_sched Sfq_util Sim Sys

@@ -1,0 +1,1 @@
+test/test_base.ml: Alcotest Flow_table List Packet Queue Sched Sfq_base String Weights

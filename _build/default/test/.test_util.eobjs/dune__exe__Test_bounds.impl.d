@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Bounds Sfq_core

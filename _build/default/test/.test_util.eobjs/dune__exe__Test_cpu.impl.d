@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Cpu_sched Float Hashtbl Rate_process Sfq_cpu Sfq_netsim Sfq_util Sim Stdlib

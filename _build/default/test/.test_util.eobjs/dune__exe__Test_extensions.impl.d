@@ -1,0 +1,1 @@
+test/test_extensions.ml: Admission Alcotest Array Float Gen Hashtbl List Packet QCheck QCheck_alcotest Sched Sfq_base Sfq_core Sfq_experiments Sfq_netsim Sfq_sched Shaper Sim Source Weights Wf2q Wfq

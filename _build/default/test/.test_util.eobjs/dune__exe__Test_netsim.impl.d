@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Float Hashtbl List Mpeg Packet QCheck QCheck_alcotest Rate_process Rng Sched Server Sfq_base Sfq_netsim Sfq_sched Sfq_util Sim Source Tandem Tcp Trace

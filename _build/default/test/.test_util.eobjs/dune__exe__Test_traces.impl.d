@@ -1,0 +1,1 @@
+test/test_traces.ml: Alcotest Drr Fifo Fqs List Packet Scfq Sched Sfq_base Sfq_core Sfq_sched Virtual_clock Weights Wf2q Wfq Wrr

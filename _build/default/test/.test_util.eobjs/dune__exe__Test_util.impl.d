@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ds_heap Float Gen Histogram List Printf QCheck QCheck_alcotest Rng Running_min Sfq_util Stats String Text_table Vec

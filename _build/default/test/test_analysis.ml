@@ -1,0 +1,228 @@
+(* Tests for the measurement layer: service logs, busy intervals,
+   interval intersection and the empirical fairness index. *)
+
+open Sfq_base
+open Sfq_netsim
+open Sfq_analysis
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let pkt ~flow ~seq ~len () = Packet.make ~flow ~seq ~len ~born:0.0 ()
+let fifo () = Sfq_sched.Fifo.sched (Sfq_sched.Fifo.create ())
+
+(* A constant-rate FIFO server with a service log. *)
+let logged_server sim rate =
+  let server = Server.create sim ~name:"s" ~rate:(Rate_process.constant rate) ~sched:(fifo ()) () in
+  (server, Service_log.attach server)
+
+(* ------------------------------------------------------------------ *)
+(* Service_log                                                          *)
+
+let test_completions_recorded () =
+  let sim = Sim.create () in
+  let server, log = logged_server sim 100.0 in
+  Sim.schedule sim ~at:0.0 (fun () ->
+      Server.inject server (pkt ~flow:1 ~seq:1 ~len:100 ());
+      Server.inject server (pkt ~flow:2 ~seq:1 ~len:50 ()));
+  Sim.run_all sim ();
+  check_int "two completions" 2 (Sfq_util.Vec.length (Service_log.completions log));
+  Alcotest.(check (list int)) "flows" [ 1; 2 ] (Service_log.flows log)
+
+let test_busy_intervals () =
+  let sim = Sim.create () in
+  let server, log = logged_server sim 100.0 in
+  Sim.schedule sim ~at:0.0 (fun () -> Server.inject server (pkt ~flow:1 ~seq:1 ~len:100 ()));
+  Sim.schedule sim ~at:5.0 (fun () -> Server.inject server (pkt ~flow:1 ~seq:2 ~len:100 ()));
+  Sim.run_all sim ();
+  (match Service_log.busy_intervals log 1 ~until:10.0 with
+  | [ (a1, b1); (a2, b2) ] ->
+    check_float "first opens" 0.0 a1;
+    check_float "first closes" 1.0 b1;
+    check_float "second opens" 5.0 a2;
+    check_float "second closes" 6.0 b2
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 intervals, got %d" (List.length l)))
+
+let test_busy_interval_still_open () =
+  let sim = Sim.create () in
+  let server, log = logged_server sim 1.0 in
+  Sim.schedule sim ~at:0.0 (fun () -> Server.inject server (pkt ~flow:1 ~seq:1 ~len:100 ()));
+  Sim.run sim ~until:10.0;
+  (match Service_log.busy_intervals log 1 ~until:10.0 with
+  | [ (0.0, 10.0) ] -> ()
+  | _ -> Alcotest.fail "expected one open interval closed at until")
+
+let test_service_window_semantics () =
+  (* A packet counts only if it starts AND finishes in the window. *)
+  let sim = Sim.create () in
+  let server, log = logged_server sim 100.0 in
+  Sim.schedule sim ~at:0.0 (fun () ->
+      Server.inject server (pkt ~flow:1 ~seq:1 ~len:100 ());
+      (* served [0,1] *)
+      Server.inject server (pkt ~flow:1 ~seq:2 ~len:100 ()) (* served [1,2] *));
+  Sim.run_all sim ();
+  check_float "full window" 200.0 (Service_log.service log 1 ~t1:0.0 ~t2:2.0);
+  check_float "second only" 100.0 (Service_log.service log 1 ~t1:0.5 ~t2:2.0);
+  check_float "neither (split)" 0.0 (Service_log.service log 1 ~t1:0.5 ~t2:1.5)
+
+(* ------------------------------------------------------------------ *)
+(* Fairness                                                             *)
+
+let test_intersect_intervals () =
+  let a = [ (0.0, 2.0); (4.0, 6.0) ] and b = [ (1.0, 5.0) ] in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "intersection"
+    [ (1.0, 2.0); (4.0, 5.0) ]
+    (Fairness.intersect_intervals a b);
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "disjoint" [] (Fairness.intersect_intervals [ (0.0, 1.0) ] [ (2.0, 3.0) ])
+
+let test_exact_h_alternating_is_tight () =
+  (* FIFO alternating equal packets: max gap is one packet of
+     normalized service. *)
+  let sim = Sim.create () in
+  let server, log = logged_server sim 100.0 in
+  Sim.schedule sim ~at:0.0 (fun () ->
+      for seq = 1 to 5 do
+        Server.inject server (pkt ~flow:1 ~seq ~len:100 ());
+        Server.inject server (pkt ~flow:2 ~seq ~len:100 ())
+      done);
+  Sim.run_all sim ();
+  let h = Fairness.exact_h log ~f:1 ~m:2 ~r_f:1.0 ~r_m:1.0 ~until:(Sim.now sim) in
+  check_float "one packet" 100.0 h
+
+let test_exact_h_starved_flow () =
+  (* FIFO serving all of flow 1 then all of flow 2: H = full backlog. *)
+  let sim = Sim.create () in
+  let server, log = logged_server sim 100.0 in
+  Sim.schedule sim ~at:0.0 (fun () ->
+      for seq = 1 to 4 do
+        Server.inject server (pkt ~flow:1 ~seq ~len:100 ())
+      done;
+      for seq = 1 to 4 do
+        Server.inject server (pkt ~flow:2 ~seq ~len:100 ())
+      done);
+  Sim.run_all sim ();
+  let h = Fairness.exact_h log ~f:1 ~m:2 ~r_f:1.0 ~r_m:1.0 ~until:(Sim.now sim) in
+  check_float "four packets" 400.0 h
+
+let test_exact_h_no_overlap_is_zero () =
+  let sim = Sim.create () in
+  let server, log = logged_server sim 100.0 in
+  Sim.schedule sim ~at:0.0 (fun () -> Server.inject server (pkt ~flow:1 ~seq:1 ~len:100 ()));
+  Sim.schedule sim ~at:10.0 (fun () -> Server.inject server (pkt ~flow:2 ~seq:1 ~len:100 ()));
+  Sim.run_all sim ();
+  check_float "never both backlogged" 0.0
+    (Fairness.exact_h log ~f:1 ~m:2 ~r_f:1.0 ~r_m:1.0 ~until:(Sim.now sim))
+
+let test_approx_close_to_exact () =
+  let sim = Sim.create () in
+  let server, log = logged_server sim 100.0 in
+  Sim.schedule sim ~at:0.0 (fun () ->
+      for seq = 1 to 20 do
+        Server.inject server (pkt ~flow:1 ~seq ~len:100 ());
+        Server.inject server (pkt ~flow:2 ~seq ~len:50 ())
+      done);
+  Sim.run_all sim ();
+  let exact = Fairness.exact_h log ~f:1 ~m:2 ~r_f:1.0 ~r_m:1.0 ~until:(Sim.now sim) in
+  let approx = Fairness.approx_h log ~f:1 ~m:2 ~r_f:1.0 ~r_m:1.0 ~until:(Sim.now sim) in
+  (* The streaming index may over- or under-shoot by at most one packet
+     of each flow. *)
+  check_bool "within one packet" true (Float.abs (exact -. approx) <= 150.0 +. 1e-9)
+
+let test_weights_scale_h () =
+  (* Doubling both rates halves the normalized index. *)
+  let run r =
+    let sim = Sim.create () in
+    let server, log = logged_server sim 100.0 in
+    Sim.schedule sim ~at:0.0 (fun () ->
+        for seq = 1 to 4 do
+          Server.inject server (pkt ~flow:1 ~seq ~len:100 ())
+        done;
+        for seq = 1 to 4 do
+          Server.inject server (pkt ~flow:2 ~seq ~len:100 ())
+        done);
+    Sim.run_all sim ();
+    Fairness.exact_h log ~f:1 ~m:2 ~r_f:r ~r_m:r ~until:(Sim.now sim)
+  in
+  check_float "halved" (run 1.0 /. 2.0) (run 2.0)
+
+let test_throughput () =
+  let sim = Sim.create () in
+  let server, log = logged_server sim 100.0 in
+  Sim.schedule sim ~at:0.0 (fun () ->
+      for seq = 1 to 10 do
+        Server.inject server (pkt ~flow:1 ~seq ~len:100 ())
+      done);
+  Sim.run_all sim ();
+  check_float "full rate" 100.0 (Fairness.throughput log 1 ~t1:0.0 ~t2:10.0)
+
+let test_max_pairwise () =
+  let sim = Sim.create () in
+  let server, log = logged_server sim 100.0 in
+  Sim.schedule sim ~at:0.0 (fun () ->
+      for seq = 1 to 3 do
+        List.iter (fun flow -> Server.inject server (pkt ~flow ~seq ~len:100 ())) [ 1; 2; 3 ]
+      done);
+  Sim.run_all sim ();
+  let rates = [ (1, 1.0); (2, 1.0); (3, 1.0) ] in
+  let hmax = Fairness.max_pairwise_h log ~rates ~until:(Sim.now sim) ~exact:true in
+  let h12 = Fairness.exact_h log ~f:1 ~m:2 ~r_f:1.0 ~r_m:1.0 ~until:(Sim.now sim) in
+  check_bool "max dominates" true (hmax >= h12)
+
+(* ------------------------------------------------------------------ *)
+(* Csv_out                                                              *)
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Csv_out.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv_out.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv_out.escape "a\"b")
+
+let test_csv_to_string () =
+  Alcotest.(check string) "document" "x,y\n1,2\n3,4\n"
+    (Csv_out.to_string ~header:[ "x"; "y" ] ~rows:[ [ "1"; "2" ]; [ "3"; "4" ] ])
+
+let test_csv_of_series () =
+  Alcotest.(check (list (list string))) "series"
+    [ [ "0.5"; "2" ]; [ "1"; "3" ] ]
+    (Csv_out.of_series [ (0.5, 2.0); (1.0, 3.0) ])
+
+let test_csv_write_roundtrip () =
+  let path = Filename.temp_file "sfq" ".csv" in
+  Csv_out.write ~path ~header:[ "a" ] ~rows:[ [ "1" ] ];
+  let ic = open_in path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "roundtrip" "a\n1\n" content
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "service_log",
+        [
+          Alcotest.test_case "completions" `Quick test_completions_recorded;
+          Alcotest.test_case "busy intervals" `Quick test_busy_intervals;
+          Alcotest.test_case "open interval" `Quick test_busy_interval_still_open;
+          Alcotest.test_case "window semantics" `Quick test_service_window_semantics;
+        ] );
+      ( "fairness",
+        [
+          Alcotest.test_case "intersect" `Quick test_intersect_intervals;
+          Alcotest.test_case "alternating tight" `Quick test_exact_h_alternating_is_tight;
+          Alcotest.test_case "starved flow" `Quick test_exact_h_starved_flow;
+          Alcotest.test_case "no overlap" `Quick test_exact_h_no_overlap_is_zero;
+          Alcotest.test_case "approx vs exact" `Quick test_approx_close_to_exact;
+          Alcotest.test_case "weights scale" `Quick test_weights_scale_h;
+          Alcotest.test_case "throughput" `Quick test_throughput;
+          Alcotest.test_case "max pairwise" `Quick test_max_pairwise;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "escape" `Quick test_csv_escape;
+          Alcotest.test_case "to_string" `Quick test_csv_to_string;
+          Alcotest.test_case "of_series" `Quick test_csv_of_series;
+          Alcotest.test_case "write roundtrip" `Quick test_csv_write_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+(* Tests for the closed-form bound calculators against hand-computed
+   numbers, including every numeric example quoted in the paper. *)
+
+open Sfq_core
+
+let close ?(eps = 1e-9) name expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+(* 200-byte packet, the paper's running example. *)
+let l200 = 1600.0
+let mbps x = x *. 1.0e6
+let kbps x = x *. 1.0e3
+
+(* ------------------------------------------------------------------ *)
+(* Fairness measures (Table 1)                                          *)
+
+let test_h_lower_bound () =
+  (* Equal flows: 1/2 (l/r + l/r) = l/r. *)
+  close "equal flows" 10.0 (Bounds.h_lower_bound ~lmax_f:10.0 ~r_f:1.0 ~lmax_m:10.0 ~r_m:1.0);
+  close "asymmetric" 7.5 (Bounds.h_lower_bound ~lmax_f:10.0 ~r_f:1.0 ~lmax_m:10.0 ~r_m:2.0)
+
+let test_h_sfq_twice_lower () =
+  let lb = Bounds.h_lower_bound ~lmax_f:5.0 ~r_f:2.0 ~lmax_m:7.0 ~r_m:3.0 in
+  close "2x lower bound" (2.0 *. lb) (Bounds.h_sfq ~lmax_f:5.0 ~r_f:2.0 ~lmax_m:7.0 ~r_m:3.0)
+
+let test_h_scfq_equals_sfq () =
+  close "same measure"
+    (Bounds.h_sfq ~lmax_f:5.0 ~r_f:2.0 ~lmax_m:7.0 ~r_m:3.0)
+    (Bounds.h_scfq ~lmax_f:5.0 ~r_f:2.0 ~lmax_m:7.0 ~r_m:3.0)
+
+let test_h_drr_paper_example () =
+  (* §1.2: r_f = r_m = 100, l = 1: DRR 1.02 vs SCFQ 0.02 — 50x. *)
+  let drr = Bounds.h_drr ~lmax_f:1.0 ~r_f:100.0 ~lmax_m:1.0 ~r_m:100.0 in
+  let scfq = Bounds.h_scfq ~lmax_f:1.0 ~r_f:100.0 ~lmax_m:1.0 ~r_m:100.0 in
+  close "drr" 1.02 drr;
+  close "scfq" 0.02 scfq;
+  close "ratio 51" 51.0 (drr /. scfq)
+
+let test_h_fair_airport () =
+  (* Theorem 8: 3(l/r + l/r) + 2 l/C. *)
+  close "fa" (3.0 *. 20.0 +. (2.0 *. 10.0 /. 2000.0))
+    (Bounds.h_fair_airport ~lmax_f:10.0 ~r_f:1.0 ~lmax_m:10.0 ~r_m:1.0 ~lmax:10.0
+       ~capacity:2000.0)
+
+(* ------------------------------------------------------------------ *)
+(* Departure bounds                                                     *)
+
+let test_sfq_departure () =
+  (* Theorem 4: EAT + Σ_other/C + l/C + δ/C. *)
+  close "sfq" (1.0 +. 0.5 +. 0.1 +. 0.2)
+    (Bounds.sfq_departure ~eat:1.0 ~sum_other_lmax:50.0 ~len:10.0 ~capacity:100.0
+       ~delta:20.0)
+
+let test_scfq_departure () =
+  (* Eq. 56: EAT + Σ_other/C + l/r. *)
+  close "scfq" (1.0 +. 0.5 +. 2.0)
+    (Bounds.scfq_departure ~eat:1.0 ~sum_other_lmax:50.0 ~len:10.0 ~rate:5.0
+       ~capacity:100.0)
+
+let test_wfq_departure () =
+  close "wfq" (1.0 +. 2.0 +. 0.1)
+    (Bounds.wfq_departure ~eat:1.0 ~len:10.0 ~rate:5.0 ~lmax:10.0 ~capacity:100.0)
+
+let test_edd_departure () =
+  close "edd" (5.0 +. 0.1 +. 0.2)
+    (Bounds.edd_departure ~deadline:5.0 ~lmax:10.0 ~capacity:100.0 ~delta:20.0)
+
+(* ------------------------------------------------------------------ *)
+(* The paper's §2.3 numbers                                             *)
+
+let test_scfq_gap_24_4ms () =
+  (* l = 200 B, r = 64 Kb/s, C = 100 Mb/s: l/r − l/C = 25 ms − 16 µs ≈
+     24.98 ms. The paper rounds its arithmetic to 24.4 ms; the formula
+     is eq. 57 either way. *)
+  let gap = Bounds.scfq_sfq_gap ~len:l200 ~rate:(kbps 64.0) ~capacity:(mbps 100.0) in
+  Alcotest.(check bool) "about 25 ms" true (gap > 0.0244 && gap < 0.0250);
+  close "5 servers about 125 ms" (5.0 *. gap) (5.0 *. gap)
+
+let test_fig2a_positive_iff_small_share () =
+  (* Eq. 60: Δ >= 0 iff 1/(|Q|−1) >= r/C. *)
+  let delta nflows rate =
+    Bounds.wfq_sfq_delta_uniform ~len:l200 ~rate ~nflows ~capacity:(mbps 100.0)
+  in
+  Alcotest.(check bool) "low-rate flow gains" true (delta 50 (kbps 64.0) > 0.0);
+  (* r/C = 0.2 > 1/9: the flow loses. *)
+  Alcotest.(check bool) "high-rate flow loses" true (delta 10 (mbps 20.0) < 0.0)
+
+let test_paper_delay_shift_example () =
+  (* §2.3: 70 flows at 1 Mb/s + 200 at 64 Kb/s on (implicitly) a link
+     with enough capacity; SFQ cuts the 64 Kb/s flows' bound by
+     ~20.39 ms and raises the 1 Mb/s flows' by ~2.48 ms. We verify the
+     signs and magnitudes from eq. 58 with C = 100 Mb/s and |Q| = 270. *)
+  let c = mbps 100.0 in
+  let sum_other = 269.0 *. l200 in
+  let d64 =
+    Bounds.wfq_sfq_delta ~len:l200 ~rate:(kbps 64.0) ~lmax:l200 ~sum_other_lmax:sum_other
+      ~capacity:c
+  in
+  let d1m =
+    Bounds.wfq_sfq_delta ~len:l200 ~rate:(mbps 1.0) ~lmax:l200 ~sum_other_lmax:sum_other
+      ~capacity:c
+  in
+  Alcotest.(check bool) "64K flows gain ~20.7ms" true (d64 > 0.020 && d64 < 0.0215);
+  Alcotest.(check bool) "1M flows lose ~2.7ms" true (d1m < 0.0 && d1m > -0.0030)
+
+(* ------------------------------------------------------------------ *)
+(* Throughput / virtual server (Theorem 2, eq. 65)                      *)
+
+let test_throughput_lower () =
+  close "thm2"
+    ((10.0 *. 5.0) -. (10.0 *. 50.0 /. 100.0) -. (10.0 *. 20.0 /. 100.0) -. 10.0)
+    (Bounds.sfq_throughput_lower ~rate:10.0 ~t1:0.0 ~t2:5.0 ~sum_lmax:50.0 ~lmax_f:10.0
+       ~capacity:100.0 ~delta:20.0)
+
+let test_fc_virtual_server () =
+  let r, d =
+    Bounds.fc_virtual_server ~rate:10.0 ~sum_lmax:50.0 ~lmax_f:10.0 ~capacity:100.0
+      ~delta:20.0
+  in
+  close "rate" 10.0 r;
+  close "delta'" ((10.0 *. 50.0 /. 100.0) +. (10.0 *. 20.0 /. 100.0) +. 10.0) d
+
+(* ------------------------------------------------------------------ *)
+(* Delay shifting (eqs. 69-73)                                          *)
+
+let test_flat_vs_shifted_rhs () =
+  let flat = Bounds.flat_departure_rhs ~nflows:12 ~len:2000.0 ~capacity:1.0e6 ~delta:0.0 in
+  close "flat (69)" ((11.0 *. 2000.0 /. 1.0e6) +. (2000.0 /. 1.0e6)) flat;
+  let shifted =
+    Bounds.shifted_departure_rhs ~partition_size:2 ~len:2000.0 ~partition_rate:0.5e6
+      ~nparts:2 ~capacity:1.0e6 ~delta:0.0
+  in
+  close "shifted (71)" ((3.0 *. 2000.0 /. 0.5e6) +. (2.0 *. 2000.0 /. 1.0e6)) shifted;
+  Alcotest.(check bool) "shift helps" true (shifted < flat)
+
+let test_eq73_predicate () =
+  (* (|Q_i|+1)/(|Q|−K) < C_i/C *)
+  Alcotest.(check bool) "favoured partition" true
+    (Bounds.delay_shift_improves ~partition_size:2 ~nflows:12 ~nparts:2
+       ~partition_rate:0.5e6 ~capacity:1.0e6);
+  Alcotest.(check bool) "undersized rate" false
+    (Bounds.delay_shift_improves ~partition_size:5 ~nflows:12 ~nparts:2
+       ~partition_rate:0.3e6 ~capacity:1.0e6)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end (Corollary 1, §A.5)                                       *)
+
+let test_e2e_departure () =
+  close "sum" (1.0 +. (3.0 *. 0.5) +. (2.0 *. 0.1))
+    (Bounds.e2e_departure ~eat_first:1.0 ~betas:[ 0.5; 0.5; 0.5 ] ~taus:[ 0.1; 0.1 ])
+
+let test_e2e_leaky_bucket () =
+  close "sigma/r + sums" ((400.0 /. 100.0) +. 0.6 +. 0.2)
+    (Bounds.e2e_delay_leaky_bucket ~sigma:400.0 ~rate:100.0 ~betas:[ 0.3; 0.3 ]
+       ~taus:[ 0.1; 0.1 ])
+
+let test_sfq_beta () =
+  close "beta" (0.5 +. 0.1 +. 0.2)
+    (Bounds.sfq_beta ~sum_other_lmax:50.0 ~len:10.0 ~capacity:100.0 ~delta:20.0)
+
+let test_ebf_tail () =
+  close "gamma=0" 2.0 (Bounds.ebf_tail ~b:2.0 ~alpha:0.5 ~gamma:0.0);
+  close "decays" (2.0 *. exp (-1.0)) (Bounds.ebf_tail ~b:2.0 ~alpha:0.5 ~gamma:2.0)
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ( "fairness",
+        [
+          Alcotest.test_case "lower bound" `Quick test_h_lower_bound;
+          Alcotest.test_case "sfq = 2x lower" `Quick test_h_sfq_twice_lower;
+          Alcotest.test_case "scfq = sfq" `Quick test_h_scfq_equals_sfq;
+          Alcotest.test_case "drr paper example" `Quick test_h_drr_paper_example;
+          Alcotest.test_case "fair airport" `Quick test_h_fair_airport;
+        ] );
+      ( "departure",
+        [
+          Alcotest.test_case "sfq (thm 4)" `Quick test_sfq_departure;
+          Alcotest.test_case "scfq (eq 56)" `Quick test_scfq_departure;
+          Alcotest.test_case "wfq" `Quick test_wfq_departure;
+          Alcotest.test_case "edd (thm 7)" `Quick test_edd_departure;
+        ] );
+      ( "paper numbers",
+        [
+          Alcotest.test_case "24.4ms gap" `Quick test_scfq_gap_24_4ms;
+          Alcotest.test_case "eq 60 sign" `Quick test_fig2a_positive_iff_small_share;
+          Alcotest.test_case "70+200 flows example" `Quick test_paper_delay_shift_example;
+        ] );
+      ( "throughput",
+        [
+          Alcotest.test_case "thm 2" `Quick test_throughput_lower;
+          Alcotest.test_case "eq 65 virtual server" `Quick test_fc_virtual_server;
+        ] );
+      ( "delay shifting",
+        [
+          Alcotest.test_case "eqs 69/71" `Quick test_flat_vs_shifted_rhs;
+          Alcotest.test_case "eq 73" `Quick test_eq73_predicate;
+        ] );
+      ( "end to end",
+        [
+          Alcotest.test_case "corollary 1" `Quick test_e2e_departure;
+          Alcotest.test_case "leaky bucket" `Quick test_e2e_leaky_bucket;
+          Alcotest.test_case "beta" `Quick test_sfq_beta;
+          Alcotest.test_case "ebf tail" `Quick test_ebf_tail;
+        ] );
+    ]

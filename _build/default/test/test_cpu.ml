@@ -1,0 +1,149 @@
+(* Tests for the SFQ CPU scheduler. *)
+
+open Sfq_netsim
+open Sfq_cpu
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let nominal = 1.0e6 (* work-units per second at full speed *)
+
+let test_single_thread_runs () =
+  let sim = Sim.create () in
+  let cpu = Cpu_sched.create sim ~speed:(Rate_process.constant nominal) () in
+  let th = Cpu_sched.spawn cpu ~name:"t" ~weight:1.0 in
+  Sim.schedule sim ~at:0.0 (fun () -> Cpu_sched.add_work th 5_000.0);
+  Sim.run_all sim ();
+  check_float "all work done" 5_000.0 (Cpu_sched.cpu_time th);
+  check_float "nothing pending" 0.0 (Cpu_sched.pending_work th);
+  check_int "slept once" 1 (Cpu_sched.completions th);
+  (* 5000 work-units at 1e6/s = 5 ms of simulated time. *)
+  check_float "took 5ms" 0.005 (Sim.now sim)
+
+let test_weighted_shares () =
+  (* Two always-busy threads with weights 1:3 must accumulate CPU time
+     in ratio 1:3 (within one quantum). *)
+  let sim = Sim.create () in
+  let cpu = Cpu_sched.create sim ~speed:(Rate_process.constant nominal) () in
+  let a = Cpu_sched.spawn cpu ~name:"a" ~weight:1.0 in
+  let b = Cpu_sched.spawn cpu ~name:"b" ~weight:3.0 in
+  Sim.schedule sim ~at:0.0 (fun () ->
+      Cpu_sched.add_work a 1.0e9;
+      Cpu_sched.add_work b 1.0e9);
+  Sim.run sim ~until:1.0;
+  let ta = Cpu_sched.cpu_time a and tb = Cpu_sched.cpu_time b in
+  check_bool "3x share" true (Float.abs ((tb /. ta) -. 3.0) < 0.05);
+  check_bool "work conserving" true (ta +. tb >= nominal *. 0.99)
+
+let test_weighted_shares_variable_speed () =
+  (* Same, but the CPU speed fluctuates (an FC process): the ratio must
+     still hold — SFQ's whole point. *)
+  let sim = Sim.create () in
+  let rng = Sfq_util.Rng.create 8 in
+  let speed =
+    Rate_process.fc_random ~c:(0.6 *. nominal) ~delta:50_000.0 ~seg:0.01
+      ~spread:(0.4 *. nominal) ~rng
+  in
+  let cpu = Cpu_sched.create sim ~speed () in
+  let a = Cpu_sched.spawn cpu ~name:"a" ~weight:1.0 in
+  let b = Cpu_sched.spawn cpu ~name:"b" ~weight:3.0 in
+  Sim.schedule sim ~at:0.0 (fun () ->
+      Cpu_sched.add_work a 1.0e9;
+      Cpu_sched.add_work b 1.0e9);
+  Sim.run sim ~until:2.0;
+  let ta = Cpu_sched.cpu_time a and tb = Cpu_sched.cpu_time b in
+  check_bool "3x share on fluctuating CPU" true (Float.abs ((tb /. ta) -. 3.0) < 0.05)
+
+let test_interactive_latency () =
+  (* A lightly loaded interactive thread competing with two batch hogs
+     gets scheduled within ~two quanta of waking. *)
+  let sim = Sim.create () in
+  let cpu = Cpu_sched.create sim ~speed:(Rate_process.constant nominal) ~quantum:1000 () in
+  let ui = Cpu_sched.spawn cpu ~name:"ui" ~weight:0.2 in
+  let b1 = Cpu_sched.spawn cpu ~name:"b1" ~weight:0.4 in
+  let b2 = Cpu_sched.spawn cpu ~name:"b2" ~weight:0.4 in
+  Sim.schedule sim ~at:0.0 (fun () ->
+      Cpu_sched.add_work b1 1.0e9;
+      Cpu_sched.add_work b2 1.0e9);
+  let worst = ref 0.0 in
+  let woke = Hashtbl.create 16 in
+  Cpu_sched.on_slice cpu (fun th ~start:_ ~finished ~work:_ ->
+      if Cpu_sched.thread_name th = "ui" then begin
+        match Hashtbl.find_opt woke (Cpu_sched.completions th) with
+        | Some at -> worst := Float.max !worst (finished -. at)
+        | None -> ()
+      end);
+  (* Wake the UI thread every 50 ms for one quantum of work. *)
+  for i = 0 to 19 do
+    Sim.schedule sim ~at:(0.05 *. float_of_int i) (fun () ->
+        Hashtbl.replace woke (Cpu_sched.completions ui) (Sim.now sim);
+        Cpu_sched.add_work ui 1000.0)
+  done;
+  Sim.run sim ~until:1.1;
+  (* One quantum is 1 ms; three quanta of wait is the worst tolerable. *)
+  check_bool "interactive latency within 3 quanta" true (!worst <= 0.003)
+
+let test_sleep_wake_no_credit () =
+  (* A thread that slept must not burst ahead on waking: right after a
+     wake, the sleeper cannot be more than one quantum ahead of the
+     continuously-busy competitor in post-wake service. *)
+  let sim = Sim.create () in
+  let cpu = Cpu_sched.create sim ~speed:(Rate_process.constant nominal) () in
+  let sleeper = Cpu_sched.spawn cpu ~name:"s" ~weight:1.0 in
+  let busy = Cpu_sched.spawn cpu ~name:"b" ~weight:1.0 in
+  Sim.schedule sim ~at:0.0 (fun () -> Cpu_sched.add_work busy 1.0e9);
+  (* Sleeper wakes at 0.5 s with lots of work. *)
+  Sim.schedule sim ~at:0.5 (fun () -> Cpu_sched.add_work sleeper 1.0e9);
+  Sim.run sim ~until:0.6;
+  let ts = Cpu_sched.cpu_time sleeper in
+  (* In [0.5, 0.6] there are 1e5 work-units; fair split is 5e4. *)
+  check_bool "no stale credit" true (ts <= 5.0e4 +. 2_000.0);
+  check_bool "but does get its share" true (ts >= 5.0e4 -. 2_000.0)
+
+let test_quantum_bounds_slice () =
+  let sim = Sim.create () in
+  let cpu = Cpu_sched.create sim ~speed:(Rate_process.constant nominal) ~quantum:500 () in
+  let th = Cpu_sched.spawn cpu ~name:"t" ~weight:1.0 in
+  let max_slice = ref 0 in
+  Cpu_sched.on_slice cpu (fun _ ~start:_ ~finished:_ ~work ->
+      max_slice := Stdlib.max !max_slice work);
+  Sim.schedule sim ~at:0.0 (fun () -> Cpu_sched.add_work th 10_000.0);
+  Sim.run_all sim ();
+  check_int "never exceeds quantum" 500 !max_slice;
+  check_float "accounting exact" 10_000.0 (Cpu_sched.cpu_time th)
+
+let test_validation () =
+  let sim = Sim.create () in
+  check_bool "bad quantum" true
+    (try
+       ignore (Cpu_sched.create sim ~speed:(Rate_process.constant 1.0) ~quantum:0 ());
+       false
+     with Invalid_argument _ -> true);
+  let cpu = Cpu_sched.create sim ~speed:(Rate_process.constant 1.0) () in
+  check_bool "bad weight" true
+    (try
+       ignore (Cpu_sched.spawn cpu ~name:"x" ~weight:0.0);
+       false
+     with Invalid_argument _ -> true);
+  let th = Cpu_sched.spawn cpu ~name:"x" ~weight:1.0 in
+  check_bool "bad work" true
+    (try
+       Cpu_sched.add_work th 0.0;
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "cpu"
+    [
+      ( "cpu_sched",
+        [
+          Alcotest.test_case "single thread" `Quick test_single_thread_runs;
+          Alcotest.test_case "weighted shares" `Quick test_weighted_shares;
+          Alcotest.test_case "shares on variable speed" `Quick test_weighted_shares_variable_speed;
+          Alcotest.test_case "interactive latency" `Quick test_interactive_latency;
+          Alcotest.test_case "sleep/wake no credit" `Quick test_sleep_wake_no_credit;
+          Alcotest.test_case "quantum bounds slice" `Quick test_quantum_bounds_slice;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]

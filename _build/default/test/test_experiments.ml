@@ -1,0 +1,221 @@
+(* Integration tests: run every experiment of DESIGN.md's index (at
+   reduced scale where a knob exists) and assert the paper's
+   qualitative claims — who wins, by roughly what factor, which bounds
+   hold. *)
+
+open Sfq_experiments
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* E1: Example 1. *)
+let test_ex1 () =
+  let r = Ex1_wfq_unfair.run () in
+  (* The paper's exact service order. *)
+  Alcotest.(check (list (pair int int)))
+    "order" [ (1, 1); (2, 1); (2, 2); (2, 3); (1, 2) ] r.Ex1_wfq_unfair.wfq_order;
+  check_bool "WFQ ~2x lower bound" true
+    (r.Ex1_wfq_unfair.wfq_h > 1.9 *. r.Ex1_wfq_unfair.h_lower_bound);
+  check_bool "SFQ within Theorem 1" true
+    (r.Ex1_wfq_unfair.sfq_h <= r.Ex1_wfq_unfair.h_sfq_bound +. 1e-9);
+  check_bool "SFQ at most half of WFQ's H" true
+    (r.Ex1_wfq_unfair.sfq_h <= 0.51 *. r.Ex1_wfq_unfair.wfq_h)
+
+(* E2: Example 2. *)
+let test_ex2 () =
+  let r = Ex2_variable_rate.run ~c:10.0 () in
+  Alcotest.(check (float 1e-6)) "v(1) = C" 10.0 r.Ex2_variable_rate.wfq_v1;
+  check_bool "WFQ starves the late flow" true
+    (r.Ex2_variable_rate.wfq_wm <= 1.0
+    && r.Ex2_variable_rate.wfq_wf >= r.Ex2_variable_rate.c -. 1.5);
+  check_bool "SFQ splits evenly" true
+    (Float.abs (r.Ex2_variable_rate.sfq_wf -. r.Ex2_variable_rate.sfq_wm) <= 1.0)
+
+(* E3: Fig 1(b). *)
+let test_fig1 () =
+  let r = Fig1_tcp_fairness.run () in
+  let sfq = r.Fig1_tcp_fairness.sfq and wfq = r.Fig1_tcp_fairness.wfq_real in
+  (* SFQ: near-even split once source 3 starts. *)
+  check_bool "SFQ roughly fair" true
+    (sfq.Fig1_tcp_fairness.src3_window > sfq.Fig1_tcp_fairness.src2_window / 2);
+  (* WFQ (practical clock): the late flow is starved by a wide margin. *)
+  check_bool "WFQ starves src3" true
+    (wfq.Fig1_tcp_fairness.src3_window * 4 < wfq.Fig1_tcp_fairness.src2_window);
+  check_bool "src3 barely delivers early on under WFQ" true
+    (wfq.Fig1_tcp_fairness.src3_first_435ms < sfq.Fig1_tcp_fairness.src3_first_435ms / 2);
+  check_bool "video near 1.21 Mb/s" true
+    (r.Fig1_tcp_fairness.video_rate_bps > 1.0e6 && r.Fig1_tcp_fairness.video_rate_bps < 1.45e6)
+
+(* E4: Table 1. *)
+let test_table1 () =
+  let r = Table1_fairness.run ~quick:true () in
+  let bound = r.Table1_fairness.h_bound_equal in
+  let row name =
+    List.find (fun (row : Table1_fairness.row) -> row.disc = name) r.Table1_fairness.rows
+  in
+  let sfq = row "SFQ" and wfq = row "WFQ" and vc = row "VirtualClock" and drr = row "DRR" in
+  let scfq = row "SCFQ" in
+  (* SFQ within Theorem 1 everywhere. *)
+  check_bool "sfq backlogged" true (sfq.h_backlogged <= bound +. 1e-6);
+  check_bool "sfq variable" true (sfq.h_variable <= bound +. 1e-6);
+  check_bool "sfq catch-up" true (sfq.h_catch_up <= bound +. 1e-6);
+  check_bool "sfq high-weight" true
+    (sfq.h_high_weight <= r.Table1_fairness.h_bound_high +. 1e-6);
+  (* SCFQ too (same measure). *)
+  check_bool "scfq variable" true (scfq.h_variable <= bound +. 1e-6);
+  (* WFQ breaks on the variable-rate scenario. *)
+  check_bool "wfq variable-rate blow-up" true (wfq.h_variable > 2.0 *. bound);
+  (* Virtual Clock breaks on catch-up. *)
+  check_bool "vc catch-up blow-up" true (vc.h_catch_up > 2.0 *. bound);
+  (* DRR breaks on high weights (the 50x example). *)
+  check_bool "drr high-weight blow-up" true
+    (drr.h_high_weight > 10.0 *. r.Table1_fairness.h_bound_high)
+
+(* E5: Fig 2(a). *)
+let test_fig2a () =
+  let r = Fig2a_delay_reduction.run ~quick:true () in
+  (* Closed form: the reduction shrinks as flows are added (eq. 59) and
+     grows as the rate drops. *)
+  let find n rate =
+    List.find
+      (fun (p : Fig2a_delay_reduction.point) -> p.nflows = n && p.rate = rate)
+      r.Fig2a_delay_reduction.closed_form
+  in
+  check_bool "more flows, less gain" true ((find 10 64.0e3).delta_ms > (find 90 64.0e3).delta_ms);
+  check_bool "lower rate, more gain" true ((find 50 32.0e3).delta_ms > (find 50 256.0e3).delta_ms);
+  (* Simulated gap within 20% of eq. 59. *)
+  List.iter
+    (fun (p : Fig2a_delay_reduction.sim_point) ->
+      let measured = p.wfq_max_ms -. p.sfq_max_ms in
+      check_bool "measured near predicted" true
+        (Float.abs (measured -. p.predicted_delta_ms) < 0.2 *. p.predicted_delta_ms +. 0.5))
+    r.Fig2a_delay_reduction.simulated
+
+(* E6: Fig 2(b), scaled down. *)
+let test_fig2b () =
+  let r = Fig2b_avg_delay.run ~duration:30.0 () in
+  (* At ~80% utilization WFQ's average delay for low-throughput flows
+     is substantially higher (paper: 53%). *)
+  let p80 =
+    List.find (fun (p : Fig2b_avg_delay.point) -> p.n_low = 3) r.Fig2b_avg_delay.points
+  in
+  check_bool "WFQ worse at 80%" true (p80.ratio > 1.2);
+  (* And SFQ is never worse on average across the sweep. *)
+  List.iter
+    (fun (p : Fig2b_avg_delay.point) ->
+      check_bool "sfq <= wfq" true (p.sfq_avg_ms <= p.wfq_avg_ms +. 0.5))
+    r.Fig2b_avg_delay.points
+
+(* E7: SCFQ gap. *)
+let test_scfq_gap () =
+  let r = Scfq_delay_gap.run () in
+  check_bool "gap ~25ms" true
+    (r.Scfq_delay_gap.gap_one_server_ms > 24.0 && r.Scfq_delay_gap.gap_one_server_ms < 25.5);
+  check_bool "5x over 5 servers" true
+    (Float.abs (r.Scfq_delay_gap.gap_five_servers_ms -. (5.0 *. r.Scfq_delay_gap.gap_one_server_ms))
+    < 1e-6);
+  check_bool "SCFQ within its bound" true
+    (r.Scfq_delay_gap.scfq_max_ms <= r.Scfq_delay_gap.scfq_bound_ms +. 1e-6);
+  check_bool "SFQ within Theorem 4" true
+    (r.Scfq_delay_gap.sfq_max_ms <= r.Scfq_delay_gap.sfq_bound_ms +. 1e-6);
+  check_bool "SCFQ much worse than SFQ" true
+    (r.Scfq_delay_gap.scfq_max_ms > 10.0 *. r.Scfq_delay_gap.sfq_max_ms)
+
+(* E8: Fig 3(b), scaled down. *)
+let test_fig3 () =
+  let r = Fig3_link_sharing.run ~pkts_per_conn:1200 () in
+  (match r.Fig3_link_sharing.phases with
+  | [ p1; p2; _p3 ] ->
+    let near x y = Float.abs (x -. y) < 0.25 *. y in
+    (* Phase 1: 1:2:3. *)
+    check_bool "phase1 2:1" true (near p1.rates_mbps.(1) (2.0 *. p1.rates_mbps.(0)));
+    check_bool "phase1 3:1" true (near p1.rates_mbps.(2) (3.0 *. p1.rates_mbps.(0)));
+    (* Phase 2: conn 3 done; 1:2 among survivors. *)
+    check_bool "phase2 2:1" true (near p2.rates_mbps.(1) (2.0 *. p2.rates_mbps.(0)))
+  | _ -> Alcotest.fail "expected three phases");
+  (* Weight-3 connection finishes first, weight-1 last. *)
+  let f = r.Fig3_link_sharing.finish_times in
+  check_bool "finish order" true (f.(2) < f.(1) && f.(1) < f.(0))
+
+(* E9: hierarchical sharing. *)
+let test_hier () =
+  let r = Hier_sharing.run () in
+  let near x y = Float.abs (x -. y) < 0.05 in
+  check_bool "phase1 C" true (near r.Hier_sharing.phase1.c 0.5);
+  check_bool "phase1 D" true (near r.Hier_sharing.phase1.d 0.5);
+  check_bool "phase2 C" true (near r.Hier_sharing.phase2.c 0.25);
+  check_bool "phase2 D" true (near r.Hier_sharing.phase2.d 0.25);
+  check_bool "phase2 B" true (near r.Hier_sharing.phase2.b 0.5);
+  check_bool "phase3 C" true (near r.Hier_sharing.phase3.c 0.5)
+
+(* E10: delay shifting. *)
+let test_delay_shift () =
+  let r = Delay_shifting.run () in
+  check_bool "eq 73 satisfied" true r.Delay_shifting.eq73_satisfied;
+  check_bool "favoured bound drops" true
+    (r.Delay_shifting.shifted_bound_fav_ms < r.Delay_shifting.flat_bound_ms);
+  check_bool "other bound rises" true
+    (r.Delay_shifting.shifted_bound_other_ms > r.Delay_shifting.flat_bound_ms);
+  (* All measurements stay within their bounds. *)
+  check_bool "flat fav within" true
+    (r.Delay_shifting.flat_measured_fav_ms <= r.Delay_shifting.flat_bound_ms +. 1e-6);
+  check_bool "shifted fav within" true
+    (r.Delay_shifting.shifted_measured_fav_ms <= r.Delay_shifting.shifted_bound_fav_ms +. 1e-6);
+  check_bool "shifted other within" true
+    (r.Delay_shifting.shifted_measured_other_ms <= r.Delay_shifting.shifted_bound_other_ms +. 1e-6)
+
+(* E11: Theorems 2/3/4/5. *)
+let test_bounds () =
+  let r = Bound_validation.run () in
+  check_bool "Theorem 2 held" true (r.Bound_validation.thm2_worst_slack_bits >= 0.0);
+  check_bool "Theorem 4 held" true (r.Bound_validation.thm4_worst_slack_ms >= 0.0);
+  check_int "checked many packets" 30005 r.Bound_validation.thm4_packets;
+  (* The EBF tail is non-increasing in gamma. *)
+  let rec non_increasing = function
+    | (a : Bound_validation.ebf_point) :: (b :: _ as rest) ->
+      a.violations >= b.violations && non_increasing rest
+    | _ -> true
+  in
+  check_bool "EBF tail decays" true (non_increasing r.Bound_validation.ebf_tail)
+
+(* E12: end-to-end. *)
+let test_e2e () =
+  let r = End_to_end.run () in
+  List.iter
+    (fun (p : End_to_end.point) ->
+      check_bool "measured below bound" true (p.measured_max_ms <= p.bound_ms +. 1e-6))
+    r.End_to_end.points;
+  (* Both grow with K. *)
+  let ms = List.map (fun (p : End_to_end.point) -> p.measured_max_ms) r.End_to_end.points in
+  check_bool "grows with K" true (List.nth ms 4 > List.nth ms 0)
+
+(* E13: Fair Airport. *)
+let test_fair_airport () =
+  let r = Fair_airport_exp.run () in
+  check_bool "FA within Theorem 9" true
+    (r.Fair_airport_exp.fa_max_ms <= r.Fair_airport_exp.wfq_bound_ms +. 1e-6);
+  check_bool "FA fairness within Theorem 8" true
+    (r.Fair_airport_exp.fa_h <= r.Fair_airport_exp.fa_h_bound +. 1e-9);
+  check_bool "both queues used" true
+    (r.Fair_airport_exp.gsq_served > 0 && r.Fair_airport_exp.asq_served > 0)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "paper",
+        [
+          Alcotest.test_case "E1 example 1" `Quick test_ex1;
+          Alcotest.test_case "E2 example 2" `Quick test_ex2;
+          Alcotest.test_case "E3 fig 1b" `Slow test_fig1;
+          Alcotest.test_case "E4 table 1" `Quick test_table1;
+          Alcotest.test_case "E5 fig 2a" `Quick test_fig2a;
+          Alcotest.test_case "E6 fig 2b" `Slow test_fig2b;
+          Alcotest.test_case "E7 scfq gap" `Quick test_scfq_gap;
+          Alcotest.test_case "E8 fig 3b" `Quick test_fig3;
+          Alcotest.test_case "E9 hierarchy" `Quick test_hier;
+          Alcotest.test_case "E10 delay shifting" `Quick test_delay_shift;
+          Alcotest.test_case "E11 bounds" `Slow test_bounds;
+          Alcotest.test_case "E12 end-to-end" `Quick test_e2e;
+          Alcotest.test_case "E13 fair airport" `Quick test_fair_airport;
+        ] );
+    ]

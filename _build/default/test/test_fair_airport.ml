@@ -1,0 +1,222 @@
+(* Tests for Fair Airport (Appendix B): rule-by-rule behaviour of the
+   rate regulator, GSQ priority, ASQ tag inheritance (rule 5), the
+   Theorem 9 delay guarantee and the Theorem 8 fairness bound. *)
+
+open Sfq_base
+open Sfq_core
+open Sfq_netsim
+open Sfq_analysis
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let pkt ~flow ~seq ~len () = Packet.make ~flow ~seq ~len ~born:0.0 ()
+let flow_seq p = (p.Packet.flow, p.Packet.seq)
+
+(* ------------------------------------------------------------------ *)
+(* Mechanics                                                            *)
+
+let test_first_packet_goes_gsq () =
+  (* First packet's EAT = arrival, so at dequeue time it is already
+     eligible: it must be served through the GSQ. *)
+  let fa = Fair_airport.create (Weights.uniform 10.0) in
+  Fair_airport.enqueue fa ~now:0.0 (pkt ~flow:1 ~seq:1 ~len:10 ());
+  (match Fair_airport.dequeue fa ~now:0.0 with
+  | Some p -> check_int "served" 1 p.Packet.seq
+  | None -> Alcotest.fail "expected packet");
+  check_int "via gsq" 1 (Fair_airport.gsq_served fa);
+  check_int "not via asq" 0 (Fair_airport.asq_served fa)
+
+let test_burst_overflows_to_asq () =
+  (* A burst above the reserved rate: only the eligible prefix goes
+     through the GSQ; the rest is served by the ASQ (work
+     conservation). *)
+  let fa = Fair_airport.create (Weights.uniform 10.0) in
+  for seq = 1 to 5 do
+    Fair_airport.enqueue fa ~now:0.0 (pkt ~flow:1 ~seq ~len:10 ())
+  done;
+  (* At t=0 only packet 1 is eligible (EAT of seq 2 is 1.0). *)
+  let drained = Sched.drain (Fair_airport.sched fa) ~now:0.0 in
+  check_int "all served" 5 (List.length drained);
+  check_int "one via gsq" 1 (Fair_airport.gsq_served fa);
+  check_int "rest via asq" 4 (Fair_airport.asq_served fa);
+  check_bool "per-flow FIFO" true
+    (List.map (fun p -> p.Packet.seq) drained = [ 1; 2; 3; 4; 5 ])
+
+let test_eligibility_advances_with_time () =
+  let fa = Fair_airport.create (Weights.uniform 10.0) in
+  Fair_airport.enqueue fa ~now:0.0 (pkt ~flow:1 ~seq:1 ~len:10 ());
+  Fair_airport.enqueue fa ~now:0.0 (pkt ~flow:1 ~seq:2 ~len:10 ());
+  ignore (Fair_airport.dequeue fa ~now:0.0);
+  (* At t=1.0 packet 2's EAT (1.0) has been reached: GSQ again. *)
+  ignore (Fair_airport.dequeue fa ~now:1.0);
+  check_int "both via gsq" 2 (Fair_airport.gsq_served fa)
+
+let test_asq_service_does_not_advance_regulator () =
+  (* Rule 4: a packet served from the ASQ does not consume regulator
+     budget — the next packet's eligibility is computed from the same
+     clock, so it too can pass through the GSQ at its own EAT. *)
+  let fa = Fair_airport.create (Weights.uniform 10.0) in
+  Fair_airport.enqueue fa ~now:0.0 (pkt ~flow:1 ~seq:1 ~len:10 ());
+  Fair_airport.enqueue fa ~now:0.0 (pkt ~flow:1 ~seq:2 ~len:10 ());
+  ignore (Fair_airport.dequeue fa ~now:0.0) |> ignore;
+  (* Packet 1 via GSQ; packet 2 now served early via ASQ at t=0. *)
+  ignore (Fair_airport.dequeue fa ~now:0.0);
+  check_int "asq served one" 1 (Fair_airport.asq_served fa);
+  (* Packet 3 arrives at t=5, long past the regulator floor (which
+     advanced only for packet 1): it is eligible immediately. *)
+  Fair_airport.enqueue fa ~now:5.0 (pkt ~flow:1 ~seq:3 ~len:10 ());
+  ignore (Fair_airport.dequeue fa ~now:5.0);
+  check_int "gsq served two" 2 (Fair_airport.gsq_served fa)
+
+let test_gsq_priority_over_asq () =
+  (* Two flows: flow 1's packet is eligible, flow 2's is not (its
+     earlier packet consumed the budget). The eligible one must win
+     even if flow 2's ASQ start tag is smaller. *)
+  let fa = Fair_airport.create (Weights.uniform 10.0) in
+  Fair_airport.enqueue fa ~now:0.0 (pkt ~flow:2 ~seq:1 ~len:10 ());
+  Fair_airport.enqueue fa ~now:0.0 (pkt ~flow:2 ~seq:2 ~len:10 ());
+  Fair_airport.enqueue fa ~now:0.0 (pkt ~flow:1 ~seq:1 ~len:10 ());
+  (* At t=0: eligible = 2.1 and 1.1 (both first packets). Dequeue
+     order: GSQ by Virtual Clock stamp (tie by release order). *)
+  let first = Fair_airport.dequeue fa ~now:0.0 in
+  let second = Fair_airport.dequeue fa ~now:0.0 in
+  check_bool "both eligible served first" true
+    (match (first, second) with
+    | Some a, Some b ->
+      List.sort compare [ flow_seq a; flow_seq b ] = [ (1, 1); (2, 1) ]
+    | _ -> false);
+  (* Third dequeue at t=0: GSQ empty (2.2 not eligible), ASQ serves. *)
+  (match Fair_airport.dequeue fa ~now:0.0 with
+  | Some p -> check_bool "asq serves 2.2" true (flow_seq p = (2, 2))
+  | None -> Alcotest.fail "work conservation violated");
+  check_int "asq count" 1 (Fair_airport.asq_served fa)
+
+let test_work_conserving () =
+  (* Even with everything ineligible, the server never idles while
+     packets are queued. *)
+  let fa = Fair_airport.create (Weights.uniform 0.001) in
+  for seq = 1 to 4 do
+    Fair_airport.enqueue fa ~now:0.0 (pkt ~flow:1 ~seq ~len:1000 ())
+  done;
+  check_int "all served at t=0" 4
+    (List.length (Sched.drain (Fair_airport.sched fa) ~now:0.0))
+
+let test_size_backlog () =
+  let fa = Fair_airport.create (Weights.uniform 10.0) in
+  Fair_airport.enqueue fa ~now:0.0 (pkt ~flow:1 ~seq:1 ~len:10 ());
+  Fair_airport.enqueue fa ~now:0.0 (pkt ~flow:2 ~seq:1 ~len:10 ());
+  check_int "size" 2 (Fair_airport.size fa);
+  check_int "backlog 1" 1 (Fair_airport.backlog fa 1);
+  ignore (Fair_airport.dequeue fa ~now:0.0);
+  check_int "size after" 1 (Fair_airport.size fa)
+
+(* ------------------------------------------------------------------ *)
+(* Guarantees                                                           *)
+
+(* Theorem 9: paced flow among greedy competitors on a constant-rate
+   server departs by EAT + l/r + lmax/C. *)
+let test_theorem9_delay_guarantee () =
+  let capacity = 1000.0 in
+  let tagged_rate = 100.0 in
+  let weights = Weights.of_fun (fun f -> if f = 0 then tagged_rate else 300.0) in
+  let sim = Sim.create () in
+  let fa = Fair_airport.create weights in
+  let server =
+    Server.create sim ~name:"fa" ~rate:(Rate_process.constant capacity)
+      ~sched:(Fair_airport.sched fa) ()
+  in
+  let worst = ref neg_infinity in
+  Server.on_depart server (fun p ~start:_ ~departed ->
+      if p.Packet.flow = 0 then begin
+        (* Paced at the reservation, so EAT = born. *)
+        let bound =
+          Bounds.wfq_departure ~eat:p.Packet.born ~len:(float_of_int p.Packet.len)
+            ~rate:tagged_rate ~lmax:100.0 ~capacity
+        in
+        worst := Float.max !worst (departed -. bound)
+      end);
+  for flow = 1 to 3 do
+    ignore
+      (Source.greedy sim ~server ~flow ~len:100 ~total:100_000 ~window:4 ~start:0.0 ())
+  done;
+  ignore
+    (Source.cbr sim ~target:(Server.inject server) ~flow:0 ~len:100 ~rate:tagged_rate
+       ~start:0.0 ~stop:10.0);
+  Sim.run sim ~until:11.0;
+  check_bool "within Theorem 9 bound" true (!worst <= 1e-9)
+
+(* Theorem 8: fairness within 3(l/r + l/r) + 2 lmax/C on a server whose
+   capacity fluctuates above a floor. *)
+let test_theorem8_fairness () =
+  let sim = Sim.create () in
+  let rng = Sfq_util.Rng.create 77 in
+  let rate =
+    Rate_process.fc_random ~c:750.0 ~delta:1.0e9 ~seg:0.5 ~spread:250.0 ~rng
+  in
+  let r = 250.0 in
+  let fa = Fair_airport.create (Weights.uniform r) in
+  let server = Server.create sim ~name:"fa" ~rate ~sched:(Fair_airport.sched fa) () in
+  let log = Service_log.attach server in
+  ignore (Source.greedy sim ~server ~flow:1 ~len:100 ~total:100_000 ~window:4 ~start:0.0 ());
+  ignore (Source.greedy sim ~server ~flow:2 ~len:100 ~total:100_000 ~window:4 ~start:0.0 ());
+  Sim.run sim ~until:60.0;
+  let h = Fairness.exact_h log ~f:1 ~m:2 ~r_f:r ~r_m:r ~until:(Sim.now sim) in
+  let bound =
+    Bounds.h_fair_airport ~lmax_f:100.0 ~r_f:r ~lmax_m:100.0 ~r_m:r ~lmax:100.0
+      ~capacity:500.0
+  in
+  check_bool "within Theorem 8 bound" true (h <= bound +. 1e-9)
+
+(* Conservation property with random interleavings. *)
+let prop_conservation =
+  QCheck.Test.make ~name:"fair airport: conservation + per-flow FIFO" ~count:150
+    QCheck.(list_of_size Gen.(1 -- 50) (pair (int_range 1 3) (int_range 1 500)))
+    (fun ops ->
+      let fa = Fair_airport.create (Weights.uniform 10.0) in
+      let seqs = Hashtbl.create 8 in
+      let injected = ref [] in
+      let now = ref 0.0 in
+      List.iter
+        (fun (flow, len) ->
+          now := !now +. 0.05;
+          let seq = (try Hashtbl.find seqs flow with Not_found -> 0) + 1 in
+          Hashtbl.replace seqs flow seq;
+          injected := (flow, seq) :: !injected;
+          Fair_airport.enqueue fa ~now:!now (pkt ~flow ~seq ~len ()))
+        ops;
+      let out = List.map flow_seq (Sched.drain (Fair_airport.sched fa) ~now:(!now +. 1.0)) in
+      let conserved = List.sort compare out = List.sort compare !injected in
+      let fifo =
+        let last = Hashtbl.create 8 in
+        List.for_all
+          (fun (flow, seq) ->
+            let prev = try Hashtbl.find last flow with Not_found -> 0 in
+            Hashtbl.replace last flow seq;
+            seq = prev + 1)
+          out
+      in
+      conserved && fifo && Fair_airport.size fa = 0)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "fair_airport"
+    [
+      ( "mechanics",
+        [
+          Alcotest.test_case "first packet via gsq" `Quick test_first_packet_goes_gsq;
+          Alcotest.test_case "burst overflows to asq" `Quick test_burst_overflows_to_asq;
+          Alcotest.test_case "eligibility advances" `Quick test_eligibility_advances_with_time;
+          Alcotest.test_case "rule 4: asq keeps regulator clock" `Quick
+            test_asq_service_does_not_advance_regulator;
+          Alcotest.test_case "gsq priority" `Quick test_gsq_priority_over_asq;
+          Alcotest.test_case "work conserving" `Quick test_work_conserving;
+          Alcotest.test_case "size/backlog" `Quick test_size_backlog;
+        ] );
+      ( "guarantees",
+        [
+          Alcotest.test_case "Theorem 9 delay" `Quick test_theorem9_delay_guarantee;
+          Alcotest.test_case "Theorem 8 fairness" `Quick test_theorem8_fairness;
+        ] );
+      ("properties", [ q prop_conservation ]);
+    ]

@@ -1,0 +1,254 @@
+(* Tests for the core SFQ scheduler: tag computation (eqs. 4-5),
+   virtual time evolution (§2 steps 2-3), generalized per-packet rates
+   (eq. 36), tie-breaking, and Theorem 1's fairness bound as a
+   property over randomized workloads on randomized variable-rate
+   servers. *)
+
+open Sfq_base
+open Sfq_core
+open Sfq_netsim
+open Sfq_analysis
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let pkt ?rate ?(born = 0.0) ~flow ~seq ~len () = Packet.make ?rate ~flow ~seq ~len ~born ()
+let flow_seq p = (p.Packet.flow, p.Packet.seq)
+
+(* ------------------------------------------------------------------ *)
+(* Tag computation (eqs. 4-5)                                           *)
+
+let test_first_packet_tags () =
+  let s = Sfq.create (Weights.uniform 2.0) in
+  let stag, ftag = Sfq.enqueue_tagged s ~now:0.0 (pkt ~flow:1 ~seq:1 ~len:8 ()) in
+  check_float "S = v = 0" 0.0 stag;
+  check_float "F = S + l/r" 4.0 ftag
+
+let test_backlogged_chain () =
+  let s = Sfq.create (Weights.uniform 2.0) in
+  let _ = Sfq.enqueue_tagged s ~now:0.0 (pkt ~flow:1 ~seq:1 ~len:8 ()) in
+  let stag, ftag = Sfq.enqueue_tagged s ~now:0.0 (pkt ~flow:1 ~seq:2 ~len:4 ()) in
+  check_float "S2 = F1" 4.0 stag;
+  check_float "F2 = S2 + l2/r" 6.0 ftag
+
+let test_vtime_is_start_of_in_service () =
+  let s = Sfq.create (Weights.uniform 1.0) in
+  Sfq.enqueue s ~now:0.0 (pkt ~flow:1 ~seq:1 ~len:10 ());
+  Sfq.enqueue s ~now:0.0 (pkt ~flow:1 ~seq:2 ~len:10 ());
+  check_float "v before service" 0.0 (Sfq.vtime s);
+  ignore (Sfq.dequeue s ~now:0.0);
+  check_float "v = S(p1) = 0" 0.0 (Sfq.vtime s);
+  ignore (Sfq.dequeue s ~now:0.0);
+  check_float "v = S(p2) = 10" 10.0 (Sfq.vtime s)
+
+let test_vtime_not_bumped_while_serving () =
+  (* The queue being empty while a packet is in service must NOT end
+     the busy period (the Example-1 regression this library once had):
+     packets arriving during that service see v = S(in service). *)
+  let s = Sfq.create (Weights.uniform 1.0) in
+  Sfq.enqueue s ~now:0.0 (pkt ~flow:1 ~seq:1 ~len:10 ());
+  ignore (Sfq.dequeue s ~now:0.0);
+  (* queue now empty, packet conceptually in service; new arrival: *)
+  let stag, _ = Sfq.enqueue_tagged s ~now:0.0 (pkt ~flow:2 ~seq:1 ~len:10 ()) in
+  check_float "S = v = 0, not F(p1)" 0.0 stag
+
+let test_busy_period_end_bumps_vtime () =
+  let s = Sfq.create (Weights.uniform 1.0) in
+  Sfq.enqueue s ~now:0.0 (pkt ~flow:1 ~seq:1 ~len:10 ());
+  ignore (Sfq.dequeue s ~now:0.0);
+  (* Server polls empty queue: busy period over. *)
+  check_bool "idle poll" true (Sfq.dequeue s ~now:1.0 = None);
+  check_float "v = max served finish" 10.0 (Sfq.vtime s);
+  (* A reactivating flow starts at the bumped v. *)
+  let stag, _ = Sfq.enqueue_tagged s ~now:2.0 (pkt ~flow:2 ~seq:1 ~len:10 ()) in
+  check_float "new busy period start" 10.0 stag
+
+let test_orders_by_start_tag () =
+  let s = Sfq.create (Weights.of_list [ (1, 1.0); (2, 2.0) ]) in
+  Sfq.enqueue s ~now:0.0 (pkt ~flow:1 ~seq:1 ~len:6 ());
+  Sfq.enqueue s ~now:0.0 (pkt ~flow:1 ~seq:2 ~len:6 ());
+  Sfq.enqueue s ~now:0.0 (pkt ~flow:2 ~seq:1 ~len:6 ());
+  Sfq.enqueue s ~now:0.0 (pkt ~flow:2 ~seq:2 ~len:6 ());
+  (* S: flow1 -> 0, 6; flow2 -> 0, 3. Order: (1,1), (2,1) [tie, arrival],
+     (2,2) S=3, (1,2) S=6. *)
+  let order = List.map flow_seq (Sched.drain (Sfq.sched s) ~now:0.0) in
+  Alcotest.(check (list (pair int int))) "start order"
+    [ (1, 1); (2, 1); (2, 2); (1, 2) ]
+    order
+
+let test_generalized_rate_override () =
+  (* §2.3, eq. 36: finish tag uses the per-packet rate. *)
+  let s = Sfq.create (Weights.uniform 1.0) in
+  let _, f1 = Sfq.enqueue_tagged s ~now:0.0 (pkt ~rate:4.0 ~flow:1 ~seq:1 ~len:8 ()) in
+  check_float "F uses packet rate" 2.0 f1;
+  let s2, f2 = Sfq.enqueue_tagged s ~now:0.0 (pkt ~flow:1 ~seq:2 ~len:8 ()) in
+  check_float "chains from override" 2.0 s2;
+  check_float "flow weight resumes" 10.0 f2
+
+let test_tie_break_low_rate () =
+  let w = Weights.of_list [ (1, 100.0); (2, 1.0) ] in
+  let s = Sfq.create ~tie:(Sfq_sched.Tag_queue.Low_rate (fun f -> Weights.get w f)) w in
+  Sfq.enqueue s ~now:0.0 (pkt ~flow:1 ~seq:1 ~len:100 ());
+  Sfq.enqueue s ~now:0.0 (pkt ~flow:2 ~seq:1 ~len:1 ());
+  (* Both start tags 0; low-rate flow 2 preferred. *)
+  check_bool "low-rate first" true
+    (match Sfq.dequeue s ~now:0.0 with Some p -> p.Packet.flow = 2 | None -> false)
+
+let test_backlog_and_size () =
+  let s = Sfq.create (Weights.uniform 1.0) in
+  Sfq.enqueue s ~now:0.0 (pkt ~flow:1 ~seq:1 ~len:1 ());
+  Sfq.enqueue s ~now:0.0 (pkt ~flow:1 ~seq:2 ~len:1 ());
+  Sfq.enqueue s ~now:0.0 (pkt ~flow:2 ~seq:1 ~len:1 ());
+  check_int "size" 3 (Sfq.size s);
+  check_int "backlog 1" 2 (Sfq.backlog s 1);
+  check_int "backlog 2" 1 (Sfq.backlog s 2);
+  ignore (Sfq.dequeue s ~now:0.0);
+  check_int "size after" 2 (Sfq.size s)
+
+let test_peek_matches_dequeue () =
+  let s = Sfq.create (Weights.uniform 1.0) in
+  Sfq.enqueue s ~now:0.0 (pkt ~flow:1 ~seq:1 ~len:5 ());
+  Sfq.enqueue s ~now:0.0 (pkt ~flow:2 ~seq:1 ~len:3 ());
+  let peeked = Sfq.peek s in
+  let popped = Sfq.dequeue s ~now:0.0 in
+  check_bool "same" true
+    (match (peeked, popped) with Some a, Some b -> flow_seq a = flow_seq b | _ -> false)
+
+let test_reactivation_uses_old_finish () =
+  (* A flow that idles mid-busy-period resumes at max(v, F_prev). *)
+  let s = Sfq.create (Weights.uniform 1.0) in
+  Sfq.enqueue s ~now:0.0 (pkt ~flow:1 ~seq:1 ~len:100 ());
+  Sfq.enqueue s ~now:0.0 (pkt ~flow:2 ~seq:1 ~len:10 ());
+  ignore (Sfq.dequeue s ~now:0.0);
+  (* in service: flow 1 (S=0); v=0 *)
+  ignore (Sfq.dequeue s ~now:0.0);
+  (* flow 2 served; v = 0 still (its S=0) *)
+  (* Flow 2 returns while flow 1's F=100 not reached: S = max(0, 10). *)
+  let stag, _ = Sfq.enqueue_tagged s ~now:0.0 (pkt ~flow:2 ~seq:2 ~len:10 ()) in
+  check_float "resume at F_prev" 10.0 stag
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1 as a property                                              *)
+
+(* Random workload of two flows with random weights and packet sizes on
+   a random fluctuating server; the empirical H must stay within
+   l_f^max/r_f + l_m^max/r_m (plus float tolerance). *)
+let prop_theorem1 =
+  let gen =
+    QCheck.Gen.(
+      quad (int_range 1 1000) (* seed *)
+        (int_range 20 80) (* packets per flow *)
+        (int_range 1 4) (* weight ratio f *)
+        (int_range 1 4) (* weight ratio m *))
+  in
+  QCheck.Test.make ~name:"Theorem 1: SFQ fairness bound on variable-rate servers"
+    ~count:60 (QCheck.make gen ~print:QCheck.Print.(quad int int int int))
+    (fun (seed, n, wf, wm) ->
+      let rng = Sfq_util.Rng.create seed in
+      let r_f = 10.0 *. float_of_int wf and r_m = 10.0 *. float_of_int wm in
+      let weights = Weights.of_list [ (1, r_f); (2, r_m) ] in
+      let sim = Sim.create () in
+      let rate =
+        Rate_process.fc_random ~c:100.0 ~delta:500.0 ~seg:1.0 ~spread:80.0 ~rng
+      in
+      let server = Server.create sim ~name:"t1" ~rate ~sched:(Sfq.sched (Sfq.create weights)) () in
+      let log = Service_log.attach server in
+      let lmax_f = ref 0 and lmax_m = ref 0 in
+      (* Random per-packet lengths; both flows dumped at t=0 so they
+         stay backlogged throughout. *)
+      Sim.schedule sim ~at:0.0 (fun () ->
+          for seq = 1 to n do
+            let lf = 100 + Sfq_util.Rng.int rng 900 in
+            let lm = 100 + Sfq_util.Rng.int rng 900 in
+            lmax_f := Stdlib.max !lmax_f lf;
+            lmax_m := Stdlib.max !lmax_m lm;
+            Server.inject server (pkt ~flow:1 ~seq ~len:lf ());
+            Server.inject server (pkt ~flow:2 ~seq ~len:lm ())
+          done);
+      Sim.run_all sim ();
+      let h = Fairness.exact_h log ~f:1 ~m:2 ~r_f ~r_m ~until:(Sim.now sim) in
+      let bound =
+        Bounds.h_sfq ~lmax_f:(float_of_int !lmax_f) ~r_f ~lmax_m:(float_of_int !lmax_m)
+          ~r_m
+      in
+      h <= bound +. 1e-6)
+
+(* Conservation under randomized interleaving of enqueues and dequeues
+   (not just bulk drain). *)
+let prop_interleaved_conservation =
+  QCheck.Test.make ~name:"SFQ: interleaved enqueue/dequeue conservation" ~count:200
+    QCheck.(list (pair bool (pair (int_range 1 3) (int_range 1 500))))
+    (fun ops ->
+      let s = Sfq.create (Weights.uniform 1.0) in
+      let seqs = Hashtbl.create 8 in
+      let injected = ref 0 and popped = ref 0 in
+      let now = ref 0.0 in
+      List.iter
+        (fun (is_pop, (flow, len)) ->
+          now := !now +. 0.1;
+          if is_pop then begin
+            match Sfq.dequeue s ~now:!now with Some _ -> incr popped | None -> ()
+          end
+          else begin
+            let seq = (try Hashtbl.find seqs flow with Not_found -> 0) + 1 in
+            Hashtbl.replace seqs flow seq;
+            Sfq.enqueue s ~now:!now (pkt ~flow ~seq ~len ());
+            incr injected
+          end)
+        ops;
+      popped := !popped + List.length (Sched.drain (Sfq.sched s) ~now:!now);
+      !injected = !popped && Sfq.size s = 0)
+
+(* Start tags are non-decreasing in the order packets are served
+   during one busy period (the defining invariant of SFQ order). *)
+let prop_service_order_monotone =
+  QCheck.Test.make ~name:"SFQ: served start tags are non-decreasing" ~count:150
+    QCheck.(list_of_size Gen.(2 -- 50) (pair (int_range 1 4) (int_range 1 999)))
+    (fun ops ->
+      let s = Sfq.create (Weights.uniform 10.0) in
+      let seqs = Hashtbl.create 8 in
+      let tags = Hashtbl.create 64 in
+      List.iter
+        (fun (flow, len) ->
+          let seq = (try Hashtbl.find seqs flow with Not_found -> 0) + 1 in
+          Hashtbl.replace seqs flow seq;
+          let stag, _ = Sfq.enqueue_tagged s ~now:0.0 (pkt ~flow ~seq ~len ()) in
+          Hashtbl.replace tags (flow, seq) stag)
+        ops;
+      let drained = Sched.drain (Sfq.sched s) ~now:0.0 in
+      let rec monotone prev = function
+        | [] -> true
+        | p :: rest ->
+          let stag = Hashtbl.find tags (flow_seq p) in
+          stag >= prev -. 1e-12 && monotone stag rest
+      in
+      monotone neg_infinity drained)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sfq"
+    [
+      ( "tags",
+        [
+          Alcotest.test_case "first packet" `Quick test_first_packet_tags;
+          Alcotest.test_case "backlogged chain" `Quick test_backlogged_chain;
+          Alcotest.test_case "generalized rate" `Quick test_generalized_rate_override;
+          Alcotest.test_case "reactivation uses F_prev" `Quick test_reactivation_uses_old_finish;
+        ] );
+      ( "vtime",
+        [
+          Alcotest.test_case "v = S(in service)" `Quick test_vtime_is_start_of_in_service;
+          Alcotest.test_case "not bumped while serving" `Quick test_vtime_not_bumped_while_serving;
+          Alcotest.test_case "busy period end" `Quick test_busy_period_end_bumps_vtime;
+        ] );
+      ( "order",
+        [
+          Alcotest.test_case "by start tag" `Quick test_orders_by_start_tag;
+          Alcotest.test_case "low-rate tie break" `Quick test_tie_break_low_rate;
+          Alcotest.test_case "backlog/size" `Quick test_backlog_and_size;
+          Alcotest.test_case "peek" `Quick test_peek_matches_dequeue;
+        ] );
+      ( "properties",
+        [ q prop_theorem1; q prop_interleaved_conservation; q prop_service_order_monotone ] );
+    ]
