@@ -1,13 +1,32 @@
 (* The benchmark harness: regenerates every table and figure of the
    paper's evaluation (see DESIGN.md's experiment index E1-E13), then
-   runs the Bechamel micro-benchmarks behind Table 1's computational-
-   efficiency column (E14).
+   runs the micro-benchmarks behind Table 1's computational-efficiency
+   column (E14) and writes the machine-readable perf trajectory
+   BENCH_sched.json (see EXPERIMENTS.md, "E14 methodology").
 
-   dune exec bench/main.exe            -- everything
-   dune exec bench/main.exe -- quick   -- smaller workloads
-   dune exec bench/main.exe -- micro   -- only the Bechamel suite *)
+   dune exec bench/main.exe                -- everything
+   dune exec bench/main.exe -- quick       -- smaller workloads
+   dune exec bench/main.exe -- micro       -- only the Bechamel suite
+   dune exec bench/main.exe -- micro quick -- bench smoke (tiny quota)
 
+   The micro suite always writes BENCH_sched.json to the working
+   directory: ns/packet per discipline x flow count ("flow_scaling"),
+   plus a fixed-flow-count series over growing per-flow backlogs
+   ("depth_scaling") that shows per-packet cost is flat in queued
+   packets and logarithmic in flows for the Flow_heap schedulers —
+   the paper's O(log F) claim (S2.2, Table 1) — against the frozen
+   seed O(log Q) implementation (`sfq-ref`).
+
+   Timing is a bare monotonic-clock loop (median over several timed
+   batches, Gc.compact before sampling, workload-induced GC inside the
+   window). A sampling harness that stabilizes the GC between samples
+   would shift the collector work caused by one discipline's allocation
+   pattern out of its own measurement — exactly the cost a per-packet
+   boxed-entry heap pays and a structure-of-arrays heap avoids. *)
+
+open Sfq_util
 open Sfq_base
+open Sfq_sched
 open Sfq_experiments
 
 let line = String.make 78 '='
@@ -44,6 +63,22 @@ let run_experiments ~quick =
 (* E14: per-packet cost of each discipline (Table 1, complexity column) *)
 
 let flow_counts = [ 4; 64; 512 ]
+let depth_flow_count = 512
+let depths = [ 1; 4; 16; 64 ]
+
+(* The frozen seed SFQ (single per-packet heap, closure comparator,
+   O(log Q)) as a Sched.t, so the JSON trajectory always carries the
+   old-vs-new comparison. *)
+let sfq_ref_sched weights =
+  let t = Ref_sched.Sfq_ref.create weights in
+  {
+    Sched.name = "sfq-ref";
+    enqueue = (fun ~now pkt -> Ref_sched.Sfq_ref.enqueue t ~now pkt);
+    dequeue = (fun ~now -> Ref_sched.Sfq_ref.dequeue t ~now);
+    peek = (fun () -> Ref_sched.Sfq_ref.peek t);
+    size = (fun () -> Ref_sched.Sfq_ref.size t);
+    backlog = (fun flow -> Ref_sched.Sfq_ref.backlog t flow);
+  }
 
 let disciplines nflows =
   let weights = Weights.uniform 1000.0 in
@@ -51,6 +86,7 @@ let disciplines nflows =
   [
     ("fifo", fun () -> Disc.make Disc.Fifo weights);
     ("sfq", fun () -> Disc.make Disc.Sfq weights);
+    ("sfq-ref", fun () -> sfq_ref_sched weights);
     ("scfq", fun () -> Disc.make Disc.Scfq weights);
     ("wfq-fluid", fun () -> Disc.make (Disc.Wfq { capacity }) weights);
     ("wfq-real", fun () -> Disc.make (Disc.Wfq_real { capacity }) weights);
@@ -62,71 +98,201 @@ let disciplines nflows =
     ("fair-airport", fun () -> Disc.make Disc.Fair_airport weights);
   ]
 
-(* Steady state: the queue holds one packet per flow; each measured run
-   enqueues one packet (round-robin over flows) and dequeues one. The
-   clock passed in advances so time-driven disciplines do real work. *)
-let op_test ~name ~nflows make_sched =
+(* Only the tag-ordered O(log .) disciplines are interesting for the
+   backlog-depth series; round-robin and FIFO are O(1) by construction
+   and WFQ variants are dominated by the fluid simulation. *)
+let depth_disciplines =
+  let weights = Weights.uniform 1000.0 in
+  [
+    ("sfq", fun () -> Disc.make Disc.Sfq weights);
+    ("sfq-ref", fun () -> sfq_ref_sched weights);
+    ("scfq", fun () -> Disc.make Disc.Scfq weights);
+    ("virtual-clock", fun () -> Disc.make Disc.Virtual_clock weights);
+  ]
+
+type measurement = { disc : string; flows : int; depth : int; ns : float }
+
+let elapsed_ns t0 t1 = Int64.to_float (Int64.sub t1 t0)
+
+let median samples =
+  let a = Array.of_list samples in
+  Array.sort Float.compare a;
+  a.(Array.length a / 2)
+
+(* Steady state: the queue holds [depth] packets per flow; one measured
+   op enqueues one packet (round-robin over flows) and dequeues one,
+   preserving the backlog. The clock passed in advances so time-driven
+   disciplines do real work. Reported figure is the median ns/op over
+   [batches] timed batches. *)
+let steady_ns ~quick ~nflows ~depth make_sched =
+  let batches, batch_ops = if quick then (3, 1_000) else (5, 20_000) in
   let sched = make_sched () in
   let seqs = Array.make nflows 0 in
   let now = ref 0.0 in
   let flow = ref 0 in
+  let step () =
+    let f = !flow in
+    flow := (f + 1) mod nflows;
+    seqs.(f) <- seqs.(f) + 1;
+    now := !now +. 1e-4;
+    sched.Sched.enqueue ~now:!now (Packet.make ~flow:f ~seq:seqs.(f) ~len:1000 ~born:!now ());
+    ignore (sched.Sched.dequeue ~now:!now)
+  in
   for f = 0 to nflows - 1 do
-    seqs.(f) <- 1;
-    sched.Sched.enqueue ~now:0.0 (Packet.make ~flow:f ~seq:1 ~len:1000 ~born:0.0 ())
+    for _ = 1 to depth do
+      seqs.(f) <- seqs.(f) + 1;
+      sched.Sched.enqueue ~now:0.0 (Packet.make ~flow:f ~seq:seqs.(f) ~len:1000 ~born:0.0 ())
+    done
   done;
-  Bechamel.Test.make
-    ~name:(Printf.sprintf "%s/%d flows" name nflows)
-    (Bechamel.Staged.stage (fun () ->
-         let f = !flow in
-         flow := (f + 1) mod nflows;
-         seqs.(f) <- seqs.(f) + 1;
-         now := !now +. 1e-4;
-         sched.Sched.enqueue ~now:!now
-           (Packet.make ~flow:f ~seq:seqs.(f) ~len:1000 ~born:!now ());
-         ignore (sched.Sched.dequeue ~now:!now)))
+  for _ = 1 to batch_ops do
+    step ()
+  done;
+  Gc.compact ();
+  let samples = ref [] in
+  for _ = 1 to batches do
+    let t0 = Monotonic_clock.now () in
+    for _ = 1 to batch_ops do
+      step ()
+    done;
+    let t1 = Monotonic_clock.now () in
+    samples := (elapsed_ns t0 t1 /. float_of_int batch_ops) :: !samples
+  done;
+  median !samples
 
-let run_micro () =
+(* Fill/drain: enqueue nflows x depth packets, then drain the queue —
+   every packet pays one enqueue and one dequeue against the full
+   backlog, the per-packet cost of the paper's Table 1. One untimed
+   round first so rings and heaps reach their final capacity. *)
+let fill_drain_ns ~quick ~nflows ~depth make_sched =
+  let rounds = if quick then 2 else 7 in
+  let sched = make_sched () in
+  let npk = nflows * depth in
+  let round () =
+    let now = ref 0.0 in
+    for f = 0 to nflows - 1 do
+      for s = 1 to depth do
+        now := !now +. 1e-5;
+        sched.Sched.enqueue ~now:!now (Packet.make ~flow:f ~seq:s ~len:1000 ~born:!now ())
+      done
+    done;
+    for _ = 1 to npk do
+      now := !now +. 1e-5;
+      ignore (sched.Sched.dequeue ~now:!now)
+    done
+  in
+  round ();
+  Gc.compact ();
+  let samples = ref [] in
+  for _ = 1 to rounds do
+    let t0 = Monotonic_clock.now () in
+    round ();
+    let t1 = Monotonic_clock.now () in
+    samples := (elapsed_ns t0 t1 /. float_of_int npk) :: !samples
+  done;
+  median !samples
+
+(* --- JSON emission (by hand: no JSON library in the allowed set) --- *)
+
+(* JSON numbers cannot be NaN/inf; a failed estimate becomes null. *)
+let json_float ns =
+  if Float.is_nan ns || not (Float.is_finite ns) then "null"
+  else Printf.sprintf "%.3f" ns
+
+let emit_json ~quick ~flow_scaling ~depth_scaling path =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"schema\": \"sfq-bench-sched/1\",\n  \"quick\": %b,\n  \"unit\": \"ns per enqueue+dequeue\",\n"
+       quick);
+  Buffer.add_string buf "  \"flow_scaling\": [\n";
+  List.iteri
+    (fun i m ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"discipline\": %S, \"flows\": %d, \"ns_per_packet\": %s}"
+           m.disc m.flows (json_float m.ns)))
+    flow_scaling;
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"depth_scaling\": [\n";
+  List.iteri
+    (fun i m ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"discipline\": %S, \"flows\": %d, \"depth\": %d, \"queued_packets\": %d, \
+            \"ns_per_packet\": %s}"
+           m.disc m.flows m.depth (m.flows * m.depth) (json_float m.ns)))
+    depth_scaling;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote %s\n\n" path
+
+let run_micro ~quick () =
   section "E14: per-packet enqueue+dequeue cost (Table 1 complexity column)";
-  let open Bechamel in
-  let tests =
+  let flow_scaling =
     List.concat_map
       (fun nflows ->
-        List.map (fun (name, make) -> op_test ~name ~nflows make) (disciplines nflows))
+        List.map
+          (fun (name, make) ->
+            { disc = name; flows = nflows; depth = 1;
+              ns = steady_ns ~quick ~nflows ~depth:1 make })
+          (disciplines nflows))
       flow_counts
   in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
-  let ols =
-    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
-  in
-  let table = Sfq_util.Text_table.create [ "discipline"; "flows"; "ns/packet" ] in
+  let table = Text_table.create [ "discipline"; "flows"; "ns/packet" ] in
   List.iter
-    (fun test ->
-      List.iter
-        (fun elt ->
-          let raw = Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt in
-          let est = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
-          let ns =
-            match Analyze.OLS.estimates est with Some (x :: _) -> x | Some [] | None -> nan
-          in
-          match String.split_on_char '/' (Test.Elt.name elt) with
-          | [ disc; flows ] ->
-            Sfq_util.Text_table.add_row table
-              [ disc; flows; Printf.sprintf "%.0f" ns ]
-          | _ ->
-            Sfq_util.Text_table.add_row table
-              [ Test.Elt.name elt; ""; Printf.sprintf "%.0f" ns ])
-        (Test.elements test))
-    tests;
-  Sfq_util.Text_table.print table;
+    (fun m ->
+      Text_table.add_row table
+        [ m.disc; string_of_int m.flows; Printf.sprintf "%.0f" m.ns ])
+    flow_scaling;
+  Text_table.print table;
   print_endline
-    "(SFQ and SCFQ pay one O(log Q) heap operation per packet; WFQ's fluid clock\n\
-    \ adds the GPS simulation on top; DRR/WRR are O(1); Fair Airport runs two\n\
+    "(SFQ, SCFQ and Virtual Clock keep one heap entry per backlogged flow —\n\
+    \ O(log F) per packet, the paper's Table 1 bound; sfq-ref is the seed\n\
+    \ per-packet O(log Q) heap kept as a baseline. WFQ's fluid clock adds the\n\
+    \ GPS simulation on top; DRR/WRR are O(1); Fair Airport runs two\n\
     \ schedulers. The paper's claim: SFQ has SCFQ's cost, below WFQ's.)";
-  print_newline ()
+  print_newline ();
+  section
+    (Printf.sprintf "E14b: fill/drain cost vs per-flow backlog depth (%d flows)"
+       depth_flow_count);
+  let depth_scaling =
+    List.concat_map
+      (fun depth ->
+        List.map
+          (fun (name, make) ->
+            { disc = name; flows = depth_flow_count; depth;
+              ns = fill_drain_ns ~quick ~nflows:depth_flow_count ~depth make })
+          depth_disciplines)
+      depths
+  in
+  let dtable = Text_table.create [ "discipline"; "depth"; "queued pkts"; "ns/packet" ] in
+  List.iter
+    (fun m ->
+      Text_table.add_row dtable
+        [
+          m.disc;
+          string_of_int m.depth;
+          string_of_int (m.flows * m.depth);
+          Printf.sprintf "%.0f" m.ns;
+        ])
+    depth_scaling;
+  Text_table.print dtable;
+  print_endline
+    "(Each packet pays one enqueue and one dequeue against the full backlog.\n\
+    \ Per-flow-heap disciplines are flat in the backlog depth — their heap\n\
+    \ holds one entry per flow regardless of queued packets; the seed sfq-ref\n\
+    \ heap grows with every queued packet and pays O(log Q), plus the GC\n\
+    \ tax of one boxed heap entry per packet.)";
+  print_newline ();
+  emit_json ~quick ~flow_scaling ~depth_scaling "BENCH_sched.json"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "quick" args in
   let micro_only = List.mem "micro" args in
   if not micro_only then run_experiments ~quick;
-  run_micro ()
+  run_micro ~quick ()

@@ -1,9 +1,14 @@
 (** Per-flow mutable state, keyed by {!Packet.flow}.
 
-    A thin wrapper over [Hashtbl] that creates missing entries from a
-    [default] function — every scheduler keeps per-flow tags/queues and
-    must treat a never-seen flow as freshly initialized, per the
-    paper's convention [F(p_f^0) = 0]. *)
+    Creates missing entries from a [default] function — every scheduler
+    keeps per-flow tags/queues and must treat a never-seen flow as
+    freshly initialized, per the paper's convention [F(p_f^0) = 0].
+
+    Flow ids are dense small non-negative ints in practice, so lookups
+    for ids in [0, 2^20) are a direct array index (O(1), no hashing);
+    other ids transparently fall back to a hashtable. [iter]/[fold]
+    visit dense flows in ascending order, then fallback flows in
+    unspecified order — as before, only [flows] guarantees an order. *)
 
 type 'a t
 

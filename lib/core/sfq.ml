@@ -1,44 +1,37 @@
-open Sfq_util
 open Sfq_base
 open Sfq_sched
-
-type entry = { stag : float; ftag : float; uid : int; pkt : Packet.t }
 
 type busy_rule = Idle_poll | On_empty
 
 type t = {
   weights : Weights.t;
   busy_rule : busy_rule;
-  heap : entry Ds_heap.t;
-  counts : int Flow_table.t;
+  tie : Tag_queue.tie;
+  (* key = start tag, aux = finish tag. SFQ serves in start-tag order
+     and start tags are non-decreasing within a flow (eq. 4), so only
+     each flow's head packet sits in the heap: O(log F) per packet,
+     the paper's Table 1 bound, instead of O(log Q). *)
+  fh : Packet.t Flow_heap.t;
   finish : float Flow_table.t;  (* F(p_f^{j-1}); never reset — see §2 step 2 *)
   mutable v : float;
   mutable max_finish_served : float;
-  mutable next_uid : int;
 }
 
-let compare_entry tie a b =
-  match compare a.stag b.stag with
-  | 0 ->
-    let by_rate =
-      match (tie : Tag_queue.tie) with
-      | Arrival -> 0
-      | Low_rate w -> compare (w a.pkt.Packet.flow) (w b.pkt.Packet.flow)
-      | High_rate w -> compare (w b.pkt.Packet.flow) (w a.pkt.Packet.flow)
-    in
-    if by_rate <> 0 then by_rate else compare a.uid b.uid
-  | c -> c
+let tie_value tie flow =
+  match (tie : Tag_queue.tie) with
+  | Arrival -> 0.0
+  | Low_rate w -> w flow
+  | High_rate w -> -.w flow
 
-let create ?(tie = Tag_queue.Arrival) ?(busy_rule = Idle_poll) weights =
+let create ?(tie = Tag_queue.Arrival) ?(busy_rule = Idle_poll) ?capacity weights =
   {
     weights;
     busy_rule;
-    heap = Ds_heap.create ~cmp:(compare_entry tie) ();
-    counts = Flow_table.create ~default:(fun _ -> 0);
+    tie;
+    fh = Flow_heap.create ?capacity ();
     finish = Flow_table.create ~default:(fun _ -> 0.0);
     v = 0.0;
     max_finish_served = 0.0;
-    next_uid = 0;
   }
 
 let packet_rate t pkt =
@@ -49,15 +42,13 @@ let enqueue_tagged t ~now:_ pkt =
   let stag = Float.max t.v (Flow_table.find t.finish flow) in
   let ftag = stag +. (float_of_int pkt.Packet.len /. packet_rate t pkt) in
   Flow_table.set t.finish flow ftag;
-  Ds_heap.add t.heap { stag; ftag; uid = t.next_uid; pkt };
-  t.next_uid <- t.next_uid + 1;
-  Flow_table.set t.counts flow (Flow_table.find t.counts flow + 1);
+  Flow_heap.push t.fh ~flow ~key:stag ~aux:ftag ~tie:(tie_value t.tie flow) pkt;
   (stag, ftag)
 
 let enqueue t ~now pkt = ignore (enqueue_tagged t ~now pkt)
 
 let dequeue t ~now:_ =
-  match Ds_heap.pop_min t.heap with
+  match Flow_heap.pop t.fh with
   | None ->
     (* The server asked for work and found none: the busy period is
        over (the queue being momentarily empty while a packet is still
@@ -67,19 +58,18 @@ let dequeue t ~now:_ =
        F(p^{j-1}) can never lag v. *)
     t.v <- Float.max t.v t.max_finish_served;
     None
-  | Some e ->
-    t.v <- e.stag;
-    if e.ftag > t.max_finish_served then t.max_finish_served <- e.ftag;
-    Flow_table.set t.counts e.pkt.Packet.flow (Flow_table.find t.counts e.pkt.Packet.flow - 1);
-    if t.busy_rule = On_empty && Ds_heap.is_empty t.heap then
+  | Some { key = stag; aux = ftag; value = pkt; _ } ->
+    t.v <- stag;
+    if ftag > t.max_finish_served then t.max_finish_served <- ftag;
+    if t.busy_rule = On_empty && Flow_heap.is_empty t.fh then
       (* The deliberately wrong variant for the ablation: treats a
          momentarily empty queue as the end of the busy period. *)
       t.v <- t.max_finish_served;
-    Some e.pkt
+    Some pkt
 
-let peek t = match Ds_heap.min_elt t.heap with None -> None | Some e -> Some e.pkt
-let size t = Ds_heap.length t.heap
-let backlog t flow = Flow_table.find t.counts flow
+let peek t = match Flow_heap.peek t.fh with None -> None | Some p -> Some p.Flow_heap.value
+let size t = Flow_heap.size t.fh
+let backlog t flow = Flow_heap.backlog t.fh flow
 let vtime t = t.v
 
 let sched t =

@@ -41,10 +41,13 @@ type busy_rule =
           the [busy-rule] ablation experiment, which shows it silently
           doubles the measured unfairness *)
 
-val create : ?tie:Tag_queue.tie -> ?busy_rule:busy_rule -> Weights.t -> t
+val create : ?tie:Tag_queue.tie -> ?busy_rule:busy_rule -> ?capacity:int -> Weights.t -> t
 (** [tie] refines ordering among equal start tags (default arrival
     order); §2.3 notes the delay guarantee is tie-independent but a
-    low-throughput-first rule improves average delay. *)
+    low-throughput-first rule improves average delay. [capacity]
+    pre-sizes the flow-head heap (one slot per backlogged flow —
+    packets are stored per-flow FIFO and enqueue/dequeue cost
+    O(log F), the paper's Table 1 bound). *)
 
 val enqueue : t -> now:float -> Packet.t -> unit
 

@@ -1,45 +1,43 @@
 open Sfq_util
 
-type event = { at : float; seq : int; fn : unit -> unit }
-
 type t = {
-  queue : event Ds_heap.t;
+  (* key = firing time, uid = scheduling order: equal-time events fire
+     in scheduling order, and the monomorphic heap spares the netsim
+     loop a closure call per comparison. *)
+  queue : (unit -> unit) Fheap.t;
   mutable clock : float;
   mutable next_seq : int;
   mutable fired : int;
 }
 
-let compare_event a b =
-  match compare a.at b.at with 0 -> compare a.seq b.seq | c -> c
-
-let create () =
-  { queue = Ds_heap.create ~cmp:compare_event (); clock = 0.0; next_seq = 0; fired = 0 }
+let create () = { queue = Fheap.create ~capacity:64 (); clock = 0.0; next_seq = 0; fired = 0 }
 
 let now t = t.clock
 
 let schedule t ~at fn =
   if at < t.clock then
     invalid_arg (Printf.sprintf "Sim.schedule: at=%g is before now=%g" at t.clock);
-  Ds_heap.add t.queue { at; seq = t.next_seq; fn };
+  Fheap.add t.queue ~key:at ~tie:0.0 ~uid:t.next_seq fn;
   t.next_seq <- t.next_seq + 1
 
 let schedule_after t ~delay fn =
   if delay < 0.0 then invalid_arg "Sim.schedule_after: negative delay";
   schedule t ~at:(t.clock +. delay) fn
 
-let fire t e =
-  t.clock <- e.at;
+let fire t ~at fn =
+  t.clock <- at;
   t.fired <- t.fired + 1;
-  e.fn ()
+  fn ()
 
 let run t ~until =
   let rec loop () =
-    match Ds_heap.min_elt t.queue with
-    | Some e when e.at <= until ->
-      ignore (Ds_heap.pop_min t.queue);
-      fire t e;
-      loop ()
-    | Some _ | None -> ()
+    if (not (Fheap.is_empty t.queue)) && Fheap.min_key_exn t.queue <= until then begin
+      match Fheap.pop t.queue with
+      | Some (at, fn) ->
+        fire t ~at fn;
+        loop ()
+      | None -> ()
+    end
   in
   loop ();
   if until > t.clock then t.clock <- until
@@ -47,14 +45,14 @@ let run t ~until =
 let run_all t ?(limit = 100_000_000) () =
   let rec loop n =
     if n < limit then begin
-      match Ds_heap.pop_min t.queue with
-      | Some e ->
-        fire t e;
+      match Fheap.pop t.queue with
+      | Some (at, fn) ->
+        fire t ~at fn;
         loop (n + 1)
       | None -> ()
     end
   in
   loop 0
 
-let pending t = Ds_heap.length t.queue
+let pending t = Fheap.length t.queue
 let events_fired t = t.fired

@@ -1,0 +1,58 @@
+(** Tag-ordered packet store with per-flow FIFOs: the paper's O(log F)
+    structure (§2.2, Table 1).
+
+    Every discipline in this library assigns tags that are
+    {e non-decreasing within a flow} (eqs. 4–5 and their SCFQ / Virtual
+    Clock / EDD analogues), so the globally smallest queued tag is
+    always carried by the {e head} packet of some flow. Exploiting
+    that, this container keeps one FIFO ring per flow and enters only
+    each flow's head in a {!Sfq_util.Fheap}; a dequeue pops the heap
+    and promotes the flow's successor. Heap operations therefore cost
+    O(log F) in the number of {e backlogged flows} — flat in the number
+    of queued packets — while pushes into a backlogged flow are O(1)
+    ring appends. Pop order is exactly ascending [(key, tie, uid)]
+    over all queued entries, bit-for-bit what a single global heap
+    over every packet would produce (uids are assigned in push order).
+
+    Precondition: keys pushed to the {e same flow} must be
+    non-decreasing, and [tie] must be constant per flow while the flow
+    is backlogged; violating either reorders that flow relative to the
+    global-heap semantics. Keys and ties must not be NaN. *)
+
+open Sfq_base
+
+type 'a t
+
+type 'a popped = {
+  key : float;  (** ordering tag the entry was pushed with *)
+  aux : float;  (** caller's auxiliary float (e.g. SFQ's finish tag) *)
+  uid : int;  (** push-order number, unique across the whole store *)
+  flow : Packet.flow;
+  value : 'a;
+}
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] pre-sizes the flow-head heap (one slot per backlogged
+    flow, not per packet). *)
+
+val push : 'a t -> flow:Packet.flow -> key:float -> ?aux:float -> tie:float -> 'a -> unit
+(** Append to [flow]'s FIFO. [tie] refines ordering among equal keys of
+    different flows (ascending, then push order); [aux] (default 0.)
+    is stored and returned untouched. *)
+
+val pop : 'a t -> 'a popped option
+(** Remove and return the entry with the smallest [(key, tie, uid)]. *)
+
+val peek : 'a t -> 'a popped option
+(** Like {!pop} without removing. *)
+
+val size : 'a t -> int
+(** Total queued entries across all flows. *)
+
+val is_empty : 'a t -> bool
+
+val backlog : 'a t -> Packet.flow -> int
+(** Queued entries of one flow. *)
+
+val active_flows : 'a t -> int
+(** Number of backlogged flows (= current heap size). *)

@@ -10,10 +10,11 @@ type t = {
   mutable sum_active : float;  (* Σ r_j over the fluid-backlogged set *)
   backlogged : (Packet.flow, unit) Hashtbl.t;
   finish : float Flow_table.t;  (* per-flow largest finish tag this busy period *)
-  (* Fluid departure events: (finish_tag, flow). Entries go stale when a
-     flow receives more packets (its departure moves later); stale
+  (* Fluid departure events: key = finish tag, payload (and uid, for
+     the explicit finish-then-flow order) = flow. Entries go stale when
+     a flow receives more packets (its departure moves later); stale
      entries are detected on pop by comparing against [finish]. *)
-  departures : (float * Packet.flow) Ds_heap.t;
+  departures : Packet.flow Fheap.t;
 }
 
 let create ~capacity ?(real_system_empty = fun () -> true) weights =
@@ -27,7 +28,7 @@ let create ~capacity ?(real_system_empty = fun () -> true) weights =
     sum_active = 0.0;
     backlogged = Hashtbl.create 16;
     finish = Flow_table.create ~default:(fun _ -> 0.0);
-    departures = Ds_heap.create ~cmp:compare ();
+    departures = Fheap.create ();
   }
 
 let depart t flow =
@@ -37,17 +38,17 @@ let depart t flow =
 
 let rec advance t ~now =
   if t.sum_active > 0.0 then begin
-    match Ds_heap.min_elt t.departures with
+    match Fheap.min t.departures with
     | Some (tag, flow)
       when (not (Hashtbl.mem t.backlogged flow)) || tag < Flow_table.find t.finish flow ->
       (* Stale event: the flow already departed, or received more
          packets and will depart later (a fresher event is queued). *)
-      ignore (Ds_heap.pop_min t.departures);
+      ignore (Fheap.pop t.departures);
       advance t ~now
     | Some (tag, flow) ->
       let dt = (tag -. t.v) *. t.sum_active /. t.capacity in
       if t.updated +. dt <= now then begin
-        ignore (Ds_heap.pop_min t.departures);
+        ignore (Fheap.pop t.departures);
         t.v <- tag;
         t.updated <- t.updated +. dt;
         depart t flow;
@@ -72,7 +73,7 @@ let on_arrival t ~now pkt =
        predecessors. *)
     t.v <- 0.0;
     Flow_table.clear t.finish;
-    Ds_heap.clear t.departures
+    Fheap.clear t.departures
   end;
   let flow = pkt.Packet.flow in
   let rate = Weights.get t.weights flow in
@@ -84,7 +85,7 @@ let on_arrival t ~now pkt =
     Hashtbl.replace t.backlogged flow ();
     t.sum_active <- t.sum_active +. rate
   end;
-  Ds_heap.add t.departures (finish_tag, flow);
+  Fheap.add t.departures ~key:finish_tag ~tie:0.0 ~uid:flow flow;
   (start_tag, finish_tag)
 
 let vtime t ~now =

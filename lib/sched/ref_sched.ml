@@ -1,0 +1,303 @@
+(* Frozen copies of the seed per-packet-heap schedulers: one boxed
+   entry per queued packet in a single closure-compared {!Sfq_util.Ds_heap},
+   i.e. the O(log Q) structure the library shipped with before the
+   per-flow {!Flow_heap} port. They exist as differential-testing
+   oracles (test/test_order_equiv.ml asserts the production schedulers
+   are packet-for-packet identical to these on randomized workloads)
+   and as the benchmark baseline that quantifies the O(log Q) →
+   O(log F) win (bench/main.ml's depth-scaling series). Do not
+   optimize or simplify these modules — their entire value is
+   preserving seed behaviour bit for bit. *)
+
+open Sfq_util
+open Sfq_base
+
+(** Seed [Tag_queue]: every packet in one heap, tie rule evaluated by a
+    closure comparator on every sift step. *)
+module Tag_queue_ref = struct
+  type entry = { tag : float; uid : int; pkt : Packet.t }
+
+  type t = {
+    heap : entry Ds_heap.t;
+    counts : int Flow_table.t;
+    mutable next_uid : int;
+  }
+
+  let compare_entry (tie : Tag_queue.tie) a b =
+    match compare a.tag b.tag with
+    | 0 ->
+      let by_rate =
+        match tie with
+        | Arrival -> 0
+        | Low_rate w -> compare (w a.pkt.Packet.flow) (w b.pkt.Packet.flow)
+        | High_rate w -> compare (w b.pkt.Packet.flow) (w a.pkt.Packet.flow)
+      in
+      if by_rate <> 0 then by_rate else compare a.uid b.uid
+    | c -> c
+
+  let create ?(tie = Tag_queue.Arrival) () =
+    {
+      heap = Ds_heap.create ~cmp:(compare_entry tie) ();
+      counts = Flow_table.create ~default:(fun _ -> 0);
+      next_uid = 0;
+    }
+
+  let push t ~tag pkt =
+    Ds_heap.add t.heap { tag; uid = t.next_uid; pkt };
+    t.next_uid <- t.next_uid + 1;
+    Flow_table.set t.counts pkt.Packet.flow (Flow_table.find t.counts pkt.Packet.flow + 1)
+
+  let pop t =
+    match Ds_heap.pop_min t.heap with
+    | None -> None
+    | Some e ->
+      Flow_table.set t.counts e.pkt.Packet.flow
+        (Flow_table.find t.counts e.pkt.Packet.flow - 1);
+      Some (e.tag, e.pkt)
+
+  let peek t =
+    match Ds_heap.min_elt t.heap with None -> None | Some e -> Some (e.tag, e.pkt)
+
+  let size t = Ds_heap.length t.heap
+  let backlog t flow = Flow_table.find t.counts flow
+  let is_empty t = Ds_heap.is_empty t.heap
+end
+
+(** Seed SFQ core (lib/core/sfq.ml before the Flow_heap port). *)
+module Sfq_ref = struct
+  type entry = { stag : float; ftag : float; uid : int; pkt : Packet.t }
+
+  type busy_rule = Idle_poll | On_empty
+
+  type t = {
+    weights : Weights.t;
+    busy_rule : busy_rule;
+    heap : entry Ds_heap.t;
+    counts : int Flow_table.t;
+    finish : float Flow_table.t;
+    mutable v : float;
+    mutable max_finish_served : float;
+    mutable next_uid : int;
+  }
+
+  let compare_entry (tie : Tag_queue.tie) a b =
+    match compare a.stag b.stag with
+    | 0 ->
+      let by_rate =
+        match tie with
+        | Arrival -> 0
+        | Low_rate w -> compare (w a.pkt.Packet.flow) (w b.pkt.Packet.flow)
+        | High_rate w -> compare (w b.pkt.Packet.flow) (w a.pkt.Packet.flow)
+      in
+      if by_rate <> 0 then by_rate else compare a.uid b.uid
+    | c -> c
+
+  let create ?(tie = Tag_queue.Arrival) ?(busy_rule = Idle_poll) weights =
+    {
+      weights;
+      busy_rule;
+      heap = Ds_heap.create ~cmp:(compare_entry tie) ();
+      counts = Flow_table.create ~default:(fun _ -> 0);
+      finish = Flow_table.create ~default:(fun _ -> 0.0);
+      v = 0.0;
+      max_finish_served = 0.0;
+      next_uid = 0;
+    }
+
+  let packet_rate t pkt =
+    match pkt.Packet.rate with Some r -> r | None -> Weights.get t.weights pkt.Packet.flow
+
+  let enqueue t ~now:_ pkt =
+    let flow = pkt.Packet.flow in
+    let stag = Float.max t.v (Flow_table.find t.finish flow) in
+    let ftag = stag +. (float_of_int pkt.Packet.len /. packet_rate t pkt) in
+    Flow_table.set t.finish flow ftag;
+    Ds_heap.add t.heap { stag; ftag; uid = t.next_uid; pkt };
+    t.next_uid <- t.next_uid + 1;
+    Flow_table.set t.counts flow (Flow_table.find t.counts flow + 1)
+
+  let dequeue t ~now:_ =
+    match Ds_heap.pop_min t.heap with
+    | None ->
+      t.v <- Float.max t.v t.max_finish_served;
+      None
+    | Some e ->
+      t.v <- e.stag;
+      if e.ftag > t.max_finish_served then t.max_finish_served <- e.ftag;
+      Flow_table.set t.counts e.pkt.Packet.flow
+        (Flow_table.find t.counts e.pkt.Packet.flow - 1);
+      if t.busy_rule = On_empty && Ds_heap.is_empty t.heap then t.v <- t.max_finish_served;
+      Some e.pkt
+
+  let peek t = match Ds_heap.min_elt t.heap with None -> None | Some e -> Some e.pkt
+  let size t = Ds_heap.length t.heap
+  let backlog t flow = Flow_table.find t.counts flow
+  let vtime t = t.v
+end
+
+(** Seed SCFQ, on the seed tag queue. *)
+module Scfq_ref = struct
+  type t = {
+    weights : Weights.t;
+    queue : Tag_queue_ref.t;
+    finish : float Flow_table.t;
+    mutable v : float;
+  }
+
+  let create ?tie weights =
+    {
+      weights;
+      queue = Tag_queue_ref.create ?tie ();
+      finish = Flow_table.create ~default:(fun _ -> 0.0);
+      v = 0.0;
+    }
+
+  let enqueue t ~now:_ pkt =
+    let flow = pkt.Packet.flow in
+    let rate = Weights.get t.weights flow in
+    let start_tag = Float.max t.v (Flow_table.find t.finish flow) in
+    let finish_tag = start_tag +. (float_of_int pkt.Packet.len /. rate) in
+    Flow_table.set t.finish flow finish_tag;
+    Tag_queue_ref.push t.queue ~tag:finish_tag pkt
+
+  let dequeue t ~now:_ =
+    match Tag_queue_ref.pop t.queue with
+    | None ->
+      t.v <- 0.0;
+      Flow_table.clear t.finish;
+      None
+    | Some (finish_tag, p) ->
+      t.v <- finish_tag;
+      Some p
+
+  let size t = Tag_queue_ref.size t.queue
+  let backlog t flow = Tag_queue_ref.backlog t.queue flow
+  let vtime t = t.v
+end
+
+(** Seed Virtual Clock, on the seed tag queue. *)
+module Virtual_clock_ref = struct
+  type t = { weights : Weights.t; eat : Eat.t; queue : Tag_queue_ref.t }
+
+  let create ?tie weights =
+    { weights; eat = Eat.create (); queue = Tag_queue_ref.create ?tie () }
+
+  let packet_rate t pkt =
+    match pkt.Packet.rate with Some r -> r | None -> Weights.get t.weights pkt.Packet.flow
+
+  let enqueue t ~now pkt =
+    let rate = packet_rate t pkt in
+    let eat = Eat.on_arrival t.eat ~now ~flow:pkt.Packet.flow ~len:pkt.Packet.len ~rate in
+    let stamp = eat +. (float_of_int pkt.Packet.len /. rate) in
+    Tag_queue_ref.push t.queue ~tag:stamp pkt
+
+  let dequeue t ~now:_ =
+    match Tag_queue_ref.pop t.queue with None -> None | Some (_, p) -> Some p
+
+  let size t = Tag_queue_ref.size t.queue
+  let backlog t flow = Tag_queue_ref.backlog t.queue flow
+end
+
+(** Seed FQS, on the seed tag queue (shares the production {!Gps}). *)
+module Fqs_ref = struct
+  type t = { gps : Gps.t; queue : Tag_queue_ref.t }
+
+  let create ~capacity ?tie weights =
+    let queue = Tag_queue_ref.create ?tie () in
+    {
+      gps =
+        Gps.create ~capacity
+          ~real_system_empty:(fun () -> Tag_queue_ref.is_empty queue)
+          weights;
+      queue;
+    }
+
+  let enqueue t ~now pkt =
+    let start_tag, _finish_tag = Gps.on_arrival t.gps ~now pkt in
+    Tag_queue_ref.push t.queue ~tag:start_tag pkt
+
+  let dequeue t ~now:_ =
+    match Tag_queue_ref.pop t.queue with None -> None | Some (_, p) -> Some p
+
+  let size t = Tag_queue_ref.size t.queue
+  let backlog t flow = Tag_queue_ref.backlog t.queue flow
+end
+
+(** Seed WF²Q: two closure-compared per-packet heaps (shares the
+    production {!Gps}). *)
+module Wf2q_ref = struct
+  type entry = { stag : float; ftag : float; uid : int; pkt : Packet.t }
+
+  type t = {
+    gps : Gps.t;
+    pending : entry Ds_heap.t;
+    eligible : entry Ds_heap.t;
+    counts : int Flow_table.t;
+    mutable last_now : float;
+    mutable next_uid : int;
+  }
+
+  let tie_compare (tie : Tag_queue.tie) a b =
+    let by_rate =
+      match tie with
+      | Arrival -> 0
+      | Low_rate w -> compare (w a.pkt.Packet.flow) (w b.pkt.Packet.flow)
+      | High_rate w -> compare (w b.pkt.Packet.flow) (w a.pkt.Packet.flow)
+    in
+    if by_rate <> 0 then by_rate else compare a.uid b.uid
+
+  let create ~capacity ?(tie = Tag_queue.Arrival) weights =
+    let by_start a b =
+      match compare a.stag b.stag with 0 -> tie_compare tie a b | c -> c
+    in
+    let by_finish a b =
+      match compare a.ftag b.ftag with 0 -> tie_compare tie a b | c -> c
+    in
+    let pending = Ds_heap.create ~cmp:by_start () in
+    let eligible = Ds_heap.create ~cmp:by_finish () in
+    let real_system_empty () = Ds_heap.is_empty pending && Ds_heap.is_empty eligible in
+    {
+      gps = Gps.create ~capacity ~real_system_empty weights;
+      pending;
+      eligible;
+      counts = Flow_table.create ~default:(fun _ -> 0);
+      last_now = 0.0;
+      next_uid = 0;
+    }
+
+  let enqueue t ~now pkt =
+    t.last_now <- Float.max t.last_now now;
+    let stag, ftag = Gps.on_arrival t.gps ~now pkt in
+    t.next_uid <- t.next_uid + 1;
+    Ds_heap.add t.pending { stag; ftag; uid = t.next_uid; pkt };
+    Flow_table.set t.counts pkt.Packet.flow (Flow_table.find t.counts pkt.Packet.flow + 1)
+
+  let promote t ~now =
+    let v = Gps.vtime t.gps ~now in
+    let rec go () =
+      match Ds_heap.min_elt t.pending with
+      | Some e when e.stag <= v +. 1e-12 ->
+        ignore (Ds_heap.pop_min t.pending);
+        Ds_heap.add t.eligible e;
+        go ()
+      | Some _ | None -> ()
+    in
+    go ()
+
+  let take t e =
+    Flow_table.set t.counts e.pkt.Packet.flow
+      (Flow_table.find t.counts e.pkt.Packet.flow - 1);
+    Some e.pkt
+
+  let dequeue t ~now =
+    t.last_now <- Float.max t.last_now now;
+    promote t ~now;
+    match Ds_heap.pop_min t.eligible with
+    | Some e -> take t e
+    | None -> begin
+      match Ds_heap.pop_min t.pending with Some e -> take t e | None -> None
+    end
+
+  let size t = Ds_heap.length t.pending + Ds_heap.length t.eligible
+  let backlog t flow = Flow_table.find t.counts flow
+end

@@ -1,50 +1,36 @@
-open Sfq_util
 open Sfq_base
 
 type tie = Arrival | Low_rate of (Packet.flow -> float) | High_rate of (Packet.flow -> float)
 
-type entry = { tag : float; uid : int; pkt : Packet.t }
+type t = { fh : Packet.t Flow_heap.t; tie : tie }
 
-type t = {
-  heap : entry Ds_heap.t;
-  counts : int Flow_table.t;
-  mutable next_uid : int;
-}
+(* The tie rule collapses to one float per flow, compared ascending:
+   weights are positive, so [<] on them (or on their negation for
+   High_rate) agrees exactly with the closure comparators the seed
+   implementation evaluated on every sift step. Evaluated once per
+   push; weight functions are fixed for the life of a queue. *)
+let tie_value tie flow =
+  match tie with
+  | Arrival -> 0.0
+  | Low_rate w -> w flow
+  | High_rate w -> -.w flow
 
-let compare_entry tie a b =
-  match compare a.tag b.tag with
-  | 0 ->
-    let by_rate =
-      match tie with
-      | Arrival -> 0
-      | Low_rate w -> compare (w a.pkt.Packet.flow) (w b.pkt.Packet.flow)
-      | High_rate w -> compare (w b.pkt.Packet.flow) (w a.pkt.Packet.flow)
-    in
-    if by_rate <> 0 then by_rate else compare a.uid b.uid
-  | c -> c
-
-let create ?(tie = Arrival) () =
-  {
-    heap = Ds_heap.create ~cmp:(compare_entry tie) ();
-    counts = Flow_table.create ~default:(fun _ -> 0);
-    next_uid = 0;
-  }
+let create ?(tie = Arrival) ?capacity () = { fh = Flow_heap.create ?capacity (); tie }
 
 let push t ~tag pkt =
-  Ds_heap.add t.heap { tag; uid = t.next_uid; pkt };
-  t.next_uid <- t.next_uid + 1;
-  Flow_table.set t.counts pkt.Packet.flow (Flow_table.find t.counts pkt.Packet.flow + 1)
+  let flow = pkt.Packet.flow in
+  Flow_heap.push t.fh ~flow ~key:tag ~tie:(tie_value t.tie flow) pkt
 
 let pop t =
-  match Ds_heap.pop_min t.heap with
+  match Flow_heap.pop t.fh with
   | None -> None
-  | Some e ->
-    Flow_table.set t.counts e.pkt.Packet.flow (Flow_table.find t.counts e.pkt.Packet.flow - 1);
-    Some (e.tag, e.pkt)
+  | Some p -> Some (p.Flow_heap.key, p.Flow_heap.value)
 
 let peek t =
-  match Ds_heap.min_elt t.heap with None -> None | Some e -> Some (e.tag, e.pkt)
+  match Flow_heap.peek t.fh with
+  | None -> None
+  | Some p -> Some (p.Flow_heap.key, p.Flow_heap.value)
 
-let size t = Ds_heap.length t.heap
-let backlog t flow = Flow_table.find t.counts flow
-let is_empty t = Ds_heap.is_empty t.heap
+let size t = Flow_heap.size t.fh
+let backlog t flow = Flow_heap.backlog t.fh flow
+let is_empty t = Flow_heap.is_empty t.fh

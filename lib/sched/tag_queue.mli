@@ -10,7 +10,14 @@
     An optional [tie] comparator refines ordering {e between equal
     tags} before the arrival-order fallback — §2.3 of the paper notes
     that SFQ's delay guarantee is tie-break independent but that a rule
-    favouring low-throughput flows reduces their average delay. *)
+    favouring low-throughput flows reduces their average delay.
+
+    Because tags are non-decreasing within a flow, the queue is backed
+    by {!Flow_heap}: per-flow FIFOs with only each flow's head packet
+    in the heap, so [push]/[pop] cost O(log F) in backlogged flows
+    rather than O(log Q) in queued packets (§2.2, Table 1). The tie
+    weight function is evaluated at push time and must be fixed for
+    the life of the queue. *)
 
 open Sfq_base
 
@@ -21,7 +28,9 @@ type tie = Arrival | Low_rate of (Packet.flow -> float) | High_rate of (Packet.f
     among equal tags prefer the flow with the smaller/larger weight
     under [w], then arrival order. *)
 
-val create : ?tie:tie -> unit -> t
+val create : ?tie:tie -> ?capacity:int -> unit -> t
+(** [capacity] pre-sizes the flow-head heap. *)
+
 val push : t -> tag:float -> Packet.t -> unit
 val pop : t -> (float * Packet.t) option
 (** Smallest-tag packet and its tag. *)

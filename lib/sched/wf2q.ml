@@ -1,37 +1,32 @@
 open Sfq_util
 open Sfq_base
 
-type entry = { stag : float; ftag : float; uid : int; pkt : Packet.t }
-
+(* Both stages run on monomorphic float-keyed heaps. Packets wait in
+   per-flow FIFOs ({!Flow_heap}): only each flow's oldest unreleased
+   packet sits in [pending] (start tags are non-decreasing within a
+   flow, eq. 4), so the pending stage costs O(log F). Released packets
+   move to [eligible] keyed by finish tag, carrying their original
+   push-order uid so the (tag, tie, uid) order is exactly the seed
+   per-packet-heap order. *)
 type t = {
   gps : Gps.t;
-  pending : entry Ds_heap.t;  (* not yet eligible, ordered by start tag *)
-  eligible : entry Ds_heap.t;  (* ordered by finish tag *)
+  pending : Packet.t Flow_heap.t;  (* key = start tag, aux = finish tag *)
+  eligible : Packet.t Fheap.t;  (* key = finish tag *)
   counts : int Flow_table.t;
   tie : Tag_queue.tie;
   mutable last_now : float;
-  mutable next_uid : int;
 }
 
-let tie_compare tie a b =
-  let by_rate =
-    match (tie : Tag_queue.tie) with
-    | Arrival -> 0
-    | Low_rate w -> compare (w a.pkt.Packet.flow) (w b.pkt.Packet.flow)
-    | High_rate w -> compare (w b.pkt.Packet.flow) (w a.pkt.Packet.flow)
-  in
-  if by_rate <> 0 then by_rate else compare a.uid b.uid
+let tie_value tie flow =
+  match (tie : Tag_queue.tie) with
+  | Arrival -> 0.0
+  | Low_rate w -> w flow
+  | High_rate w -> -.w flow
 
 let create ~capacity ?(tie = Tag_queue.Arrival) weights =
-  let by_start a b =
-    match compare a.stag b.stag with 0 -> tie_compare tie a b | c -> c
-  in
-  let by_finish a b =
-    match compare a.ftag b.ftag with 0 -> tie_compare tie a b | c -> c
-  in
-  let pending = Ds_heap.create ~cmp:by_start () in
-  let eligible = Ds_heap.create ~cmp:by_finish () in
-  let real_system_empty () = Ds_heap.is_empty pending && Ds_heap.is_empty eligible in
+  let pending = Flow_heap.create () in
+  let eligible = Fheap.create () in
+  let real_system_empty () = Flow_heap.is_empty pending && Fheap.is_empty eligible in
   {
     gps = Gps.create ~capacity ~real_system_empty weights;
     pending;
@@ -39,54 +34,60 @@ let create ~capacity ?(tie = Tag_queue.Arrival) weights =
     counts = Flow_table.create ~default:(fun _ -> 0);
     tie;
     last_now = 0.0;
-    next_uid = 0;
   }
 
 let enqueue t ~now pkt =
   t.last_now <- Float.max t.last_now now;
+  let flow = pkt.Packet.flow in
   let stag, ftag = Gps.on_arrival t.gps ~now pkt in
-  t.next_uid <- t.next_uid + 1;
-  Ds_heap.add t.pending { stag; ftag; uid = t.next_uid; pkt };
-  Flow_table.set t.counts pkt.Packet.flow (Flow_table.find t.counts pkt.Packet.flow + 1)
+  Flow_heap.push t.pending ~flow ~key:stag ~aux:ftag ~tie:(tie_value t.tie flow) pkt;
+  Flow_table.set t.counts flow (Flow_table.find t.counts flow + 1)
 
 (* Move packets the fluid system has started (S <= v) to the eligible
-   heap. *)
+   heap. Releasing a flow's head exposes its successor in [pending], so
+   the loop drains exactly the packets a global start-tag heap would. *)
 let promote t ~now =
   let v = Gps.vtime t.gps ~now in
   let rec go () =
-    match Ds_heap.min_elt t.pending with
-    | Some e when e.stag <= v +. 1e-12 ->
-      ignore (Ds_heap.pop_min t.pending);
-      Ds_heap.add t.eligible e;
+    match Flow_heap.peek t.pending with
+    | Some e when e.Flow_heap.key <= v +. 1e-12 ->
+      let e = Option.get (Flow_heap.pop t.pending) in
+      Fheap.add t.eligible ~key:e.Flow_heap.aux
+        ~tie:(tie_value t.tie e.Flow_heap.flow)
+        ~uid:e.Flow_heap.uid e.Flow_heap.value;
       go ()
     | Some _ | None -> ()
   in
   go ()
 
-let take t e =
-  Flow_table.set t.counts e.pkt.Packet.flow (Flow_table.find t.counts e.pkt.Packet.flow - 1);
-  Some e.pkt
+let take t pkt =
+  Flow_table.set t.counts pkt.Packet.flow (Flow_table.find t.counts pkt.Packet.flow - 1);
+  Some pkt
 
 let dequeue t ~now =
   t.last_now <- Float.max t.last_now now;
   promote t ~now;
-  match Ds_heap.pop_min t.eligible with
-  | Some e -> take t e
+  match Fheap.pop_elt t.eligible with
+  | Some pkt -> take t pkt
   | None -> begin
     (* Work conservation: nothing eligible, serve the earliest start
        tag rather than idling. *)
-    match Ds_heap.pop_min t.pending with Some e -> take t e | None -> None
+    match Flow_heap.pop t.pending with
+    | Some e -> take t e.Flow_heap.value
+    | None -> None
   end
 
 let peek t =
   promote t ~now:t.last_now;
-  match Ds_heap.min_elt t.eligible with
-  | Some e -> Some e.pkt
+  match Fheap.min_elt t.eligible with
+  | Some pkt -> Some pkt
   | None -> begin
-    match Ds_heap.min_elt t.pending with Some e -> Some e.pkt | None -> None
+    match Flow_heap.peek t.pending with
+    | Some e -> Some e.Flow_heap.value
+    | None -> None
   end
 
-let size t = Ds_heap.length t.pending + Ds_heap.length t.eligible
+let size t = Flow_heap.size t.pending + Fheap.length t.eligible
 let backlog t flow = Flow_table.find t.counts flow
 
 let sched t =

@@ -2,17 +2,21 @@ type 'a t = {
   cmp : 'a -> 'a -> int;
   mutable data : 'a array;
   mutable size : int;
+  hint : int;
 }
 
-(* [capacity] is accepted for API stability but the backing array is
-   allocated lazily on first [add]: we cannot conjure an ['a] dummy. *)
-let create ?capacity:_ ~cmp () = { cmp; data = [||]; size = 0 }
+(* The backing array is allocated lazily on first [add] (we cannot
+   conjure an ['a] dummy), but at the requested [capacity], so a
+   pre-sized heap never pays the grow-doubling copies. *)
+let create ?(capacity = 16) ~cmp () =
+  if capacity < 1 then invalid_arg "Ds_heap.create: capacity must be >= 1";
+  { cmp; data = [||]; size = 0; hint = capacity }
 
 let length h = h.size
 let is_empty h = h.size = 0
 
 let grow h x =
-  if Array.length h.data = 0 then h.data <- Array.make 16 x
+  if Array.length h.data = 0 then h.data <- Array.make h.hint x
   else if h.size = Array.length h.data then begin
     let data = Array.make (2 * h.size) x in
     Array.blit h.data 0 data 0 h.size;
@@ -75,7 +79,7 @@ let iter h ~f =
   done
 
 let to_sorted_list h =
-  let copy = { cmp = h.cmp; data = Array.sub h.data 0 h.size; size = h.size } in
+  let copy = { cmp = h.cmp; data = Array.sub h.data 0 h.size; size = h.size; hint = h.hint } in
   let rec drain acc =
     match pop_min copy with None -> List.rev acc | Some x -> drain (x :: acc)
   in

@@ -10,8 +10,10 @@
 type 'a t
 
 val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
-(** [create ~cmp ()] is an empty heap ordered by [cmp]. [capacity] is an
-    initial size hint for the backing array (default 16). *)
+(** [create ~cmp ()] is an empty heap ordered by [cmp]. [capacity]
+    (default 16) sizes the backing array on first insertion, so a heap
+    whose peak size is known up front never re-allocates.
+    @raise Invalid_argument if [capacity < 1]. *)
 
 val length : 'a t -> int
 (** Number of elements currently stored. *)

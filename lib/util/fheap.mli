@@ -1,0 +1,59 @@
+(** Monomorphic float-keyed binary min-heap (structure of arrays).
+
+    The scheduling hot path orders every queue in this library by the
+    same three-field key: a float tag, a float tie refinement, and an
+    int arrival number. {!Ds_heap} pays for its generality there — one
+    boxed entry per element, a closure comparator call per sift step,
+    and (for tuple keys) polymorphic [compare]. This heap hard-codes
+    the [(key, tie, uid)] lexicographic order and stores each field in
+    its own unboxed array, so comparisons compile to inline float/int
+    tests and insertion allocates nothing.
+
+    Ordering: ascending [key], then ascending [tie], then ascending
+    [uid]. The [tie] field is a float rather than an int because it
+    carries flow weights — OCaml's 63-bit native ints cannot hold an
+    order-preserving image of every positive double, while float
+    arrays are unboxed anyway, so nothing is lost. Callers encoding
+    "prefer the larger weight" negate the weight. [uid] must be unique
+    per element whenever popping order must be deterministic; with
+    distinct uids the order is total, so pop order is independent of
+    insertion order. Keys and ties must not be NaN.
+
+    [add] and [pop] are O(log n); [min]/[min_elt]/[min_key_exn] are
+    O(1). Keep {!Ds_heap} for heterogeneous orderings (version counters,
+    multi-field records) that do not fit this shape. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is an empty heap. [capacity] (default 16) pre-sizes the
+    backing arrays so a heap of known peak size never pays the
+    grow-and-copy doubling. @raise Invalid_argument if [capacity < 1]. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:float -> tie:float -> uid:int -> 'a -> unit
+(** Insert a payload under the given ordering fields. *)
+
+val min_key_exn : 'a t -> float
+(** Smallest key, without allocation.
+    @raise Invalid_argument on an empty heap. *)
+
+val min_elt : 'a t -> 'a option
+(** Payload of the smallest element, without removing it. *)
+
+val min : 'a t -> (float * 'a) option
+(** Key and payload of the smallest element, without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove the smallest element; returns its key and payload. *)
+
+val pop_elt : 'a t -> 'a option
+(** Remove the smallest element; returns just the payload. *)
+
+val clear : 'a t -> unit
+(** Remove every element (backing arrays are retained). *)
+
+val iter : 'a t -> f:(float -> 'a -> unit) -> unit
+(** Apply [f key payload] to every element in unspecified order. *)
