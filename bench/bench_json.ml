@@ -1,0 +1,191 @@
+(* Strict JSON parsing + schema checks for BENCH_sched.json. See the
+   mli for why this is hand-rolled and strict. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some ('"' | '\\' | '/') ->
+          Buffer.add_char b (Option.get (peek ()));
+          advance ()
+        | Some 'n' ->
+          Buffer.add_char b '\n';
+          advance ()
+        | Some 't' ->
+          Buffer.add_char b '\t';
+          advance ()
+        | Some ('b' | 'f' | 'r') -> advance ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | _ -> fail "bad \\u escape"
+          done
+        | _ -> fail "bad escape");
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let chunk = String.sub s start (!pos - start) in
+    match float_of_string_opt chunk with
+    | Some f -> Num f
+    | None -> fail (Printf.sprintf "bad number %S" chunk)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or } in object"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | _ -> fail "expected , or ] in array"
+        in
+        elements []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field name = function
+  | Obj kvs -> (
+    match List.assoc_opt name kvs with
+    | Some v -> v
+    | None -> raise (Bad (Printf.sprintf "missing field %S" name)))
+  | _ -> raise (Bad (Printf.sprintf "expected object around %S" name))
+
+let check_rows ~series ~depth rows =
+  match rows with
+  | List [] -> raise (Bad (Printf.sprintf "%s is empty" series))
+  | List rows ->
+    List.iter
+      (fun row ->
+        (match field "discipline" row with
+        | Str _ -> ()
+        | _ -> raise (Bad (series ^ ": discipline must be a string")));
+        (match field "flows" row with
+        | Num f when Float.is_integer f && f > 0.0 -> ()
+        | _ -> raise (Bad (series ^ ": flows must be a positive integer")));
+        (match field "ns_per_packet" row with
+        | Num ns when ns > 0.0 -> ()
+        | Null -> ()  (* a failed OLS estimate is allowed, but must be explicit *)
+        | _ -> raise (Bad (series ^ ": ns_per_packet must be positive or null")));
+        if depth then begin
+          match field "depth" row with
+          | Num d when Float.is_integer d && d > 0.0 -> ()
+          | _ -> raise (Bad (series ^ ": depth must be a positive integer"))
+        end)
+      rows
+  | _ -> raise (Bad (Printf.sprintf "%s must be an array" series))
+
+let validate contents =
+  match
+    let json = parse contents in
+    (match field "schema" json with
+    | Str "sfq-bench-sched/1" -> ()
+    | _ -> raise (Bad "unexpected schema"));
+    check_rows ~series:"flow_scaling" ~depth:false (field "flow_scaling" json);
+    check_rows ~series:"depth_scaling" ~depth:true (field "depth_scaling" json)
+  with
+  | () -> Ok ()
+  | exception Bad msg -> Error msg

@@ -1,0 +1,40 @@
+(** Parser and schema checker for [BENCH_sched.json], the machine-readable
+    bench trajectory emitted by [main.exe micro]. Split out of the
+    [validate_bench_json] CLI so unit tests can exercise acceptance and
+    rejection without spawning a process.
+
+    The parser is a strict recursive-descent JSON reader — no JSON
+    library is in the allowed dependency set. Strictness matters: a
+    truncated file, a bare [nan] (illegal JSON, which
+    [Printf "%f"]-style emitters can produce), or trailing garbage must
+    all be rejected, because the bench harness's output is consumed by
+    machines. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+val parse : string -> json
+(** Parse a complete JSON document.
+    @raise Bad on any syntax error, including trailing garbage. *)
+
+val field : string -> json -> json
+(** [field name obj] extracts a member.
+    @raise Bad if [obj] is not an object or lacks [name]. *)
+
+val check_rows : series:string -> depth:bool -> json -> unit
+(** Validate one scaling series: a non-empty array of rows, each with a
+    string [discipline], a positive-integer [flows], a positive-or-null
+    [ns_per_packet], and (when [depth]) a positive-integer [depth].
+    @raise Bad on the first offending row. *)
+
+val validate : string -> (unit, string) result
+(** [validate contents] checks a whole document: well-formed JSON,
+    [schema = "sfq-bench-sched/1"], and both [flow_scaling] and
+    [depth_scaling] series. Returns [Error msg] instead of raising. *)

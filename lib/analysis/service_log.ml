@@ -12,26 +12,31 @@ type flow_acct = {
 
 type t = { completions : completion Vec.t; acct : flow_acct Flow_table.t }
 
+let create () =
+  {
+    completions = Vec.create ();
+    acct =
+      Flow_table.create ~default:(fun _ ->
+          { backlog = 0; opened_at = nan; intervals = Vec.create () });
+  }
+
+let note_arrival t ~at flow =
+  let a = Flow_table.find t.acct flow in
+  if a.backlog = 0 then a.opened_at <- at;
+  a.backlog <- a.backlog + 1
+
+let note_completion t ~flow ~start ~finish ~len =
+  Vec.push t.completions { flow; start; finish; len };
+  let a = Flow_table.find t.acct flow in
+  a.backlog <- a.backlog - 1;
+  if a.backlog = 0 then Vec.push a.intervals (a.opened_at, finish)
+
 let attach server =
-  let t =
-    {
-      completions = Vec.create ();
-      acct =
-        Flow_table.create ~default:(fun _ ->
-            { backlog = 0; opened_at = nan; intervals = Vec.create () });
-    }
-  in
+  let t = create () in
   let sim = Server.sim server in
-  Server.on_inject server (fun p ->
-      let a = Flow_table.find t.acct p.Packet.flow in
-      if a.backlog = 0 then a.opened_at <- Sim.now sim;
-      a.backlog <- a.backlog + 1);
+  Server.on_inject server (fun p -> note_arrival t ~at:(Sim.now sim) p.Packet.flow);
   Server.on_depart server (fun p ~start ~departed ->
-      Vec.push t.completions
-        { flow = p.Packet.flow; start; finish = departed; len = p.Packet.len };
-      let a = Flow_table.find t.acct p.Packet.flow in
-      a.backlog <- a.backlog - 1;
-      if a.backlog = 0 then Vec.push a.intervals (a.opened_at, departed));
+      note_completion t ~flow:p.Packet.flow ~start ~finish:departed ~len:p.Packet.len);
   t
 
 let completions t = t.completions

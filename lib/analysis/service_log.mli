@@ -18,6 +18,20 @@ type t
 
 val attach : Server.t -> t
 
+val create : unit -> t
+(** An empty log to be filled by hand with {!note_arrival} /
+    {!note_completion} — for harnesses (e.g. the oracle monitors) that
+    drive a scheduler directly rather than through a {!Server.t}. *)
+
+val note_arrival : t -> at:float -> Packet.flow -> unit
+(** Record that a packet of the flow arrived at time [at] (opens a busy
+    interval if the flow was idle). *)
+
+val note_completion :
+  t -> flow:Packet.flow -> start:float -> finish:float -> len:int -> unit
+(** Record a service completion; closes the flow's busy interval if
+    this departure empties its queue. Call in finish order. *)
+
 val completions : t -> completion Sfq_util.Vec.t
 (** In finish order. *)
 

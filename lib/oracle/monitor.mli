@@ -1,0 +1,126 @@
+(** Online theorem oracles: the paper's guarantees as executable
+    invariants.
+
+    A monitor consumes the event stream of one scheduler run — every
+    arrival, every (fixed-rate) service completion, every idle poll —
+    and latches the {e first} violation of the property it encodes.
+    {!wrap} turns any {!Sfq_base.Sched.t} into an observed scheduler
+    that feeds a list of monitors, so the same workload driver
+    exercises every discipline and every deliberately-broken mutant
+    under the same set of oracles.
+
+    Which theorem each monitor encodes:
+    - {!work_conserving}: the work-conservation premise of §1/§2 — a
+      non-empty scheduler must hand over a packet when the server asks;
+    - {!flow_fifo}: packets of a flow depart in arrival order and
+      none are fabricated, duplicated or dropped (the paper's model,
+      §2.1);
+    - {!tag_monotone}: the virtual time v(t) is non-decreasing within
+      a busy period (lemmas behind eqs. 4–6);
+    - {!fairness}: Theorem 1 —
+      [|W_f(t1,t2)/r_f − W_m(t1,t2)/r_m| <= l_f^max/r_f + l_m^max/r_m]
+      for every interval in which both flows are backlogged;
+    - {!sfq_delay}: Theorem 4 at a constant-rate server (δ = 0) —
+      [L_SFQ(p_f^j) <= EAT(p_f^j) + Σ_{n≠f} l_n^max/C + l_f^j/C];
+    - {!scfq_delay}: eq. 56 —
+      [L_SCFQ(p_f^j) <= EAT(p_f^j) + Σ_{n≠f} l_n^max/C + l_f^j/r_f];
+    - {!sfq_throughput}: Theorem 2 with δ = 0 — a continuously
+      backlogged flow receives at least
+      [r_f(t2−t1) − r_f Σ_n l_n^max/C − l_f^max] bits.
+
+    The delay and throughput bounds presuppose [Σ_n r_n <= C]; attach
+    those monitors only to runs that satisfy it ({!Workload} never
+    oversubscribes). Theorem 1 needs no such premise. *)
+
+open Sfq_base
+
+type event =
+  | Arrival of { at : float; pkt : Packet.t }
+  | Departure of { start : float; finish : float; pkt : Packet.t }
+      (** Fixed-rate service: [finish = start + len/C]. *)
+  | Idle of { at : float; backlog : int }
+      (** A dequeue returned [None]; [backlog] is the observer's own
+          arrivals-minus-departures count at that instant. *)
+
+type violation = { monitor : string; at : float; what : string }
+
+type t
+
+val name : t -> string
+
+val observe : t -> event -> unit
+(** Feed one event. After the first violation the monitor latches and
+    ignores further events. *)
+
+val finalize : t -> until:float -> unit
+(** Run end-of-trace checks (the interval-quantified theorems measure
+    over the whole run). Call exactly once, after the last event. *)
+
+val result : t -> violation option
+(** The first violation, if any. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** {1 Structural monitors} *)
+
+val work_conserving : unit -> t
+
+val flow_fifo : unit -> t
+
+val tag_monotone : name:string -> ?allow_idle_reset:bool -> vtime:(unit -> float) -> unit -> t
+(** Samples [vtime ()] after every event and requires it to be
+    non-decreasing. [allow_idle_reset] (default [true]) permits an
+    arbitrary jump at an {!Idle} event — SCFQ restarts v at 0 when a
+    busy period ends; SFQ only ever raises it, so SFQ callers may pass
+    [false] for the stricter check. *)
+
+(** {1 Theorem monitors} *)
+
+val fairness :
+  ?name:string ->
+  ?bound:(lmax_f:float -> r_f:float -> lmax_m:float -> r_m:float -> float) ->
+  rate:(Packet.flow -> float) ->
+  unit -> t
+(** Theorem 1. At {!finalize}, computes {!Sfq_analysis.Fairness.exact_h}
+    for every pair of flows seen and compares it against [bound]
+    (default {!Sfq_core.Bounds.h_sfq}) instantiated with the largest
+    packet length observed per flow. *)
+
+val sfq_delay :
+  flows:Packet.flow list ->
+  lmax:(Packet.flow -> float) ->
+  rate:(Packet.flow -> float) ->
+  capacity:float ->
+  unit -> t
+(** Theorem 4, δ = 0. EAT (eq. 37) is maintained from arrivals using
+    the packet's own rate ([Packet.rate] override if present, the
+    flow's reserved rate otherwise — generalized SFQ, §2.3). [lmax]
+    gives each flow's maximum packet length (a static flow property in
+    the theorem; use the workload-wide maximum). *)
+
+val scfq_delay :
+  flows:Packet.flow list ->
+  lmax:(Packet.flow -> float) ->
+  rate:(Packet.flow -> float) ->
+  capacity:float ->
+  unit -> t
+(** Eq. 56. SCFQ has no per-packet rates: EAT and the [l/r] term both
+    use the flow's reserved rate. *)
+
+val sfq_throughput :
+  flows:Packet.flow list ->
+  lmax:(Packet.flow -> float) ->
+  rate:(Packet.flow -> float) ->
+  capacity:float ->
+  unit -> t
+(** Theorem 2, δ = 0, checked at {!finalize} over every window
+    [\[t1,t2\]] whose endpoints are service boundaries (or the
+    interval's own endpoints) inside a maximal backlogged interval of
+    the flow. *)
+
+(** {1 Attaching to a scheduler} *)
+
+val wrap : Sched.t -> capacity:float -> monitors:t list -> Sched.t
+(** An observed view of the scheduler: [enqueue] emits {!Arrival},
+    [dequeue] emits {!Departure} (with [finish = now + len/capacity])
+    or {!Idle}. [peek]/[size]/[backlog] pass through unobserved. *)

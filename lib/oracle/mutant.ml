@@ -1,0 +1,130 @@
+open Sfq_base
+open Sfq_util
+
+type mode = Stale_vtime | No_weight | Finish_key | Lifo | Lazy_idle
+
+let all = [ Stale_vtime; No_weight; Finish_key; Lifo; Lazy_idle ]
+
+let name = function
+  | Stale_vtime -> "stale_vtime"
+  | No_weight -> "no_weight"
+  | Finish_key -> "finish_key"
+  | Lifo -> "lifo"
+  | Lazy_idle -> "lazy_idle"
+
+(* An SFQ clone small enough to break on purpose: a single Fheap over
+   every queued packet (no per-flow rings — Flow_heap's FIFO structure
+   would make the Lifo mutant unrepresentable). *)
+let sched mode weights =
+  let heap : (float * Packet.t) Fheap.t = Fheap.create () in
+  let finish : (Packet.flow, float) Hashtbl.t = Hashtbl.create 16 in
+  let counts : (Packet.flow, int) Hashtbl.t = Hashtbl.create 16 in
+  let v = ref 0.0 in
+  let uid = ref 0 in
+  let polls = ref 0 in
+  let bump flow d =
+    Hashtbl.replace counts flow
+      (Option.value (Hashtbl.find_opt counts flow) ~default:0 + d)
+  in
+  let enqueue ~now:_ pkt =
+    let flow = pkt.Packet.flow in
+    let r = match mode with No_weight -> 1.0 | _ -> Weights.get weights flow in
+    let prev = Option.value (Hashtbl.find_opt finish flow) ~default:0.0 in
+    let stag = Float.max !v prev in
+    let ftag = stag +. (float_of_int pkt.Packet.len /. r) in
+    Hashtbl.replace finish flow ftag;
+    incr uid;
+    bump flow 1;
+    let key, u =
+      match mode with
+      | Finish_key -> (ftag, !uid)
+      | Lifo -> (0.0, - !uid)
+      | _ -> (stag, !uid)
+    in
+    Fheap.add heap ~key ~tie:0.0 ~uid:u (stag, pkt)
+  in
+  let dequeue ~now:_ =
+    incr polls;
+    if mode = Lazy_idle && !polls mod 3 = 0 then None
+    else
+      match Fheap.pop heap with
+      | None ->
+        (* busy period over: restart the clock like the real thing *)
+        if mode <> Stale_vtime then begin
+          v := 0.0;
+          Hashtbl.reset finish
+        end;
+        None
+      | Some (_key, (stag, pkt)) ->
+        if mode <> Stale_vtime then v := Float.max !v stag;
+        bump pkt.Packet.flow (-1);
+        Some pkt
+  in
+  let s =
+    {
+      Sched.name = "sfq-mutant-" ^ name mode;
+      enqueue;
+      dequeue;
+      peek = (fun () -> Option.map (fun (_, p) -> p) (Fheap.min_elt heap));
+      size = (fun () -> Fheap.length heap);
+      backlog =
+        (fun flow -> Option.value (Hashtbl.find_opt counts flow) ~default:0);
+    }
+  in
+  (s, fun () -> !v)
+
+let burst ?rate ~at ~flow ~len n : Workload.arrival list =
+  List.init n (fun _ -> { Workload.at; flow; len; rate })
+
+let workload mode : Workload.t =
+  match mode with
+  | Stale_vtime ->
+    (* f2 wakes at t=50 with v stuck at 0: its start tags restart at 0
+       and it monopolizes the link until they catch up — during the
+       both-backlogged window f1 gets nothing for ~5 packet times,
+       |W1/r1 − W2/r2| ≈ 111 s >> bound 2·l/r = 44.4 s. *)
+    {
+      capacity = 100.0;
+      weights = [ (1, 45.0); (2, 45.0) ];
+      arrivals = burst ~at:0.0 ~flow:1 ~len:1000 20 @ burst ~at:50.0 ~flow:2 ~len:1000 20;
+      reweights = [];
+    }
+  | No_weight ->
+    (* 8:1 reservation served 1:1: drift reaches ~260 s, bound 11.25 s. *)
+    {
+      capacity = 1000.0;
+      weights = [ (1, 800.0); (2, 100.0) ];
+      arrivals = burst ~at:0.0 ~flow:1 ~len:1000 30 @ burst ~at:0.0 ~flow:2 ~len:1000 30;
+      reweights = [];
+    }
+  | Finish_key ->
+    (* The low-rate flow's lone packet has the largest finish tag, so
+       finish-tag order serves it dead last (t = 310 s); Theorem 4
+       promises EAT + l2max/C + l/C = 20 s. *)
+    {
+      capacity = 100.0;
+      weights = [ (1, 2.0); (2, 90.0) ];
+      arrivals = burst ~at:0.0 ~flow:2 ~len:1000 30 @ burst ~at:0.0 ~flow:1 ~len:1000 1;
+      reweights = [];
+    }
+  | Lifo ->
+    {
+      capacity = 100.0;
+      weights = [ (1, 50.0) ];
+      arrivals = burst ~at:0.0 ~flow:1 ~len:1000 3;
+      reweights = [];
+    }
+  | Lazy_idle ->
+    {
+      capacity = 100.0;
+      weights = [ (1, 50.0) ];
+      arrivals = burst ~at:0.0 ~flow:1 ~len:1000 6;
+      reweights = [];
+    }
+
+let expected_monitor = function
+  | Stale_vtime -> "fairness"
+  | No_weight -> "fairness"
+  | Finish_key -> "sfq_delay"
+  | Lifo -> "flow_fifo"
+  | Lazy_idle -> "work_conserving"

@@ -1,0 +1,45 @@
+(** Deliberately-broken SFQ variants: the mutation self-check.
+
+    A monitor suite that never fires is indistinguishable from one
+    that checks nothing, so each mutant seeds one classic scheduler
+    bug and ships with a crafted workload on which the bug is
+    {e provably} outside the paper's guarantees — the test asserts the
+    expected monitor trips. The unmutated disciplines passing the same
+    monitors over the fuzzed pool is only meaningful evidence because
+    of this check. *)
+
+open Sfq_base
+
+type mode =
+  | Stale_vtime
+      (** v(t) is never advanced (stuck at 0), so a flow that goes
+          backlogged mid-busy-period re-enters at start tag ≈ 0 and
+          steals service: breaks Theorem 1 (eq. 4's [max(v(A), F)] is
+          what couples newly-active flows to the server's progress). *)
+  | No_weight
+      (** Finish tags use [l] instead of [l/r_f] (skipped weight
+          normalization): equal service for unequal reservations,
+          breaks Theorem 1. *)
+  | Finish_key
+      (** Serves in finish-tag order instead of start-tag order while
+          still self-clocking v from the popped packet's start tag —
+          the §2.3 discussion's point that serving by F forfeits SFQ's
+          low-rate-flow latency: breaks Theorem 4. *)
+  | Lifo  (** Serves the newest packet first: breaks per-flow FIFO. *)
+  | Lazy_idle
+      (** Returns [None] on every third poll despite backlog: breaks
+          work conservation. *)
+
+val all : mode list
+val name : mode -> string
+
+val sched : mode -> Weights.t -> Sched.t * (unit -> float)
+(** The broken scheduler and its virtual-time accessor (for
+    {!Monitor.tag_monotone}). *)
+
+val workload : mode -> Workload.t
+(** A crafted trace on which the mode's bug violates a theorem by a
+    wide margin (no tolerance-edge flakiness). *)
+
+val expected_monitor : mode -> string
+(** Name of the monitor that must appear among the run's violations. *)

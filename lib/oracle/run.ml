@@ -1,0 +1,75 @@
+open Sfq_base
+
+type outcome = {
+  violations : Monitor.violation list;
+  departures : int;
+  finished_at : float;
+}
+
+type op = Arrive of Workload.arrival | Reweight of Workload.reweight
+
+let op_time = function
+  | Arrive (a : Workload.arrival) -> a.at
+  | Reweight (r : Workload.reweight) -> r.at
+
+let fixed_rate ~sched ?(on_reweight = fun ~flow:_ ~rate:_ -> ()) ~monitors
+    (w : Workload.t) =
+  let wrapped = Monitor.wrap sched ~capacity:w.capacity ~monitors in
+  let ops =
+    List.merge
+      (fun a b -> compare (op_time a) (op_time b))
+      (List.map (fun a -> Arrive a) w.arrivals)
+      (List.map (fun r -> Reweight r) w.reweights)
+  in
+  let seq : (Packet.flow, int) Hashtbl.t = Hashtbl.create 16 in
+  let next_seq flow =
+    let s = Option.value (Hashtbl.find_opt seq flow) ~default:0 + 1 in
+    Hashtbl.replace seq flow s;
+    s
+  in
+  let deliver ops ~upto =
+    let rec go = function
+      | op :: rest when op_time op <= upto ->
+        (match op with
+        | Arrive a ->
+          let pkt =
+            Packet.make ?rate:a.rate ~flow:a.flow ~seq:(next_seq a.flow)
+              ~len:a.len ~born:a.at ()
+          in
+          wrapped.Sched.enqueue ~now:a.at pkt
+        | Reweight r -> on_reweight ~flow:r.flow ~rate:r.rate);
+        go rest
+      | rest -> rest
+    in
+    go ops
+  in
+  let departures = ref 0 in
+  let max_steps = (10 * List.length w.arrivals) + 1000 in
+  let steps = ref 0 in
+  let rec loop now ops =
+    incr steps;
+    if !steps > max_steps then now
+    else
+      match wrapped.Sched.dequeue ~now with
+      | Some p ->
+        incr departures;
+        let finish = now +. (float_of_int p.Packet.len /. w.capacity) in
+        let ops = deliver ops ~upto:finish in
+        loop finish ops
+      | None -> (
+        match ops with
+        | [] -> if wrapped.Sched.size () > 0 then loop now ops else now
+        | op :: _ ->
+          let t = op_time op in
+          let ops = deliver ops ~upto:t in
+          loop (Float.max now t) ops)
+  in
+  let t0 = match ops with [] -> 0.0 | op :: _ -> op_time op in
+  let rest = deliver ops ~upto:t0 in
+  let finished_at = loop t0 rest in
+  List.iter (fun m -> Monitor.finalize m ~until:finished_at) monitors;
+  {
+    violations = List.filter_map Monitor.result monitors;
+    departures = !departures;
+    finished_at;
+  }

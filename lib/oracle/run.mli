@@ -1,0 +1,30 @@
+(** Fixed-rate workload driver.
+
+    Replays a {!Workload.t} against a scheduler behind
+    {!Monitor.wrap}: a constant-rate server serving one packet at a
+    time, delivering each arrival at its own timestamp, and — crucially
+    for SFQ's §2 step 2 and SCFQ's restart — {e polling} the scheduler
+    on every idle transition, so busy-period-end virtual-time updates
+    actually fire. After draining, every monitor is finalized at the
+    run's last instant. *)
+
+open Sfq_base
+
+type outcome = {
+  violations : Monitor.violation list;  (** first violation per tripped monitor *)
+  departures : int;
+  finished_at : float;
+}
+
+val fixed_rate :
+  sched:Sched.t ->
+  ?on_reweight:(flow:Packet.flow -> rate:float -> unit) ->
+  monitors:Monitor.t list ->
+  Workload.t ->
+  outcome
+(** Packets are sequence-numbered per flow in arrival order.
+    [on_reweight] fires at each {!Workload.reweight}'s timestamp
+    (callers owning mutable weight tables apply the change there). A
+    step cap (10× the trace length) bounds runs against mutants that
+    stall or refuse to drain; monitors will already have latched the
+    violation by then. *)

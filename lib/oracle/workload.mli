@@ -1,0 +1,61 @@
+(** Adversarial workload generation for the theorem oracles.
+
+    A workload is a complete description of one fixed-rate-server run:
+    the link capacity, the per-flow reserved rates (never
+    oversubscribed, so the paper's delay/throughput theorems apply),
+    a time-ordered arrival trace mixing back-to-back bursts, sub-packet
+    gaps and long idle periods, optional per-packet rate overrides
+    (generalized SFQ, §2.3) and optional mid-run weight changes.
+
+    The qcheck shrinker minimizes failing traces by dropping arrivals,
+    clearing rate overrides and dropping reweight events — small
+    counterexamples, not 80-packet walls of text. *)
+
+type arrival = {
+  at : float;  (** seconds; non-decreasing across the trace *)
+  flow : int;
+  len : int;  (** bits *)
+  rate : float option;  (** per-packet rate override, bits/s *)
+}
+
+type reweight = { at : float; flow : int; rate : float }
+
+type t = {
+  capacity : float;  (** link rate, bits/s *)
+  weights : (int * float) list;  (** reserved rates; [Σ r <= capacity] *)
+  arrivals : arrival list;
+  reweights : reweight list;
+}
+
+val flows : t -> int list
+val rate_of : t -> int -> float
+(** 0 for unknown flows. *)
+
+val lmax : t -> int -> float
+(** Largest packet length (bits) the flow sends; 0 if it never sends. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val gen : ?reweights:bool -> ?rate_overrides:bool -> unit -> t QCheck.Gen.t
+(** 1–5 flows with weights drawn from a 16:1 spread and scaled to a
+    50–95% total utilization; 5–80 arrivals whose inter-arrival gaps
+    mix bursts (gap 0), fractions of a max-packet service time, a few
+    service times, and long idle gaps (5–20 service times, forcing
+    busy-period boundaries). [rate_overrides] (default [true]) lets
+    ~10% of packets carry a rate override at 30–100% of the flow's
+    reserved rate — never above it, so [Σ r <= C] is preserved.
+    [reweights] (default [false]) adds 0–2 mid-run weight changes. *)
+
+val shrink : t QCheck.Shrink.t
+(** Candidates drop arrivals, clear rate overrides, drop reweights —
+    never reorder or invent events. *)
+
+val arbitrary : ?reweights:bool -> ?rate_overrides:bool -> unit -> t QCheck.arbitrary
+(** {!gen} + printer + shrinker, for [QCheck.Test.make]. *)
+
+val deterministic_pool :
+  ?reweights:bool -> ?rate_overrides:bool -> seed:int -> n:int -> unit -> t list
+(** [n] workloads from a private PRNG seeded with [seed] — the same
+    list on every run, machine-independent; the acceptance sweeps use
+    this so [dune runtest] is deterministic. *)

@@ -7,10 +7,10 @@ type t = {
   mutable v : float;
 }
 
-let create ?tie weights =
+let create ?tie ?capacity weights =
   {
     weights;
-    queue = Tag_queue.create ?tie ();
+    queue = Tag_queue.create ?tie ?capacity ();
     finish = Flow_table.create ~default:(fun _ -> 0.0);
     v = 0.0;
   }

@@ -12,7 +12,10 @@ open Sfq_base
 
 type t
 
-val create : ?tie:Tag_queue.tie -> Weights.t -> t
+val create : ?tie:Tag_queue.tie -> ?capacity:int -> Weights.t -> t
+(** [capacity] pre-sizes the tag queue (entries, not bits), like
+    {!Sfq_core.Sfq.create}'s. *)
+
 val enqueue : t -> now:float -> Packet.t -> unit
 val dequeue : t -> now:float -> Packet.t option
 val peek : t -> Packet.t option

@@ -197,7 +197,184 @@ let test_csv_write_roundtrip () =
   Sys.remove path;
   Alcotest.(check string) "roundtrip" "a\n1\n" content
 
+(* A minimal RFC-4180 reader: the inverse of Csv_out's writer, for the
+   round-trip property. Csv_out quotes whole cells, so a quote can only
+   open a cell. *)
+let parse_csv s =
+  let n = String.length s in
+  let rows = ref [] and row = ref [] and buf = Buffer.create 16 in
+  let i = ref 0 in
+  let flush_cell () =
+    row := Buffer.contents buf :: !row;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_cell ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  while !i < n do
+    match s.[!i] with
+    | '"' ->
+      incr i;
+      let fin = ref false in
+      while not !fin do
+        if !i >= n then failwith "unterminated quote"
+        else if s.[!i] = '"' then
+          if !i + 1 < n && s.[!i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            i := !i + 2
+          end
+          else begin
+            fin := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf s.[!i];
+          incr i
+        end
+      done
+    | ',' ->
+      flush_cell ();
+      incr i
+    | '\n' ->
+      flush_row ();
+      incr i
+    | c ->
+      Buffer.add_char buf c;
+      incr i
+  done;
+  List.rev !rows
+
+let csv_doc_gen =
+  QCheck.Gen.(
+    let cell =
+      string_size ~gen:(oneofl [ 'a'; 'b'; ','; '"'; '\n'; '\r'; ' ' ]) (0 -- 10)
+    in
+    pair (list_size (1 -- 4) cell) (list_size (0 -- 5) (list_size (1 -- 4) cell)))
+
+let prop_csv_roundtrip =
+  QCheck.Test.make ~name:"csv: escape/to_string round-trips" ~count:300
+    (QCheck.make csv_doc_gen
+       ~print:QCheck.Print.(pair (list string) (list (list string))))
+    (fun (header, rows) ->
+      parse_csv (Csv_out.to_string ~header ~rows) = header :: rows)
+
+(* ------------------------------------------------------------------ *)
+(* Manually-recorded logs and the approx/exact cross-check               *)
+
+let test_manual_log_matches_attached () =
+  (* Replaying the depart/inject stream through the manual API must
+     yield the same accounting as Service_log.attach. *)
+  let log = Service_log.create () in
+  Service_log.note_arrival log ~at:0.0 1;
+  Service_log.note_arrival log ~at:0.0 1;
+  Service_log.note_completion log ~flow:1 ~start:0.0 ~finish:1.0 ~len:100;
+  Service_log.note_completion log ~flow:1 ~start:1.0 ~finish:2.0 ~len:100;
+  Service_log.note_arrival log ~at:5.0 1;
+  Service_log.note_completion log ~flow:1 ~start:5.0 ~finish:6.0 ~len:100;
+  (match Service_log.busy_intervals log 1 ~until:10.0 with
+  | [ (a1, b1); (a2, b2) ] ->
+    check_float "first opens" 0.0 a1;
+    check_float "first closes" 2.0 b1;
+    check_float "second opens" 5.0 a2;
+    check_float "second closes" 6.0 b2
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 intervals, got %d" (List.length l)));
+  check_float "window" 300.0 (Service_log.service log 1 ~t1:0.0 ~t2:6.0)
+
+(* A random two-flow FIFO run, recorded through the manual API:
+   arrivals at generated gaps, one fixed-rate server, service in
+   arrival order. *)
+let fifo_log_ops_gen =
+  QCheck.Gen.(
+    list_size (2 -- 60)
+      (triple (1 -- 2) (map (fun n -> 100 * (1 + (n mod 10))) small_nat) (0 -- 20)))
+
+let build_fifo_log ops =
+  let cap = 100.0 in
+  let clock = ref 0.0 in
+  let arrivals =
+    List.map
+      (fun (flow, len, gap_tenths) ->
+        clock := !clock +. (float_of_int gap_tenths /. 10.0);
+        (!clock, flow, len))
+      ops
+  in
+  let free = ref 0.0 in
+  let completions =
+    List.map
+      (fun (at, flow, len) ->
+        let start = Float.max at !free in
+        let finish = start +. (float_of_int len /. cap) in
+        free := finish;
+        (finish, start, flow, len))
+      arrivals
+  in
+  let log = Service_log.create () in
+  let events =
+    List.map (fun (at, flow, _) -> (at, `Arrive flow)) arrivals
+    @ List.map
+        (fun (finish, start, flow, len) -> (finish, `Complete (flow, start, len)))
+        completions
+  in
+  let events =
+    List.stable_sort
+      (fun (a, ea) (b, eb) ->
+        match compare a b with
+        | 0 -> (
+          match (ea, eb) with `Arrive _, `Complete _ -> -1 | `Complete _, `Arrive _ -> 1 | _ -> 0)
+        | c -> c)
+      events
+  in
+  List.iter
+    (fun (at, e) ->
+      match e with
+      | `Arrive flow -> Service_log.note_arrival log ~at flow
+      | `Complete (flow, start, len) ->
+        Service_log.note_completion log ~flow ~start ~finish:at ~len)
+    events;
+  (log, !free)
+
+let prop_approx_within_one_packet_of_exact =
+  (* The streaming drawdown index may over- or under-shoot the exact
+     supremum by at most one packet of each flow (fairness.mli). *)
+  QCheck.Test.make ~name:"fairness: |approx_h - exact_h| <= lmax_f/r + lmax_m/r"
+    ~count:150
+    (QCheck.make fifo_log_ops_gen
+       ~print:QCheck.Print.(list (triple int int int)))
+    (fun ops ->
+      let log, until = build_fifo_log ops in
+      let lmax flow =
+        List.fold_left
+          (fun acc (f, len, _) ->
+            if f = flow then Float.max acc (float_of_int len) else acc)
+          0.0 ops
+      in
+      let e = Fairness.exact_h log ~f:1 ~m:2 ~r_f:1.0 ~r_m:1.0 ~until in
+      let a = Fairness.approx_h log ~f:1 ~m:2 ~r_f:1.0 ~r_m:1.0 ~until in
+      Float.abs (a -. e) <= lmax 1 +. lmax 2 +. 1e-9)
+
+let test_approx_exact_agree_alternating () =
+  (* Two equal-rate flows served in strict alternation from a common
+     backlog: both measures are exactly one packet of normalized
+     service. *)
+  let log = Service_log.create () in
+  for _ = 1 to 5 do
+    Service_log.note_arrival log ~at:0.0 1;
+    Service_log.note_arrival log ~at:0.0 2
+  done;
+  for k = 0 to 9 do
+    let flow = if k mod 2 = 0 then 1 else 2 in
+    Service_log.note_completion log ~flow ~start:(float_of_int k)
+      ~finish:(float_of_int (k + 1)) ~len:100
+  done;
+  let e = Fairness.exact_h log ~f:1 ~m:2 ~r_f:1.0 ~r_m:1.0 ~until:10.0 in
+  let a = Fairness.approx_h log ~f:1 ~m:2 ~r_f:1.0 ~r_m:1.0 ~until:10.0 in
+  check_float "exact is one packet" 100.0 e;
+  check_float "approx agrees" e a
+
 let () =
+  let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "analysis"
     [
       ( "service_log",
@@ -206,6 +383,7 @@ let () =
           Alcotest.test_case "busy intervals" `Quick test_busy_intervals;
           Alcotest.test_case "open interval" `Quick test_busy_interval_still_open;
           Alcotest.test_case "window semantics" `Quick test_service_window_semantics;
+          Alcotest.test_case "manual recording" `Quick test_manual_log_matches_attached;
         ] );
       ( "fairness",
         [
@@ -214,6 +392,9 @@ let () =
           Alcotest.test_case "starved flow" `Quick test_exact_h_starved_flow;
           Alcotest.test_case "no overlap" `Quick test_exact_h_no_overlap_is_zero;
           Alcotest.test_case "approx vs exact" `Quick test_approx_close_to_exact;
+          Alcotest.test_case "approx/exact alternating" `Quick
+            test_approx_exact_agree_alternating;
+          q prop_approx_within_one_packet_of_exact;
           Alcotest.test_case "weights scale" `Quick test_weights_scale_h;
           Alcotest.test_case "throughput" `Quick test_throughput;
           Alcotest.test_case "max pairwise" `Quick test_max_pairwise;
@@ -224,5 +405,6 @@ let () =
           Alcotest.test_case "to_string" `Quick test_csv_to_string;
           Alcotest.test_case "of_series" `Quick test_csv_of_series;
           Alcotest.test_case "write roundtrip" `Quick test_csv_write_roundtrip;
+          q prop_csv_roundtrip;
         ] );
     ]

@@ -1,0 +1,146 @@
+(* Tests for Bench_json, the strict parser + schema checker behind
+   validate_bench_json.exe: it must accept the repo's checked-in
+   BENCH_sched.json and a minimal valid document, and reject the
+   failure shapes a broken emitter actually produces — truncation,
+   bare NaN, missing fields, empty series, a wrong schema tag. *)
+
+let check_bool = Alcotest.(check bool)
+
+let valid_doc =
+  {|{
+  "schema": "sfq-bench-sched/1",
+  "quick": true,
+  "unit": "ns per enqueue+dequeue",
+  "flow_scaling": [
+    {"discipline": "sfq", "flows": 4, "ns_per_packet": 217.6},
+    {"discipline": "scfq", "flows": 64, "ns_per_packet": null}
+  ],
+  "depth_scaling": [
+    {"discipline": "sfq", "flows": 8, "depth": 1024, "ns_per_packet": 3.2e2}
+  ]
+}|}
+
+let expect_error name needle contents =
+  match Bench_json.validate contents with
+  | Ok () -> Alcotest.fail (name ^ ": expected rejection, got Ok")
+  | Error msg ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    check_bool
+      (Printf.sprintf "%s: error %S mentions %S" name msg needle)
+      true (contains msg needle)
+
+let test_accepts_valid_sample () =
+  match Bench_json.validate valid_doc with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("valid sample rejected: " ^ msg)
+
+let test_accepts_checked_in_file () =
+  (* cwd is test/ under `dune runtest` but the workspace root under
+     `dune exec`; probe both. *)
+  let path =
+    if Sys.file_exists "../BENCH_sched.json" then "../BENCH_sched.json"
+    else "BENCH_sched.json"
+  in
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Bench_json.validate contents with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("BENCH_sched.json rejected: " ^ msg)
+
+let test_rejects_truncated () =
+  (* Cutting the document anywhere must fail: either a parse error or
+     a missing series — never Ok. *)
+  let n = String.length valid_doc in
+  for len = 0 to n - 1 do
+    match Bench_json.validate (String.sub valid_doc 0 len) with
+    | Ok () -> Alcotest.fail (Printf.sprintf "truncation at %d accepted" len)
+    | Error _ -> ()
+  done
+
+let test_rejects_nan () =
+  (* A naive Printf emitter writes literal nan/inf; both are illegal
+     JSON and must not parse. *)
+  let subst from into =
+    let b = Buffer.create (String.length valid_doc) in
+    let i = ref 0 in
+    let n = String.length valid_doc and nf = String.length from in
+    while !i < n do
+      if !i + nf <= n && String.sub valid_doc !i nf = from then begin
+        Buffer.add_string b into;
+        i := !i + nf
+      end
+      else begin
+        Buffer.add_char b valid_doc.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents b
+  in
+  (* "nan" trips the n-of-"null" literal path; "inf" falls through to
+     the number parser with an empty chunk. Either way: rejected. *)
+  expect_error "nan" "expected u" (subst "217.6" "nan");
+  expect_error "inf" "bad number" (subst "217.6" "inf");
+  expect_error "negative ns" "positive or null" (subst "217.6" "-1.0")
+
+let test_rejects_missing_fields () =
+  expect_error "no schema"
+    "missing field \"schema\""
+    {|{"flow_scaling": [], "depth_scaling": []}|};
+  expect_error "wrong schema" "unexpected schema"
+    {|{"schema": "sfq-bench-sched/2", "flow_scaling": [{"discipline": "sfq", "flows": 1, "ns_per_packet": 1.0}], "depth_scaling": [{"discipline": "sfq", "flows": 1, "depth": 2, "ns_per_packet": 1.0}]}|};
+  expect_error "no depth_scaling"
+    "missing field \"depth_scaling\""
+    {|{"schema": "sfq-bench-sched/1", "flow_scaling": [{"discipline": "sfq", "flows": 1, "ns_per_packet": 1.0}]}|};
+  expect_error "row without flows" "missing field \"flows\""
+    {|{"schema": "sfq-bench-sched/1", "flow_scaling": [{"discipline": "sfq", "ns_per_packet": 1.0}], "depth_scaling": [{"discipline": "sfq", "flows": 1, "depth": 2, "ns_per_packet": 1.0}]}|};
+  expect_error "non-integer flows" "flows must be a positive integer"
+    {|{"schema": "sfq-bench-sched/1", "flow_scaling": [{"discipline": "sfq", "flows": 1.5, "ns_per_packet": 1.0}], "depth_scaling": [{"discipline": "sfq", "flows": 1, "depth": 2, "ns_per_packet": 1.0}]}|};
+  expect_error "row without depth" "missing field \"depth\""
+    {|{"schema": "sfq-bench-sched/1", "flow_scaling": [{"discipline": "sfq", "flows": 1, "ns_per_packet": 1.0}], "depth_scaling": [{"discipline": "sfq", "flows": 1, "ns_per_packet": 1.0}]}|};
+  expect_error "zero depth" "depth must be a positive integer"
+    {|{"schema": "sfq-bench-sched/1", "flow_scaling": [{"discipline": "sfq", "flows": 1, "ns_per_packet": 1.0}], "depth_scaling": [{"discipline": "sfq", "flows": 1, "depth": 0, "ns_per_packet": 1.0}]}|}
+
+let test_rejects_empty_series () =
+  expect_error "empty flow_scaling" "flow_scaling is empty"
+    {|{"schema": "sfq-bench-sched/1", "flow_scaling": [], "depth_scaling": [{"discipline": "sfq", "flows": 1, "depth": 2, "ns_per_packet": 1.0}]}|}
+
+let test_rejects_trailing_garbage () =
+  expect_error "trailing" "trailing garbage" (valid_doc ^ " x")
+
+let test_parser_primitives () =
+  let open Bench_json in
+  check_bool "escapes" true
+    (parse {|"a\"b\\c\nd"|} = Str "a\"b\\c\nd");
+  check_bool "nested" true
+    (parse {|{"a": [1, true, null, "s"]}|}
+    = Obj [ ("a", List [ Num 1.0; Bool true; Null; Str "s" ]) ]);
+  check_bool "exponent" true (parse "3.2e2" = Num 320.0);
+  check_bool "field" true (field "a" (Obj [ ("a", Null) ]) = Null);
+  (match field "b" (Obj [ ("a", Null) ]) with
+  | exception Bad _ -> ()
+  | _ -> Alcotest.fail "missing field accepted")
+
+let () =
+  Alcotest.run "bench_json"
+    [
+      ( "accept",
+        [
+          Alcotest.test_case "valid sample" `Quick test_accepts_valid_sample;
+          Alcotest.test_case "checked-in BENCH_sched.json" `Quick
+            test_accepts_checked_in_file;
+          Alcotest.test_case "parser primitives" `Quick test_parser_primitives;
+        ] );
+      ( "reject",
+        [
+          Alcotest.test_case "every truncation" `Quick test_rejects_truncated;
+          Alcotest.test_case "nan / inf / negative" `Quick test_rejects_nan;
+          Alcotest.test_case "missing fields" `Quick test_rejects_missing_fields;
+          Alcotest.test_case "empty series" `Quick test_rejects_empty_series;
+          Alcotest.test_case "trailing garbage" `Quick test_rejects_trailing_garbage;
+        ] );
+    ]

@@ -1,0 +1,404 @@
+(* The theorem-oracle layer: directed monitor unit tests, every
+   discipline against its applicable monitor set over deterministic
+   pools of adversarial workloads, and the mutation self-check proving
+   the monitors have teeth. *)
+
+open Sfq_base
+open Sfq_sched
+open Sfq_core
+open Sfq_oracle
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let weights_of (w : Workload.t) = Weights.of_list ~default:1.0 w.Workload.weights
+
+(* ------------------------------------------------------------------ *)
+(* Monitor sets                                                         *)
+
+let structural () = [ Monitor.work_conserving (); Monitor.flow_fifo () ]
+
+(* Full SFQ set: Theorems 1, 2 and 4 plus the structural invariants.
+   Sound only when packets carry no rate overrides (Theorem 1 and 2
+   are stated against the reserved rates). *)
+let sfq_set ?(allow_idle_reset = false) (w : Workload.t) ~vtime =
+  let rate = Workload.rate_of w and lmax = Workload.lmax w in
+  let flows = Workload.flows w and capacity = w.Workload.capacity in
+  structural ()
+  @ [
+      Monitor.tag_monotone ~name:"tag_monotone" ~allow_idle_reset ~vtime ();
+      Monitor.fairness ~rate ();
+      Monitor.sfq_delay ~flows ~lmax ~rate ~capacity ();
+      Monitor.sfq_throughput ~flows ~lmax ~rate ~capacity ();
+    ]
+
+let scfq_set (w : Workload.t) ~vtime =
+  let rate = Workload.rate_of w and lmax = Workload.lmax w in
+  let flows = Workload.flows w and capacity = w.Workload.capacity in
+  structural ()
+  @ [
+      Monitor.tag_monotone ~name:"tag_monotone" ~vtime ();
+      Monitor.fairness ~bound:Bounds.h_scfq ~rate ();
+      Monitor.scfq_delay ~flows ~lmax ~rate ~capacity ();
+    ]
+
+(* Theorem 4 survives per-packet rate overrides (generalized SFQ,
+   §2.3) — overrides never exceed the reservation, so Σr <= C holds —
+   but Theorems 1/2 do not apply to override traffic. *)
+let sfq_override_set (w : Workload.t) ~vtime =
+  let rate = Workload.rate_of w and lmax = Workload.lmax w in
+  let flows = Workload.flows w and capacity = w.Workload.capacity in
+  structural ()
+  @ [
+      Monitor.tag_monotone ~name:"tag_monotone" ~allow_idle_reset:false ~vtime ();
+      Monitor.sfq_delay ~flows ~lmax ~rate ~capacity ();
+    ]
+
+let assert_clean ~what i (w : Workload.t) (o : Run.outcome) =
+  match o.Run.violations with
+  | [] -> ()
+  | v :: _ ->
+    Alcotest.failf "%s: workload #%d: %s@.%s" what i
+      (Format.asprintf "%a" Monitor.pp_violation v)
+      (Workload.to_string w)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic workload pools (fixed seeds: same traces everywhere)   *)
+
+let theorem_pool =
+  Workload.deterministic_pool ~rate_overrides:false ~seed:0x5f9 ~n:120 ()
+
+let override_pool =
+  Workload.deterministic_pool ~rate_overrides:true ~seed:0xacd ~n:120 ()
+
+let reweight_pool =
+  Workload.deterministic_pool ~reweights:true ~rate_overrides:false ~seed:0xbee ~n:60 ()
+
+(* ------------------------------------------------------------------ *)
+(* Directed monitor tests                                               *)
+
+let p ?rate ~flow ~seq ~len () = Packet.make ?rate ~flow ~seq ~len ~born:0.0 ()
+
+let tripped m = Monitor.result m <> None
+
+let test_work_conserving_trips () =
+  let m = Monitor.work_conserving () in
+  Monitor.observe m (Monitor.Arrival { at = 0.0; pkt = p ~flow:1 ~seq:1 ~len:100 () });
+  Monitor.observe m (Monitor.Idle { at = 0.5; backlog = 1 });
+  check_bool "idle with backlog trips" true (tripped m);
+  let ok = Monitor.work_conserving () in
+  Monitor.observe ok (Monitor.Idle { at = 0.0; backlog = 0 });
+  check_bool "idle while empty is fine" false (tripped ok)
+
+let test_flow_fifo_trips_on_reorder () =
+  let m = Monitor.flow_fifo () in
+  Monitor.observe m (Monitor.Arrival { at = 0.0; pkt = p ~flow:1 ~seq:1 ~len:100 () });
+  Monitor.observe m (Monitor.Arrival { at = 0.0; pkt = p ~flow:1 ~seq:2 ~len:100 () });
+  Monitor.observe m
+    (Monitor.Departure { start = 0.0; finish = 1.0; pkt = p ~flow:1 ~seq:2 ~len:100 () });
+  check_bool "out-of-order departure trips" true (tripped m)
+
+let test_flow_fifo_trips_on_drop () =
+  let m = Monitor.flow_fifo () in
+  Monitor.observe m (Monitor.Arrival { at = 0.0; pkt = p ~flow:3 ~seq:1 ~len:100 () });
+  Monitor.finalize m ~until:10.0;
+  check_bool "undeparted packet trips at finalize" true (tripped m)
+
+let test_tag_monotone_trips () =
+  let v = ref 0.0 in
+  let m = Monitor.tag_monotone ~name:"tag_monotone" ~vtime:(fun () -> !v) () in
+  v := 1.0;
+  Monitor.observe m (Monitor.Arrival { at = 0.0; pkt = p ~flow:1 ~seq:1 ~len:100 () });
+  v := 0.5;
+  Monitor.observe m (Monitor.Arrival { at = 1.0; pkt = p ~flow:1 ~seq:2 ~len:100 () });
+  check_bool "vtime regression trips" true (tripped m)
+
+let test_tag_monotone_idle_reset_allowed () =
+  let v = ref 5.0 in
+  let m = Monitor.tag_monotone ~name:"tag_monotone" ~vtime:(fun () -> !v) () in
+  Monitor.observe m (Monitor.Arrival { at = 0.0; pkt = p ~flow:1 ~seq:1 ~len:100 () });
+  v := 0.0;
+  Monitor.observe m (Monitor.Idle { at = 1.0; backlog = 0 });
+  check_bool "busy-period reset is allowed" false (tripped m)
+
+let test_scfq_delay_trips () =
+  (* eq. 56 bound for the lone packet: EAT + l2max/C + l/r = 32.2 s;
+     a departure at 110 s is far outside it. *)
+  let m =
+    Monitor.scfq_delay ~flows:[ 1; 2 ]
+      ~lmax:(fun _ -> 1000.0)
+      ~rate:(fun _ -> 45.0)
+      ~capacity:100.0 ()
+  in
+  Monitor.observe m (Monitor.Arrival { at = 0.0; pkt = p ~flow:1 ~seq:1 ~len:1000 () });
+  Monitor.observe m
+    (Monitor.Departure { start = 100.0; finish = 110.0; pkt = p ~flow:1 ~seq:1 ~len:1000 () });
+  check_bool "late departure trips eq. 56" true (tripped m)
+
+let test_sfq_throughput_trips () =
+  (* Flow 1 backlogged for 110 s but served only 1000 bits; Theorem 2
+     promises 45·110 − 45·2000/100 − 1000 = 3050 bits. *)
+  let m =
+    Monitor.sfq_throughput ~flows:[ 1; 2 ]
+      ~lmax:(fun _ -> 1000.0)
+      ~rate:(fun _ -> 45.0)
+      ~capacity:100.0 ()
+  in
+  Monitor.observe m (Monitor.Arrival { at = 0.0; pkt = p ~flow:1 ~seq:1 ~len:1000 () });
+  for seq = 1 to 10 do
+    Monitor.observe m (Monitor.Arrival { at = 0.0; pkt = p ~flow:2 ~seq ~len:1000 () })
+  done;
+  for seq = 1 to 10 do
+    let start = float_of_int (seq - 1) *. 10.0 in
+    Monitor.observe m
+      (Monitor.Departure { start; finish = start +. 10.0; pkt = p ~flow:2 ~seq ~len:1000 () })
+  done;
+  Monitor.observe m
+    (Monitor.Departure { start = 100.0; finish = 110.0; pkt = p ~flow:1 ~seq:1 ~len:1000 () });
+  Monitor.finalize m ~until:110.0;
+  check_bool "starved flow trips Theorem 2" true (tripped m)
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance sweeps                                                    *)
+
+let test_sfq_theorems () =
+  List.iteri
+    (fun i w ->
+      let s = Sfq.create (weights_of w) in
+      let monitors = sfq_set w ~vtime:(fun () -> Sfq.vtime s) in
+      assert_clean ~what:"sfq" i w (Run.fixed_rate ~sched:(Sfq.sched s) ~monitors w))
+    theorem_pool
+
+let test_scfq_theorems () =
+  List.iteri
+    (fun i w ->
+      let s = Scfq.create (weights_of w) in
+      let monitors = scfq_set w ~vtime:(fun () -> Scfq.vtime s) in
+      assert_clean ~what:"scfq" i w (Run.fixed_rate ~sched:(Scfq.sched s) ~monitors w))
+    theorem_pool
+
+let test_sfq_delay_under_overrides () =
+  List.iteri
+    (fun i w ->
+      let s = Sfq.create (weights_of w) in
+      let monitors = sfq_override_set w ~vtime:(fun () -> Sfq.vtime s) in
+      assert_clean ~what:"sfq+overrides" i w
+        (Run.fixed_rate ~sched:(Sfq.sched s) ~monitors w))
+    override_pool
+
+let disciplines (w : Workload.t) =
+  let wt = weights_of w in
+  let cap = w.Workload.capacity in
+  let specs =
+    List.map
+      (fun (f, r) -> (f, { Delay_edd.rate = r; deadline = 1.0; max_len = 1000 }))
+      w.Workload.weights
+  in
+  [
+    ("sfq", Sfq.sched (Sfq.create wt));
+    ("scfq", Scfq.sched (Scfq.create wt));
+    ("fqs", Fqs.sched (Fqs.create ~capacity:cap wt));
+    ("vc", Virtual_clock.sched (Virtual_clock.create wt));
+    ("wfq-fluid", Wfq.sched (Wfq.create ~capacity:cap wt));
+    ("wfq-real", Wfq.sched (Wfq.create ~capacity:cap ~clock:`Real wt));
+    ("wf2q", Wf2q.sched (Wf2q.create ~capacity:cap wt));
+    ("drr", Drr.sched (Drr.create wt));
+    ("edd", Delay_edd.sched (Delay_edd.create specs));
+  ]
+
+let test_structural_all_disciplines () =
+  List.iteri
+    (fun i w ->
+      List.iter
+        (fun (name, sched) ->
+          assert_clean ~what:name i w
+            (Run.fixed_rate ~sched ~monitors:(structural ()) w))
+        (disciplines w))
+    override_pool
+
+let dyn_weights (w : Workload.t) =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (f, r) -> Hashtbl.replace tbl f r) w.Workload.weights;
+  let wt =
+    Weights.of_fun (fun f ->
+        match Hashtbl.find_opt tbl f with Some r -> r | None -> 1.0)
+  in
+  (wt, fun ~flow ~rate -> Hashtbl.replace tbl flow rate)
+
+let test_reweight_structural () =
+  List.iteri
+    (fun i w ->
+      let runs =
+        [
+          (fun () ->
+            let wt, f = dyn_weights w in
+            ("sfq", Sfq.sched (Sfq.create wt), f));
+          (fun () ->
+            let wt, f = dyn_weights w in
+            ("scfq", Scfq.sched (Scfq.create wt), f));
+        ]
+      in
+      List.iter
+        (fun mk ->
+          let name, sched, on_reweight = mk () in
+          assert_clean ~what:(name ^ "+reweight") i w
+            (Run.fixed_rate ~sched ~on_reweight ~monitors:(structural ()) w))
+        runs)
+    reweight_pool
+
+(* ------------------------------------------------------------------ *)
+(* Mutation self-check                                                  *)
+
+let test_mutants_all_caught () =
+  List.iter
+    (fun mode ->
+      let w = Mutant.workload mode in
+      let sched, vtime = Mutant.sched mode (weights_of w) in
+      let monitors = sfq_set ~allow_idle_reset:true w ~vtime in
+      let o = Run.fixed_rate ~sched ~monitors w in
+      let expected = Mutant.expected_monitor mode in
+      let names = List.map (fun (v : Monitor.violation) -> v.Monitor.monitor) o.Run.violations in
+      if not (List.mem expected names) then
+        Alcotest.failf "mutant %s: expected monitor %s to trip; tripped: [%s]"
+          (Mutant.name mode) expected
+          (String.concat ", " names))
+    Mutant.all
+
+let test_real_sfq_passes_mutant_workloads () =
+  (* The crafted traces are within the theorems for the real scheduler:
+     the mutants trip because of their bugs, not because the workloads
+     are outside the guarantees. *)
+  List.iter
+    (fun mode ->
+      let w = Mutant.workload mode in
+      let s = Sfq.create (weights_of w) in
+      let monitors = sfq_set w ~vtime:(fun () -> Sfq.vtime s) in
+      match (Run.fixed_rate ~sched:(Sfq.sched s) ~monitors w).Run.violations with
+      | [] -> ()
+      | v :: _ ->
+        Alcotest.failf "real sfq tripped on the %s workload: %s" (Mutant.name mode)
+          (Format.asprintf "%a" Monitor.pp_violation v))
+    Mutant.all
+
+(* ------------------------------------------------------------------ *)
+(* Workload generator plumbing                                          *)
+
+let test_pool_deterministic () =
+  let a = Workload.deterministic_pool ~seed:17 ~n:5 () in
+  let b = Workload.deterministic_pool ~seed:17 ~n:5 () in
+  check_bool "same seed, same pool" true (a = b);
+  let c = Workload.deterministic_pool ~seed:18 ~n:5 () in
+  check_bool "different seed, different pool" true (a <> c)
+
+let test_pool_is_adversarial () =
+  (* The pool must actually contain the stressors the generator
+     advertises: bursts, long idle gaps and multi-flow traces. *)
+  let has_burst (w : Workload.t) =
+    let rec go = function
+      | (a : Workload.arrival) :: (b : Workload.arrival) :: tl ->
+        a.Workload.at = b.Workload.at || go (b :: tl)
+      | _ -> false
+    in
+    go w.Workload.arrivals
+  in
+  let has_idle_gap (w : Workload.t) =
+    let srv = 1000.0 /. w.Workload.capacity in
+    let rec go = function
+      | (a : Workload.arrival) :: (b : Workload.arrival) :: tl ->
+        b.Workload.at -. a.Workload.at >= 5.0 *. srv || go (b :: tl)
+      | _ -> false
+    in
+    go w.Workload.arrivals
+  in
+  check_bool "bursts present" true (List.exists has_burst theorem_pool);
+  check_bool "idle gaps present" true (List.exists has_idle_gap theorem_pool);
+  check_bool "multi-flow traces present" true
+    (List.exists (fun w -> List.length (Workload.flows w) >= 3) theorem_pool);
+  check_bool "rate overrides present in override pool" true
+    (List.exists
+       (fun (w : Workload.t) ->
+         List.exists (fun (a : Workload.arrival) -> a.Workload.rate <> None) w.Workload.arrivals)
+       override_pool);
+  check_bool "reweights present in reweight pool" true
+    (List.exists (fun (w : Workload.t) -> w.Workload.reweights <> []) reweight_pool)
+
+let test_shrink_candidates_valid () =
+  let w = List.hd override_pool in
+  let n = List.length w.Workload.arrivals in
+  let count = ref 0 in
+  Workload.shrink w (fun w' ->
+      incr count;
+      check_bool "no new arrivals" true (List.length w'.Workload.arrivals <= n);
+      let rec sorted = function
+        | (a : Workload.arrival) :: (b : Workload.arrival) :: tl ->
+          a.Workload.at <= b.Workload.at && sorted (b :: tl)
+        | _ -> true
+      in
+      check_bool "still time-sorted" true (sorted w'.Workload.arrivals);
+      check_bool "capacity preserved" true (w'.Workload.capacity = w.Workload.capacity));
+  check_bool "shrinker yields candidates" true (!count > 0)
+
+(* A passing qcheck property through the arbitrary (exercises the
+   generator + shrinker wiring end to end under a fixed PRNG). *)
+let prop_sfq_structural_random =
+  QCheck.Test.make ~count:40 ~name:"sfq structural monitors on random workloads"
+    (Workload.arbitrary ~rate_overrides:true ())
+    (fun w ->
+      let s = Sfq.create (weights_of w) in
+      (Run.fixed_rate ~sched:(Sfq.sched s) ~monitors:(structural ()) w).Run.violations
+      = [])
+
+let test_outcome_counts_departures () =
+  let w = List.hd theorem_pool in
+  let s = Sfq.create (weights_of w) in
+  let o = Run.fixed_rate ~sched:(Sfq.sched s) ~monitors:[] w in
+  check_int "every arrival departs" (List.length w.Workload.arrivals) o.Run.departures
+
+(* ------------------------------------------------------------------ *)
+
+let q test =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x0c5 |])
+    ~speed_level:`Quick test
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "monitors",
+        [
+          Alcotest.test_case "work_conserving trips" `Quick test_work_conserving_trips;
+          Alcotest.test_case "flow_fifo reorder" `Quick test_flow_fifo_trips_on_reorder;
+          Alcotest.test_case "flow_fifo drop" `Quick test_flow_fifo_trips_on_drop;
+          Alcotest.test_case "tag_monotone regression" `Quick test_tag_monotone_trips;
+          Alcotest.test_case "tag_monotone idle reset" `Quick
+            test_tag_monotone_idle_reset_allowed;
+          Alcotest.test_case "scfq_delay trips" `Quick test_scfq_delay_trips;
+          Alcotest.test_case "sfq_throughput trips" `Quick test_sfq_throughput_trips;
+        ] );
+      ( "sweeps",
+        [
+          Alcotest.test_case "sfq: Theorems 1/2/4 over 120 workloads" `Quick
+            test_sfq_theorems;
+          Alcotest.test_case "scfq: Theorem 1 + eq. 56 over 120 workloads" `Quick
+            test_scfq_theorems;
+          Alcotest.test_case "sfq: Theorem 4 under rate overrides" `Quick
+            test_sfq_delay_under_overrides;
+          Alcotest.test_case "all disciplines: structural invariants" `Quick
+            test_structural_all_disciplines;
+          Alcotest.test_case "sfq/scfq: structural under reweights" `Quick
+            test_reweight_structural;
+        ] );
+      ( "mutants",
+        [
+          Alcotest.test_case "each mutation is caught" `Quick test_mutants_all_caught;
+          Alcotest.test_case "real sfq passes the mutant workloads" `Quick
+            test_real_sfq_passes_mutant_workloads;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "pool determinism" `Quick test_pool_deterministic;
+          Alcotest.test_case "pool adversarial content" `Quick test_pool_is_adversarial;
+          Alcotest.test_case "shrink candidates valid" `Quick test_shrink_candidates_valid;
+          Alcotest.test_case "run counts departures" `Quick test_outcome_counts_departures;
+          q prop_sfq_structural_random;
+        ] );
+    ]

@@ -89,6 +89,114 @@ let test_flow_queues_fifo () =
   check_bool "pop empty flow" true (Flow_queues.pop fq 3 = None)
 
 (* ------------------------------------------------------------------ *)
+(* Flow_heap                                                            *)
+
+let test_flow_heap_ring_wraparound () =
+  (* The per-flow ring starts at 8 slots; popping 5 then refilling
+     makes the live region wrap the physical array, and the next
+     doubling has to unwrap it. Drain order must stay push order. *)
+  let fh = Flow_heap.create () in
+  let pushed = ref [] in
+  let popped = ref [] in
+  let next = ref 0 in
+  let push n =
+    for _ = 1 to n do
+      incr next;
+      pushed := !next :: !pushed;
+      Flow_heap.push fh ~flow:7 ~key:(float_of_int !next) ~tie:0.0 !next
+    done
+  in
+  let pop n =
+    for _ = 1 to n do
+      match Flow_heap.pop fh with
+      | Some e -> popped := e.Flow_heap.value :: !popped
+      | None -> Alcotest.fail "unexpected empty"
+    done
+  in
+  push 8;
+  pop 5;
+  push 12;
+  check_int "size" 15 (Flow_heap.size fh);
+  check_int "backlog" 15 (Flow_heap.backlog fh 7);
+  pop 15;
+  check_bool "empty" true (Flow_heap.is_empty fh);
+  Alcotest.(check (list int)) "fifo across wrap + growth" (List.rev !pushed)
+    (List.rev !popped)
+
+let flow_heap_ops_gen =
+  (* [Some (flow, key increment)] pushes, [None] pops. Increments keep
+     per-flow keys non-decreasing, as the precondition requires. *)
+  QCheck.Gen.(list_size (1 -- 120) (option (pair (1 -- 3) (0 -- 5))))
+
+let flow_heap_ops_print =
+  QCheck.Print.(list (option (pair int int)))
+
+let prop_flow_heap_single_flow_fifo =
+  QCheck.Test.make ~name:"flow_heap: single flow is a FIFO" ~count:200
+    (QCheck.make flow_heap_ops_gen ~print:flow_heap_ops_print)
+    (fun ops ->
+      let fh = Flow_heap.create () in
+      let model = Queue.create () in
+      let key = ref 0 in
+      let uid = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some (_, inc) ->
+            key := !key + inc;
+            incr uid;
+            Flow_heap.push fh ~flow:1 ~key:(float_of_int !key) ~tie:0.0 !uid;
+            Queue.push !uid model
+          | None -> (
+            match (Flow_heap.pop fh, Queue.is_empty model) with
+            | None, true -> ()
+            | Some e, false ->
+              if e.Flow_heap.value <> Queue.pop model then ok := false
+            | _ -> ok := false))
+        ops;
+      !ok && Flow_heap.size fh = Queue.length model)
+
+let prop_flow_heap_matches_global_heap =
+  (* Pop order must be ascending (key, tie, uid) over everything
+     queued — exactly what one global heap over all entries gives. *)
+  QCheck.Test.make ~name:"flow_heap: pops = global (key, tie, uid) order" ~count:200
+    (QCheck.make flow_heap_ops_gen ~print:flow_heap_ops_print)
+    (fun ops ->
+      let fh = Flow_heap.create () in
+      let keys = Hashtbl.create 4 in
+      let model = ref [] in
+      let uid = ref (-1) in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some (flow, inc) ->
+            let k = (try Hashtbl.find keys flow with Not_found -> 0) + inc in
+            Hashtbl.replace keys flow k;
+            incr uid;
+            let key = float_of_int k and tie = float_of_int flow in
+            Flow_heap.push fh ~flow ~key ~aux:(key +. 1.0) ~tie !uid;
+            model := (key, tie, !uid) :: !model
+          | None -> (
+            let expect =
+              match List.sort compare !model with
+              | [] -> None
+              | min :: _ -> Some min
+            in
+            match (Flow_heap.pop fh, expect) with
+            | None, None -> ()
+            | Some e, Some ((k, _, u) as min) ->
+              if e.Flow_heap.key <> k || e.Flow_heap.uid <> u
+                 || e.Flow_heap.value <> u
+                 || e.Flow_heap.aux <> k +. 1.0
+              then ok := false
+              else model := List.filter (fun x -> x <> min) !model
+            | _ -> ok := false))
+        ops;
+      !ok && Flow_heap.size fh = List.length !model)
+
+(* ------------------------------------------------------------------ *)
 (* Generic discipline properties                                       *)
 
 (* Scenario: a list of (flow, len) injected at t = 0.1 * i, with all
@@ -299,6 +407,40 @@ let prop_drr_deficit_bounded =
         | None -> ())
       in
       drain ();
+      !ok)
+
+let prop_drr_deficit_bounded_weighted =
+  (* The mli's promise with non-uniform weights: whenever flow f is
+     backlogged, 0 <= deficit f < quantum*w_f + lmax; and a drained
+     flow's counter is reset to 0. *)
+  QCheck.Test.make ~name:"drr: weighted deficit invariant" ~count:150
+    (QCheck.make ops_gen ~print:QCheck.Print.(list (pair int int)))
+    (fun ops ->
+      let weights = [ (1, 0.5); (2, 1.0); (3, 2.0); (4, 4.0) ] in
+      let quantum = 600.0 in
+      let s = Drr.create ~quantum (Weights.of_list ~default:1.0 weights) in
+      let seqs = Hashtbl.create 8 in
+      List.iter
+        (fun (flow, len) ->
+          let seq = (try Hashtbl.find seqs flow with Not_found -> 0) + 1 in
+          Hashtbl.replace seqs flow seq;
+          Drr.enqueue s ~now:0.0 (pkt ~flow ~seq ~len ()))
+        ops;
+      let ok = ref true in
+      let rec drain () =
+        match Drr.dequeue s ~now:0.0 with
+        | Some _ ->
+          List.iter
+            (fun (flow, wf) ->
+              let d = Drr.deficit s flow in
+              if Drr.backlog s flow > 0 && (d < 0.0 || d >= (quantum *. wf) +. 1000.0)
+              then ok := false)
+            weights;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      List.iter (fun (flow, _) -> if Drr.deficit s flow <> 0.0 then ok := false) weights;
       !ok)
 
 (* ------------------------------------------------------------------ *)
@@ -652,6 +794,12 @@ let () =
           Alcotest.test_case "peek" `Quick test_tag_queue_peek;
         ] );
       ("flow_queues", [ Alcotest.test_case "fifo" `Quick test_flow_queues_fifo ]);
+      ( "flow_heap",
+        [
+          Alcotest.test_case "ring wraparound" `Quick test_flow_heap_ring_wraparound;
+          q prop_flow_heap_single_flow_fifo;
+          q prop_flow_heap_matches_global_heap;
+        ] );
       ("conservation", List.map q conservation_tests);
       ("peek", List.map q peek_tests);
       ( "wrr",
@@ -668,6 +816,7 @@ let () =
           Alcotest.test_case "weighted quantum" `Quick test_drr_weighted_quantum;
           Alcotest.test_case "invalid quantum" `Quick test_drr_invalid_quantum;
           q prop_drr_deficit_bounded;
+          q prop_drr_deficit_bounded_weighted;
           q prop_drr_byte_fairness;
         ] );
       ( "gps",

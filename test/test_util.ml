@@ -113,6 +113,105 @@ let prop_heap_interleaved =
         ops)
 
 (* ------------------------------------------------------------------ *)
+(* Fheap                                                                *)
+
+let test_fheap_empty () =
+  let h : int Fheap.t = Fheap.create () in
+  check_int "length" 0 (Fheap.length h);
+  check_bool "is_empty" true (Fheap.is_empty h);
+  check_bool "pop" true (Fheap.pop h = None);
+  check_bool "min" true (Fheap.min h = None);
+  Alcotest.check_raises "min_key_exn" (Invalid_argument "Fheap.min_key_exn: empty heap")
+    (fun () -> ignore (Fheap.min_key_exn h))
+
+let test_fheap_min_agrees_with_pop () =
+  let h = Fheap.create ~capacity:1 () in
+  List.iteri
+    (fun i k -> Fheap.add h ~key:k ~tie:0.0 ~uid:i (int_of_float k))
+    [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  check_float "min_key_exn" 1.0 (Fheap.min_key_exn h);
+  check_bool "min" true (Fheap.min h = Some (1.0, 1));
+  check_bool "min_elt" true (Fheap.min_elt h = Some 1);
+  check_bool "pop" true (Fheap.pop h = Some (1.0, 1));
+  check_bool "pop_elt" true (Fheap.pop_elt h = Some 2);
+  check_int "length" 3 (Fheap.length h);
+  Fheap.clear h;
+  check_bool "cleared" true (Fheap.is_empty h)
+
+let fheap_entries_gen =
+  (* Small (key, tie) ranges force plenty of collisions at every
+     level of the lexicographic order. *)
+  QCheck.Gen.(list_size (0 -- 80) (pair (0 -- 5) (0 -- 3)))
+
+let fheap_entries_print = QCheck.Print.(list (pair int int))
+
+let fheap_drain h =
+  let rec go acc =
+    match Fheap.pop h with None -> List.rev acc | Some (_, v) -> go (v :: acc)
+  in
+  go []
+
+let prop_fheap_pop_order_matches_reference =
+  (* Pop order is ascending (key, tie, uid) — the reference is a plain
+     sort of the insertion triples. *)
+  QCheck.Test.make ~name:"fheap: drains in (key, tie, uid) order" ~count:300
+    (QCheck.make fheap_entries_gen ~print:fheap_entries_print)
+    (fun entries ->
+      let h = Fheap.create ~capacity:1 () in
+      List.iteri
+        (fun uid (k, t) ->
+          Fheap.add h ~key:(float_of_int k) ~tie:(float_of_int t) ~uid uid)
+        entries;
+      let reference =
+        List.mapi (fun uid (k, t) -> (k, t, uid)) entries
+        |> List.sort compare
+        |> List.map (fun (_, _, uid) -> uid)
+      in
+      fheap_drain h = reference)
+
+let prop_fheap_tie_uid_stability =
+  (* With key and tie fully degenerate, uid alone must make the order
+     total: pops come out in insertion order regardless of heap
+     internals. *)
+  QCheck.Test.make ~name:"fheap: equal keys and ties pop in uid order" ~count:300
+    QCheck.(0 -- 60)
+    (fun n ->
+      let h = Fheap.create () in
+      for uid = 0 to n - 1 do
+        Fheap.add h ~key:7.0 ~tie:2.5 ~uid uid
+      done;
+      fheap_drain h = List.init n (fun i -> i))
+
+let prop_fheap_interleaved =
+  QCheck.Test.make ~name:"fheap: matches sorted-list model under interleaving"
+    ~count:200
+    QCheck.(list (pair bool (pair (0 -- 5) (0 -- 3))))
+    (fun ops ->
+      let h = Fheap.create () in
+      let model = ref [] in
+      let uid = ref 0 in
+      List.for_all
+        (fun (is_pop, (k, t)) ->
+          if is_pop then begin
+            let expected =
+              match List.sort compare !model with
+              | [] -> None
+              | ((key, _, u) as min) :: _ ->
+                model := List.filter (fun x -> x <> min) !model;
+                Some (float_of_int key, u)
+            in
+            Fheap.pop h = expected
+          end
+          else begin
+            Fheap.add h ~key:(float_of_int k) ~tie:(float_of_int t) ~uid:!uid !uid;
+            model := (k, t, !uid) :: !model;
+            incr uid;
+            true
+          end)
+        ops
+      && Fheap.length h = List.length !model)
+
+(* ------------------------------------------------------------------ *)
 (* Rng                                                                  *)
 
 let test_rng_deterministic () =
@@ -438,6 +537,14 @@ let () =
           q prop_heap_drains_sorted;
           q prop_heap_is_permutation;
           q prop_heap_interleaved;
+        ] );
+      ( "fheap",
+        [
+          Alcotest.test_case "empty" `Quick test_fheap_empty;
+          Alcotest.test_case "min agrees with pop" `Quick test_fheap_min_agrees_with_pop;
+          q prop_fheap_pop_order_matches_reference;
+          q prop_fheap_tie_uid_stability;
+          q prop_fheap_interleaved;
         ] );
       ( "rng",
         [
