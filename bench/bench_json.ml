@@ -154,6 +154,17 @@ let field name = function
     | None -> raise (Bad (Printf.sprintf "missing field %S" name)))
   | _ -> raise (Bad (Printf.sprintf "expected object around %S" name))
 
+let check_ns ~series ~name row =
+  match field name row with
+  | Num ns when ns > 0.0 -> ()
+  | Null -> ()  (* a failed estimate is allowed, but must be explicit *)
+  | _ -> raise (Bad (Printf.sprintf "%s: %s must be positive or null" series name))
+
+let check_pos_int ~series ~name row =
+  match field name row with
+  | Num f when Float.is_integer f && f > 0.0 -> ()
+  | _ -> raise (Bad (Printf.sprintf "%s: %s must be a positive integer" series name))
+
 let check_rows ~series ~depth rows =
   match rows with
   | List [] -> raise (Bad (Printf.sprintf "%s is empty" series))
@@ -163,29 +174,80 @@ let check_rows ~series ~depth rows =
         (match field "discipline" row with
         | Str _ -> ()
         | _ -> raise (Bad (series ^ ": discipline must be a string")));
-        (match field "flows" row with
-        | Num f when Float.is_integer f && f > 0.0 -> ()
-        | _ -> raise (Bad (series ^ ": flows must be a positive integer")));
-        (match field "ns_per_packet" row with
-        | Num ns when ns > 0.0 -> ()
-        | Null -> ()  (* a failed OLS estimate is allowed, but must be explicit *)
-        | _ -> raise (Bad (series ^ ": ns_per_packet must be positive or null")));
-        if depth then begin
-          match field "depth" row with
-          | Num d when Float.is_integer d && d > 0.0 -> ()
-          | _ -> raise (Bad (series ^ ": depth must be a positive integer"))
-        end)
+        check_pos_int ~series ~name:"flows" row;
+        check_ns ~series ~name:"ns_per_packet" row;
+        check_ns ~series ~name:"ns_p50" row;
+        check_ns ~series ~name:"ns_p99" row;
+        if depth then check_pos_int ~series ~name:"depth" row)
       rows
+  | _ -> raise (Bad (Printf.sprintf "%s must be an array" series))
+
+let check_meta meta =
+  List.iter
+    (fun name ->
+      match field name meta with
+      | Str s when s <> "" -> ()
+      | _ -> raise (Bad (Printf.sprintf "meta: %s must be a non-empty string" name)))
+    [ "git_sha"; "timestamp_utc"; "hostname" ]
+
+(* The observability contract: tracing must be attachable everywhere,
+   so a disabled tracer on the hot path has to be nearly free. The
+   checked-in trajectory (and every CI bench run) carries the proof,
+   and this check fails the file if the proof ever degrades. *)
+let disabled_overhead_limit_pct = 5.0
+
+let check_overhead rows =
+  let series = "tracing_overhead" in
+  match rows with
+  | List [] -> raise (Bad (Printf.sprintf "%s is empty" series))
+  | List rows ->
+    List.iter
+      (fun row ->
+        (match field "mode" row with
+        | Str ("untraced" | "disabled" | "ring" | "jsonl") -> ()
+        | Str s -> raise (Bad (Printf.sprintf "%s: unknown mode %S" series s))
+        | _ -> raise (Bad (series ^ ": mode must be a string")));
+        check_pos_int ~series ~name:"flows" row;
+        check_pos_int ~series ~name:"depth" row;
+        check_ns ~series ~name:"ns_per_packet" row;
+        check_ns ~series ~name:"ns_p50" row;
+        check_ns ~series ~name:"ns_p99" row;
+        match (field "mode" row, field "overhead_pct" row) with
+        | Str "untraced", Null -> ()
+        | Str "untraced", _ ->
+          raise (Bad (series ^ ": untraced overhead_pct must be null"))
+        | Str "disabled", Num pct when pct >= disabled_overhead_limit_pct ->
+          raise
+            (Bad
+               (Printf.sprintf
+                  "%s: disabled-tracer overhead %.1f%% breaches the %.0f%% budget"
+                  series pct disabled_overhead_limit_pct))
+        | _, Num _ -> ()
+        | Str "disabled", _ ->
+          raise (Bad (series ^ ": disabled overhead_pct must be a number"))
+        | _, Null -> ()
+        | _ -> raise (Bad (series ^ ": overhead_pct must be a number or null")))
+      rows;
+    let has mode =
+      List.exists (fun row -> field "mode" row = Str mode) rows
+    in
+    List.iter
+      (fun mode ->
+        if not (has mode) then
+          raise (Bad (Printf.sprintf "%s: missing mode %S" series mode)))
+      [ "untraced"; "disabled"; "ring"; "jsonl" ]
   | _ -> raise (Bad (Printf.sprintf "%s must be an array" series))
 
 let validate contents =
   match
     let json = parse contents in
     (match field "schema" json with
-    | Str "sfq-bench-sched/1" -> ()
+    | Str "sfq-bench-sched/2" -> ()
     | _ -> raise (Bad "unexpected schema"));
+    check_meta (field "meta" json);
     check_rows ~series:"flow_scaling" ~depth:false (field "flow_scaling" json);
-    check_rows ~series:"depth_scaling" ~depth:true (field "depth_scaling" json)
+    check_rows ~series:"depth_scaling" ~depth:true (field "depth_scaling" json);
+    check_overhead (field "tracing_overhead" json)
   with
   | () -> Ok ()
   | exception Bad msg -> Error msg

@@ -30,11 +30,21 @@ val field : string -> json -> json
 
 val check_rows : series:string -> depth:bool -> json -> unit
 (** Validate one scaling series: a non-empty array of rows, each with a
-    string [discipline], a positive-integer [flows], a positive-or-null
-    [ns_per_packet], and (when [depth]) a positive-integer [depth].
+    string [discipline], a positive-integer [flows], positive-or-null
+    [ns_per_packet]/[ns_p50]/[ns_p99], and (when [depth]) a
+    positive-integer [depth].
     @raise Bad on the first offending row. *)
+
+val disabled_overhead_limit_pct : float
+(** The budget the disabled-tracer mode must stay under (5%): the
+    observability layer's promise that leaving the wrapper installed in
+    a production build costs nothing measurable. *)
 
 val validate : string -> (unit, string) result
 (** [validate contents] checks a whole document: well-formed JSON,
-    [schema = "sfq-bench-sched/1"], and both [flow_scaling] and
-    [depth_scaling] series. Returns [Error msg] instead of raising. *)
+    [schema = "sfq-bench-sched/2"], a [meta] block with non-empty
+    [git_sha]/[timestamp_utc]/[hostname], the [flow_scaling] and
+    [depth_scaling] series, and a [tracing_overhead] series carrying
+    all four modes (untraced/disabled/ring/jsonl) whose disabled row
+    must respect {!disabled_overhead_limit_pct}. Returns [Error msg]
+    instead of raising. *)

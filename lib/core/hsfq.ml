@@ -2,6 +2,7 @@ open Sfq_base
 
 type node = {
   owner : int;  (* hierarchy id, to reject foreign class handles *)
+  cid : int;  (* 0 = root, then creation order; stable trace identity *)
   mutable kind : kind;
   mutable edge : edge option;  (* None for the root *)
 }
@@ -27,11 +28,19 @@ and edge = {
 
 type class_ = node
 
+type tag_hook =
+  now:float -> class_id:int -> seq:int -> len:int -> stag:float ->
+  ftag:float -> vtime:float -> unit
+
 type t = {
   id : int;
   root_node : node;
   mutable classifier : (Packet.t -> class_) option;
   mutable count : int;
+  mutable next_cid : int;
+  (* guard cell dereferenced once per dequeue before the hook is
+     threaded through the recursion; see Sfq.set_tag_hook *)
+  mutable tag_hook : (bool ref * tag_hook) option;
 }
 
 let next_id = ref 0
@@ -42,7 +51,14 @@ let fresh_internal () =
 let create () =
   incr next_id;
   let id = !next_id in
-  { id; root_node = { owner = id; kind = fresh_internal (); edge = None }; classifier = None; count = 0 }
+  {
+    id;
+    root_node = { owner = id; cid = 0; kind = fresh_internal (); edge = None };
+    classifier = None;
+    count = 0;
+    next_cid = 1;
+    tag_hook = None;
+  }
 
 let root t = t.root_node
 
@@ -55,7 +71,8 @@ let add_edge t ~parent ~weight child_kind =
   if weight <= 0.0 then invalid_arg "Hsfq: weight must be positive";
   if parent.owner <> t.id then invalid_arg "Hsfq: class from another hierarchy";
   let i = internal_of parent in
-  let child = { owner = t.id; kind = child_kind; edge = None } in
+  let child = { owner = t.id; cid = t.next_cid; kind = child_kind; edge = None } in
+  t.next_cid <- t.next_cid + 1;
   let edge = { child; weight; parent; stag = 0.0; fprev = 0.0; active = false; seq = 0 } in
   child.edge <- Some edge;
   i.children <- i.children @ [ edge ];
@@ -127,7 +144,7 @@ let enqueue t ~now pkt =
     t.count <- t.count + 1;
     if was_empty then activate_upwards leaf
 
-let rec node_dequeue node ~now =
+let rec node_dequeue hook node ~now =
   match node.kind with
   | Leaf inner -> inner.Sched.dequeue ~now
   | Internal i -> begin
@@ -141,7 +158,12 @@ let rec node_dequeue node ~now =
       | Some head ->
         let ftag = e.stag +. (float_of_int head.Packet.len /. e.weight) in
         i.v <- e.stag;
-        let p = node_dequeue e.child ~now in
+        (match hook with
+        | None -> ()
+        | Some h ->
+          h ~now ~class_id:e.child.cid ~seq:e.seq ~len:head.Packet.len
+            ~stag:e.stag ~ftag ~vtime:i.v);
+        let p = node_dequeue hook e.child ~now in
         e.fprev <- ftag;
         if ftag > i.max_finish_served then i.max_finish_served <- ftag;
         if subtree_nonempty e.child then begin
@@ -165,7 +187,12 @@ let rec node_dequeue node ~now =
   end
 
 let dequeue t ~now =
-  match node_dequeue t.root_node ~now with
+  let hook =
+    match t.tag_hook with
+    | Some (active, h) when !active -> Some h
+    | Some _ | None -> None
+  in
+  match node_dequeue hook t.root_node ~now with
   | None ->
     (match t.root_node.kind with
     | Internal i -> i.v <- Float.max i.v i.max_finish_served
@@ -188,6 +215,16 @@ let backlog t flow = node_backlog t.root_node flow
 let class_vtime t node =
   if node.owner <> t.id then invalid_arg "Hsfq.class_vtime: class from another hierarchy";
   match node.kind with Internal i -> i.v | Leaf _ -> 0.0
+
+let class_id t node =
+  if node.owner <> t.id then invalid_arg "Hsfq.class_id: class from another hierarchy";
+  node.cid
+
+let set_tag_hook t ?active h =
+  let active = match active with Some r -> r | None -> ref true in
+  t.tag_hook <- Some (active, h)
+
+let clear_tag_hook t = t.tag_hook <- None
 
 let sched t =
   {

@@ -59,3 +59,27 @@ val sched : t -> Sched.t
 
 val class_vtime : t -> class_ -> float
 (** Virtual time of an internal class (0 for leaves); for tests. *)
+
+val class_id : t -> class_ -> int
+(** Stable small-int identity of a class: 0 for the root, then in
+    creation order. Trace events use it as the class's track id.
+    @raise Invalid_argument for a class of another hierarchy. *)
+
+type tag_hook =
+  now:float -> class_id:int -> seq:int -> len:int -> stag:float ->
+  ftag:float -> vtime:float -> unit
+
+val set_tag_hook : t -> ?active:bool ref -> tag_hook -> unit
+(** Observe every child-edge emission, at any level: when an internal
+    class selects a child, the hook fires with the child's {!class_id},
+    the edge's emission sequence number, the emitted head packet's
+    length, the edge's start tag, the finish tag it fixes
+    ([F = S + l/w], §3) and the parent's v after the selection. Tags at
+    {e activation} are not reported — their finish tag does not exist
+    until emission; the emission event carries the authoritative pair.
+    One hook per hierarchy (setting replaces). [active] (default:
+    always) is dereferenced once per dequeue; pass
+    [Sfq_obs.Tracer.active_flag] so a disabled tracer costs one load,
+    not a hook call per level. *)
+
+val clear_tag_hook : t -> unit

@@ -3,7 +3,13 @@ open Sfq_sched
 
 type busy_rule = Idle_poll | On_empty
 
+type tag_hook =
+  now:float -> pkt:Packet.t -> stag:float -> ftag:float -> vtime:float -> unit
+
 type t = {
+  (* the guard cell is dereferenced before the hook is called: a hook
+     whose tracer is off costs one load, not five boxed floats *)
+  mutable tag_hook : (bool ref * tag_hook) option;
   weights : Weights.t;
   busy_rule : busy_rule;
   tie : Tag_queue.tie;
@@ -25,6 +31,7 @@ let tie_value tie flow =
 
 let create ?(tie = Tag_queue.Arrival) ?(busy_rule = Idle_poll) ?capacity weights =
   {
+    tag_hook = None;
     weights;
     busy_rule;
     tie;
@@ -37,12 +44,15 @@ let create ?(tie = Tag_queue.Arrival) ?(busy_rule = Idle_poll) ?capacity weights
 let packet_rate t pkt =
   match pkt.Packet.rate with Some r -> r | None -> Weights.get t.weights pkt.Packet.flow
 
-let enqueue_tagged t ~now:_ pkt =
+let enqueue_tagged t ~now pkt =
   let flow = pkt.Packet.flow in
   let stag = Float.max t.v (Flow_table.find t.finish flow) in
   let ftag = stag +. (float_of_int pkt.Packet.len /. packet_rate t pkt) in
   Flow_table.set t.finish flow ftag;
   Flow_heap.push t.fh ~flow ~key:stag ~aux:ftag ~tie:(tie_value t.tie flow) pkt;
+  (match t.tag_hook with
+  | Some (active, h) when !active -> h ~now ~pkt ~stag ~ftag ~vtime:t.v
+  | Some _ | None -> ());
   (stag, ftag)
 
 let enqueue t ~now pkt = ignore (enqueue_tagged t ~now pkt)
@@ -66,6 +76,12 @@ let dequeue t ~now:_ =
          momentarily empty queue as the end of the busy period. *)
       t.v <- t.max_finish_served;
     Some pkt
+
+let set_tag_hook t ?active h =
+  let active = match active with Some r -> r | None -> ref true in
+  t.tag_hook <- Some (active, h)
+
+let clear_tag_hook t = t.tag_hook <- None
 
 let peek t = match Flow_heap.peek t.fh with None -> None | Some p -> Some p.Flow_heap.value
 let size t = Flow_heap.size t.fh

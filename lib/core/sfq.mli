@@ -64,4 +64,22 @@ val vtime : t -> float
 (** Current virtual time: start tag of the packet most recently put in
     service, or the busy-period-end value (max serviced finish tag). *)
 
+type tag_hook =
+  now:float -> pkt:Packet.t -> stag:float -> ftag:float -> vtime:float -> unit
+
+val set_tag_hook : t -> ?active:bool ref -> tag_hook -> unit
+(** Observe every tag assignment (eqs. 4–5) as it happens: the hook
+    fires inside [enqueue] with the packet, its assigned start/finish
+    tags and v(t) at assignment. One hook per scheduler (setting
+    replaces); meant for tracers ([Sfq_obs.Tracer.tag_hook]) — keep it
+    cheap, it is on the hot path. [active] (default: always) is
+    dereferenced before every call; pass
+    [Sfq_obs.Tracer.active_flag] so a disabled tracer skips the call —
+    and the float boxing the call implies — for the cost of one
+    load. *)
+
+val clear_tag_hook : t -> unit
+(** Back to no observation (and no per-enqueue overhead beyond one
+    branch). *)
+
 val sched : t -> Sched.t

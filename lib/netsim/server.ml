@@ -16,25 +16,75 @@ type t = {
   mutable depart_handlers : (Packet.t -> start:float -> departed:float -> unit) list;
 }
 
-let create sim ~name ~rate ~sched ?flow_buffer_limit () =
+let wire_metrics t m ~delay_range =
+  let open Sfq_obs in
+  let lo, hi = delay_range in
+  let bins = 400 in
+  let pfx = t.name ^ "." in
+  let injected = Metrics.counter m (pfx ^ "injected") in
+  let dropped = Metrics.counter m (pfx ^ "dropped") in
+  let departed = Metrics.counter m (pfx ^ "departed") in
+  let bits = Metrics.counter m (pfx ^ "bits") in
+  (* per-flow arrival-time FIFOs for residence delay, and live backlog
+     counts for the gauge; both only exist when metrics are wired *)
+  let arrivals : float Queue.t Flow_table.t =
+    Flow_table.create ~default:(fun _ -> Queue.create ())
+  in
+  let backlog : int ref Flow_table.t = Flow_table.create ~default:(fun _ -> ref 0) in
+  t.inject_handlers <-
+    (fun p ->
+      let flow = p.Packet.flow in
+      Metrics.incr injected;
+      Metrics.incr (Metrics.counter m ~flow (pfx ^ "injected"));
+      Queue.push (Sim.now t.sim) (Flow_table.find arrivals flow);
+      let b = Flow_table.find backlog flow in
+      incr b;
+      Metrics.set_gauge (Metrics.gauge m ~flow (pfx ^ "backlog")) (float_of_int !b))
+    :: t.inject_handlers;
+  t.drop_handlers <-
+    (fun p ->
+      Metrics.incr dropped;
+      Metrics.incr (Metrics.counter m ~flow:p.Packet.flow (pfx ^ "dropped")))
+    :: t.drop_handlers;
+  t.depart_handlers <-
+    (fun p ~start:_ ~departed:at ->
+      let flow = p.Packet.flow in
+      Metrics.incr departed;
+      Metrics.incr (Metrics.counter m ~flow (pfx ^ "departed"));
+      Metrics.add bits (float_of_int p.Packet.len);
+      let b = Flow_table.find backlog flow in
+      if !b > 0 then decr b;
+      Metrics.set_gauge (Metrics.gauge m ~flow (pfx ^ "backlog")) (float_of_int !b);
+      match Queue.take_opt (Flow_table.find arrivals flow) with
+      | Some arrived ->
+        Metrics.observe m ~flow ~lo ~hi ~bins (pfx ^ "delay") (at -. arrived)
+      | None -> ())
+    :: t.depart_handlers
+
+let create sim ~name ~rate ~sched ?flow_buffer_limit ?metrics
+    ?(delay_range = (0.0, 10.0)) () =
   (match flow_buffer_limit with
   | Some n when n <= 0 -> invalid_arg "Server.create: flow_buffer_limit must be positive"
   | Some _ | None -> ());
-  {
-    sim;
-    name;
-    rate;
-    sched;
-    priority = Queue.create ();
-    flow_buffer_limit;
-    busy = false;
-    drops = 0;
-    departed = 0;
-    work_done = 0.0;
-    inject_handlers = [];
-    drop_handlers = [];
-    depart_handlers = [];
-  }
+  let t =
+    {
+      sim;
+      name;
+      rate;
+      sched;
+      priority = Queue.create ();
+      flow_buffer_limit;
+      busy = false;
+      drops = 0;
+      departed = 0;
+      work_done = 0.0;
+      inject_handlers = [];
+      drop_handlers = [];
+      depart_handlers = [];
+    }
+  in
+  (match metrics with None -> () | Some m -> wire_metrics t m ~delay_range);
+  t
 
 let next_packet t ~now =
   match Queue.take_opt t.priority with

@@ -14,7 +14,18 @@
     a drop decision), [on_depart] at service completion with the
     service start time. Per-flow drop-tail buffers ([flow_buffer_limit])
     model finite switch memory for the TCP experiments; the default is
-    unbounded. *)
+    unbounded.
+
+    Passing [?metrics] registers the server in an
+    {!Sfq_obs.Metrics.t}: per-hop counters
+    [<name>.injected]/[.dropped]/[.departed] (total and per flow),
+    [<name>.bits] (work served), a per-flow [<name>.backlog] gauge
+    (with high-water mark) and a per-flow [<name>.delay] residence-time
+    histogram ([delay_range], default 0–10 s over 400 bins; values
+    above saturate in the last bin — use a {!Trace} for exact order
+    statistics). Arrivals and departures are matched per-flow FIFO —
+    sound for every discipline here, provided a flow sticks to one
+    path (scheduled or priority), as every experiment's flows do. *)
 
 open Sfq_base
 
@@ -26,6 +37,8 @@ val create :
   rate:Rate_process.t ->
   sched:Sched.t ->
   ?flow_buffer_limit:int ->
+  ?metrics:Sfq_obs.Metrics.t ->
+  ?delay_range:float * float ->
   unit ->
   t
 

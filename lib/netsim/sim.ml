@@ -1,5 +1,11 @@
 open Sfq_util
 
+type metrics = {
+  m_events : Sfq_obs.Metrics.counter;
+  m_pending : Sfq_obs.Metrics.gauge;
+  m_now : Sfq_obs.Metrics.gauge;
+}
+
 type t = {
   (* key = firing time, uid = scheduling order: equal-time events fire
      in scheduling order, and the monomorphic heap spares the netsim
@@ -8,9 +14,12 @@ type t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable fired : int;
+  mutable metrics : metrics option;
 }
 
-let create () = { queue = Fheap.create ~capacity:64 (); clock = 0.0; next_seq = 0; fired = 0 }
+let create () =
+  { queue = Fheap.create ~capacity:64 (); clock = 0.0; next_seq = 0; fired = 0;
+    metrics = None }
 
 let now t = t.clock
 
@@ -27,6 +36,12 @@ let schedule_after t ~delay fn =
 let fire t ~at fn =
   t.clock <- at;
   t.fired <- t.fired + 1;
+  (match t.metrics with
+  | None -> ()
+  | Some m ->
+    Sfq_obs.Metrics.incr m.m_events;
+    Sfq_obs.Metrics.set_gauge m.m_pending (float_of_int (Fheap.length t.queue));
+    Sfq_obs.Metrics.set_gauge m.m_now at);
   fn ()
 
 let run t ~until =
@@ -56,3 +71,13 @@ let run_all t ?(limit = 100_000_000) () =
 
 let pending t = Fheap.length t.queue
 let events_fired t = t.fired
+
+let set_metrics t m ~prefix =
+  let open Sfq_obs in
+  t.metrics <-
+    Some
+      {
+        m_events = Metrics.counter m (prefix ^ ".events");
+        m_pending = Metrics.gauge m (prefix ^ ".pending");
+        m_now = Metrics.gauge m (prefix ^ ".now");
+      }

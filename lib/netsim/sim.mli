@@ -31,3 +31,10 @@ val pending : t -> int
 (** Events currently queued. *)
 
 val events_fired : t -> int
+
+val set_metrics : t -> Sfq_obs.Metrics.t -> prefix:string -> unit
+(** Register the simulator in a metrics registry: a counter
+    [<prefix>.events] incremented per fired event, gauges
+    [<prefix>.pending] (queue depth, with its high-water mark) and
+    [<prefix>.now] (clock), updated as events fire. One registry per
+    simulation (setting replaces). *)

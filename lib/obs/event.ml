@@ -1,0 +1,50 @@
+type kind = Arrival | Tag | Dequeue | Busy | Idle
+
+type t = {
+  kind : kind;
+  time : float;
+  flow : int;
+  seq : int;
+  len : int;
+  stag : float;
+  ftag : float;
+  vtime : float;
+}
+
+let kind_to_string = function
+  | Arrival -> "arrival"
+  | Tag -> "tag"
+  | Dequeue -> "dequeue"
+  | Busy -> "busy"
+  | Idle -> "idle"
+
+let kind_of_string = function
+  | "arrival" -> Some Arrival
+  | "tag" -> Some Tag
+  | "dequeue" -> Some Dequeue
+  | "busy" -> Some Busy
+  | "idle" -> Some Idle
+  | _ -> None
+
+(* JSON numbers cannot be NaN or infinite; callers keep times/tags
+   finite, and a non-finite value here would corrupt a machine-read
+   file, so turn it into null defensively. *)
+let num f =
+  if Float.is_finite f then Printf.sprintf "%.12g" f else "null"
+
+let to_jsonl e =
+  let b = Buffer.create 96 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"ev\":%S,\"t\":%s,\"flow\":%d,\"seq\":%d,\"len\":%d"
+       (kind_to_string e.kind) (num e.time) e.flow e.seq e.len);
+  Buffer.add_string b (Printf.sprintf ",\"stag\":%s,\"ftag\":%s" (num e.stag) (num e.ftag));
+  if not (Float.is_nan e.vtime) then
+    Buffer.add_string b (Printf.sprintf ",\"v\":%s" (num e.vtime));
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let pp ppf e =
+  Format.fprintf ppf "%s t=%g flow=%d seq=%d len=%d" (kind_to_string e.kind)
+    e.time e.flow e.seq e.len;
+  if e.kind = Tag then Format.fprintf ppf " S=%g F=%g" e.stag e.ftag;
+  if not (Float.is_nan e.vtime) then Format.fprintf ppf " v=%g" e.vtime

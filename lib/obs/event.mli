@@ -1,0 +1,47 @@
+(** The trace event vocabulary of {!Tracer}.
+
+    One record per scheduler-level occurrence. The set is deliberately
+    small and flat — every event carries the same fixed fields so the
+    tracer can store them in monomorphic column arrays (no per-event
+    allocation on the hot path) and the exporters can map them 1:1 onto
+    JSONL rows and Chrome [trace_event] entries:
+
+    - [Arrival]: a packet was handed to [enqueue]; [flow]/[seq]/[len]
+      identify it, tags are 0 and [vtime] is NaN (not sampled).
+    - [Tag]: the scheduler assigned start/finish tags (eqs. 4–5) —
+      emitted from inside {!Sfq_core.Sfq}/{!Sfq_core.Hsfq} via their
+      tag hooks, so these are the {e real} tags, not reconstructions.
+      [vtime] is v(t) at assignment. For Hsfq, [flow] is the class id
+      and [seq] the emission sequence of the class edge.
+    - [Dequeue]: a packet left the scheduler (service starts now).
+    - [Busy]: an enqueue made the queue non-empty (busy period may
+      begin per §2's step 2 — the authoritative end is [Idle]).
+    - [Idle]: a dequeue found the queue empty — the idle poll that ends
+      a busy period.
+
+    Times are simulation seconds, as passed to the scheduler. *)
+
+type kind = Arrival | Tag | Dequeue | Busy | Idle
+
+type t = {
+  kind : kind;
+  time : float;
+  flow : int;  (** -1 when not packet-related (Busy/Idle) *)
+  seq : int;
+  len : int;  (** bits *)
+  stag : float;  (** start tag; 0 unless [kind = Tag] *)
+  ftag : float;  (** finish tag; 0 unless [kind = Tag] *)
+  vtime : float;  (** v(t) at the event; NaN when not sampled *)
+}
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+val to_jsonl : t -> string
+(** One JSON object, no trailing newline. NaN [vtime] is omitted
+    (JSON has no NaN); all other fields are always present, so a line
+    is self-describing:
+    [{"ev":"tag","t":1.5,"flow":3,"seq":7,"len":1000,"stag":2.0,
+      "ftag":2.5,"v":1.75}]. *)
+
+val pp : Format.formatter -> t -> unit

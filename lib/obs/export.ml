@@ -1,0 +1,106 @@
+let jsonl t =
+  let b = Buffer.create 4096 in
+  Tracer.iter t ~f:(fun e ->
+      Buffer.add_string b (Event.to_jsonl e);
+      Buffer.add_char b '\n');
+  Buffer.contents b
+
+let write_file ~path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let write_jsonl t ~path = write_file ~path (jsonl t)
+
+(* --- Chrome trace_event ------------------------------------------- *)
+
+let num f = if Float.is_finite f then Printf.sprintf "%.12g" f else "0"
+let us s = num (s *. 1e6)
+
+let chrome ?(name = "sfq") t =
+  let b = Buffer.create 8192 in
+  let first = ref true in
+  let emit line =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b ("    " ^ line)
+  in
+  Buffer.add_string b "{\n  \"traceEvents\": [\n";
+  emit
+    (Printf.sprintf
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":%S}}"
+       name);
+  emit
+    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"scheduler\"}}";
+  (* first pass: discover flows (for track naming) and per-packet tag
+     assignments; remember each packet's arrival so dequeues close a
+     slice. Keys are (flow, seq) — unique per packet for the flat
+     schedulers this exporter is built for. *)
+  let flows = Hashtbl.create 16 in
+  let tags : (int * int, float * float) Hashtbl.t = Hashtbl.create 256 in
+  Tracer.iter t ~f:(fun (e : Event.t) ->
+      if e.flow >= 0 && not (Hashtbl.mem flows e.flow) then
+        Hashtbl.add flows e.flow ();
+      if e.kind = Tag then Hashtbl.replace tags (e.flow, e.seq) (e.stag, e.ftag));
+  Hashtbl.fold (fun f () acc -> f :: acc) flows []
+  |> List.sort compare
+  |> List.iter (fun f ->
+         emit
+           (Printf.sprintf
+              "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"flow %d\"}}"
+              (f + 1) f));
+  let pkt_args flow seq len =
+    match Hashtbl.find_opt tags (flow, seq) with
+    | Some (stag, ftag) ->
+      Printf.sprintf "{\"len\":%d,\"stag\":%s,\"ftag\":%s}" len (num stag) (num ftag)
+    | None -> Printf.sprintf "{\"len\":%d}" len
+  in
+  let arrivals : (int * int, float * int) Hashtbl.t = Hashtbl.create 256 in
+  let counter_point ~at v =
+    if not (Float.is_nan v) then
+      emit
+        (Printf.sprintf
+           "{\"name\":\"v(t)\",\"ph\":\"C\",\"ts\":%s,\"pid\":1,\"args\":{\"v\":%s}}"
+           (us at) (num v))
+  in
+  Tracer.iter t ~f:(fun (e : Event.t) ->
+      match e.kind with
+      | Arrival -> Hashtbl.replace arrivals (e.flow, e.seq) (e.time, e.len)
+      | Tag -> counter_point ~at:e.time e.vtime
+      | Dequeue -> begin
+        counter_point ~at:e.time e.vtime;
+        match Hashtbl.find_opt arrivals (e.flow, e.seq) with
+        | Some (arrived, _) ->
+          Hashtbl.remove arrivals (e.flow, e.seq);
+          emit
+            (Printf.sprintf
+               "{\"name\":\"f%d#%d\",\"cat\":\"packet\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":%d,\"args\":%s}"
+               e.flow e.seq (us arrived)
+               (us (e.time -. arrived))
+               (e.flow + 1)
+               (pkt_args e.flow e.seq e.len))
+        | None ->
+          (* its arrival was overwritten by ring wrap-around: an
+             instant at the dequeue is all we can place *)
+          emit
+            (Printf.sprintf
+               "{\"name\":\"f%d#%d dequeue\",\"cat\":\"packet\",\"ph\":\"i\",\"ts\":%s,\"pid\":1,\"tid\":%d,\"s\":\"t\",\"args\":%s}"
+               e.flow e.seq (us e.time) (e.flow + 1)
+               (pkt_args e.flow e.seq e.len))
+      end
+      | Busy | Idle ->
+        emit
+          (Printf.sprintf
+             "{\"name\":%S,\"cat\":\"server\",\"ph\":\"i\",\"ts\":%s,\"pid\":1,\"tid\":0,\"s\":\"t\"}"
+             (Event.kind_to_string e.kind) (us e.time)));
+  (* packets still queued at export: instants at their arrival *)
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) arrivals []
+  |> List.sort compare
+  |> List.iter (fun ((flow, seq), (at, len)) ->
+         emit
+           (Printf.sprintf
+              "{\"name\":\"f%d#%d queued\",\"cat\":\"packet\",\"ph\":\"i\",\"ts\":%s,\"pid\":1,\"tid\":%d,\"s\":\"t\",\"args\":%s}"
+              flow seq (us at) (flow + 1) (pkt_args flow seq len)));
+  Buffer.add_string b "\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n";
+  Buffer.contents b
+
+let write_chrome ?name t ~path = write_file ~path (chrome ?name t)

@@ -1,0 +1,33 @@
+(** Trace exporters: JSONL and Chrome [trace_event] (Perfetto).
+
+    JSONL is one {!Event.to_jsonl} object per line, in ring order — the
+    same format the tracer's streaming sink writes, so an offline dump
+    of the ring and an online stream are interchangeable.
+
+    The Chrome export produces the JSON-object flavour of the Trace
+    Event Format ([{"traceEvents": [...]}]) that {{:https://ui.perfetto.dev}Perfetto}
+    and [chrome://tracing] open directly:
+    - one thread track per flow ([pid] 1, [tid] = flow id + 1, named
+      via [thread_name] metadata events), carrying a complete ("X")
+      slice per packet from its arrival to its dequeue — the residence
+      time in the scheduler — with [len]/[stag]/[ftag] as args;
+    - packets still queued at export time appear as instant ("i")
+      events at their arrival;
+    - virtual time as a counter ("C") track, one point per event that
+      sampled v(t) (Tag events, and Dequeue events when the tracer was
+      wrapped with [~vtime]);
+    - busy/idle transitions as instants on the scheduler track
+      ([tid] 0).
+
+    Timestamps are microseconds (the format's unit), simulation time
+    × 1e6. *)
+
+val jsonl : Tracer.t -> string
+(** The ring as JSONL, one event per line, oldest first. *)
+
+val write_jsonl : Tracer.t -> path:string -> unit
+
+val chrome : ?name:string -> Tracer.t -> string
+(** [name] labels the process track (default ["sfq"]). *)
+
+val write_chrome : ?name:string -> Tracer.t -> path:string -> unit

@@ -1,0 +1,107 @@
+open Sfq_util
+
+type counter = { mutable c : float }
+type gauge = { mutable g : float; mutable g_max : float }
+
+type instrument =
+  | I_counter of counter
+  | I_gauge of gauge
+  | I_histo of Histogram.t
+
+type t = { table : (string * int option, instrument) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let register t ~name ~flow ~make ~cast =
+  let key = (name, flow) in
+  match Hashtbl.find_opt t.table key with
+  | Some i -> cast i
+  | None ->
+    let i = make () in
+    Hashtbl.add t.table key i;
+    cast i
+
+let counter t ?flow name =
+  register t ~name ~flow
+    ~make:(fun () -> I_counter { c = 0.0 })
+    ~cast:(function
+      | I_counter c -> c
+      | _ -> invalid_arg (Printf.sprintf "Metrics.counter: %S is not a counter" name))
+
+let incr c = c.c <- c.c +. 1.0
+
+let add c x =
+  if x < 0.0 then invalid_arg "Metrics.add: negative increment";
+  c.c <- c.c +. x
+
+let counter_value c = c.c
+
+let gauge t ?flow name =
+  register t ~name ~flow
+    ~make:(fun () -> I_gauge { g = 0.0; g_max = neg_infinity })
+    ~cast:(function
+      | I_gauge g -> g
+      | _ -> invalid_arg (Printf.sprintf "Metrics.gauge: %S is not a gauge" name))
+
+let set_gauge g x =
+  g.g <- x;
+  if x > g.g_max then g.g_max <- x
+
+let gauge_value g = g.g
+let gauge_max g = g.g_max
+
+let histogram t ?flow ~lo ~hi ~bins name =
+  register t ~name ~flow
+    ~make:(fun () -> I_histo (Histogram.create ~lo ~hi ~bins))
+    ~cast:(function
+      | I_histo h -> h
+      | _ -> invalid_arg (Printf.sprintf "Metrics.histogram: %S is not a histogram" name))
+
+let observe t ?flow ~lo ~hi ~bins name x =
+  Histogram.add (histogram t ?flow ~lo ~hi ~bins name) x
+
+type value =
+  | Counter of float
+  | Gauge of { value : float; max : float }
+  | Histo of Histogram.t
+
+type sample = { name : string; flow : int option; value : value }
+
+let snapshot t =
+  Hashtbl.fold
+    (fun (name, flow) i acc ->
+      let value =
+        match i with
+        | I_counter c -> Counter c.c
+        | I_gauge g -> Gauge { value = g.g; max = g.g_max }
+        | I_histo h -> Histo h
+      in
+      { name; flow; value } :: acc)
+    t.table []
+  |> List.sort (fun a b ->
+         match String.compare a.name b.name with
+         | 0 -> compare a.flow b.flow
+         | c -> c)
+
+let render t =
+  let table = Text_table.create [ "metric"; "flow"; "kind"; "value" ] in
+  List.iter
+    (fun s ->
+      let flow = match s.flow with None -> "-" | Some f -> string_of_int f in
+      let kind, value =
+        match s.value with
+        | Counter c -> ("counter", Printf.sprintf "%.0f" c)
+        | Gauge { value; max } ->
+          ( "gauge",
+            if max = neg_infinity then "unset"
+            else Printf.sprintf "%g (max %g)" value max )
+        | Histo h ->
+          ( "histogram",
+            if Histogram.count h = 0 then "empty"
+            else
+              Printf.sprintf "n=%d p50=%.6g p99=%.6g" (Histogram.count h)
+                (Histogram.quantile h 0.5) (Histogram.quantile h 0.99) )
+      in
+      Text_table.add_row table [ s.name; flow; kind; value ])
+    (snapshot t);
+  Text_table.render table

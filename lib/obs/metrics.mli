@@ -1,0 +1,70 @@
+(** Metrics registry: named counters, gauges and histograms with an
+    optional per-flow label.
+
+    One registry typically spans a whole experiment; instruments are
+    named hierarchically by convention ("server.injected",
+    "sim.events") and a flow label distinguishes per-flow series of the
+    same name. Registering the same (name, flow) twice returns the same
+    instrument — wiring code can re-register per packet without
+    bookkeeping, at the cost of one hash lookup (hold on to the
+    instrument where that matters).
+
+    Instruments are deliberately primitive:
+    - a {e counter} is a monotonically growing float (packets, bits);
+    - a {e gauge} is a last-value-wins float with a high-water mark
+      ({!gauge_max}) — backlogs, queue depths;
+    - a {e histogram} is an {!Sfq_util.Histogram} (fixed bins,
+      saturating ends), quantile-queryable via
+      [Sfq_util.Histogram.quantile].
+
+    {!snapshot} returns every instrument in a stable order (name, then
+    unlabelled before labelled, then flow id) for rendering or export;
+    {!render} is the ready-made text table. *)
+
+type t
+
+val create : unit -> t
+
+type counter
+type gauge
+
+val counter : t -> ?flow:int -> string -> counter
+val incr : counter -> unit
+val add : counter -> float -> unit
+(** @raise Invalid_argument on a negative increment. *)
+
+val counter_value : counter -> float
+
+val gauge : t -> ?flow:int -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val gauge_max : gauge -> float
+(** Largest value ever set; [neg_infinity] before the first set. *)
+
+val histogram :
+  t -> ?flow:int -> lo:float -> hi:float -> bins:int -> string ->
+  Sfq_util.Histogram.t
+(** Re-registering an existing (name, flow) returns the existing
+    histogram; its shape wins over the arguments. *)
+
+val observe : t -> ?flow:int -> lo:float -> hi:float -> bins:int -> string ->
+  float -> unit
+(** [histogram] + [Histogram.add] in one call. *)
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter of float
+  | Gauge of { value : float; max : float }
+  | Histo of Sfq_util.Histogram.t
+
+type sample = { name : string; flow : int option; value : value }
+
+val snapshot : t -> sample list
+(** Sorted by [(name, flow)], unlabelled first. The histogram in a
+    sample is the live instrument — copy before mutating. *)
+
+val render : t -> string
+(** Text table: name, flow, kind, value (count / value+max /
+    count+p50+p99). *)

@@ -1,0 +1,113 @@
+open Sfq_util
+
+type flow_summary = {
+  flow : int;
+  departed : int;
+  queued : int;
+  delay_p50 : float;
+  delay_p99 : float;
+  delay_max : float;
+  max_backlog : int;
+  tag_lag_max : float;
+}
+
+type acc = {
+  mutable arrivals : (int, float) Hashtbl.t;  (* seq -> arrival time *)
+  delays : float Vec.t;
+  mutable backlog : int;
+  mutable max_backlog : int;
+  mutable tag_lag_max : float;
+  mutable seen_packet : bool;  (* appears in Arrival/Dequeue, not only Tag *)
+}
+
+let per_flow t =
+  let flows : (int, acc) Hashtbl.t = Hashtbl.create 16 in
+  let acc_of flow =
+    match Hashtbl.find_opt flows flow with
+    | Some a -> a
+    | None ->
+      let a =
+        {
+          arrivals = Hashtbl.create 16;
+          delays = Vec.create ();
+          backlog = 0;
+          max_backlog = 0;
+          tag_lag_max = 0.0;
+          seen_packet = false;
+        }
+      in
+      Hashtbl.add flows flow a;
+      a
+  in
+  Tracer.iter t ~f:(fun (e : Event.t) ->
+      match e.kind with
+      | Arrival ->
+        let a = acc_of e.flow in
+        a.seen_packet <- true;
+        Hashtbl.replace a.arrivals e.seq e.time;
+        a.backlog <- a.backlog + 1;
+        if a.backlog > a.max_backlog then a.max_backlog <- a.backlog
+      | Dequeue ->
+        let a = acc_of e.flow in
+        a.seen_packet <- true;
+        if a.backlog > 0 then a.backlog <- a.backlog - 1;
+        (match Hashtbl.find_opt a.arrivals e.seq with
+        | Some arrived ->
+          Hashtbl.remove a.arrivals e.seq;
+          Vec.push a.delays (e.time -. arrived)
+        | None -> ())
+      | Tag ->
+        if not (Float.is_nan e.vtime) then begin
+          let a = acc_of e.flow in
+          let lag = e.stag -. e.vtime in
+          if lag > a.tag_lag_max then a.tag_lag_max <- lag
+        end
+      | Busy | Idle -> ());
+  Hashtbl.fold (fun flow a acc -> (flow, a) :: acc) flows []
+  |> List.filter (fun (_, a) -> a.seen_packet)
+  |> List.sort (fun (f, _) (g, _) -> compare f g)
+  |> List.map (fun (flow, a) ->
+         let delays = Vec.to_array a.delays in
+         let departed = Array.length delays in
+         let p q = if departed = 0 then 0.0 else Stats.percentile delays q in
+         {
+           flow;
+           departed;
+           queued = Hashtbl.length a.arrivals;
+           delay_p50 = p 50.0;
+           delay_p99 = p 99.0;
+           delay_max = (if departed = 0 then 0.0 else Array.fold_left Float.max neg_infinity delays);
+           max_backlog = a.max_backlog;
+           tag_lag_max = a.tag_lag_max;
+         })
+
+let render t =
+  let b = Buffer.create 1024 in
+  let n = Tracer.length t in
+  let span =
+    if n = 0 then 0.0 else (Tracer.get t (n - 1)).Event.time -. (Tracer.get t 0).Event.time
+  in
+  Buffer.add_string b
+    (Printf.sprintf "trace: %d event(s) retained, %d dropped, %.6g s span\n"
+       n (Tracer.dropped t) span);
+  let table =
+    Text_table.create
+      [ "flow"; "departed"; "queued"; "delay p50"; "delay p99"; "delay max";
+        "max backlog"; "tag lag max" ]
+  in
+  List.iter
+    (fun s ->
+      Text_table.add_row table
+        [
+          string_of_int s.flow;
+          string_of_int s.departed;
+          string_of_int s.queued;
+          Printf.sprintf "%.6g" s.delay_p50;
+          Printf.sprintf "%.6g" s.delay_p99;
+          Printf.sprintf "%.6g" s.delay_max;
+          string_of_int s.max_backlog;
+          Printf.sprintf "%.6g" s.tag_lag_max;
+        ])
+    (per_flow t);
+  Buffer.add_string b (Text_table.render table);
+  Buffer.contents b

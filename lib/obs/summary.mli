@@ -1,0 +1,36 @@
+(** Per-flow summaries computed from a trace ring.
+
+    The quantities a debugging session otherwise re-derives by hand
+    from the paper's definitions:
+    - scheduler residence delay (dequeue − arrival) p50/p99/max per
+      flow, from exact order statistics over the ring (not histogram
+      bins);
+    - tag lag: [S(p) − v(t)] at tag assignment — how far ahead of
+      virtual time a flow's start tags run (eq. 4's [max] picks the
+      [F(p^{j-1})] branch exactly when this is positive), needing Tag
+      events (an SFQ/HSFQ tracer with the tag hook attached);
+    - max backlog: high-water arrivals-minus-dequeues per flow.
+
+    Only packets whose arrival {e and} dequeue are both retained in the
+    ring contribute delays; with ring wrap-around the oldest packets
+    drop out, exactly like the flight-recorder semantics of the tracer
+    itself. *)
+
+type flow_summary = {
+  flow : int;
+  departed : int;  (** packets with both arrival and dequeue in the ring *)
+  queued : int;  (** arrivals never dequeued (still backlogged at capture) *)
+  delay_p50 : float;
+  delay_p99 : float;
+  delay_max : float;  (** all 0 when [departed = 0] *)
+  max_backlog : int;
+  tag_lag_max : float;  (** 0 when the trace has no Tag events for the flow *)
+}
+
+val per_flow : Tracer.t -> flow_summary list
+(** Ascending flow id; flows that only appear in Tag events (Hsfq
+    class ids) are excluded. *)
+
+val render : Tracer.t -> string
+(** Text table of {!per_flow}, plus a one-line trace header (events
+    retained / dropped, time span). *)

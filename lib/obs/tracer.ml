@@ -1,0 +1,184 @@
+open Sfq_base
+
+type sink = Ring | Jsonl of out_channel
+
+(* Column arrays, not an Event.t array: recording stores into unboxed
+   float/int arrays and allocates nothing; Event.t records are only
+   materialized on read. *)
+type t = {
+  (* a ref, not a mutable field: schedulers guard their tag-hook call
+     on this exact cell ([active_flag]), one load with no closure call *)
+  on : bool ref;
+  cap : int;
+  kinds : int array;
+  times : float array;
+  flows : int array;
+  seqs : int array;
+  lens : int array;
+  stags : float array;
+  ftags : float array;
+  vts : float array;
+  mutable count : int;  (* total ever recorded; write cursor = count mod cap *)
+  sink : sink;
+}
+
+(* codes used by [store] call sites: 0 Arrival, 1 Tag, 2 Dequeue,
+   3 Busy, 4 Idle *)
+let code_kind : int -> Event.kind = function
+  | 0 -> Arrival
+  | 1 -> Tag
+  | 2 -> Dequeue
+  | 3 -> Busy
+  | _ -> Idle
+
+let create ?(capacity = 65536) ?(sink = Ring) () =
+  if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
+  {
+    on = ref true;
+    cap = capacity;
+    kinds = Array.make capacity 0;
+    times = Array.make capacity 0.0;
+    flows = Array.make capacity 0;
+    seqs = Array.make capacity 0;
+    lens = Array.make capacity 0;
+    stags = Array.make capacity 0.0;
+    ftags = Array.make capacity 0.0;
+    vts = Array.make capacity 0.0;
+    count = 0;
+    sink;
+  }
+
+let disabled () =
+  let t = create ~capacity:1 () in
+  t.on := false;
+  t
+
+let enabled t = !(t.on)
+let set_enabled t on = t.on := on
+let active_flag t = t.on
+let capacity t = t.cap
+
+let event_at t i =
+  {
+    Event.kind = code_kind t.kinds.(i);
+    time = t.times.(i);
+    flow = t.flows.(i);
+    seq = t.seqs.(i);
+    len = t.lens.(i);
+    stag = t.stags.(i);
+    ftag = t.ftags.(i);
+    vtime = t.vts.(i);
+  }
+
+let store t kind ~time ~flow ~seq ~len ~stag ~ftag ~vt =
+  let i = t.count mod t.cap in
+  t.kinds.(i) <- kind;
+  t.times.(i) <- time;
+  t.flows.(i) <- flow;
+  t.seqs.(i) <- seq;
+  t.lens.(i) <- len;
+  t.stags.(i) <- stag;
+  t.ftags.(i) <- ftag;
+  t.vts.(i) <- vt;
+  t.count <- t.count + 1;
+  match t.sink with
+  | Ring -> ()
+  | Jsonl oc ->
+    output_string oc (Event.to_jsonl (event_at t i));
+    output_char oc '\n'
+
+let record_arrival t ~now (pkt : Packet.t) =
+  if !(t.on) then
+    store t 0 ~time:now ~flow:pkt.flow ~seq:pkt.seq ~len:pkt.len ~stag:0.0
+      ~ftag:0.0 ~vt:Float.nan
+
+let record_dequeue t ~now ?(vtime = Float.nan) (pkt : Packet.t) =
+  if !(t.on) then
+    store t 2 ~time:now ~flow:pkt.flow ~seq:pkt.seq ~len:pkt.len ~stag:0.0
+      ~ftag:0.0 ~vt:vtime
+
+let record_busy t ~now =
+  if !(t.on) then
+    store t 3 ~time:now ~flow:(-1) ~seq:0 ~len:0 ~stag:0.0 ~ftag:0.0 ~vt:Float.nan
+
+let record_idle t ~now =
+  if !(t.on) then
+    store t 4 ~time:now ~flow:(-1) ~seq:0 ~len:0 ~stag:0.0 ~ftag:0.0 ~vt:Float.nan
+
+let record_tag t ~now ~flow ~seq ~len ~stag ~ftag ~vtime =
+  if !(t.on) then store t 1 ~time:now ~flow ~seq ~len ~stag ~ftag ~vt:vtime
+
+let tag_hook t ~now ~pkt:(p : Packet.t) ~stag ~ftag ~vtime =
+  record_tag t ~now ~flow:p.flow ~seq:p.seq ~len:p.len ~stag ~ftag ~vtime
+
+let class_tag_hook t ~now ~class_id ~seq ~len ~stag ~ftag ~vtime =
+  record_tag t ~now ~flow:class_id ~seq ~len ~stag ~ftag ~vtime
+
+let length t = Stdlib.min t.count t.cap
+let total t = t.count
+let dropped t = t.count - length t
+
+let get t i =
+  let n = length t in
+  if i < 0 || i >= n then invalid_arg "Tracer.get: out of range";
+  (* oldest retained event sits at [count mod cap] once the ring has
+     wrapped, at 0 before. *)
+  let base = if t.count > t.cap then t.count mod t.cap else 0 in
+  event_at t ((base + i) mod t.cap)
+
+let iter t ~f =
+  for i = 0 to length t - 1 do
+    f (get t i)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = length t - 1 downto 0 do
+    acc := get t i :: !acc
+  done;
+  !acc
+
+let clear t = t.count <- 0
+
+let wrap ?vtime t (inner : Sched.t) =
+  let outstanding = ref 0 in
+  (* hoist the inner closures out of the per-op path: the disabled-mode
+     budget (E22: < 5% over the bare scheduler) leaves no room for a
+     record-field load per call *)
+  let inner_enqueue = inner.Sched.enqueue in
+  let inner_dequeue = inner.Sched.dequeue in
+  {
+    Sched.name = inner.Sched.name ^ "+trace";
+    enqueue =
+      (fun ~now pkt ->
+        (* record before the inner enqueue so a Tag event fired from
+           inside the scheduler's hook lands after its Arrival; one
+           [t.on] load covers the whole disabled path *)
+        if !(t.on) then begin
+          if !outstanding = 0 then record_busy t ~now;
+          record_arrival t ~now pkt
+        end;
+        incr outstanding;
+        inner_enqueue ~now pkt);
+    dequeue =
+      (fun ~now ->
+        let r = inner_dequeue ~now in
+        (match r with
+        | None -> if !(t.on) then record_idle t ~now
+        | Some pkt ->
+          decr outstanding;
+          (* sample v(t) only when actually recording: when the tracer
+             is off a dequeue must cost one branch, not a closure call
+             plus a boxed float *)
+          if !(t.on) then begin
+            let vt = match vtime with None -> Float.nan | Some v -> v () in
+            store t 2 ~time:now ~flow:pkt.Packet.flow ~seq:pkt.Packet.seq
+              ~len:pkt.Packet.len ~stag:0.0 ~ftag:0.0 ~vt
+          end);
+        (* hand back the inner scheduler's own option — re-wrapping the
+           packet would put an allocation on the disabled path *)
+        r);
+    peek = inner.Sched.peek;
+    size = inner.Sched.size;
+    backlog = inner.Sched.backlog;
+  }

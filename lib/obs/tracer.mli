@@ -1,0 +1,102 @@
+(** Low-overhead per-packet event tracer.
+
+    A tracer is a fixed-capacity ring of {!Event.t} records stored as
+    monomorphic column arrays ([float array]s are unboxed in OCaml):
+    recording an event is a handful of array stores and {e zero}
+    allocations, so tracing can stay attached to the
+    {!Sfq_util.Fheap}-backed hot path. When the ring is full the oldest
+    records are overwritten — a flight recorder, not an unbounded log;
+    {!dropped} says how much history was lost.
+
+    Three operating modes, selectable at creation and at runtime:
+    - {b disabled} ({!disabled}, or {!set_enabled}[ t false]): every
+      [record_*] call is one branch on a mutable bool and returns.
+      This is the mode whose cost the tracing-overhead benchmark (E22)
+      bounds at < 5% against the untraced scheduler;
+    - {b ring} (default): events land in the ring only;
+    - {b JSONL streaming} ([~sink:(Jsonl oc)]): each event is also
+      formatted with {!Event.to_jsonl} and written to [oc] as it
+      happens — full history at full cost, for offline analysis.
+
+    {!wrap} attaches a tracer to any {!Sfq_base.Sched.t} in the style
+    of [Sfq_oracle.Monitor.wrap]: arrivals, dequeues and idle/busy
+    transitions are recorded at the wrapper; tag-assignment events come
+    from the scheduler itself via {!tag_hook} plugged into
+    [Sfq_core.Sfq.set_tag_hook] / [Sfq_core.Hsfq.set_tag_hook], so the
+    trace carries the real eq. 4–5 tags and v(t). *)
+
+type sink = Ring | Jsonl of out_channel
+
+type t
+
+val create : ?capacity:int -> ?sink:sink -> unit -> t
+(** Default [capacity] 65536 events, default sink {!Ring}.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val disabled : unit -> t
+(** A tracer that is off from birth (capacity 1; enable at will). *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val active_flag : t -> bool ref
+(** The live enabled flag itself (shared with {!set_enabled}), for
+    [Sfq_core.Sfq.set_tag_hook]'s [~active] guard: the scheduler
+    dereferences it before calling the hook, so a disabled tracer costs
+    one load instead of a hook invocation that boxes every float tag. *)
+
+val capacity : t -> int
+
+(** {1 Recording} — each is a no-op when disabled *)
+
+val record_arrival : t -> now:float -> Sfq_base.Packet.t -> unit
+val record_dequeue : t -> now:float -> ?vtime:float -> Sfq_base.Packet.t -> unit
+val record_busy : t -> now:float -> unit
+val record_idle : t -> now:float -> unit
+
+val record_tag :
+  t -> now:float -> flow:int -> seq:int -> len:int -> stag:float -> ftag:float ->
+  vtime:float -> unit
+
+val tag_hook :
+  t -> now:float -> pkt:Sfq_base.Packet.t -> stag:float -> ftag:float ->
+  vtime:float -> unit
+(** Shaped to plug directly into [Sfq_core.Sfq.set_tag_hook]. *)
+
+val class_tag_hook :
+  t -> now:float -> class_id:int -> seq:int -> len:int -> stag:float ->
+  ftag:float -> vtime:float -> unit
+(** Shaped to plug directly into [Sfq_core.Hsfq.set_tag_hook]; the
+    class id is recorded in the event's [flow] field. *)
+
+(** {1 Reading the ring} *)
+
+val length : t -> int
+(** Events currently held (≤ capacity). *)
+
+val total : t -> int
+(** Events ever recorded. *)
+
+val dropped : t -> int
+(** [total - length]: events overwritten by ring wrap-around. *)
+
+val get : t -> int -> Event.t
+(** [get t i] is the [i]-th oldest retained event, [0 ≤ i < length t].
+    @raise Invalid_argument out of range. *)
+
+val iter : t -> f:(Event.t -> unit) -> unit
+(** Oldest to newest. *)
+
+val to_list : t -> Event.t list
+val clear : t -> unit
+
+(** {1 Attaching to a scheduler} *)
+
+val wrap : ?vtime:(unit -> float) -> t -> Sfq_base.Sched.t -> Sfq_base.Sched.t
+(** A traced view: [enqueue] records {!Event.Arrival} (plus
+    {!Event.Busy} when the queue was empty), [dequeue] records
+    {!Event.Dequeue} or — on an empty poll — {!Event.Idle}.
+    [vtime], when given (e.g. [Sfq.vtime]), is sampled at each dequeue
+    and stored in the event. [peek]/[size]/[backlog] pass through
+    untraced. The wrapper keeps its own arrivals-minus-departures
+    count, so [size] is never called on the hot path. *)

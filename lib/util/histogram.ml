@@ -27,6 +27,33 @@ let bin_bounds t i =
   let w = (t.hi -. t.lo) /. float_of_int (nbins t) in
   (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w))
 
+let quantile t q =
+  if t.total = 0 then invalid_arg "Histogram.quantile: empty histogram";
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q outside [0,1]";
+  let target = q *. float_of_int t.total in
+  let bins = nbins t in
+  let rec find i cum =
+    let cum' = cum +. float_of_int t.counts.(i) in
+    if (cum' >= target && t.counts.(i) > 0) || i = bins - 1 then begin
+      let a, b = bin_bounds t i in
+      if t.counts.(i) = 0 then a
+      else begin
+        let frac = (target -. cum) /. float_of_int t.counts.(i) in
+        a +. ((b -. a) *. Float.max 0.0 (Float.min 1.0 frac))
+      end
+    end
+    else find (i + 1) cum'
+  in
+  find 0 0.0
+
+let merge a b =
+  if a.lo <> b.lo || a.hi <> b.hi || nbins a <> nbins b then
+    invalid_arg "Histogram.merge: shape mismatch";
+  let m = create ~lo:a.lo ~hi:a.hi ~bins:(nbins a) in
+  Array.iteri (fun i c -> m.counts.(i) <- c + b.counts.(i)) a.counts;
+  m.total <- a.total + b.total;
+  m
+
 let render ?(width = 40) t =
   let peak = Array.fold_left Stdlib.max 1 t.counts in
   let buf = Buffer.create 256 in

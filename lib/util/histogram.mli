@@ -16,5 +16,19 @@ val bin_counts : t -> int array
 val bin_bounds : t -> int -> float * float
 (** Bounds of bin [i]. @raise Invalid_argument out of range. *)
 
+val quantile : t -> float -> float
+(** [quantile t q] with [q] in [\[0,1\]]: the value below which a [q]
+    fraction of the observations fall, interpolated linearly inside the
+    containing bin (observations are assumed uniform within a bin). The
+    saturating first/last bins make the estimate a lower/upper clamp
+    for values outside [\[lo,hi)].
+    @raise Invalid_argument if the histogram is empty or [q] is outside
+    [\[0,1\]]. *)
+
+val merge : t -> t -> t
+(** A new histogram holding both inputs' observations. The inputs must
+    have identical [lo], [hi] and bin count (same shape).
+    @raise Invalid_argument on a shape mismatch. *)
+
 val render : ?width:int -> t -> string
 (** One line per bin: range, count, and a proportional bar. *)

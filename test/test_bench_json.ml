@@ -2,23 +2,54 @@
    validate_bench_json.exe: it must accept the repo's checked-in
    BENCH_sched.json and a minimal valid document, and reject the
    failure shapes a broken emitter actually produces — truncation,
-   bare NaN, missing fields, empty series, a wrong schema tag. *)
+   bare NaN, missing fields, empty series, a wrong schema tag, a
+   disabled-tracer overhead over budget. *)
 
 let check_bool = Alcotest.(check bool)
 
 let valid_doc =
   {|{
-  "schema": "sfq-bench-sched/1",
+  "schema": "sfq-bench-sched/2",
   "quick": true,
   "unit": "ns per enqueue+dequeue",
+  "meta": {"git_sha": "deadbeef", "timestamp_utc": "2026-08-06T00:00:00Z", "hostname": "box"},
   "flow_scaling": [
-    {"discipline": "sfq", "flows": 4, "ns_per_packet": 217.6},
-    {"discipline": "scfq", "flows": 64, "ns_per_packet": null}
+    {"discipline": "sfq", "flows": 4, "ns_per_packet": 217.6, "ns_p50": 217.6, "ns_p99": 230.1},
+    {"discipline": "scfq", "flows": 64, "ns_per_packet": null, "ns_p50": null, "ns_p99": null}
   ],
   "depth_scaling": [
-    {"discipline": "sfq", "flows": 8, "depth": 1024, "ns_per_packet": 3.2e2}
+    {"discipline": "sfq", "flows": 8, "depth": 1024, "ns_per_packet": 3.2e2, "ns_p50": 318.0, "ns_p99": 330.0}
+  ],
+  "tracing_overhead": [
+    {"mode": "untraced", "flows": 512, "depth": 64, "ns_per_packet": 300.0, "ns_p50": 300.0, "ns_p99": 310.0, "overhead_pct": null},
+    {"mode": "disabled", "flows": 512, "depth": 64, "ns_per_packet": 303.0, "ns_p50": 303.0, "ns_p99": 311.0, "overhead_pct": 1.0},
+    {"mode": "ring", "flows": 512, "depth": 64, "ns_per_packet": 330.0, "ns_p50": 330.0, "ns_p99": 340.0, "overhead_pct": 10.0},
+    {"mode": "jsonl", "flows": 512, "depth": 64, "ns_per_packet": 900.0, "ns_p50": 900.0, "ns_p99": 950.0, "overhead_pct": 200.0}
   ]
 }|}
+
+(* Build a document with one part overridden — rejection tests swap in
+   exactly the broken fragment they target. *)
+let meta_frag =
+  {|{"git_sha": "deadbeef", "timestamp_utc": "2026-08-06T00:00:00Z", "hostname": "box"}|}
+
+let flow_frag =
+  {|[{"discipline": "sfq", "flows": 1, "ns_per_packet": 1.0, "ns_p50": 1.0, "ns_p99": 1.2}]|}
+
+let depth_frag =
+  {|[{"discipline": "sfq", "flows": 1, "depth": 2, "ns_per_packet": 1.0, "ns_p50": 1.0, "ns_p99": 1.2}]|}
+
+let overhead_frag =
+  {|[{"mode": "untraced", "flows": 512, "depth": 64, "ns_per_packet": 300.0, "ns_p50": 300.0, "ns_p99": 310.0, "overhead_pct": null},
+     {"mode": "disabled", "flows": 512, "depth": 64, "ns_per_packet": 303.0, "ns_p50": 303.0, "ns_p99": 311.0, "overhead_pct": 1.0},
+     {"mode": "ring", "flows": 512, "depth": 64, "ns_per_packet": 330.0, "ns_p50": 330.0, "ns_p99": 340.0, "overhead_pct": 10.0},
+     {"mode": "jsonl", "flows": 512, "depth": 64, "ns_per_packet": 900.0, "ns_p50": 900.0, "ns_p99": 950.0, "overhead_pct": 200.0}]|}
+
+let mk ?(schema = "sfq-bench-sched/2") ?(meta = meta_frag) ?(flow = flow_frag)
+    ?(depth = depth_frag) ?(overhead = overhead_frag) () =
+  Printf.sprintf
+    {|{"schema": %S, "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
+    schema meta flow depth overhead
 
 let expect_error name needle contents =
   match Bench_json.validate contents with
@@ -34,9 +65,12 @@ let expect_error name needle contents =
       true (contains msg needle)
 
 let test_accepts_valid_sample () =
-  match Bench_json.validate valid_doc with
+  (match Bench_json.validate valid_doc with
   | Ok () -> ()
-  | Error msg -> Alcotest.fail ("valid sample rejected: " ^ msg)
+  | Error msg -> Alcotest.fail ("valid sample rejected: " ^ msg));
+  match Bench_json.validate (mk ()) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("minimal doc rejected: " ^ msg)
 
 let test_accepts_checked_in_file () =
   (* cwd is test/ under `dune runtest` but the workspace root under
@@ -83,31 +117,74 @@ let test_rejects_nan () =
   in
   (* "nan" trips the n-of-"null" literal path; "inf" falls through to
      the number parser with an empty chunk. Either way: rejected. *)
-  expect_error "nan" "expected u" (subst "217.6" "nan");
-  expect_error "inf" "bad number" (subst "217.6" "inf");
-  expect_error "negative ns" "positive or null" (subst "217.6" "-1.0")
+  expect_error "nan" "expected u" (subst "217.6," "nan,");
+  expect_error "inf" "bad number" (subst "217.6," "inf,");
+  expect_error "negative ns" "positive or null" (subst "217.6," "-1.0,")
 
 let test_rejects_missing_fields () =
-  expect_error "no schema"
-    "missing field \"schema\""
+  expect_error "no schema" "missing field \"schema\""
     {|{"flow_scaling": [], "depth_scaling": []}|};
-  expect_error "wrong schema" "unexpected schema"
-    {|{"schema": "sfq-bench-sched/2", "flow_scaling": [{"discipline": "sfq", "flows": 1, "ns_per_packet": 1.0}], "depth_scaling": [{"discipline": "sfq", "flows": 1, "depth": 2, "ns_per_packet": 1.0}]}|};
-  expect_error "no depth_scaling"
-    "missing field \"depth_scaling\""
-    {|{"schema": "sfq-bench-sched/1", "flow_scaling": [{"discipline": "sfq", "flows": 1, "ns_per_packet": 1.0}]}|};
+  expect_error "wrong schema" "unexpected schema" (mk ~schema:"sfq-bench-sched/1" ());
+  expect_error "no meta" "missing field \"meta\""
+    (Printf.sprintf
+       {|{"schema": "sfq-bench-sched/2", "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
+       flow_frag depth_frag overhead_frag);
+  expect_error "empty git_sha" "git_sha"
+    (mk
+       ~meta:{|{"git_sha": "", "timestamp_utc": "2026-08-06T00:00:00Z", "hostname": "box"}|}
+       ());
+  expect_error "no depth_scaling" "missing field \"depth_scaling\""
+    (Printf.sprintf
+       {|{"schema": "sfq-bench-sched/2", "meta": %s, "flow_scaling": %s, "tracing_overhead": %s}|}
+       meta_frag flow_frag overhead_frag);
   expect_error "row without flows" "missing field \"flows\""
-    {|{"schema": "sfq-bench-sched/1", "flow_scaling": [{"discipline": "sfq", "ns_per_packet": 1.0}], "depth_scaling": [{"discipline": "sfq", "flows": 1, "depth": 2, "ns_per_packet": 1.0}]}|};
+    (mk ~flow:{|[{"discipline": "sfq", "ns_per_packet": 1.0, "ns_p50": 1.0, "ns_p99": 1.2}]|} ());
   expect_error "non-integer flows" "flows must be a positive integer"
-    {|{"schema": "sfq-bench-sched/1", "flow_scaling": [{"discipline": "sfq", "flows": 1.5, "ns_per_packet": 1.0}], "depth_scaling": [{"discipline": "sfq", "flows": 1, "depth": 2, "ns_per_packet": 1.0}]}|};
+    (mk
+       ~flow:{|[{"discipline": "sfq", "flows": 1.5, "ns_per_packet": 1.0, "ns_p50": 1.0, "ns_p99": 1.2}]|}
+       ());
+  expect_error "row without p99" "missing field \"ns_p99\""
+    (mk ~flow:{|[{"discipline": "sfq", "flows": 1, "ns_per_packet": 1.0, "ns_p50": 1.0}]|} ());
   expect_error "row without depth" "missing field \"depth\""
-    {|{"schema": "sfq-bench-sched/1", "flow_scaling": [{"discipline": "sfq", "flows": 1, "ns_per_packet": 1.0}], "depth_scaling": [{"discipline": "sfq", "flows": 1, "ns_per_packet": 1.0}]}|};
+    (mk ~depth:flow_frag ());
   expect_error "zero depth" "depth must be a positive integer"
-    {|{"schema": "sfq-bench-sched/1", "flow_scaling": [{"discipline": "sfq", "flows": 1, "ns_per_packet": 1.0}], "depth_scaling": [{"discipline": "sfq", "flows": 1, "depth": 0, "ns_per_packet": 1.0}]}|}
+    (mk
+       ~depth:{|[{"discipline": "sfq", "flows": 1, "depth": 0, "ns_per_packet": 1.0, "ns_p50": 1.0, "ns_p99": 1.2}]|}
+       ())
+
+let test_rejects_bad_overhead () =
+  expect_error "overhead budget breach" "breaches the 5% budget"
+    (mk
+       ~overhead:
+         {|[{"mode": "untraced", "flows": 512, "depth": 64, "ns_per_packet": 300.0, "ns_p50": 300.0, "ns_p99": 310.0, "overhead_pct": null},
+            {"mode": "disabled", "flows": 512, "depth": 64, "ns_per_packet": 330.0, "ns_p50": 330.0, "ns_p99": 340.0, "overhead_pct": 10.0},
+            {"mode": "ring", "flows": 512, "depth": 64, "ns_per_packet": 330.0, "ns_p50": 330.0, "ns_p99": 340.0, "overhead_pct": 10.0},
+            {"mode": "jsonl", "flows": 512, "depth": 64, "ns_per_packet": 900.0, "ns_p50": 900.0, "ns_p99": 950.0, "overhead_pct": 200.0}]|}
+       ());
+  expect_error "missing disabled mode" "missing mode \"disabled\""
+    (mk
+       ~overhead:
+         {|[{"mode": "untraced", "flows": 512, "depth": 64, "ns_per_packet": 300.0, "ns_p50": 300.0, "ns_p99": 310.0, "overhead_pct": null},
+            {"mode": "ring", "flows": 512, "depth": 64, "ns_per_packet": 330.0, "ns_p50": 330.0, "ns_p99": 340.0, "overhead_pct": 10.0},
+            {"mode": "jsonl", "flows": 512, "depth": 64, "ns_per_packet": 900.0, "ns_p50": 900.0, "ns_p99": 950.0, "overhead_pct": 200.0}]|}
+       ());
+  expect_error "unknown mode" "unknown mode"
+    (mk
+       ~overhead:
+         {|[{"mode": "sometimes", "flows": 512, "depth": 64, "ns_per_packet": 300.0, "ns_p50": 300.0, "ns_p99": 310.0, "overhead_pct": null}]|}
+       ());
+  expect_error "untraced with a pct" "untraced overhead_pct must be null"
+    (mk
+       ~overhead:
+         {|[{"mode": "untraced", "flows": 512, "depth": 64, "ns_per_packet": 300.0, "ns_p50": 300.0, "ns_p99": 310.0, "overhead_pct": 0.0},
+            {"mode": "disabled", "flows": 512, "depth": 64, "ns_per_packet": 303.0, "ns_p50": 303.0, "ns_p99": 311.0, "overhead_pct": 1.0},
+            {"mode": "ring", "flows": 512, "depth": 64, "ns_per_packet": 330.0, "ns_p50": 330.0, "ns_p99": 340.0, "overhead_pct": 10.0},
+            {"mode": "jsonl", "flows": 512, "depth": 64, "ns_per_packet": 900.0, "ns_p50": 900.0, "ns_p99": 950.0, "overhead_pct": 200.0}]|}
+       ());
+  expect_error "empty overhead" "tracing_overhead is empty" (mk ~overhead:"[]" ())
 
 let test_rejects_empty_series () =
-  expect_error "empty flow_scaling" "flow_scaling is empty"
-    {|{"schema": "sfq-bench-sched/1", "flow_scaling": [], "depth_scaling": [{"discipline": "sfq", "flows": 1, "depth": 2, "ns_per_packet": 1.0}]}|}
+  expect_error "empty flow_scaling" "flow_scaling is empty" (mk ~flow:"[]" ())
 
 let test_rejects_trailing_garbage () =
   expect_error "trailing" "trailing garbage" (valid_doc ^ " x")
@@ -140,6 +217,7 @@ let () =
           Alcotest.test_case "every truncation" `Quick test_rejects_truncated;
           Alcotest.test_case "nan / inf / negative" `Quick test_rejects_nan;
           Alcotest.test_case "missing fields" `Quick test_rejects_missing_fields;
+          Alcotest.test_case "bad tracing overhead" `Quick test_rejects_bad_overhead;
           Alcotest.test_case "empty series" `Quick test_rejects_empty_series;
           Alcotest.test_case "trailing garbage" `Quick test_rejects_trailing_garbage;
         ] );

@@ -494,6 +494,79 @@ let test_histogram_validation () =
     (Invalid_argument "Histogram.create: need lo < hi and bins > 0") (fun () ->
       ignore (Histogram.create ~lo:1.0 ~hi:0.0 ~bins:3))
 
+let test_histogram_quantile_uniform () =
+  (* 1000 evenly spread observations: quantiles should track the value
+     axis to within one bin width. *)
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:100 in
+  for i = 0 to 999 do
+    Histogram.add h (10.0 *. (float_of_int i +. 0.5) /. 1000.0)
+  done;
+  List.iter
+    (fun q ->
+      let v = Histogram.quantile h q in
+      check_bool
+        (Printf.sprintf "q=%g gives %g" q v)
+        true
+        (Float.abs (v -. (10.0 *. q)) <= 0.2))
+    [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99 ]
+
+let test_histogram_quantile_edges () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (Histogram.add h) [ 1.0; 1.0; 1.0; 9.0 ];
+  (* q=0 sits at the left edge of the first occupied bin, q=1 at the
+     right edge of the last. *)
+  check_float "q=0" 0.0 (Histogram.quantile h 0.0);
+  check_float "q=1" 10.0 (Histogram.quantile h 1.0);
+  (* three of four observations in bin [0,2): the median interpolates
+     inside it. *)
+  let med = Histogram.quantile h 0.5 in
+  check_bool "median in first bin" true (med >= 0.0 && med <= 2.0);
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Histogram.quantile: empty histogram") (fun () ->
+      ignore (Histogram.quantile (Histogram.create ~lo:0.0 ~hi:1.0 ~bins:2) 0.5));
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Histogram.quantile: q outside [0,1]") (fun () ->
+      ignore (Histogram.quantile h 1.5))
+
+let test_histogram_merge () =
+  let a = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  let b = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (Histogram.add a) [ 0.5; 3.0 ];
+  List.iter (Histogram.add b) [ 3.5; 9.0; 9.5 ];
+  let m = Histogram.merge a b in
+  check_int "count" 5 (Histogram.count m);
+  Alcotest.(check (array int)) "bins" [| 1; 2; 0; 0; 2 |] (Histogram.bin_counts m);
+  (* inputs untouched *)
+  check_int "a intact" 2 (Histogram.count a);
+  check_int "b intact" 3 (Histogram.count b);
+  Alcotest.check_raises "shape mismatch"
+    (Invalid_argument "Histogram.merge: shape mismatch") (fun () ->
+      ignore (Histogram.merge a (Histogram.create ~lo:0.0 ~hi:10.0 ~bins:4)))
+
+let test_histogram_merge_quantile_consistent () =
+  (* quantile over a merge equals quantile over the union stream. *)
+  let a = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:50 in
+  let b = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:50 in
+  let u = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:50 in
+  let rng = Rng.create 7 in
+  for _ = 1 to 500 do
+    let x = Rng.float rng 1.0 in
+    Histogram.add a x;
+    Histogram.add u x
+  done;
+  for _ = 1 to 300 do
+    let x = Rng.float rng 1.0 in
+    Histogram.add b x;
+    Histogram.add u x
+  done;
+  let m = Histogram.merge a b in
+  List.iter
+    (fun q ->
+      check_float
+        (Printf.sprintf "q=%g" q)
+        (Histogram.quantile u q) (Histogram.quantile m q))
+    [ 0.05; 0.5; 0.95 ]
+
 (* ------------------------------------------------------------------ *)
 (* Text_table                                                           *)
 
@@ -596,6 +669,11 @@ let () =
           Alcotest.test_case "bounds" `Quick test_histogram_bounds;
           Alcotest.test_case "render" `Quick test_histogram_render;
           Alcotest.test_case "validation" `Quick test_histogram_validation;
+          Alcotest.test_case "quantile uniform" `Quick test_histogram_quantile_uniform;
+          Alcotest.test_case "quantile edges" `Quick test_histogram_quantile_edges;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "merge/quantile consistent" `Quick
+            test_histogram_merge_quantile_consistent;
         ] );
       ( "text_table",
         [
