@@ -188,7 +188,10 @@ let check_meta meta =
       match field name meta with
       | Str s when s <> "" -> ()
       | _ -> raise (Bad (Printf.sprintf "meta: %s must be a non-empty string" name)))
-    [ "git_sha"; "timestamp_utc"; "hostname" ]
+    [ "git_sha"; "timestamp_utc"; "hostname" ];
+  match field "domains" meta with
+  | Num f when Float.is_integer f && f >= 1.0 -> ()
+  | _ -> raise (Bad "meta: domains must be a positive integer")
 
 (* The observability contract: tracing must be attachable everywhere,
    so a disabled tracer on the hot path has to be nearly free. The
@@ -238,16 +241,56 @@ let check_overhead rows =
       [ "untraced"; "disabled"; "ring"; "jsonl" ]
   | _ -> raise (Bad (Printf.sprintf "%s must be an array" series))
 
+(* The parallel series is the trajectory's record of the sfq.par
+   harness: wall time of the oracle acceptance sweep serially and
+   through the pool. [identical] is the determinism witness — the two
+   runs' outcome digests matched — and a file claiming a speedup
+   without it is rejected: the contract is "same bytes, less time",
+   never "less time". *)
+let check_parallel rows =
+  let series = "parallel" in
+  match rows with
+  | List [] -> raise (Bad (Printf.sprintf "%s is empty" series))
+  | List rows ->
+    List.iter
+      (fun row ->
+        (match field "series" row with
+        | Str s when s <> "" -> ()
+        | _ -> raise (Bad (series ^ ": series must be a non-empty string")));
+        check_pos_int ~series ~name:"cells" row;
+        check_pos_int ~series ~name:"domains" row;
+        (match field "serial_s" row with
+        | Num s when s > 0.0 -> ()
+        | _ -> raise (Bad (series ^ ": serial_s must be positive")));
+        (match field "parallel_s" row with
+        | Num s when s > 0.0 -> ()
+        | _ -> raise (Bad (series ^ ": parallel_s must be positive")));
+        (match field "speedup" row with
+        | Num s when s > 0.0 -> ()
+        | _ -> raise (Bad (series ^ ": speedup must be positive")));
+        match field "identical" row with
+        | Bool true -> ()
+        | Bool false ->
+          raise
+            (Bad
+               (series
+              ^ ": identical is false — the parallel sweep diverged from the \
+                 serial reference"))
+        | _ -> raise (Bad (series ^ ": identical must be a boolean")))
+      rows
+  | _ -> raise (Bad (Printf.sprintf "%s must be an array" series))
+
 let validate contents =
   match
     let json = parse contents in
     (match field "schema" json with
-    | Str "sfq-bench-sched/2" -> ()
+    | Str "sfq-bench-sched/3" -> ()
     | _ -> raise (Bad "unexpected schema"));
     check_meta (field "meta" json);
     check_rows ~series:"flow_scaling" ~depth:false (field "flow_scaling" json);
     check_rows ~series:"depth_scaling" ~depth:true (field "depth_scaling" json);
-    check_overhead (field "tracing_overhead" json)
+    check_overhead (field "tracing_overhead" json);
+    check_parallel (field "parallel" json)
   with
   | () -> Ok ()
   | exception Bad msg -> Error msg

@@ -42,9 +42,13 @@ val disabled_overhead_limit_pct : float
 
 val validate : string -> (unit, string) result
 (** [validate contents] checks a whole document: well-formed JSON,
-    [schema = "sfq-bench-sched/2"], a [meta] block with non-empty
-    [git_sha]/[timestamp_utc]/[hostname], the [flow_scaling] and
-    [depth_scaling] series, and a [tracing_overhead] series carrying
-    all four modes (untraced/disabled/ring/jsonl) whose disabled row
-    must respect {!disabled_overhead_limit_pct}. Returns [Error msg]
+    [schema = "sfq-bench-sched/3"], a [meta] block with non-empty
+    [git_sha]/[timestamp_utc]/[hostname] and a positive-integer
+    [domains], the [flow_scaling] and [depth_scaling] series, a
+    [tracing_overhead] series carrying all four modes
+    (untraced/disabled/ring/jsonl) whose disabled row must respect
+    {!disabled_overhead_limit_pct}, and a [parallel] series (the
+    serial-vs-pool oracle-sweep timing) every row of which must carry
+    [identical = true] — the witness that the parallel sweep
+    reproduced the serial digest byte for byte. Returns [Error msg]
     instead of raising. *)

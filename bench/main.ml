@@ -8,6 +8,15 @@
    dune exec bench/main.exe -- quick       -- smaller workloads
    dune exec bench/main.exe -- micro       -- only the Bechamel suite
    dune exec bench/main.exe -- micro quick -- bench smoke (tiny quota)
+   dune exec bench/main.exe -- micro domains=4   -- fan the matrix out
+
+   domains=N (or the SFQ_DOMAINS environment variable; the token wins)
+   runs the flow/depth measurement matrix through the sfq.par pool, N
+   rows concurrently, and sizes the parallel leg of the oracle-sweep
+   timing series. The tracing-overhead series never parallelizes: the
+   5% disabled-tracer gate is a ratio of co-scheduled timings and stays
+   honest only when nothing else competes for the core (audit: pinned
+   to the submitting domain below).
 
    The micro suite always writes BENCH_sched.json to the working
    directory: ns/packet per discipline x flow count ("flow_scaling"),
@@ -320,6 +329,51 @@ let tracing_overhead ~quick () =
       { mode; o_ns = ns; o_p50 = p50; o_p99 = p99; overhead_pct })
     modes
 
+(* ------------------------------------------------------------------ *)
+(* E23: serial vs parallel wall time of the oracle acceptance sweep     *)
+
+type parallel_row = {
+  p_series : string;
+  p_cells : int;
+  p_domains : int;
+  serial_s : float;
+  parallel_s : float;
+  speedup : float;
+  identical : bool;  (** parallel sweep digest == serial sweep digest *)
+}
+
+(* The full oracle acceptance sweep (every (discipline, workload) cell
+   behind test_oracle) timed twice: once serially, once through an
+   [domains]-wide pool. The digest comparison rides along so the
+   trajectory file itself witnesses the determinism contract — a
+   speedup bought by reordering results would flip [identical] and fail
+   validation. Wall times, not per-op medians: the sweep is one
+   irregular bag of tasks and elapsed seconds is the quantity the
+   parallel harness exists to shrink. *)
+let parallel_sweep ~domains () =
+  let cells = Sfq_oracle.Suite.all_cells () in
+  let digest_of outcomes =
+    Digest.to_hex (Digest.string (Sfq_oracle.Run.sweep_digest cells outcomes))
+  in
+  let timed f =
+    let t0 = Monotonic_clock.now () in
+    let v = f () in
+    (digest_of v, elapsed_ns t0 (Monotonic_clock.now ()) /. 1e9)
+  in
+  let serial_digest, serial_s = timed (fun () -> Sfq_oracle.Run.sweep cells) in
+  let par_digest, parallel_s =
+    timed (fun () -> Sfq_oracle.Run.sweep ~domains cells)
+  in
+  {
+    p_series = "oracle-sweep";
+    p_cells = List.length cells;
+    p_domains = domains;
+    serial_s;
+    parallel_s;
+    speedup = serial_s /. parallel_s;
+    identical = String.equal serial_digest par_digest;
+  }
+
 (* --- JSON emission (by hand: no JSON library in the allowed set) --- *)
 
 (* JSON numbers cannot be NaN/inf; a failed estimate becomes null. *)
@@ -346,17 +400,17 @@ let utc_timestamp () =
 
 let hostname () = try Unix.gethostname () with Unix.Unix_error _ -> "unknown"
 
-let emit_json ~quick ~flow_scaling ~depth_scaling ~overhead path =
+let emit_json ~quick ~domains ~flow_scaling ~depth_scaling ~overhead ~parallel path =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
     (Printf.sprintf
-       "  \"schema\": \"sfq-bench-sched/2\",\n  \"quick\": %b,\n  \"unit\": \"ns per enqueue+dequeue\",\n"
+       "  \"schema\": \"sfq-bench-sched/3\",\n  \"quick\": %b,\n  \"unit\": \"ns per enqueue+dequeue\",\n"
        quick);
   Buffer.add_string buf
     (Printf.sprintf
-       "  \"meta\": {\"git_sha\": %S, \"timestamp_utc\": %S, \"hostname\": %S},\n"
-       (git_sha ()) (utc_timestamp ()) (hostname ()));
+       "  \"meta\": {\"git_sha\": %S, \"timestamp_utc\": %S, \"hostname\": %S, \"domains\": %d},\n"
+       (git_sha ()) (utc_timestamp ()) (hostname ()) domains);
   Buffer.add_string buf "  \"flow_scaling\": [\n";
   List.iteri
     (fun i m ->
@@ -394,25 +448,48 @@ let emit_json ~quick ~flow_scaling ~depth_scaling ~overhead path =
            | None -> "null"
            | Some p -> json_float p)))
     overhead;
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"parallel\": [\n";
+  List.iteri
+    (fun i (r : parallel_row) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"series\": %S, \"cells\": %d, \"domains\": %d, \"serial_s\": %s, \
+            \"parallel_s\": %s, \"speedup\": %s, \"identical\": %b}"
+           r.p_series r.p_cells r.p_domains (json_float r.serial_s)
+           (json_float r.parallel_s) (json_float r.speedup) r.identical))
+    parallel;
   Buffer.add_string buf "\n  ]\n}\n";
   let oc = open_out path in
   Buffer.output_buffer oc buf;
   close_out oc;
   Printf.printf "wrote %s\n\n" path
 
-let run_micro ~quick () =
+(* Fan a measurement matrix over the domain pool, one row per task.
+   Results land by task index so the row order (and the emitted JSON)
+   is identical at every domain count; only the timings themselves see
+   the co-scheduling. audit (parallel safety): every row builds its own
+   scheduler instance inside the task and the samplers touch no shared
+   structure — Gc.compact inside a worker is process-global but only
+   perturbs timing, never results. *)
+let matrix_rows ~domains specs measure =
+  if domains <= 1 then List.map measure specs
+  else
+    Array.to_list
+      (Sfq_par.Pool.run ~domains ~f:(fun _ spec -> measure spec) (Array.of_list specs))
+
+let run_micro ~quick ~domains () =
   section "E14: per-packet enqueue+dequeue cost (Table 1 complexity column)";
-  let flow_scaling =
+  let flow_specs =
     List.concat_map
-      (fun nflows ->
-        List.map
-          (fun (name, make) ->
-            let ns, p50, p99 =
-              stats_of (steady_samples ~quick ~nflows ~depth:1 make)
-            in
-            { disc = name; flows = nflows; depth = 1; ns; p50; p99 })
-          (disciplines nflows))
+      (fun nflows -> List.map (fun (name, make) -> (nflows, name, make)) (disciplines nflows))
       flow_counts
+  in
+  let flow_scaling =
+    matrix_rows ~domains flow_specs (fun (nflows, name, make) ->
+        let ns, p50, p99 = stats_of (steady_samples ~quick ~nflows ~depth:1 make) in
+        { disc = name; flows = nflows; depth = 1; ns; p50; p99 })
   in
   let table = Text_table.create [ "discipline"; "flows"; "ns/packet" ] in
   List.iter
@@ -431,18 +508,17 @@ let run_micro ~quick () =
   section
     (Printf.sprintf "E14b: fill/drain cost vs per-flow backlog depth (%d flows)"
        depth_flow_count);
-  let depth_scaling =
+  let depth_specs =
     List.concat_map
-      (fun depth ->
-        List.map
-          (fun (name, make) ->
-            let ns, p50, p99 =
-              stats_of
-                (fill_drain_samples ~quick ~nflows:depth_flow_count ~depth make)
-            in
-            { disc = name; flows = depth_flow_count; depth; ns; p50; p99 })
-          depth_disciplines)
+      (fun depth -> List.map (fun (name, make) -> (depth, name, make)) depth_disciplines)
       depths
+  in
+  let depth_scaling =
+    matrix_rows ~domains depth_specs (fun (depth, name, make) ->
+        let ns, p50, p99 =
+          stats_of (fill_drain_samples ~quick ~nflows:depth_flow_count ~depth make)
+        in
+        { disc = name; flows = depth_flow_count; depth; ns; p50; p99 })
   in
   let dtable = Text_table.create [ "discipline"; "depth"; "queued pkts"; "ns/packet" ] in
   List.iter
@@ -466,6 +542,10 @@ let run_micro ~quick () =
   section
     (Printf.sprintf "E22: sfq.obs tracer overhead (SFQ, %d flows x %d deep)"
        overhead_flows overhead_depth);
+  (* audit (parallel safety): deliberately NOT run through the pool,
+     at any domain count. The series is a ratio of interleaved timings
+     and the 5% disabled gate in bench_json only means something when
+     the four modes contend with nothing but each other. *)
   let overhead = tracing_overhead ~quick () in
   let otable =
     Text_table.create [ "mode"; "ns/packet"; "p50"; "p99"; "overhead %" ]
@@ -491,11 +571,60 @@ let run_micro ~quick () =
     \ \"ring\" adds SoA stores into the event ring; \"jsonl\" formats and\n\
     \ writes every event to a scratch file.)";
   print_newline ();
-  emit_json ~quick ~flow_scaling ~depth_scaling ~overhead "BENCH_sched.json"
+  section "E23: oracle acceptance sweep, serial vs parallel (sfq.par)";
+  let parallel = [ parallel_sweep ~domains () ] in
+  let ptable =
+    Text_table.create
+      [ "series"; "cells"; "domains"; "serial s"; "parallel s"; "speedup"; "identical" ]
+  in
+  List.iter
+    (fun (r : parallel_row) ->
+      Text_table.add_row ptable
+        [
+          r.p_series;
+          string_of_int r.p_cells;
+          string_of_int r.p_domains;
+          Printf.sprintf "%.3f" r.serial_s;
+          Printf.sprintf "%.3f" r.parallel_s;
+          Printf.sprintf "%.2fx" r.speedup;
+          string_of_bool r.identical;
+        ])
+    parallel;
+  Text_table.print ptable;
+  print_endline
+    "(Wall time of the full oracle acceptance sweep — every (discipline,\n\
+    \ workload) monitor cell — serially and through a domains-wide sfq.par\n\
+    \ pool. \"identical\" is the determinism witness: both runs hash every\n\
+    \ departure and monitor verdict to the same digest, so the speedup\n\
+    \ column can only be bought with real parallelism, never reordering.\n\
+    \ Speedup tracks the number of cores actually online, not domains.)";
+  print_newline ();
+  emit_json ~quick ~domains ~flow_scaling ~depth_scaling ~overhead ~parallel
+    "BENCH_sched.json"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "quick" args in
   let micro_only = List.mem "micro" args in
+  (* domains=N token beats SFQ_DOMAINS beats 1; the CI parallel leg
+     sets the environment variable rather than editing the command. *)
+  let domains =
+    let of_tok t = int_of_string_opt (String.sub t 8 (String.length t - 8)) in
+    let tok =
+      List.find_map
+        (fun a ->
+          if String.length a > 8 && String.sub a 0 8 = "domains=" then of_tok a else None)
+        args
+    in
+    match tok with
+    | Some d when d >= 1 -> d
+    | Some _ ->
+      prerr_endline "bench: domains= must be >= 1";
+      exit 2
+    | None -> (
+      match Option.bind (Sys.getenv_opt "SFQ_DOMAINS") int_of_string_opt with
+      | Some d when d >= 1 -> d
+      | _ -> 1)
+  in
   if not micro_only then run_experiments ~quick;
-  run_micro ~quick ()
+  run_micro ~quick ~domains ()

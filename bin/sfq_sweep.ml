@@ -1,0 +1,174 @@
+(* Domain-parallel sweep CLI: regenerate every experiment behind
+   EXPERIMENTS.md (the Registry, E1-E20) plus the oracle acceptance
+   sweep, fanned out over a fixed-size domain pool, and print a
+   per-experiment digest table.
+
+     sfq_sweep list
+     sfq_sweep run --domains 4 --seed 7
+     sfq_sweep run --quick fig-1b table-1
+     sfq_sweep golden > test/golden/digests.expected
+
+   Digests are content hashes of each experiment's full result record,
+   so the table is a behavioral fingerprint of the whole reproduction:
+   two builds agree on the digest column iff they agree on every number
+   in every table and figure. The digest column is byte-identical at
+   every --domains value (the determinism contract of sfq.par; the
+   wall-clock column is the only thing parallelism may change). With
+   --seed S, experiment #i runs under Seed.derive ~root:S ~index:i —
+   derived from the experiment's index, never from execution order. *)
+
+open Sfq_util
+open Sfq_oracle
+open Sfq_par
+
+type row = { rid : string; title : string; digest : string; wall_s : float }
+
+let wall_time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let run_cmd domains seed quick with_oracle ids =
+  let domains = if domains = 0 then Pool.default_domains () else domains in
+  if domains < 1 then begin
+    prerr_endline "sfq-sweep: --domains must be >= 0";
+    exit 2
+  end;
+  let entries =
+    match ids with
+    | [] -> Sfq_experiments.Registry.all
+    | ids ->
+      List.map
+        (fun id ->
+          match Sfq_experiments.Registry.find id with
+          | Some e -> e
+          | None ->
+            Printf.eprintf "sfq-sweep: unknown experiment %S (try: sfq-sweep list)\n" id;
+            exit 2)
+        ids
+  in
+  (* Entry indices in Registry.all (not in the filtered list) seed the
+     derivation, so "--seed 7 fig-1b" and a full "--seed 7" run agree
+     on fig-1b's digest. *)
+  let index_of e =
+    let rec go i = function
+      | [] -> assert false
+      | (x : Sfq_experiments.Registry.entry) :: tl -> if x.id = e then i else go (i + 1) tl
+    in
+    go 0 Sfq_experiments.Registry.all
+  in
+  let tasks = Array.of_list entries in
+  let total_t0 = Unix.gettimeofday () in
+  let rows =
+    Pool.run ~domains
+      ~f:(fun _ (e : Sfq_experiments.Registry.entry) ->
+        (* audit (parallel safety): Registry entries build all mutable
+           state inside run; the derived seed is a pure function of the
+           entry's index *)
+        let seed = Option.map (fun s -> Seed.derive ~root:s ~index:(index_of e.id)) seed in
+        let digest, wall_s =
+          wall_time (fun () -> Sfq_experiments.Registry.digest e ?seed ~quick ())
+        in
+        { rid = e.id; title = e.title; digest; wall_s })
+      tasks
+  in
+  let rows = Array.to_list rows in
+  (* The oracle acceptance sweep rides along as a final row: its digest
+     covers every monitor verdict of every (discipline, workload) cell.
+     Run after the experiment fan-out (nested submission is rejected by
+     the pool), through its own pool at the same domain count. *)
+  let rows =
+    if not with_oracle then rows
+    else begin
+      let cells = Suite.all_cells () in
+      let digest, wall_s =
+        wall_time (fun () ->
+            Digest.to_hex (Digest.string (Run.sweep_digest cells (Run.sweep ~domains cells))))
+      in
+      rows
+      @ [
+          {
+            rid = "oracle-sweep";
+            title = Printf.sprintf "acceptance sweep (%d cells)" (List.length cells);
+            digest;
+            wall_s;
+          };
+        ]
+    end
+  in
+  let total_s = Unix.gettimeofday () -. total_t0 in
+  let table = Text_table.create [ "experiment"; "title"; "digest"; "wall s" ] in
+  List.iter
+    (fun r ->
+      Text_table.add_row table [ r.rid; r.title; r.digest; Printf.sprintf "%.3f" r.wall_s ])
+    rows;
+  Text_table.print table;
+  Printf.printf
+    "\n%d experiment(s), %d domain(s), %s, seed %s: %.3f s wall.\n\
+     (The digest column is invariant under --domains; wall times are not.)\n"
+    (List.length rows) domains
+    (if quick then "quick" else "full")
+    (match seed with None -> "default" | Some s -> string_of_int s)
+    total_s;
+  0
+
+let list_cmd () =
+  List.iter
+    (fun (e : Sfq_experiments.Registry.entry) -> Printf.printf "%-16s %s\n" e.id e.title)
+    Sfq_experiments.Registry.all;
+  Printf.printf "%-16s %s\n" "oracle-sweep" "acceptance sweep over all oracle cells (--oracle)";
+  0
+
+let golden_cmd () =
+  print_string (Sfq_experiments.Registry.golden_corpus ());
+  0
+
+open Cmdliner
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Domain count for the sweep pool (0 = hardware default). The digest \
+              column is identical at every value.")
+
+let seed_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "seed" ] ~docv:"S"
+        ~doc:"Root seed; experiment #i runs under a seed derived from (S, i). \
+              Omit for each experiment's paper-default seed.")
+
+let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced workload sizes.")
+
+let oracle_arg =
+  Arg.(
+    value & flag
+    & info [ "oracle" ] ~doc:"Also run the oracle acceptance sweep as a final row.")
+
+let ids_arg = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT")
+
+let run_t =
+  Term.(
+    const (fun d s q o ids -> Stdlib.exit (run_cmd d s q o ids))
+    $ domains_arg $ seed_arg $ quick_arg $ oracle_arg $ ids_arg)
+
+let run_cmd_t =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Regenerate experiment data and print the digest table")
+    run_t
+
+let list_t = Term.(const (fun () -> Stdlib.exit (list_cmd ())) $ const ())
+let list_cmd_t = Cmd.v (Cmd.info "list" ~doc:"List experiment ids") list_t
+
+let golden_t = Term.(const (fun () -> Stdlib.exit (golden_cmd ())) $ const ())
+
+let golden_cmd_t =
+  Cmd.v
+    (Cmd.info "golden" ~doc:"Print the golden compact-digest corpus (test/golden)")
+    golden_t
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info = Cmd.info "sfq-sweep" ~doc:"Domain-parallel experiment sweep CLI" in
+  exit (Cmd.eval (Cmd.group ~default info [ run_cmd_t; list_cmd_t; golden_cmd_t ]))

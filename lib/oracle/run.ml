@@ -73,3 +73,49 @@ let fixed_rate ~sched ?(on_reweight = fun ~flow:_ ~rate:_ -> ()) ~monitors
     departures = !departures;
     finished_at;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel sweeps                                               *)
+
+type driver = {
+  sched : Sched.t;
+  monitors : Monitor.t list;
+  on_reweight : (flow:Packet.flow -> rate:float -> unit) option;
+}
+
+type cell = { label : string; workload : Workload.t; driver : unit -> driver }
+
+let run_cell (c : cell) =
+  (* Audit (parallel safety): the scheduler, its monitors and any
+     scratch state are created here, inside the task, so every mutable
+     structure a worker touches is domain-local. The workload is
+     immutable shared data; the returned outcome is immutable. *)
+  let d = c.driver () in
+  fixed_rate ~sched:d.sched ?on_reweight:d.on_reweight ~monitors:d.monitors
+    c.workload
+
+let sweep ?(domains = 1) ?pool cells =
+  let tasks = Array.of_list cells in
+  let f _i c = run_cell c in
+  match pool with
+  | Some p -> Sfq_par.Pool.map p ~f tasks
+  | None -> Sfq_par.Pool.run ~domains ~f tasks
+
+let outcome_digest (o : outcome) =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Printf.sprintf "departures=%d finished_at=%h" o.departures o.finished_at);
+  List.iter
+    (fun (v : Monitor.violation) ->
+      Buffer.add_string b
+        (Printf.sprintf " violation=%s@%h:%s" v.Monitor.monitor v.Monitor.at
+           v.Monitor.what))
+    o.violations;
+  Buffer.contents b
+
+let sweep_digest cells outcomes =
+  let b = Buffer.create 256 in
+  List.iteri
+    (fun i (c : cell) ->
+      Buffer.add_string b (Printf.sprintf "%s | %s\n" c.label (outcome_digest outcomes.(i))))
+    cells;
+  Buffer.contents b

@@ -28,3 +28,38 @@ val fixed_rate :
     step cap (10× the trace length) bounds runs against mutants that
     stall or refuse to drain; monitors will already have latched the
     violation by then. *)
+
+(** {1 Domain-parallel sweeps}
+
+    A sweep is an array of independent (discipline, workload) cells.
+    Each cell carries a {e thunk} that builds the scheduler and its
+    monitors, so all mutable state is created inside the executing
+    task — domain-local by construction — and the immutable
+    {!Workload.t} is the only shared input. Outcomes come back ordered
+    by cell index: the result (and hence {!sweep_digest}) is
+    byte-identical at every domain count. *)
+
+type driver = {
+  sched : Sched.t;
+  monitors : Monitor.t list;
+  on_reweight : (flow:Packet.flow -> rate:float -> unit) option;
+}
+
+type cell = { label : string; workload : Workload.t; driver : unit -> driver }
+
+val run_cell : cell -> outcome
+(** Build the cell's driver and replay its workload ({!fixed_rate}). *)
+
+val sweep : ?domains:int -> ?pool:Sfq_par.Pool.t -> cell list -> outcome array
+(** Run every cell, [outcomes.(i)] belonging to [List.nth cells i].
+    [domains] defaults to 1 (serial, no domain spawned); [pool] reuses
+    an existing executor instead (and ignores [domains]). *)
+
+val outcome_digest : outcome -> string
+(** One line, fully deterministic: departure count, finish time and
+    every violation, floats rendered as hex ([%h]) so the digest is
+    exact, not rounded. *)
+
+val sweep_digest : cell list -> outcome array -> string
+(** One [label | outcome] line per cell, in cell order — the byte
+    string the determinism suite compares across domain counts. *)

@@ -1,0 +1,198 @@
+open Sfq_base
+open Sfq_sched
+open Sfq_core
+
+let weights_of (w : Workload.t) = Weights.of_list ~default:1.0 w.Workload.weights
+
+(* ------------------------------------------------------------------ *)
+(* Frozen pools (fixed seeds: same traces everywhere)                   *)
+
+let theorem_pool =
+  Workload.deterministic_pool ~rate_overrides:false ~seed:0x5f9 ~n:120 ()
+
+let override_pool =
+  Workload.deterministic_pool ~rate_overrides:true ~seed:0xacd ~n:120 ()
+
+let reweight_pool =
+  Workload.deterministic_pool ~reweights:true ~rate_overrides:false ~seed:0xbee
+    ~n:60 ()
+
+(* ------------------------------------------------------------------ *)
+(* Monitor sets                                                         *)
+
+let structural () = [ Monitor.work_conserving (); Monitor.flow_fifo () ]
+
+(* Full SFQ set: Theorems 1, 2 and 4 plus the structural invariants.
+   Sound only when packets carry no rate overrides (Theorems 1 and 2
+   are stated against the reserved rates). *)
+let sfq_set ?(allow_idle_reset = false) (w : Workload.t) ~vtime =
+  let rate = Workload.rate_of w and lmax = Workload.lmax w in
+  let flows = Workload.flows w and capacity = w.Workload.capacity in
+  structural ()
+  @ [
+      Monitor.tag_monotone ~name:"tag_monotone" ~allow_idle_reset ~vtime ();
+      Monitor.fairness ~rate ();
+      Monitor.sfq_delay ~flows ~lmax ~rate ~capacity ();
+      Monitor.sfq_throughput ~flows ~lmax ~rate ~capacity ();
+    ]
+
+let scfq_set (w : Workload.t) ~vtime =
+  let rate = Workload.rate_of w and lmax = Workload.lmax w in
+  let flows = Workload.flows w and capacity = w.Workload.capacity in
+  structural ()
+  @ [
+      Monitor.tag_monotone ~name:"tag_monotone" ~vtime ();
+      Monitor.fairness ~bound:Bounds.h_scfq ~rate ();
+      Monitor.scfq_delay ~flows ~lmax ~rate ~capacity ();
+    ]
+
+(* Theorem 4 survives per-packet rate overrides (generalized SFQ, §2.3)
+   but Theorems 1/2 do not apply to override traffic. *)
+let sfq_override_set (w : Workload.t) ~vtime =
+  let rate = Workload.rate_of w and lmax = Workload.lmax w in
+  let flows = Workload.flows w and capacity = w.Workload.capacity in
+  structural ()
+  @ [
+      Monitor.tag_monotone ~name:"tag_monotone" ~allow_idle_reset:false ~vtime ();
+      Monitor.sfq_delay ~flows ~lmax ~rate ~capacity ();
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Cells. Every driver thunk builds its scheduler and monitors at
+   execution time: all mutable state is task-local (see Run.sweep). *)
+
+let cells ~what ~driver pool =
+  List.mapi
+    (fun i w ->
+      {
+        Run.label = Printf.sprintf "%s#%d" what i;
+        workload = w;
+        driver = (fun () -> driver w);
+      })
+    pool
+
+let sfq_driver w =
+  let s = Sfq.create (weights_of w) in
+  {
+    Run.sched = Sfq.sched s;
+    monitors = sfq_set w ~vtime:(fun () -> Sfq.vtime s);
+    on_reweight = None;
+  }
+
+let sfq_cells ?(pool = theorem_pool) () = cells ~what:"sfq" ~driver:sfq_driver pool
+
+let scfq_cells ?(pool = theorem_pool) () =
+  cells ~what:"scfq" pool ~driver:(fun w ->
+      let s = Scfq.create (weights_of w) in
+      {
+        Run.sched = Scfq.sched s;
+        monitors = scfq_set w ~vtime:(fun () -> Scfq.vtime s);
+        on_reweight = None;
+      })
+
+let sfq_override_cells ?(pool = override_pool) () =
+  cells ~what:"sfq+overrides" pool ~driver:(fun w ->
+      let s = Sfq.create (weights_of w) in
+      {
+        Run.sched = Sfq.sched s;
+        monitors = sfq_override_set w ~vtime:(fun () -> Sfq.vtime s);
+        on_reweight = None;
+      })
+
+(* Factories, not schedulers: the Sched.t is only built inside the
+   driver thunk, on the domain that runs the cell. *)
+let discipline_factories (w : Workload.t) =
+  let cap = w.Workload.capacity in
+  let specs () =
+    List.map
+      (fun (f, r) -> (f, { Delay_edd.rate = r; deadline = 1.0; max_len = 1000 }))
+      w.Workload.weights
+  in
+  [
+    ("sfq", fun () -> Sfq.sched (Sfq.create (weights_of w)));
+    ("scfq", fun () -> Scfq.sched (Scfq.create (weights_of w)));
+    ("fqs", fun () -> Fqs.sched (Fqs.create ~capacity:cap (weights_of w)));
+    ("vc", fun () -> Virtual_clock.sched (Virtual_clock.create (weights_of w)));
+    ("wfq-fluid", fun () -> Wfq.sched (Wfq.create ~capacity:cap (weights_of w)));
+    ("wfq-real", fun () -> Wfq.sched (Wfq.create ~capacity:cap ~clock:`Real (weights_of w)));
+    ("wf2q", fun () -> Wf2q.sched (Wf2q.create ~capacity:cap (weights_of w)));
+    ("drr", fun () -> Drr.sched (Drr.create (weights_of w)));
+    ("edd", fun () -> Delay_edd.sched (Delay_edd.create (specs ())));
+  ]
+
+let structural_cells ?(pool = override_pool) () =
+  List.concat
+    (List.mapi
+       (fun i w ->
+         List.map
+           (fun (name, make) ->
+             {
+               Run.label = Printf.sprintf "%s#%d" name i;
+               workload = w;
+               driver =
+                 (fun () ->
+                   { Run.sched = make (); monitors = structural (); on_reweight = None });
+             })
+           (discipline_factories w))
+       pool)
+
+let dyn_weights (w : Workload.t) =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (f, r) -> Hashtbl.replace tbl f r) w.Workload.weights;
+  let wt =
+    Weights.of_fun (fun f ->
+        match Hashtbl.find_opt tbl f with Some r -> r | None -> 1.0)
+  in
+  (wt, fun ~flow ~rate -> Hashtbl.replace tbl flow rate)
+
+let reweight_cells ?(pool = reweight_pool) () =
+  List.concat
+    (List.mapi
+       (fun i w ->
+         let cell name mk =
+           {
+             Run.label = Printf.sprintf "%s+reweight#%d" name i;
+             workload = w;
+             driver = mk;
+           }
+         in
+         [
+           cell "sfq" (fun () ->
+               let wt, f = dyn_weights w in
+               {
+                 Run.sched = Sfq.sched (Sfq.create wt);
+                 monitors = structural ();
+                 on_reweight = Some f;
+               });
+           cell "scfq" (fun () ->
+               let wt, f = dyn_weights w in
+               {
+                 Run.sched = Scfq.sched (Scfq.create wt);
+                 monitors = structural ();
+                 on_reweight = Some f;
+               });
+         ])
+       pool)
+
+let all_cells () =
+  sfq_cells () @ scfq_cells () @ sfq_override_cells () @ structural_cells ()
+  @ reweight_cells ()
+
+let mutant_cells () =
+  List.map
+    (fun mode ->
+      let w = Mutant.workload mode in
+      ( mode,
+        {
+          Run.label = "mutant-" ^ Mutant.name mode;
+          workload = w;
+          driver =
+            (fun () ->
+              let sched, vtime = Mutant.sched mode (weights_of w) in
+              {
+                Run.sched;
+                monitors = sfq_set ~allow_idle_reset:true w ~vtime;
+                on_reweight = None;
+              });
+        } ))
+    Mutant.all

@@ -1,0 +1,67 @@
+(** The standard acceptance sweep as data: every (discipline, workload)
+    cell the oracle layer checks, phrased as {!Run.cell}s so one
+    definition serves the serial test suite, the domain-parallel
+    determinism suite, the parallel-speedup benchmark series and the
+    [sfq-sweep] CLI.
+
+    Monitor sets follow the applicability rules of DESIGN.md §7: the
+    full SFQ set (Theorems 1/2/4 + structural) only on rate-pure SFQ
+    runs, Theorem 4 alone under per-packet rate overrides, eq. 56 for
+    SCFQ, structural invariants for every discipline. Workload pools are
+    the frozen deterministic pools of [test_oracle] — fixed seeds, same
+    traces on every machine.
+
+    Every constructor returns cells whose driver thunks build the
+    scheduler {e and} its monitors at execution time, inside the task:
+    nothing mutable escapes a cell, which is what makes the sweep safe
+    to fan out over domains (see {!Run.sweep}). *)
+
+val theorem_pool : Workload.t list
+(** 120 workloads, seed 0x5f9, no rate overrides. *)
+
+val override_pool : Workload.t list
+(** 120 workloads, seed 0xacd, with per-packet rate overrides. *)
+
+val reweight_pool : Workload.t list
+(** 60 workloads, seed 0xbee, with mid-run weight changes. *)
+
+(** {1 Monitor sets} (exposed for directed tests) *)
+
+val structural : unit -> Monitor.t list
+
+val sfq_set :
+  ?allow_idle_reset:bool -> Workload.t -> vtime:(unit -> float) -> Monitor.t list
+
+val scfq_set : Workload.t -> vtime:(unit -> float) -> Monitor.t list
+
+val sfq_override_set : Workload.t -> vtime:(unit -> float) -> Monitor.t list
+
+(** {1 Cells} *)
+
+val sfq_cells : ?pool:Workload.t list -> unit -> Run.cell list
+(** SFQ under the full theorem set over [pool] (default
+    {!theorem_pool}); labels ["sfq#i"]. *)
+
+val scfq_cells : ?pool:Workload.t list -> unit -> Run.cell list
+(** SCFQ under Theorem 1 (with H_SCFQ) + eq. 56; labels ["scfq#i"]. *)
+
+val sfq_override_cells : ?pool:Workload.t list -> unit -> Run.cell list
+(** SFQ under Theorem 4 only, over the override pool by default. *)
+
+val structural_cells : ?pool:Workload.t list -> unit -> Run.cell list
+(** All nine disciplines under the structural invariants, over the
+    override pool by default; labels ["<disc>#i"]. *)
+
+val reweight_cells : ?pool:Workload.t list -> unit -> Run.cell list
+(** SFQ and SCFQ with dynamic weight tables under the structural
+    invariants, over the reweight pool by default. *)
+
+val all_cells : unit -> Run.cell list
+(** The whole acceptance sweep, in a fixed order: {!sfq_cells},
+    {!scfq_cells}, {!sfq_override_cells}, {!structural_cells},
+    {!reweight_cells} — 1320 cells. *)
+
+val mutant_cells : unit -> (Mutant.mode * Run.cell) list
+(** One cell per seeded bug: the mutant scheduler under the full SFQ
+    set (idle resets allowed) on its crafted workload. The expected
+    verdict is [Mutant.expected_monitor]. *)

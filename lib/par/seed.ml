@@ -1,0 +1,24 @@
+(* Splitmix64 finalizer (same constants as Sfq_util.Rng, duplicated
+   here so sfq.par depends on nothing but the stdlib). *)
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let derive64 ~root ~index =
+  if index < 0 then invalid_arg "Seed.derive: negative index";
+  (* advance the splitmix state by (index + 1) gammas from the mixed
+     root, then finalize: the (root, index) grid maps to distinct,
+     well-separated points of the splitmix sequence *)
+  let base = mix64 (Int64.add root golden_gamma) in
+  mix64 (Int64.add base (Int64.mul (Int64.of_int (index + 1)) golden_gamma))
+
+let derive ~root ~index =
+  let s = derive64 ~root:(Int64.of_int root) ~index in
+  (* keep 62 bits: Int64.to_int truncates to the 63-bit native int, so
+     bit 62 would land in the sign position — seeds feed APIs that
+     expect a plain non-negative int *)
+  Int64.to_int (Int64.logand s 0x3FFFFFFFFFFFFFFFL)

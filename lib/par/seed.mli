@@ -1,0 +1,24 @@
+(** Deterministic per-task seed derivation.
+
+    The parallel sweep engine gives every task its own RNG stream,
+    derived from the root seed and the task's {e index} — never from
+    execution order, domain id, or any other scheduling artifact — so
+    the stream a task sees is a pure function of [(root, index)] and the
+    sweep's output is identical at every domain count.
+
+    The derivation is a splitmix64-style finalizer over the two inputs
+    (the same mixer as {!Sfq_util.Rng}), so neighboring indices yield
+    statistically independent seeds: [derive ~root ~index:0] and
+    [~index:1] differ in about half their bits, and feeding the result
+    to [Sfq_util.Rng.create] gives streams with no detectable
+    cross-correlation (splitmix64's golden-gamma sequence is exactly the
+    construction its authors designed for parallel stream splitting). *)
+
+val derive : root:int -> index:int -> int
+(** A non-negative seed for task [index] of a sweep rooted at [root].
+    Pure: equal arguments give equal results on every run, machine and
+    domain count. [index] must be >= 0.
+    @raise Invalid_argument on a negative index. *)
+
+val derive64 : root:int64 -> index:int -> int64
+(** The full-width derivation behind {!derive}. *)

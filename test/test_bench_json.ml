@@ -9,10 +9,10 @@ let check_bool = Alcotest.(check bool)
 
 let valid_doc =
   {|{
-  "schema": "sfq-bench-sched/2",
+  "schema": "sfq-bench-sched/3",
   "quick": true,
   "unit": "ns per enqueue+dequeue",
-  "meta": {"git_sha": "deadbeef", "timestamp_utc": "2026-08-06T00:00:00Z", "hostname": "box"},
+  "meta": {"git_sha": "deadbeef", "timestamp_utc": "2026-08-06T00:00:00Z", "hostname": "box", "domains": 2},
   "flow_scaling": [
     {"discipline": "sfq", "flows": 4, "ns_per_packet": 217.6, "ns_p50": 217.6, "ns_p99": 230.1},
     {"discipline": "scfq", "flows": 64, "ns_per_packet": null, "ns_p50": null, "ns_p99": null}
@@ -25,13 +25,16 @@ let valid_doc =
     {"mode": "disabled", "flows": 512, "depth": 64, "ns_per_packet": 303.0, "ns_p50": 303.0, "ns_p99": 311.0, "overhead_pct": 1.0},
     {"mode": "ring", "flows": 512, "depth": 64, "ns_per_packet": 330.0, "ns_p50": 330.0, "ns_p99": 340.0, "overhead_pct": 10.0},
     {"mode": "jsonl", "flows": 512, "depth": 64, "ns_per_packet": 900.0, "ns_p50": 900.0, "ns_p99": 950.0, "overhead_pct": 200.0}
+  ],
+  "parallel": [
+    {"series": "oracle-sweep", "cells": 1320, "domains": 4, "serial_s": 2.1, "parallel_s": 0.8, "speedup": 2.62, "identical": true}
   ]
 }|}
 
 (* Build a document with one part overridden — rejection tests swap in
    exactly the broken fragment they target. *)
 let meta_frag =
-  {|{"git_sha": "deadbeef", "timestamp_utc": "2026-08-06T00:00:00Z", "hostname": "box"}|}
+  {|{"git_sha": "deadbeef", "timestamp_utc": "2026-08-06T00:00:00Z", "hostname": "box", "domains": 2}|}
 
 let flow_frag =
   {|[{"discipline": "sfq", "flows": 1, "ns_per_packet": 1.0, "ns_p50": 1.0, "ns_p99": 1.2}]|}
@@ -45,11 +48,14 @@ let overhead_frag =
      {"mode": "ring", "flows": 512, "depth": 64, "ns_per_packet": 330.0, "ns_p50": 330.0, "ns_p99": 340.0, "overhead_pct": 10.0},
      {"mode": "jsonl", "flows": 512, "depth": 64, "ns_per_packet": 900.0, "ns_p50": 900.0, "ns_p99": 950.0, "overhead_pct": 200.0}]|}
 
-let mk ?(schema = "sfq-bench-sched/2") ?(meta = meta_frag) ?(flow = flow_frag)
-    ?(depth = depth_frag) ?(overhead = overhead_frag) () =
+let parallel_frag =
+  {|[{"series": "oracle-sweep", "cells": 1320, "domains": 2, "serial_s": 2.0, "parallel_s": 1.9, "speedup": 1.05, "identical": true}]|}
+
+let mk ?(schema = "sfq-bench-sched/3") ?(meta = meta_frag) ?(flow = flow_frag)
+    ?(depth = depth_frag) ?(overhead = overhead_frag) ?(parallel = parallel_frag) () =
   Printf.sprintf
-    {|{"schema": %S, "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
-    schema meta flow depth overhead
+    {|{"schema": %S, "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s, "parallel": %s}|}
+    schema meta flow depth overhead parallel
 
 let expect_error name needle contents =
   match Bench_json.validate contents with
@@ -125,9 +131,14 @@ let test_rejects_missing_fields () =
   expect_error "no schema" "missing field \"schema\""
     {|{"flow_scaling": [], "depth_scaling": []}|};
   expect_error "wrong schema" "unexpected schema" (mk ~schema:"sfq-bench-sched/1" ());
+  expect_error "stale schema/2" "unexpected schema" (mk ~schema:"sfq-bench-sched/2" ());
+  expect_error "meta without domains" "missing field \"domains\""
+    (mk
+       ~meta:{|{"git_sha": "deadbeef", "timestamp_utc": "2026-08-06T00:00:00Z", "hostname": "box"}|}
+       ());
   expect_error "no meta" "missing field \"meta\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/2", "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
+       {|{"schema": "sfq-bench-sched/3", "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
        flow_frag depth_frag overhead_frag);
   expect_error "empty git_sha" "git_sha"
     (mk
@@ -135,7 +146,7 @@ let test_rejects_missing_fields () =
        ());
   expect_error "no depth_scaling" "missing field \"depth_scaling\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/2", "meta": %s, "flow_scaling": %s, "tracing_overhead": %s}|}
+       {|{"schema": "sfq-bench-sched/3", "meta": %s, "flow_scaling": %s, "tracing_overhead": %s}|}
        meta_frag flow_frag overhead_frag);
   expect_error "row without flows" "missing field \"flows\""
     (mk ~flow:{|[{"discipline": "sfq", "ns_per_packet": 1.0, "ns_p50": 1.0, "ns_p99": 1.2}]|} ());
@@ -183,6 +194,30 @@ let test_rejects_bad_overhead () =
        ());
   expect_error "empty overhead" "tracing_overhead is empty" (mk ~overhead:"[]" ())
 
+let test_rejects_bad_parallel () =
+  expect_error "missing parallel" "missing field \"parallel\""
+    (Printf.sprintf
+       {|{"schema": "sfq-bench-sched/3", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
+       meta_frag flow_frag depth_frag overhead_frag);
+  expect_error "empty parallel" "parallel is empty" (mk ~parallel:"[]" ());
+  (* the determinism witness: a file recording a parallel sweep that
+     diverged from the serial reference is itself invalid *)
+  expect_error "diverged parallel run" "identical is false"
+    (mk
+       ~parallel:
+         {|[{"series": "oracle-sweep", "cells": 10, "domains": 2, "serial_s": 2.0, "parallel_s": 1.9, "speedup": 1.05, "identical": false}]|}
+       ());
+  expect_error "zero serial_s" "serial_s must be positive"
+    (mk
+       ~parallel:
+         {|[{"series": "oracle-sweep", "cells": 10, "domains": 2, "serial_s": 0.0, "parallel_s": 1.9, "speedup": 1.05, "identical": true}]|}
+       ());
+  expect_error "fractional domains" "domains must be a positive integer"
+    (mk
+       ~parallel:
+         {|[{"series": "oracle-sweep", "cells": 10, "domains": 1.5, "serial_s": 2.0, "parallel_s": 1.9, "speedup": 1.05, "identical": true}]|}
+       ())
+
 let test_rejects_empty_series () =
   expect_error "empty flow_scaling" "flow_scaling is empty" (mk ~flow:"[]" ())
 
@@ -218,6 +253,7 @@ let () =
           Alcotest.test_case "nan / inf / negative" `Quick test_rejects_nan;
           Alcotest.test_case "missing fields" `Quick test_rejects_missing_fields;
           Alcotest.test_case "bad tracing overhead" `Quick test_rejects_bad_overhead;
+          Alcotest.test_case "bad parallel series" `Quick test_rejects_bad_parallel;
           Alcotest.test_case "empty series" `Quick test_rejects_empty_series;
           Alcotest.test_case "trailing garbage" `Quick test_rejects_trailing_garbage;
         ] );

@@ -4,7 +4,6 @@
    the monitors have teeth. *)
 
 open Sfq_base
-open Sfq_sched
 open Sfq_core
 open Sfq_oracle
 
@@ -13,66 +12,27 @@ let check_int = Alcotest.(check int)
 
 let weights_of (w : Workload.t) = Weights.of_list ~default:1.0 w.Workload.weights
 
-(* ------------------------------------------------------------------ *)
-(* Monitor sets                                                         *)
+(* Monitor sets and frozen workload pools live in Sfq_oracle.Suite so
+   the serial suite here, the domain-parallel determinism suite
+   (test_par) and the bench/CLI consumers share one definition. *)
+let structural = Suite.structural
+let sfq_set = Suite.sfq_set
+let theorem_pool = Suite.theorem_pool
+let override_pool = Suite.override_pool
+let reweight_pool = Suite.reweight_pool
 
-let structural () = [ Monitor.work_conserving (); Monitor.flow_fifo () ]
-
-(* Full SFQ set: Theorems 1, 2 and 4 plus the structural invariants.
-   Sound only when packets carry no rate overrides (Theorem 1 and 2
-   are stated against the reserved rates). *)
-let sfq_set ?(allow_idle_reset = false) (w : Workload.t) ~vtime =
-  let rate = Workload.rate_of w and lmax = Workload.lmax w in
-  let flows = Workload.flows w and capacity = w.Workload.capacity in
-  structural ()
-  @ [
-      Monitor.tag_monotone ~name:"tag_monotone" ~allow_idle_reset ~vtime ();
-      Monitor.fairness ~rate ();
-      Monitor.sfq_delay ~flows ~lmax ~rate ~capacity ();
-      Monitor.sfq_throughput ~flows ~lmax ~rate ~capacity ();
-    ]
-
-let scfq_set (w : Workload.t) ~vtime =
-  let rate = Workload.rate_of w and lmax = Workload.lmax w in
-  let flows = Workload.flows w and capacity = w.Workload.capacity in
-  structural ()
-  @ [
-      Monitor.tag_monotone ~name:"tag_monotone" ~vtime ();
-      Monitor.fairness ~bound:Bounds.h_scfq ~rate ();
-      Monitor.scfq_delay ~flows ~lmax ~rate ~capacity ();
-    ]
-
-(* Theorem 4 survives per-packet rate overrides (generalized SFQ,
-   §2.3) — overrides never exceed the reservation, so Σr <= C holds —
-   but Theorems 1/2 do not apply to override traffic. *)
-let sfq_override_set (w : Workload.t) ~vtime =
-  let rate = Workload.rate_of w and lmax = Workload.lmax w in
-  let flows = Workload.flows w and capacity = w.Workload.capacity in
-  structural ()
-  @ [
-      Monitor.tag_monotone ~name:"tag_monotone" ~allow_idle_reset:false ~vtime ();
-      Monitor.sfq_delay ~flows ~lmax ~rate ~capacity ();
-    ]
-
-let assert_clean ~what i (w : Workload.t) (o : Run.outcome) =
-  match o.Run.violations with
-  | [] -> ()
-  | v :: _ ->
-    Alcotest.failf "%s: workload #%d: %s@.%s" what i
-      (Format.asprintf "%a" Monitor.pp_violation v)
-      (Workload.to_string w)
-
-(* ------------------------------------------------------------------ *)
-(* Deterministic workload pools (fixed seeds: same traces everywhere)   *)
-
-let theorem_pool =
-  Workload.deterministic_pool ~rate_overrides:false ~seed:0x5f9 ~n:120 ()
-
-let override_pool =
-  Workload.deterministic_pool ~rate_overrides:true ~seed:0xacd ~n:120 ()
-
-let reweight_pool =
-  Workload.deterministic_pool ~reweights:true ~rate_overrides:false ~seed:0xbee ~n:60 ()
+(* A sweep is clean when no cell tripped a monitor. *)
+let assert_clean_sweep cells =
+  let outcomes = Run.sweep cells in
+  List.iteri
+    (fun i (c : Run.cell) ->
+      match outcomes.(i).Run.violations with
+      | [] -> ()
+      | v :: _ ->
+        Alcotest.failf "%s: %s@.%s" c.Run.label
+          (Format.asprintf "%a" Monitor.pp_violation v)
+          (Workload.to_string c.Run.workload))
+    cells
 
 (* ------------------------------------------------------------------ *)
 (* Directed monitor tests                                               *)
@@ -161,108 +121,26 @@ let test_sfq_throughput_trips () =
 (* ------------------------------------------------------------------ *)
 (* Acceptance sweeps                                                    *)
 
-let test_sfq_theorems () =
-  List.iteri
-    (fun i w ->
-      let s = Sfq.create (weights_of w) in
-      let monitors = sfq_set w ~vtime:(fun () -> Sfq.vtime s) in
-      assert_clean ~what:"sfq" i w (Run.fixed_rate ~sched:(Sfq.sched s) ~monitors w))
-    theorem_pool
-
-let test_scfq_theorems () =
-  List.iteri
-    (fun i w ->
-      let s = Scfq.create (weights_of w) in
-      let monitors = scfq_set w ~vtime:(fun () -> Scfq.vtime s) in
-      assert_clean ~what:"scfq" i w (Run.fixed_rate ~sched:(Scfq.sched s) ~monitors w))
-    theorem_pool
-
-let test_sfq_delay_under_overrides () =
-  List.iteri
-    (fun i w ->
-      let s = Sfq.create (weights_of w) in
-      let monitors = sfq_override_set w ~vtime:(fun () -> Sfq.vtime s) in
-      assert_clean ~what:"sfq+overrides" i w
-        (Run.fixed_rate ~sched:(Sfq.sched s) ~monitors w))
-    override_pool
-
-let disciplines (w : Workload.t) =
-  let wt = weights_of w in
-  let cap = w.Workload.capacity in
-  let specs =
-    List.map
-      (fun (f, r) -> (f, { Delay_edd.rate = r; deadline = 1.0; max_len = 1000 }))
-      w.Workload.weights
-  in
-  [
-    ("sfq", Sfq.sched (Sfq.create wt));
-    ("scfq", Scfq.sched (Scfq.create wt));
-    ("fqs", Fqs.sched (Fqs.create ~capacity:cap wt));
-    ("vc", Virtual_clock.sched (Virtual_clock.create wt));
-    ("wfq-fluid", Wfq.sched (Wfq.create ~capacity:cap wt));
-    ("wfq-real", Wfq.sched (Wfq.create ~capacity:cap ~clock:`Real wt));
-    ("wf2q", Wf2q.sched (Wf2q.create ~capacity:cap wt));
-    ("drr", Drr.sched (Drr.create wt));
-    ("edd", Delay_edd.sched (Delay_edd.create specs));
-  ]
-
-let test_structural_all_disciplines () =
-  List.iteri
-    (fun i w ->
-      List.iter
-        (fun (name, sched) ->
-          assert_clean ~what:name i w
-            (Run.fixed_rate ~sched ~monitors:(structural ()) w))
-        (disciplines w))
-    override_pool
-
-let dyn_weights (w : Workload.t) =
-  let tbl = Hashtbl.create 8 in
-  List.iter (fun (f, r) -> Hashtbl.replace tbl f r) w.Workload.weights;
-  let wt =
-    Weights.of_fun (fun f ->
-        match Hashtbl.find_opt tbl f with Some r -> r | None -> 1.0)
-  in
-  (wt, fun ~flow ~rate -> Hashtbl.replace tbl flow rate)
-
-let test_reweight_structural () =
-  List.iteri
-    (fun i w ->
-      let runs =
-        [
-          (fun () ->
-            let wt, f = dyn_weights w in
-            ("sfq", Sfq.sched (Sfq.create wt), f));
-          (fun () ->
-            let wt, f = dyn_weights w in
-            ("scfq", Scfq.sched (Scfq.create wt), f));
-        ]
-      in
-      List.iter
-        (fun mk ->
-          let name, sched, on_reweight = mk () in
-          assert_clean ~what:(name ^ "+reweight") i w
-            (Run.fixed_rate ~sched ~on_reweight ~monitors:(structural ()) w))
-        runs)
-    reweight_pool
+let test_sfq_theorems () = assert_clean_sweep (Suite.sfq_cells ())
+let test_scfq_theorems () = assert_clean_sweep (Suite.scfq_cells ())
+let test_sfq_delay_under_overrides () = assert_clean_sweep (Suite.sfq_override_cells ())
+let test_structural_all_disciplines () = assert_clean_sweep (Suite.structural_cells ())
+let test_reweight_structural () = assert_clean_sweep (Suite.reweight_cells ())
 
 (* ------------------------------------------------------------------ *)
 (* Mutation self-check                                                  *)
 
 let test_mutants_all_caught () =
   List.iter
-    (fun mode ->
-      let w = Mutant.workload mode in
-      let sched, vtime = Mutant.sched mode (weights_of w) in
-      let monitors = sfq_set ~allow_idle_reset:true w ~vtime in
-      let o = Run.fixed_rate ~sched ~monitors w in
+    (fun (mode, cell) ->
+      let o = Run.run_cell cell in
       let expected = Mutant.expected_monitor mode in
       let names = List.map (fun (v : Monitor.violation) -> v.Monitor.monitor) o.Run.violations in
       if not (List.mem expected names) then
         Alcotest.failf "mutant %s: expected monitor %s to trip; tripped: [%s]"
           (Mutant.name mode) expected
           (String.concat ", " names))
-    Mutant.all
+    (Suite.mutant_cells ())
 
 let test_real_sfq_passes_mutant_workloads () =
   (* The crafted traces are within the theorems for the real scheduler:
