@@ -87,6 +87,8 @@ let sfq_ref_sched weights =
     peek = (fun () -> Ref_sched.Sfq_ref.peek t);
     size = (fun () -> Ref_sched.Sfq_ref.size t);
     backlog = (fun flow -> Ref_sched.Sfq_ref.backlog t flow);
+    evict = Sched.no_evict;
+    close_flow = (fun ~now:_ _ -> []);
   }
 
 let disciplines nflows =

@@ -1,5 +1,5 @@
 (* Domain-parallel sweep CLI: regenerate every experiment behind
-   EXPERIMENTS.md (the Registry, E1-E20) plus the oracle acceptance
+   EXPERIMENTS.md (the Registry, E1-E24) plus the oracle acceptance
    sweep, fanned out over a fixed-size domain pool, and print a
    per-experiment digest table.
 
@@ -7,6 +7,7 @@
      sfq_sweep run --domains 4 --seed 7
      sfq_sweep run --quick fig-1b table-1
      sfq_sweep golden > test/golden/digests.expected
+     sfq_sweep churn --cycles 10000   # bounded-memory lifecycle stress
 
    Digests are content hashes of each experiment's full result record,
    so the table is a behavioral fingerprint of the whole reproduction:
@@ -123,6 +124,135 @@ let golden_cmd () =
   print_string (Sfq_experiments.Registry.golden_corpus ());
   0
 
+(* ------------------------------------------------------------------ *)
+(* churn: the bounded-memory stress check CI runs. Each domain churns
+   [cycles] open/close lifecycles through a Flow_registry + a live SFQ
+   instance (2 packets in, 1 served, close flushes the rest, id
+   recycled), then we assert the structural invariants — every id
+   recycled, dense state bounded by the live window, packet
+   conservation — and that process RSS grew by less than a fixed
+   bound across the whole run. *)
+
+type churn_stats = {
+  served : int;
+  flushed : int;
+  opened : int;
+  peak_live : int;
+  high_water : int;
+}
+
+let rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let rec go () =
+      match input_line ic with
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmRSS:" then
+          Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" Option.some
+        else go ()
+      | exception End_of_file -> None
+    in
+    let r = go () in
+    close_in ic;
+    r
+
+let churn_task ~cycles ~window =
+  let open Sfq_base in
+  let reg = Flow_registry.create () in
+  let s = Sfq_core.Sfq.create (Weights.of_list ~default:1.0 []) in
+  let sched = Sfq_core.Sfq.sched s in
+  let live = Queue.create () in
+  let now = ref 0.0 in
+  let served = ref 0 in
+  let flushed = ref 0 in
+  let close f =
+    flushed := !flushed + List.length (sched.Sched.close_flow ~now:!now f);
+    Flow_registry.close_flow reg f
+  in
+  for _ = 1 to cycles do
+    let f = Flow_registry.open_flow reg in
+    Queue.push f live;
+    sched.Sched.enqueue ~now:!now (Packet.make ~flow:f ~seq:1 ~len:1000 ~born:!now ());
+    sched.Sched.enqueue ~now:!now (Packet.make ~flow:f ~seq:2 ~len:1000 ~born:!now ());
+    (match sched.Sched.dequeue ~now:!now with Some _ -> incr served | None -> ());
+    if Queue.length live > window then close (Queue.pop live);
+    now := !now +. 1e-3
+  done;
+  Queue.iter close live;
+  if Flow_registry.live reg <> 0 then failwith "churn: registry still has open flows";
+  if sched.Sched.size () <> 0 then failwith "churn: scheduler backlog after full drain";
+  {
+    served = !served;
+    flushed = !flushed;
+    opened = Flow_registry.opened reg;
+    peak_live = Flow_registry.peak_live reg;
+    high_water = Flow_registry.high_water reg;
+  }
+
+let churn_cmd domains cycles window rss_limit_kb =
+  let domains =
+    if domains > 0 then domains
+    else
+      match Sys.getenv_opt "SFQ_DOMAINS" with
+      | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+      | None -> 1
+  in
+  if cycles < 1 || window < 1 then begin
+    prerr_endline "sfq-sweep: --cycles and --window must be >= 1";
+    exit 2
+  end;
+  (* Warm up allocators and code paths before the baseline RSS reading,
+     so the growth measured below is attributable to the churn itself. *)
+  ignore (churn_task ~cycles:(min cycles 1000) ~window);
+  Gc.compact ();
+  let rss0 = rss_kb () in
+  let t0 = Unix.gettimeofday () in
+  let stats =
+    Pool.run ~domains
+      ~f:(fun _ () -> churn_task ~cycles ~window)
+      (Array.make domains ())
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Gc.compact ();
+  let rss1 = rss_kb () in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  Array.iteri
+    (fun i (st : churn_stats) ->
+      Printf.printf
+        "domain %d: opened=%d served=%d flushed=%d peak_live=%d high_water=%d\n" i
+        st.opened st.served st.flushed st.peak_live st.high_water;
+      if st.opened <> cycles then fail "domain %d: opened %d <> cycles %d" i st.opened cycles;
+      if st.served + st.flushed <> 2 * cycles then
+        fail "domain %d: conservation broken: served %d + flushed %d <> enqueued %d" i
+          st.served st.flushed (2 * cycles);
+      if st.high_water <> st.peak_live then
+        fail "domain %d: id leak: high_water %d <> peak_live %d (close did not recycle)" i
+          st.high_water st.peak_live;
+      if st.peak_live > window + 1 then
+        fail "domain %d: live window exceeded: peak_live %d > %d" i st.peak_live (window + 1);
+      if st <> stats.(0) then fail "domain %d: stats differ from domain 0" i)
+    stats;
+  (match (rss0, rss1) with
+  | Some kb0, Some kb1 ->
+    let growth = kb1 - kb0 in
+    Printf.printf "rss: %d kB -> %d kB (growth %d kB, bound %d kB)\n" kb0 kb1 growth
+      rss_limit_kb;
+    if growth > rss_limit_kb then
+      fail "rss grew by %d kB over the %d kB bound: churn is not bounded-memory" growth
+        rss_limit_kb
+  | _ -> print_endline "rss: /proc/self/status unavailable, growth check skipped");
+  Printf.printf "%d cycle(s) x %d domain(s), window %d: %.3f s wall.\n" cycles domains
+    window wall;
+  match !failures with
+  | [] ->
+    print_endline "churn: OK";
+    0
+  | fs ->
+    List.iter (fun m -> Printf.eprintf "churn: FAIL: %s\n" m) (List.rev fs);
+    1
+
 open Cmdliner
 
 let domains_arg =
@@ -168,7 +298,43 @@ let golden_cmd_t =
     (Cmd.info "golden" ~doc:"Print the golden compact-digest corpus (test/golden)")
     golden_t
 
+let churn_domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Concurrent churn domains (0 = \\$SFQ_DOMAINS, or 1 if unset).")
+
+let cycles_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "cycles" ] ~docv:"N" ~doc:"Open/close lifecycles per domain.")
+
+let window_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "window" ] ~docv:"N" ~doc:"Concurrently-open flows during the churn.")
+
+let rss_limit_arg =
+  Arg.(
+    value & opt int 16_384
+    & info [ "rss-limit-kb" ] ~docv:"KB"
+        ~doc:"Fail if process RSS grows by more than this many kB across the run.")
+
+let churn_t =
+  Term.(
+    const (fun d c w r -> Stdlib.exit (churn_cmd d c w r))
+    $ churn_domains_arg $ cycles_arg $ window_arg $ rss_limit_arg)
+
+let churn_cmd_t =
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Bounded-memory churn stress: cycle flow ids through a registry and a live \
+          SFQ, asserting id recycling, packet conservation and an RSS growth bound")
+    churn_t
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info = Cmd.info "sfq-sweep" ~doc:"Domain-parallel experiment sweep CLI" in
-  exit (Cmd.eval (Cmd.group ~default info [ run_cmd_t; list_cmd_t; golden_cmd_t ]))
+  exit
+    (Cmd.eval (Cmd.group ~default info [ run_cmd_t; list_cmd_t; golden_cmd_t; churn_cmd_t ]))

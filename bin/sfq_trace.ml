@@ -39,6 +39,9 @@ let cbr ~flows ~pkts ~seed:_ =
     weights = List.init flows (fun f -> (f, 0.9 *. capacity /. float_of_int flows));
     arrivals;
     reweights = [];
+    churn = [];
+    rate_changes = [];
+    buffer = None;
   }
 
 let bursty ~flows ~pkts ~seed =
@@ -71,6 +74,9 @@ let bursty ~flows ~pkts ~seed =
     weights = List.init flows (fun f -> (f, 0.95 *. capacity /. float_of_int flows));
     arrivals;
     reweights = [];
+    churn = [];
+    rate_changes = [];
+    buffer = None;
   }
 
 let skewed ~flows ~pkts ~seed =
@@ -93,7 +99,8 @@ let skewed ~flows ~pkts ~seed =
     List.concat_map per_flow weights
     |> List.stable_sort (fun (a : Workload.arrival) b -> compare a.at b.at)
   in
-  { Workload.capacity; weights; arrivals; reweights = [] }
+  { Workload.capacity; weights; arrivals; reweights = []; churn = [];
+    rate_changes = []; buffer = None }
 
 let pool i ~flows:_ ~pkts:_ ~seed =
   List.nth (Workload.deterministic_pool ~seed ~n:(i + 1) ()) i

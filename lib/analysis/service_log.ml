@@ -31,6 +31,11 @@ let note_completion t ~flow ~start ~finish ~len =
   a.backlog <- a.backlog - 1;
   if a.backlog = 0 then Vec.push a.intervals (a.opened_at, finish)
 
+let note_removal t ~at flow =
+  let a = Flow_table.find t.acct flow in
+  a.backlog <- a.backlog - 1;
+  if a.backlog = 0 then Vec.push a.intervals (a.opened_at, at)
+
 let attach server =
   let t = create () in
   let sim = Server.sim server in

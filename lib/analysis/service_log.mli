@@ -32,6 +32,12 @@ val note_completion :
 (** Record a service completion; closes the flow's busy interval if
     this departure empties its queue. Call in finish order. *)
 
+val note_removal : t -> at:float -> Packet.flow -> unit
+(** A packet of the flow left {e without} service (buffer drop or flow
+    closure) at time [at]: the backlog shrinks — closing the busy
+    interval if it empties — but no completion is logged, so service
+    measures ({!service}, {!Fairness}) count only real transmissions. *)
+
 val completions : t -> completion Sfq_util.Vec.t
 (** In finish order. *)
 

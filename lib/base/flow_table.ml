@@ -110,6 +110,7 @@ let fold t ~init ~f =
 
 let flows t = fold t ~init:[] ~f:(fun flow _ acc -> flow :: acc) |> List.sort compare
 let length t = t.dense_count + Hashtbl.length t.sparse
+let dense_capacity t = Array.length t.dense
 
 let clear t =
   Bytes.fill t.present 0 (Bytes.length t.present) '\000';

@@ -29,3 +29,8 @@ val flows : 'a t -> Packet.flow list
 
 val length : 'a t -> int
 val clear : 'a t -> unit
+
+val dense_capacity : 'a t -> int
+(** Allocated dense-array slots — grows with the largest id ever seen,
+    never shrinks. Exposed so churn tests can assert that id recycling
+    ({!Flow_registry}) keeps it bounded by peak concurrency. *)

@@ -1,3 +1,5 @@
+type victim = Oldest | Newest
+
 type t = {
   name : string;
   enqueue : now:float -> Packet.t -> unit;
@@ -5,6 +7,8 @@ type t = {
   peek : unit -> Packet.t option;
   size : unit -> int;
   backlog : Packet.flow -> int;
+  evict : now:float -> victim -> Packet.flow -> Packet.t option;
+  close_flow : now:float -> Packet.flow -> Packet.t list;
 }
 
 let is_empty t = t.size () = 0
@@ -23,3 +27,11 @@ let drain_n t ~now n =
     end
   in
   loop n []
+
+let no_evict : now:float -> victim -> Packet.flow -> Packet.t option = fun ~now:_ _ _ -> None
+
+let close_via_evict evict ~now flow =
+  let rec go acc =
+    match evict ~now Oldest flow with None -> List.rev acc | Some p -> go (p :: acc)
+  in
+  go []

@@ -9,8 +9,9 @@
 
     Contract every discipline must honour (and that the conservation
     property tests check):
-    - [enqueue] never drops a packet (queues are unbounded; losses are
-      modeled above the scheduler if needed);
+    - [enqueue] never drops a packet on its own — queues are unbounded
+      at this layer; finite buffers and loss policies live {e above}
+      the scheduler, in {!Buffered}, which calls back into [evict];
     - [dequeue ~now] returns [None] iff no packet is queued;
     - packets of one flow leave in FIFO order (all the paper's
       disciplines are per-flow FIFO);
@@ -18,7 +19,16 @@
       assume time never runs backwards;
     - [peek] returns the packet the next [dequeue] at the same instant
       would return, without removing it (needed by hierarchical SFQ to
-      stamp parent-level tags with the head packet's length). *)
+      stamp parent-level tags with the head packet's length);
+    - every packet removed by [evict]/[close_flow] is returned to the
+      caller, exactly once — the conservation law
+      (enqueued = departed + dropped + backlogged) is checkable from
+      the outside only if removals are never silent. *)
+
+type victim = Oldest | Newest
+(** Which end of a flow's FIFO an eviction takes: [Oldest] is the
+    flow's head (drop-front), [Newest] its most recent arrival
+    (drop-tail of that flow's queue). *)
 
 type t = {
   name : string;
@@ -27,6 +37,22 @@ type t = {
   peek : unit -> Packet.t option;
   size : unit -> int;  (** total queued packets *)
   backlog : Packet.flow -> int;  (** queued packets of one flow *)
+  evict : now:float -> victim -> Packet.flow -> Packet.t option;
+      (** Remove and return one queued packet of the flow ([None] if it
+          has none, or if the discipline cannot evict — see
+          {!no_evict}). Bookkeeping for the {e remaining} packets stays
+          consistent; already-assigned tags/virtual time are {e not}
+          rolled back, i.e. the flow keeps the virtual-time charge for
+          the dropped packet (conservative, per eq. 4 the next start
+          tag can only move later). [now] lets clock-driven disciplines
+          (WFQ's real clock) advance before adjusting their
+          backlogged-set bookkeeping. *)
+  close_flow : now:float -> Packet.flow -> Packet.t list;
+      (** Flush every queued packet of the flow (oldest first) and
+          forget its per-flow scheduler state (finish tags, EAT floors,
+          deficits), so a later reuse of the id starts as a fresh flow:
+          with [F(p^0) = 0], eq. 4 re-admits it at [S = max(v(t), 0) =
+          v(t)]. Virtual time itself is untouched. *)
 }
 
 val is_empty : t -> bool
@@ -36,3 +62,16 @@ val drain : t -> now:float -> Packet.t list
 
 val drain_n : t -> now:float -> int -> Packet.t list
 (** Dequeue at most [n] packets at time [now]. *)
+
+val no_evict : now:float -> victim -> Packet.flow -> Packet.t option
+(** Always [None]: for disciplines that cannot remove mid-queue
+    packets (e.g. rate-controlled two-stage schedulers). {!Buffered}
+    degrades to rejecting the arrival instead. *)
+
+val close_via_evict :
+  (now:float -> victim -> Packet.flow -> Packet.t option) ->
+  now:float ->
+  Packet.flow ->
+  Packet.t list
+(** Default [close_flow] for disciplines whose only per-flow state is
+    the queue itself: evict [Oldest] until empty. *)

@@ -140,7 +140,7 @@ let serve_gsq t =
       (* GSQ entries are never stale: within a flow stamps are FIFO and
          only the GSQ dequeues gsq_q. *)
       match Queue.take_opt e.fs.gsq_q with
-      | None -> pop () (* defensive; should not happen *)
+      | None -> pop () (* stale: the flow was closed and its state detached *)
       | Some r ->
         assert (r.stamp = e.key);
         Some (e.fs, r)
@@ -231,6 +231,31 @@ let backlog t flow =
 let gsq_served t = t.gsq_served
 let asq_served t = t.asq_served
 
+(* Mid-queue eviction is not offered: the regulator's EAT chain and the
+   GSQ's never-stale stamp discipline both assume the released sequence
+   is served in full. {!Buffered} degrades to rejecting arrivals. *)
+let close_flow t flow =
+  match Flow_table.find_opt t.flows flow with
+  | None -> []
+  | Some fs ->
+    let taken =
+      List.map
+        (fun r -> r.pkt)
+        (List.of_seq (Queue.to_seq fs.gsq_q) @ List.of_seq (Queue.to_seq fs.wait_q))
+    in
+    Queue.clear fs.gsq_q;
+    Queue.clear fs.wait_q;
+    (* invalidate queued ASQ/regulator entries pointing at this state *)
+    fs.asq_version <- fs.asq_version + 1;
+    fs.reg_version <- fs.reg_version + 1;
+    t.count <- t.count - List.length taken;
+    (* Detach the state: a recycled id starts from the fresh default
+       (rc_floor = -inf, tags 0). Stale GSQ heap entries still hold the
+       old record, whose queue is now empty forever — serve_gsq skips
+       them. *)
+    Flow_table.remove t.flows flow;
+    taken
+
 let sched t =
   {
     Sched.name = "fair-airport";
@@ -239,4 +264,6 @@ let sched t =
     peek = (fun () -> peek t);
     size = (fun () -> size t);
     backlog = (fun flow -> backlog t flow);
+    evict = Sched.no_evict;
+    close_flow = (fun ~now:_ flow -> close_flow t flow);
   }

@@ -226,6 +226,56 @@ let set_tag_hook t ?active h =
 
 let clear_tag_hook t = t.tag_hook <- None
 
+(* Inverse of [activate_upwards]: removals (evict/close) can empty a
+   subtree without a dequeue, and an active edge over an empty subtree
+   would break [node_peek]'s invariant. Stops at the first edge whose
+   subtree is still non-empty. Tags are untouched: the class keeps its
+   virtual-time charge, exactly like a flow under eq. 4. *)
+let rec deactivate_upwards node =
+  match node.edge with
+  | None -> ()
+  | Some e ->
+    if e.active && not (subtree_nonempty node) then begin
+      e.active <- false;
+      deactivate_upwards e.parent
+    end
+
+let evict t ~now victim flow =
+  let rec find node =
+    match node.kind with
+    | Leaf inner ->
+      if inner.Sched.backlog flow = 0 then None
+      else begin
+        match inner.Sched.evict ~now victim flow with
+        | None -> None
+        | Some p ->
+          t.count <- t.count - 1;
+          deactivate_upwards node;
+          Some p
+      end
+    | Internal i ->
+      let rec among = function
+        | [] -> None
+        | e :: rest -> ( match find e.child with Some p -> Some p | None -> among rest)
+      in
+      among i.children
+  in
+  find t.root_node
+
+let close_flow t ~now flow =
+  let rec go node acc =
+    match node.kind with
+    | Leaf inner ->
+      let flushed = inner.Sched.close_flow ~now flow in
+      if flushed <> [] then begin
+        t.count <- t.count - List.length flushed;
+        deactivate_upwards node
+      end;
+      acc @ flushed
+    | Internal i -> List.fold_left (fun acc e -> go e.child acc) acc i.children
+  in
+  go t.root_node []
+
 let sched t =
   {
     Sched.name = "hsfq";
@@ -234,4 +284,6 @@ let sched t =
     peek = (fun () -> peek t);
     size = (fun () -> size t);
     backlog = (fun flow -> backlog t flow);
+    evict = (fun ~now victim flow -> evict t ~now victim flow);
+    close_flow = (fun ~now flow -> close_flow t ~now flow);
   }

@@ -88,6 +88,27 @@ let size t = Flow_heap.size t.fh
 let backlog t flow = Flow_heap.backlog t.fh flow
 let vtime t = t.v
 
+(* Eviction keeps the flow's finish tag: the dropped packet's virtual
+   service stays charged to the flow (its next start tag only moves
+   later), so eviction can never let a flow jump ahead of where it
+   would have been — the paper's eq. 4 monotonicity is preserved. *)
+let evict t victim flow =
+  let popped =
+    match (victim : Sched.victim) with
+    | Sched.Oldest -> Flow_heap.evict_front t.fh flow
+    | Sched.Newest -> Flow_heap.evict_back t.fh flow
+  in
+  match popped with None -> None | Some p -> Some p.Flow_heap.value
+
+(* Closing forgets F(p_f^{j-1}), so a later open of the same id starts
+   from the default 0 and eq. 4 gives S = max(v, 0) = v(t): the
+   returning flow re-enters at the current virtual time, exactly the
+   §2 step 1 rule for a freshly active flow. *)
+let close_flow t flow =
+  let flushed = List.map (fun p -> p.Flow_heap.value) (Flow_heap.flush_flow t.fh flow) in
+  Flow_table.remove t.finish flow;
+  flushed
+
 let sched t =
   {
     Sched.name = "sfq";
@@ -96,4 +117,6 @@ let sched t =
     peek = (fun () -> peek t);
     size = (fun () -> size t);
     backlog = (fun flow -> backlog t flow);
+    evict = (fun ~now:_ victim flow -> evict t victim flow);
+    close_flow = (fun ~now:_ flow -> close_flow t flow);
   }

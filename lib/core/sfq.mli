@@ -82,4 +82,15 @@ val clear_tag_hook : t -> unit
 (** Back to no observation (and no per-enqueue overhead beyond one
     branch). *)
 
+val evict : t -> Sched.victim -> Packet.flow -> Packet.t option
+(** Remove one queued packet of [flow] without serving it (buffer
+    overflow path). The flow's finish tag is {e not} rolled back: the
+    evicted packet's virtual service stays charged to the flow, so its
+    next start tag can only move later — eq. 4 monotonicity holds. *)
+
+val close_flow : t -> Packet.flow -> Packet.t list
+(** Flush [flow]'s backlog (oldest first) and forget its finish tag,
+    so a recycled id re-enters via eq. 4 at [S = max(v, 0) = v(t)] —
+    the fresh-flow rule of §2 step 1. *)
+
 val sched : t -> Sched.t

@@ -1,0 +1,94 @@
+open Sfq_base
+open Sfq_core
+open Sfq_oracle
+
+(* E24: overload + churn robustness (not a paper figure). A 1000 bit/s
+   SFQ link with reservations 400/300/200/100 is offered three bursts
+   of 12 packets per flow against budgets of 8 per flow and 24
+   aggregate, while flows 3 and 4 are closed mid-run and return later.
+   One run per drop policy. Deterministic: no RNG anywhere, so the
+   service order, drop count and per-flow departure counts are exact
+   golden material. The conservation law (enqueued = departed +
+   dropped + backlogged) is monitored online throughout. *)
+
+type policy_run = {
+  policy : string;
+  departures : int;
+  drops : int;  (* buffer-policy losses + closure flushes *)
+  per_flow : (int * int) list;  (* flow, departures *)
+  order_hash : string;  (* MD5 of the "flow.seq;" service order *)
+  finished_at : float;
+  violations : string list;
+}
+
+type result = { rows : policy_run list }
+
+let capacity = 1000.0
+let weights = [ (1, 400.0); (2, 300.0); (3, 200.0); (4, 100.0) ]
+
+let workload policy : Workload.t =
+  (* three waves of 12 packets per flow, 80 ms apart, arrivals within a
+     wave staggered per flow so the admission order is unambiguous *)
+  let wave w =
+    List.concat_map
+      (fun (f, _) ->
+        List.init 12 (fun i ->
+            {
+              Workload.at = (0.08 *. float_of_int w) +. (1e-4 *. float_of_int ((12 * f) + i));
+              flow = f;
+              len = 1000;
+              rate = None;
+            }))
+      weights
+  in
+  let arrivals =
+    List.sort
+      (fun (a : Workload.arrival) b -> compare (a.at, a.flow) (b.at, b.flow))
+      (wave 0 @ wave 1 @ wave 2)
+  in
+  {
+    Workload.capacity;
+    weights;
+    arrivals;
+    reweights = [];
+    churn = [ { Workload.at = 0.04; flow = 4 }; { Workload.at = 0.12; flow = 3 } ];
+    rate_changes = [];
+    buffer = Some { Workload.per_flow = Some 8; aggregate = Some 24; policy };
+  }
+
+let run_policy policy =
+  let w = workload policy in
+  let s = Sfq.create (Weights.of_list ~default:1.0 weights) in
+  let sched = Sfq.sched s in
+  let counts = Hashtbl.create 8 in
+  let order = Buffer.create 1024 in
+  let counted =
+    {
+      sched with
+      Sched.dequeue =
+        (fun ~now ->
+          match sched.Sched.dequeue ~now with
+          | Some p as r ->
+            let f = p.Packet.flow in
+            Hashtbl.replace counts f (Option.value (Hashtbl.find_opt counts f) ~default:0 + 1);
+            Buffer.add_string order (Printf.sprintf "%d.%d;" f p.Packet.seq);
+            r
+          | None -> None);
+    }
+  in
+  let monitors = Suite.stress_set sched in
+  let o = Run.fixed_rate ~sched:counted ~monitors w in
+  {
+    policy = Buffered.policy_name policy;
+    departures = o.Run.departures;
+    drops = o.Run.drops;
+    per_flow =
+      List.map (fun (f, _) -> (f, Option.value (Hashtbl.find_opt counts f) ~default:0)) weights;
+    order_hash = Digest.to_hex (Digest.string (Buffer.contents order));
+    finished_at = o.Run.finished_at;
+    violations =
+      List.map (fun (v : Monitor.violation) -> v.Monitor.monitor) o.Run.violations;
+  }
+
+let run () =
+  { rows = List.map run_policy Buffered.[ Drop_tail; Drop_front; Longest_queue ] }

@@ -1,0 +1,25 @@
+(** E24: overload and churn robustness (not a paper figure).
+
+    SFQ on a 1000 bit/s link with reservations 400/300/200/100 is
+    offered three 12-packet-per-flow bursts against buffer budgets of
+    8 per flow and 24 aggregate, while flows 3 and 4 are closed
+    mid-run (their later bursts re-admit them at [S >= v(t)], eq. 4).
+    One run per {!Sfq_base.Buffered.policy}; each run is monitored by
+    the structural suite plus the conservation law (enqueued =
+    departed + dropped + backlogged). Fully deterministic — the
+    service-order hash and the drop/departure counts are golden
+    material. *)
+
+type policy_run = {
+  policy : string;
+  departures : int;
+  drops : int;  (** buffer-policy losses + closure flushes *)
+  per_flow : (int * int) list;  (** flow, departures *)
+  order_hash : string;  (** MD5 of the "flow.seq;" service order *)
+  finished_at : float;
+  violations : string list;  (** names of tripped monitors; expect [] *)
+}
+
+type result = { rows : policy_run list }
+
+val run : unit -> result

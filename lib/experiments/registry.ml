@@ -71,6 +71,11 @@ let all =
       title = "E20 Fig. 1(a) full topology";
       run = (fun ?seed ~quick:_ () -> marshal (Fig1_topology.run ?seed ()));
     };
+    {
+      id = "churn-stress";
+      title = "E24 overload & churn robustness";
+      run = fixed Churn_stress.run;
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
@@ -139,23 +144,39 @@ let compact_table1 ~quick () =
         (h r.Table1_fairness.h_bound_equal) (h r.Table1_fairness.h_bound_high);
     ]
 
+let compact_churn () =
+  let r = Churn_stress.run () in
+  List.map
+    (fun (row : Churn_stress.policy_run) ->
+      Printf.sprintf
+        "churn-stress.%s departures=%d drops=%d finished_at=%s order_hash=%s %s violations=%d"
+        row.Churn_stress.policy row.Churn_stress.departures row.Churn_stress.drops
+        (h row.Churn_stress.finished_at) row.Churn_stress.order_hash
+        (String.concat " "
+           (List.map (fun (f, n) -> Printf.sprintf "f%d=%d" f n) row.Churn_stress.per_flow))
+        (List.length row.Churn_stress.violations))
+    r.Churn_stress.rows
+
 let compact ~id ?seed ~quick () =
   match id with
   | "example-1" -> Some (String.concat "\n" (compact_example1 ()))
   | "fig-1b" -> Some (String.concat "\n" (compact_fig1b ?seed ()))
   | "table-1" -> Some (String.concat "\n" (compact_table1 ~quick ()))
+  | "churn-stress" -> Some (String.concat "\n" (compact_churn ()))
   | _ -> None
 
 let golden_corpus () =
   String.concat "\n"
     ([
        "# Golden compact digests: E1 (example-1), E3/Fig-1(b) (fig-1b, default";
-       "# seed), Table 1 (table-1, quick mode). Per-flow packet counts, service";
-       "# order hashes and %h-exact headline numbers under the default seeds.";
+       "# seed), Table 1 (table-1, quick mode), E24 (churn-stress). Per-flow";
+       "# packet counts, service order hashes, drop counts and %h-exact";
+       "# headline numbers under the default seeds.";
        "# Regenerate after an intentional behavioral change with:";
        "#   dune exec bin/sfq_sweep.exe -- golden > test/golden/digests.expected";
      ]
     @ compact_example1 ()
     @ compact_fig1b ()
-    @ compact_table1 ~quick:true ())
+    @ compact_table1 ~quick:true ()
+    @ compact_churn ())
   ^ "\n"

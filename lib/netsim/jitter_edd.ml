@@ -113,6 +113,31 @@ let size t = Ds_heap.length t.held + Ds_heap.length t.ready
 let held t = Ds_heap.length t.held
 let backlog t flow = Flow_table.find t.counts flow
 
+(* Mid-queue eviction is not offered: holding-time regulation assumes
+   the admitted sequence is delivered in full ({!Buffered} degrades to
+   rejecting arrivals). Closing rebuilds both heaps — O(Q log Q), fine
+   for a lifecycle event. *)
+let close_flow t flow =
+  let strip heap =
+    let mine = ref [] and keep = ref [] in
+    let rec drain () =
+      match Ds_heap.pop_min heap with
+      | None -> ()
+      | Some e ->
+        if e.pkt.Packet.flow = flow then mine := e :: !mine else keep := e :: !keep;
+        drain ()
+    in
+    drain ();
+    List.iter (Ds_heap.add heap) !keep;
+    !mine
+  in
+  let taken = strip t.held @ strip t.ready in
+  Flow_table.remove t.counts flow;
+  Sfq_sched.Eat.reset_flow t.eat flow;
+  (* uid is assigned in arrival order, so sorting restores oldest-first
+     across the held/ready split *)
+  List.sort (fun a b -> compare a.uid b.uid) taken |> List.map (fun e -> e.pkt)
+
 let sched t =
   {
     Sched.name = "jitter-edd";
@@ -121,4 +146,6 @@ let sched t =
     peek = (fun () -> peek t);
     size = (fun () -> size t);
     backlog = (fun flow -> backlog t flow);
+    evict = Sched.no_evict;
+    close_flow = (fun ~now:_ flow -> close_flow t flow);
   }

@@ -5,14 +5,19 @@ type t = {
   name : string;
   rate : Rate_process.t;
   sched : Sched.t;
+  (* The serving view: [sched] behind a {!Buffered} admission gate when
+     budgets are configured, [sched] itself otherwise. *)
+  mutable view : Sched.t;
   priority : Packet.t Queue.t;
-  flow_buffer_limit : int option;
+  mutable arrival_rejected : bool;
   mutable busy : bool;
   mutable drops : int;
+  mutable closed : int;
   mutable departed : int;
   mutable work_done : float;
   mutable inject_handlers : (Packet.t -> unit) list;
-  mutable drop_handlers : (Packet.t -> unit) list;
+  mutable drop_handlers : (reason:Buffered.reason -> Packet.t -> unit) list;
+  mutable close_handlers : (flow:Packet.flow -> Packet.t list -> unit) list;
   mutable depart_handlers : (Packet.t -> start:float -> departed:float -> unit) list;
 }
 
@@ -23,6 +28,9 @@ let wire_metrics t m ~delay_range =
   let pfx = t.name ^ "." in
   let injected = Metrics.counter m (pfx ^ "injected") in
   let dropped = Metrics.counter m (pfx ^ "dropped") in
+  let rejected = Metrics.counter m (pfx ^ "dropped.rejected") in
+  let evicted = Metrics.counter m (pfx ^ "dropped.evicted") in
+  let closed = Metrics.counter m (pfx ^ "closed") in
   let departed = Metrics.counter m (pfx ^ "departed") in
   let bits = Metrics.counter m (pfx ^ "bits") in
   (* per-flow arrival-time FIFOs for residence delay, and live backlog
@@ -42,10 +50,30 @@ let wire_metrics t m ~delay_range =
       Metrics.set_gauge (Metrics.gauge m ~flow (pfx ^ "backlog")) (float_of_int !b))
     :: t.inject_handlers;
   t.drop_handlers <-
-    (fun p ->
+    (fun ~reason p ->
+      let flow = p.Packet.flow in
       Metrics.incr dropped;
-      Metrics.incr (Metrics.counter m ~flow:p.Packet.flow (pfx ^ "dropped")))
+      Metrics.incr (Metrics.counter m ~flow (pfx ^ "dropped"));
+      match reason with
+      | Buffered.Rejected -> Metrics.incr rejected
+      | Buffered.Evicted ->
+        (* the victim was admitted earlier: release its backlog slot and
+           one arrival stamp (exact under Drop_front, which evicts the
+           oldest; approximate under Longest_queue) *)
+        Metrics.incr evicted;
+        let b = Flow_table.find backlog flow in
+        if !b > 0 then decr b;
+        Metrics.set_gauge (Metrics.gauge m ~flow (pfx ^ "backlog")) (float_of_int !b);
+        ignore (Queue.take_opt (Flow_table.find arrivals flow)))
     :: t.drop_handlers;
+  t.close_handlers <-
+    (fun ~flow flushed ->
+      List.iter (fun _ -> Metrics.incr closed) flushed;
+      let b = Flow_table.find backlog flow in
+      b := 0;
+      Metrics.set_gauge (Metrics.gauge m ~flow (pfx ^ "backlog")) 0.0;
+      Queue.clear (Flow_table.find arrivals flow))
+    :: t.close_handlers;
   t.depart_handlers <-
     (fun p ~start:_ ~departed:at ->
       let flow = p.Packet.flow in
@@ -61,35 +89,55 @@ let wire_metrics t m ~delay_range =
       | None -> ())
     :: t.depart_handlers
 
-let create sim ~name ~rate ~sched ?flow_buffer_limit ?metrics
+let create sim ~name ~rate ~sched ?flow_buffer_limit ?buffer ?metrics
     ?(delay_range = (0.0, 10.0)) () =
   (match flow_buffer_limit with
   | Some n when n <= 0 -> invalid_arg "Server.create: flow_buffer_limit must be positive"
   | Some _ | None -> ());
+  let cfg =
+    match (buffer, flow_buffer_limit) with
+    | Some _, Some _ ->
+      invalid_arg "Server.create: pass either buffer or flow_buffer_limit, not both"
+    | Some cfg, None -> Some cfg
+    | None, Some n -> Some (Buffered.config ~per_flow:n ())
+    | None, None -> None
+  in
   let t =
     {
       sim;
       name;
       rate;
       sched;
+      view = sched;
       priority = Queue.create ();
-      flow_buffer_limit;
+      arrival_rejected = false;
       busy = false;
       drops = 0;
+      closed = 0;
       departed = 0;
       work_done = 0.0;
       inject_handlers = [];
       drop_handlers = [];
+      close_handlers = [];
       depart_handlers = [];
     }
   in
+  (match cfg with
+  | None -> ()
+  | Some cfg ->
+    let on_drop ~now:_ ~reason pkt =
+      t.drops <- t.drops + 1;
+      if reason = Buffered.Rejected then t.arrival_rejected <- true;
+      List.iter (fun h -> h ~reason pkt) (List.rev t.drop_handlers)
+    in
+    t.view <- Buffered.sched (Buffered.wrap ~on_drop cfg sched));
   (match metrics with None -> () | Some m -> wire_metrics t m ~delay_range);
   t
 
 let next_packet t ~now =
   match Queue.take_opt t.priority with
   | Some p -> Some p
-  | None -> t.sched.Sched.dequeue ~now
+  | None -> t.view.Sched.dequeue ~now
 
 let rec start_service t =
   if not t.busy then begin
@@ -117,33 +165,33 @@ let accept t p =
   start_service t
 
 let inject t p =
-  let full =
-    match t.flow_buffer_limit with
-    | None -> false
-    | Some limit -> t.sched.Sched.backlog p.Packet.flow >= limit
-  in
-  if full then begin
-    t.drops <- t.drops + 1;
-    List.iter (fun h -> h p) (List.rev t.drop_handlers)
-  end
-  else begin
-    t.sched.Sched.enqueue ~now:(Sim.now t.sim) p;
-    accept t p
-  end
+  t.arrival_rejected <- false;
+  t.view.Sched.enqueue ~now:(Sim.now t.sim) p;
+  if t.arrival_rejected then t.arrival_rejected <- false else accept t p
 
 let inject_priority t p =
   Queue.push p t.priority;
   accept t p
 
+let close_flow t flow =
+  let flushed = t.view.Sched.close_flow ~now:(Sim.now t.sim) flow in
+  t.closed <- t.closed + List.length flushed;
+  List.iter (fun h -> h ~flow flushed) (List.rev t.close_handlers);
+  flushed
+
 let kick t = start_service t
 
 let on_inject t h = t.inject_handlers <- h :: t.inject_handlers
-let on_drop t h = t.drop_handlers <- h :: t.drop_handlers
+let on_drop t h = t.drop_handlers <- (fun ~reason:_ p -> h p) :: t.drop_handlers
+
+let on_drop_reason t h = t.drop_handlers <- h :: t.drop_handlers
+let on_close t h = t.close_handlers <- h :: t.close_handlers
 let on_depart t h = t.depart_handlers <- h :: t.depart_handlers
 let sched t = t.sched
 let sim t = t.sim
 let name t = t.name
 let busy t = t.busy
 let drops t = t.drops
+let closed t = t.closed
 let departed t = t.departed
 let work_done t = t.work_done

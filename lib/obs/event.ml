@@ -1,4 +1,4 @@
-type kind = Arrival | Tag | Dequeue | Busy | Idle
+type kind = Arrival | Tag | Dequeue | Busy | Idle | Drop
 
 type t = {
   kind : kind;
@@ -17,6 +17,7 @@ let kind_to_string = function
   | Dequeue -> "dequeue"
   | Busy -> "busy"
   | Idle -> "idle"
+  | Drop -> "drop"
 
 let kind_of_string = function
   | "arrival" -> Some Arrival
@@ -24,6 +25,7 @@ let kind_of_string = function
   | "dequeue" -> Some Dequeue
   | "busy" -> Some Busy
   | "idle" -> Some Idle
+  | "drop" -> Some Drop
   | _ -> None
 
 (* JSON numbers cannot be NaN or infinite; callers keep times/tags

@@ -18,10 +18,13 @@
       begin per §2's step 2 — the authoritative end is [Idle]).
     - [Idle]: a dequeue found the queue empty — the idle poll that ends
       a busy period.
+    - [Drop]: a packet was removed without service — rejected or
+      evicted by a buffer policy ({!Sfq_base.Buffered}) or flushed by a
+      flow closure. [flow]/[seq]/[len] identify the victim.
 
     Times are simulation seconds, as passed to the scheduler. *)
 
-type kind = Arrival | Tag | Dequeue | Busy | Idle
+type kind = Arrival | Tag | Dequeue | Busy | Idle | Drop
 
 type t = {
   kind : kind;

@@ -87,6 +87,13 @@ let chrome ?(name = "sfq") t =
                e.flow e.seq (us e.time) (e.flow + 1)
                (pkt_args e.flow e.seq e.len))
       end
+      | Drop ->
+        Hashtbl.remove arrivals (e.flow, e.seq);
+        emit
+          (Printf.sprintf
+             "{\"name\":\"f%d#%d drop\",\"cat\":\"packet\",\"ph\":\"i\",\"ts\":%s,\"pid\":1,\"tid\":%d,\"s\":\"t\",\"args\":%s}"
+             e.flow e.seq (us e.time) (e.flow + 1)
+             (pkt_args e.flow e.seq e.len))
       | Busy | Idle ->
         emit
           (Printf.sprintf

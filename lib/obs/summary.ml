@@ -62,6 +62,12 @@ let per_flow t =
           let lag = e.stag -. e.vtime in
           if lag > a.tag_lag_max then a.tag_lag_max <- lag
         end
+      | Drop ->
+        (* left without service: not a delay sample, but no longer
+           backlogged either *)
+        let a = acc_of e.flow in
+        if a.backlog > 0 then a.backlog <- a.backlog - 1;
+        Hashtbl.remove a.arrivals e.seq
       | Busy | Idle -> ());
   Hashtbl.fold (fun flow a acc -> (flow, a) :: acc) flows []
   |> List.filter (fun (_, a) -> a.seen_packet)

@@ -23,13 +23,14 @@ type t = {
 }
 
 (* codes used by [store] call sites: 0 Arrival, 1 Tag, 2 Dequeue,
-   3 Busy, 4 Idle *)
+   3 Busy, 4 Idle, 5 Drop *)
 let code_kind : int -> Event.kind = function
   | 0 -> Arrival
   | 1 -> Tag
   | 2 -> Dequeue
   | 3 -> Busy
-  | _ -> Idle
+  | 4 -> Idle
+  | _ -> Drop
 
 let create ?(capacity = 65536) ?(sink = Ring) () =
   if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
@@ -104,6 +105,11 @@ let record_busy t ~now =
 let record_idle t ~now =
   if !(t.on) then
     store t 4 ~time:now ~flow:(-1) ~seq:0 ~len:0 ~stag:0.0 ~ftag:0.0 ~vt:Float.nan
+
+let record_drop t ~now (pkt : Packet.t) =
+  if !(t.on) then
+    store t 5 ~time:now ~flow:pkt.flow ~seq:pkt.seq ~len:pkt.len ~stag:0.0
+      ~ftag:0.0 ~vt:Float.nan
 
 let record_tag t ~now ~flow ~seq ~len ~stag ~ftag ~vtime =
   if !(t.on) then store t 1 ~time:now ~flow ~seq ~len ~stag ~ftag ~vt:vtime
@@ -181,4 +187,23 @@ let wrap ?vtime t (inner : Sched.t) =
     peek = inner.Sched.peek;
     size = inner.Sched.size;
     backlog = inner.Sched.backlog;
+    evict =
+      (fun ~now victim flow ->
+        match inner.Sched.evict ~now victim flow with
+        | None -> None
+        | Some p ->
+          (* a removal leaves the queue like a dequeue does, so the
+             busy/idle bookkeeping must see it *)
+          decr outstanding;
+          record_drop t ~now p;
+          Some p);
+    close_flow =
+      (fun ~now flow ->
+        let flushed = inner.Sched.close_flow ~now flow in
+        List.iter
+          (fun p ->
+            decr outstanding;
+            record_drop t ~now p)
+          flushed;
+        flushed);
   }

@@ -54,6 +54,9 @@ val record_dequeue : t -> now:float -> ?vtime:float -> Sfq_base.Packet.t -> unit
 val record_busy : t -> now:float -> unit
 val record_idle : t -> now:float -> unit
 
+val record_drop : t -> now:float -> Sfq_base.Packet.t -> unit
+(** A packet removed without service (buffer policy or flow closure). *)
+
 val record_tag :
   t -> now:float -> flow:int -> seq:int -> len:int -> stag:float -> ftag:float ->
   vtime:float -> unit
@@ -97,6 +100,7 @@ val wrap : ?vtime:(unit -> float) -> t -> Sfq_base.Sched.t -> Sfq_base.Sched.t
     {!Event.Busy} when the queue was empty), [dequeue] records
     {!Event.Dequeue} or — on an empty poll — {!Event.Idle}.
     [vtime], when given (e.g. [Sfq.vtime]), is sampled at each dequeue
-    and stored in the event. [peek]/[size]/[backlog] pass through
-    untraced. The wrapper keeps its own arrivals-minus-departures
-    count, so [size] is never called on the hot path. *)
+    and stored in the event. [evict]/[close_flow] record {!Event.Drop}
+    per removed packet. [peek]/[size]/[backlog] pass through untraced.
+    The wrapper keeps its own arrivals-minus-departures count, so
+    [size] is never called on the hot path. *)

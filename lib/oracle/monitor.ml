@@ -3,9 +3,17 @@ open Sfq_sched
 open Sfq_core
 open Sfq_analysis
 
+type drop_reason = Rejected | Evicted | Closed
+
+let drop_reason_name = function
+  | Rejected -> "rejected"
+  | Evicted -> "evicted"
+  | Closed -> "closed"
+
 type event =
   | Arrival of { at : float; pkt : Packet.t }
   | Departure of { start : float; finish : float; pkt : Packet.t }
+  | Drop of { at : float; pkt : Packet.t; reason : drop_reason }
   | Idle of { at : float; backlog : int }
 
 type violation = { monitor : string; at : float; what : string }
@@ -53,10 +61,43 @@ let work_conserving () =
       | Departure { finish; _ } ->
         decr outstanding;
         if !outstanding < 0 then report ~at:finish "more departures than arrivals"
+      | Drop { at; _ } ->
+        decr outstanding;
+        if !outstanding < 0 then report ~at "more removals than arrivals"
       | Idle { at; _ } ->
         if !outstanding > 0 then
           report ~at
             (Printf.sprintf "idle poll with %d packet(s) queued" !outstanding))
+    ()
+
+(* The paper's implicit packet-conservation law, made explicit for the
+   lossy setting: at every quiescent instant,
+   arrived = departed + dropped + backlogged. Checked at departures,
+   idle polls and finalize — not at Arrival/Drop, where the arriving
+   packet is counted by the observer but not yet (or no longer) held by
+   the scheduler (a one-packet transient inside [enqueue]). [size]
+   probes the scheduler's own backlog so the two sides cannot share a
+   bookkeeping bug. *)
+let conservation ~size () =
+  let arrived = ref 0 and departed = ref 0 and dropped = ref 0 in
+  let check report ~at =
+    let backlog = size () in
+    if !arrived - !departed - !dropped <> backlog then
+      report ~at
+        (Printf.sprintf
+           "conservation violated: arrived %d <> departed %d + dropped %d + \
+            backlogged %d"
+           !arrived !departed !dropped backlog)
+  in
+  make ~name:"conservation"
+    ~observe:(fun report -> function
+      | Arrival _ -> incr arrived
+      | Departure { finish; _ } ->
+        incr departed;
+        check report ~at:finish
+      | Drop _ -> incr dropped
+      | Idle { at; _ } -> check report ~at)
+    ~finalize:(fun report ~until -> check report ~at:until)
     ()
 
 let flow_fifo () =
@@ -83,6 +124,23 @@ let flow_fifo () =
             (Printf.sprintf "flow %d: expected seq %d to depart next, got %d"
                pkt.Packet.flow seq pkt.Packet.seq)
         | Some _ -> ())
+      | Drop { at; pkt; reason } ->
+        (* A drop may take any position in the flow's FIFO (front for
+           drop-front, back for a rejected arrival, anywhere for a
+           flush) — but it must name a packet that is actually pending.
+           This is what catches a policy that debits one queue while
+           evicting from another. *)
+        let q = queue_of pkt.Packet.flow in
+        let n = Queue.length q in
+        let found = ref false in
+        for _ = 1 to n do
+          let s = Queue.pop q in
+          if (not !found) && s = pkt.Packet.seq then found := true else Queue.push s q
+        done;
+        if not !found then
+          report ~at
+            (Printf.sprintf "flow %d: %s seq %d was not pending" pkt.Packet.flow
+               (drop_reason_name reason) pkt.Packet.seq)
       | Idle _ -> ())
     ~finalize:(fun report ~until ->
       Hashtbl.iter
@@ -101,7 +159,10 @@ let tag_monotone ~name ?(allow_idle_reset = true) ~vtime () =
       let v = vtime () in
       match ev with
       | Idle _ when allow_idle_reset -> prev := v
-      | Arrival { at; _ } | Departure { finish = at; _ } | Idle { at; _ } ->
+      | Arrival { at; _ }
+      | Departure { finish = at; _ }
+      | Drop { at; _ }
+      | Idle { at; _ } ->
         if v < !prev -. slack !prev then
           report ~at
             (Printf.sprintf "virtual time went backwards: %g -> %g" !prev v)
@@ -126,6 +187,11 @@ let fairness ?(name = "fairness") ?(bound = Bounds.h_sfq) ~rate () =
       | Departure { start; finish; pkt } ->
         Service_log.note_completion log ~flow:pkt.Packet.flow ~start ~finish
           ~len:pkt.Packet.len
+      | Drop { at; pkt; _ } ->
+        (* restricts the guarantee to service actually rendered: the
+           dropped packet stops counting as backlog, and W_f never sees
+           it, so Theorem 1 is checked over the surviving traffic *)
+        Service_log.note_removal log ~at pkt.Packet.flow
       | Idle _ -> ())
     ~finalize:(fun report ~until ->
       let flows = List.sort compare (Service_log.flows log) in
@@ -178,6 +244,9 @@ let delay_monitor ~name ~flows ~lmax ~eat_rate ~bound () =
               (Printf.sprintf
                  "flow %d seq %d: departed at %g, bound %g (EAT %g)"
                  pkt.Packet.flow pkt.Packet.seq finish b e))
+      | Drop { pkt; _ } ->
+        (* a dropped packet has no departure to bound; forget its EAT *)
+        Hashtbl.remove eats (pkt.Packet.flow, pkt.Packet.seq)
       | Idle _ -> ())
     ()
 
@@ -211,6 +280,11 @@ let sfq_throughput ~flows ~lmax ~rate ~capacity () =
       | Departure { start; finish; pkt } ->
         Service_log.note_completion log ~flow:pkt.Packet.flow ~start ~finish
           ~len:pkt.Packet.len
+      | Drop { at; pkt; _ } ->
+        (* Theorem 2 presumes the backlog is eventually served; attach
+           this monitor only to loss-free runs. The removal is still
+           tracked so the busy-interval accounting stays consistent. *)
+        Service_log.note_removal log ~at pkt.Packet.flow
       | Idle _ -> ())
     ~finalize:(fun report ~until ->
       (* For one flow, completions arrive in finish order and (per-flow
@@ -291,28 +365,50 @@ let sfq_throughput ~flows ~lmax ~rate ~capacity () =
 (* ------------------------------------------------------------------ *)
 (* Wrapper                                                              *)
 
+let drop_event monitors ~now ~reason pkt =
+  let reason =
+    match (reason : Buffered.reason) with
+    | Buffered.Rejected -> Rejected
+    | Buffered.Evicted -> Evicted
+  in
+  List.iter (fun m -> observe m (Drop { at = now; pkt; reason })) monitors
+
 let wrap inner ~capacity ~monitors =
-  let outstanding = ref 0 in
   let emit ev = List.iter (fun m -> observe m ev) monitors in
   {
     Sched.name = inner.Sched.name ^ "+oracle";
     enqueue =
       (fun ~now pkt ->
-        inner.Sched.enqueue ~now pkt;
-        incr outstanding;
-        emit (Arrival { at = now; pkt }));
+        (* Arrival first: a buffer policy below may drop (the arrival
+           itself, or an evicted victim) during this very enqueue, and
+           those Drop events must follow the Arrival they answer. *)
+        emit (Arrival { at = now; pkt });
+        inner.Sched.enqueue ~now pkt);
     dequeue =
       (fun ~now ->
         match inner.Sched.dequeue ~now with
         | None ->
-          emit (Idle { at = now; backlog = !outstanding });
+          (* probe the scheduler rather than keep a shadow count: drops
+             inside a wrapped buffer layer would silently desync it *)
+          emit (Idle { at = now; backlog = inner.Sched.size () });
           None
         | Some pkt ->
-          decr outstanding;
-          let finish = now +. (float_of_int pkt.Packet.len /. capacity) in
+          let finish = now +. (float_of_int pkt.Packet.len /. capacity ()) in
           emit (Departure { start = now; finish; pkt });
           Some pkt);
     peek = inner.Sched.peek;
     size = inner.Sched.size;
     backlog = inner.Sched.backlog;
+    evict =
+      (fun ~now victim flow ->
+        match inner.Sched.evict ~now victim flow with
+        | None -> None
+        | Some p ->
+          emit (Drop { at = now; pkt = p; reason = Evicted });
+          Some p);
+    close_flow =
+      (fun ~now flow ->
+        let flushed = inner.Sched.close_flow ~now flow in
+        List.iter (fun p -> emit (Drop { at = now; pkt = p; reason = Closed })) flushed;
+        flushed);
   }

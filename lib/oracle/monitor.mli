@@ -34,13 +34,22 @@
 
 open Sfq_base
 
+type drop_reason =
+  | Rejected  (** refused admission by a buffer policy *)
+  | Evicted  (** removed from the queue to make room *)
+  | Closed  (** flushed by a flow closure *)
+
+val drop_reason_name : drop_reason -> string
+
 type event =
   | Arrival of { at : float; pkt : Packet.t }
   | Departure of { start : float; finish : float; pkt : Packet.t }
       (** Fixed-rate service: [finish = start + len/C]. *)
+  | Drop of { at : float; pkt : Packet.t; reason : drop_reason }
+      (** The packet left the system without service. *)
   | Idle of { at : float; backlog : int }
-      (** A dequeue returned [None]; [backlog] is the observer's own
-          arrivals-minus-departures count at that instant. *)
+      (** A dequeue returned [None]; [backlog] probes the scheduler's
+          own [size] at that instant. *)
 
 type violation = { monitor : string; at : float; what : string }
 
@@ -66,6 +75,14 @@ val pp_violation : Format.formatter -> violation -> unit
 val work_conserving : unit -> t
 
 val flow_fifo : unit -> t
+
+val conservation : size:(unit -> int) -> unit -> t
+(** The packet-conservation law: at every quiescent point (a
+    {!Departure}, an {!Idle} poll, and {!finalize}),
+    [arrived = departed + dropped + size ()] — no packet is created,
+    duplicated, or silently lost, even under buffer drops and flow
+    closures. [size] should probe the scheduler's own backlog count
+    (e.g. the wrapped scheduler's [Sched.size]). *)
 
 val tag_monotone : name:string -> ?allow_idle_reset:bool -> vtime:(unit -> float) -> unit -> t
 (** Samples [vtime ()] after every event and requires it to be
@@ -120,7 +137,18 @@ val sfq_throughput :
 
 (** {1 Attaching to a scheduler} *)
 
-val wrap : Sched.t -> capacity:float -> monitors:t list -> Sched.t
-(** An observed view of the scheduler: [enqueue] emits {!Arrival},
-    [dequeue] emits {!Departure} (with [finish = now + len/capacity])
-    or {!Idle}. [peek]/[size]/[backlog] pass through unobserved. *)
+val drop_event : t list -> now:float -> reason:Buffered.reason -> Packet.t -> unit
+(** Report a buffer drop to every monitor — the bridge from
+    {!Sfq_base.Buffered.make}'s [on_drop] callback to the oracle layer
+    ({!Buffered.Rejected} ↦ {!Rejected}, {!Buffered.Evicted} ↦
+    {!Evicted}). *)
+
+val wrap : Sched.t -> capacity:(unit -> float) -> monitors:t list -> Sched.t
+(** An observed view of the scheduler: [enqueue] emits {!Arrival}
+    (before the inner enqueue, so a buffer policy's synchronous drop
+    is seen after the arrival it rejects), [dequeue] emits
+    {!Departure} (with [finish = now + len/capacity ()]) or {!Idle};
+    [capacity] is a thunk so server-rate fluctuation (§2.3) is
+    reflected. [evict] emits {!Drop} with reason {!Evicted} and
+    [close_flow] one {!Drop} with reason {!Closed} per flushed packet.
+    [peek]/[size]/[backlog] pass through unobserved. *)

@@ -1,9 +1,18 @@
 open Sfq_base
 open Sfq_util
 
-type mode = Stale_vtime | No_weight | Finish_key | Lifo | Lazy_idle
+type mode =
+  | Stale_vtime
+  | No_weight
+  | Finish_key
+  | Lifo
+  | Lazy_idle
+  | Wrong_queue_drop
+  | Stale_reopen
 
-let all = [ Stale_vtime; No_weight; Finish_key; Lifo; Lazy_idle ]
+let all =
+  [ Stale_vtime; No_weight; Finish_key; Lifo; Lazy_idle; Wrong_queue_drop;
+    Stale_reopen ]
 
 let name = function
   | Stale_vtime -> "stale_vtime"
@@ -11,6 +20,8 @@ let name = function
   | Finish_key -> "finish_key"
   | Lifo -> "lifo"
   | Lazy_idle -> "lazy_idle"
+  | Wrong_queue_drop -> "wrong_queue_drop"
+  | Stale_reopen -> "stale_reopen"
 
 (* An SFQ clone small enough to break on purpose: a single Fheap over
    every queued packet (no per-flow rings — Flow_heap's FIFO structure
@@ -60,11 +71,60 @@ let sched mode weights =
         bump pkt.Packet.flow (-1);
         Some pkt
   in
+  let of_flow flow (_, p) = p.Packet.flow = flow in
+  (* The oldest still-queued packet of any OTHER flow — the scapegoat
+     the Wrong_queue_drop mutant blames for an eviction it performed on
+     its own queue. Deterministic min over (stag, seq, flow), not heap
+     layout, so parallel digests stay byte-identical. *)
+  let scapegoat flow =
+    let best = ref None in
+    Fheap.iter heap ~f:(fun _ (stag, p) ->
+        if p.Packet.flow <> flow then
+          let better =
+            match !best with
+            | None -> true
+            | Some (bs, bp) ->
+              (stag, p.Packet.seq, p.Packet.flow)
+              < (bs, bp.Packet.seq, bp.Packet.flow)
+          in
+          if better then best := Some (stag, p));
+    Option.map snd !best
+  in
+  let evict ~now:_ victim flow =
+    let newest = match victim with Sched.Newest -> true | Sched.Oldest -> false in
+    match Fheap.remove_matching ~newest heap ~pred:(of_flow flow) with
+    | None -> None
+    | Some (_, (_, pkt)) ->
+      bump flow (-1);
+      (match mode with
+      | Wrong_queue_drop -> (
+        (* the bug: the victim came out of [flow]'s queue, but the drop
+           is reported against another flow's packet — which stays
+           queued and will depart (or be blamed again) later *)
+        match scapegoat flow with None -> Some pkt | Some other -> Some other)
+      | _ -> Some pkt)
+  in
+  let close_flow ~now:_ flow =
+    let rec drain acc =
+      match Fheap.remove_matching heap ~pred:(of_flow flow) with
+      | None -> List.rev acc
+      | Some (_, (_, pkt)) ->
+        bump flow (-1);
+        drain (pkt :: acc)
+    in
+    let flushed = drain [] in
+    (* the bug: Stale_reopen keeps the closed flow's finish tag, so a
+       reopened flow re-enters at max(v, stale F) instead of v(t) *)
+    if mode <> Stale_reopen then Hashtbl.remove finish flow;
+    flushed
+  in
   let s =
     {
       Sched.name = "sfq-mutant-" ^ name mode;
       enqueue;
       dequeue;
+      evict;
+      close_flow;
       peek = (fun () -> Option.map (fun (_, p) -> p) (Fheap.min_elt heap));
       size = (fun () -> Fheap.length heap);
       backlog =
@@ -76,6 +136,17 @@ let sched mode weights =
 let burst ?rate ~at ~flow ~len n : Workload.arrival list =
   List.init n (fun _ -> { Workload.at; flow; len; rate })
 
+let base ~capacity ~weights arrivals : Workload.t =
+  {
+    capacity;
+    weights;
+    arrivals;
+    reweights = [];
+    churn = [];
+    rate_changes = [];
+    buffer = None;
+  }
+
 let workload mode : Workload.t =
   match mode with
   | Stale_vtime ->
@@ -83,43 +154,55 @@ let workload mode : Workload.t =
        and it monopolizes the link until they catch up — during the
        both-backlogged window f1 gets nothing for ~5 packet times,
        |W1/r1 − W2/r2| ≈ 111 s >> bound 2·l/r = 44.4 s. *)
-    {
-      capacity = 100.0;
-      weights = [ (1, 45.0); (2, 45.0) ];
-      arrivals = burst ~at:0.0 ~flow:1 ~len:1000 20 @ burst ~at:50.0 ~flow:2 ~len:1000 20;
-      reweights = [];
-    }
+    base ~capacity:100.0
+      ~weights:[ (1, 45.0); (2, 45.0) ]
+      (burst ~at:0.0 ~flow:1 ~len:1000 20 @ burst ~at:50.0 ~flow:2 ~len:1000 20)
   | No_weight ->
     (* 8:1 reservation served 1:1: drift reaches ~260 s, bound 11.25 s. *)
-    {
-      capacity = 1000.0;
-      weights = [ (1, 800.0); (2, 100.0) ];
-      arrivals = burst ~at:0.0 ~flow:1 ~len:1000 30 @ burst ~at:0.0 ~flow:2 ~len:1000 30;
-      reweights = [];
-    }
+    base ~capacity:1000.0
+      ~weights:[ (1, 800.0); (2, 100.0) ]
+      (burst ~at:0.0 ~flow:1 ~len:1000 30 @ burst ~at:0.0 ~flow:2 ~len:1000 30)
   | Finish_key ->
     (* The low-rate flow's lone packet has the largest finish tag, so
        finish-tag order serves it dead last (t = 310 s); Theorem 4
        promises EAT + l2max/C + l/C = 20 s. *)
-    {
-      capacity = 100.0;
-      weights = [ (1, 2.0); (2, 90.0) ];
-      arrivals = burst ~at:0.0 ~flow:2 ~len:1000 30 @ burst ~at:0.0 ~flow:1 ~len:1000 1;
-      reweights = [];
-    }
+    base ~capacity:100.0
+      ~weights:[ (1, 2.0); (2, 90.0) ]
+      (burst ~at:0.0 ~flow:2 ~len:1000 30 @ burst ~at:0.0 ~flow:1 ~len:1000 1)
   | Lifo ->
-    {
-      capacity = 100.0;
-      weights = [ (1, 50.0) ];
-      arrivals = burst ~at:0.0 ~flow:1 ~len:1000 3;
-      reweights = [];
-    }
+    base ~capacity:100.0 ~weights:[ (1, 50.0) ] (burst ~at:0.0 ~flow:1 ~len:1000 3)
   | Lazy_idle ->
+    base ~capacity:100.0 ~weights:[ (1, 50.0) ] (burst ~at:0.0 ~flow:1 ~len:1000 6)
+  | Wrong_queue_drop ->
+    (* Per-flow budget 3, Drop_front: f1's 4th arrival evicts f1's
+       oldest, but the mutant reports f2's lone packet as the casualty.
+       The first false report scan-removes f2#1 from flow_fifo's
+       pending set; the second (f2#1 is still queued, so it is blamed
+       again) or f2#1's real departure trips the monitor. *)
     {
-      capacity = 100.0;
-      weights = [ (1, 50.0) ];
-      arrivals = burst ~at:0.0 ~flow:1 ~len:1000 6;
-      reweights = [];
+      (base ~capacity:100.0
+         ~weights:[ (1, 50.0); (2, 40.0) ]
+         (burst ~at:0.0 ~flow:2 ~len:1000 1 @ burst ~at:0.0 ~flow:1 ~len:1000 6))
+      with
+      buffer =
+        Some
+          { Workload.per_flow = Some 3; aggregate = None;
+            policy = Buffered.Drop_front };
+    }
+  | Stale_reopen ->
+    (* f2 accumulates finish tag ≈ 2000 (10 × 1000/5), closes at t=10,
+       reopens at t=12. Correct SFQ forgets F on close, so the reopened
+       flow re-enters at S = v(t) ≈ tens; the mutant re-enters at
+       max(v, 2000) and starves f2 for f1's whole backlog (~390 s):
+       |W1/r1 − W2/r2| ≈ 780 s >> bound l1/r1 + l2/r2 = 220 s. *)
+    {
+      (base ~capacity:100.0
+         ~weights:[ (1, 50.0); (2, 5.0) ]
+         (burst ~at:0.0 ~flow:1 ~len:1000 40
+         @ burst ~at:0.0 ~flow:2 ~len:1000 10
+         @ burst ~at:12.0 ~flow:2 ~len:1000 20))
+      with
+      churn = [ { Workload.at = 10.0; flow = 2 } ];
     }
 
 let expected_monitor = function
@@ -128,3 +211,5 @@ let expected_monitor = function
   | Finish_key -> "sfq_delay"
   | Lifo -> "flow_fifo"
   | Lazy_idle -> "work_conserving"
+  | Wrong_queue_drop -> "flow_fifo"
+  | Stale_reopen -> "fairness"

@@ -29,6 +29,19 @@ type mode =
   | Lazy_idle
       (** Returns [None] on every third poll despite backlog: breaks
           work conservation. *)
+  | Wrong_queue_drop
+      (** [evict] removes the victim from the requested flow's queue
+          but reports a {e different} flow's packet as dropped — the
+          blamed packet stays queued, so it is either blamed twice or
+          departs after being declared lost: breaks per-flow FIFO
+          (drop-aware). Its workload carries a finite-buffer config so
+          the buffer layer actually calls [evict]. *)
+  | Stale_reopen
+      (** [close_flow] flushes the queue but keeps the flow's finish
+          tag, so a reopened flow re-enters at [max(v, stale F)]
+          instead of [v(t)] (eq. 4 after state discard) and is starved
+          while the other flow drains: breaks Theorem 1. Its workload
+          carries a churn event. *)
 
 val all : mode list
 val name : mode -> string

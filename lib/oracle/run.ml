@@ -3,23 +3,53 @@ open Sfq_base
 type outcome = {
   violations : Monitor.violation list;
   departures : int;
+  drops : int;
   finished_at : float;
 }
 
-type op = Arrive of Workload.arrival | Reweight of Workload.reweight
+type op =
+  | Arrive of Workload.arrival
+  | Reweight of Workload.reweight
+  | Close of Workload.churn
+  | Rate of Workload.rate_change
 
 let op_time = function
   | Arrive (a : Workload.arrival) -> a.at
   | Reweight (r : Workload.reweight) -> r.at
+  | Close (c : Workload.churn) -> c.at
+  | Rate (r : Workload.rate_change) -> r.at
 
 let fixed_rate ~sched ?(on_reweight = fun ~flow:_ ~rate:_ -> ()) ~monitors
     (w : Workload.t) =
-  let wrapped = Monitor.wrap sched ~capacity:w.capacity ~monitors in
+  (* The live link rate: read by the monitor wrapper's capacity thunk
+     and by the loop's finish computation below — the same dereference,
+     so both sides see identical floats. *)
+  let cap = ref w.Workload.capacity in
+  let drops = ref 0 in
+  let buffered =
+    match w.Workload.buffer with
+    | None -> sched
+    | Some (b : Workload.buffer) ->
+      let cfg =
+        { Buffered.per_flow = b.per_flow; aggregate = b.aggregate;
+          policy = b.policy }
+      in
+      let on_drop ~now ~reason pkt =
+        incr drops;
+        Monitor.drop_event monitors ~now ~reason pkt
+      in
+      Buffered.sched (Buffered.wrap ~on_drop cfg sched)
+  in
+  let wrapped = Monitor.wrap buffered ~capacity:(fun () -> !cap) ~monitors in
+  let merge = List.merge (fun a b -> compare (op_time a) (op_time b)) in
   let ops =
-    List.merge
-      (fun a b -> compare (op_time a) (op_time b))
-      (List.map (fun a -> Arrive a) w.arrivals)
-      (List.map (fun r -> Reweight r) w.reweights)
+    merge
+      (merge
+         (List.map (fun a -> Arrive a) w.arrivals)
+         (List.map (fun r -> Reweight r) w.reweights))
+      (merge
+         (List.map (fun c -> Close c) w.churn)
+         (List.map (fun r -> Rate r) w.rate_changes))
   in
   let seq : (Packet.flow, int) Hashtbl.t = Hashtbl.create 16 in
   let next_seq flow =
@@ -37,7 +67,11 @@ let fixed_rate ~sched ?(on_reweight = fun ~flow:_ ~rate:_ -> ()) ~monitors
               ~len:a.len ~born:a.at ()
           in
           wrapped.Sched.enqueue ~now:a.at pkt
-        | Reweight r -> on_reweight ~flow:r.flow ~rate:r.rate);
+        | Reweight r -> on_reweight ~flow:r.flow ~rate:r.rate
+        | Close c ->
+          let flushed = wrapped.Sched.close_flow ~now:c.at c.flow in
+          drops := !drops + List.length flushed
+        | Rate r -> cap := r.capacity);
         go rest
       | rest -> rest
     in
@@ -53,7 +87,7 @@ let fixed_rate ~sched ?(on_reweight = fun ~flow:_ ~rate:_ -> ()) ~monitors
       match wrapped.Sched.dequeue ~now with
       | Some p ->
         incr departures;
-        let finish = now +. (float_of_int p.Packet.len /. w.capacity) in
+        let finish = now +. (float_of_int p.Packet.len /. !cap) in
         let ops = deliver ops ~upto:finish in
         loop finish ops
       | None -> (
@@ -71,6 +105,7 @@ let fixed_rate ~sched ?(on_reweight = fun ~flow:_ ~rate:_ -> ()) ~monitors
   {
     violations = List.filter_map Monitor.result monitors;
     departures = !departures;
+    drops = !drops;
     finished_at;
   }
 
@@ -104,6 +139,9 @@ let sweep ?(domains = 1) ?pool cells =
 let outcome_digest (o : outcome) =
   let b = Buffer.create 64 in
   Buffer.add_string b (Printf.sprintf "departures=%d finished_at=%h" o.departures o.finished_at);
+  (* Printed only when non-zero: loss-free cells keep the exact digest
+     bytes they had before drops existed (golden-corpus stability). *)
+  if o.drops > 0 then Buffer.add_string b (Printf.sprintf " drops=%d" o.drops);
   List.iter
     (fun (v : Monitor.violation) ->
       Buffer.add_string b

@@ -13,6 +13,7 @@ open Sfq_base
 type outcome = {
   violations : Monitor.violation list;  (** first violation per tripped monitor *)
   departures : int;
+  drops : int;  (** packets lost to the buffer policy or flow closures *)
   finished_at : float;
 }
 
@@ -24,7 +25,14 @@ val fixed_rate :
   outcome
 (** Packets are sequence-numbered per flow in arrival order.
     [on_reweight] fires at each {!Workload.reweight}'s timestamp
-    (callers owning mutable weight tables apply the change there). A
+    (callers owning mutable weight tables apply the change there).
+    When the workload carries a {!Workload.buffer} config the
+    scheduler is wrapped in {!Sfq_base.Buffered} and every drop is
+    reported to the monitors ({!Monitor.drop_event}); each
+    {!Workload.churn} event calls [close_flow] at its timestamp
+    (flushed packets count as drops with reason [Closed]); each
+    {!Workload.rate_change} retargets the serving rate from the next
+    dequeue on (the packet in service finishes at the old rate). A
     step cap (10× the trace length) bounds runs against mutants that
     stall or refuse to drain; monitors will already have latched the
     violation by then. *)
@@ -56,9 +64,10 @@ val sweep : ?domains:int -> ?pool:Sfq_par.Pool.t -> cell list -> outcome array
     an existing executor instead (and ignores [domains]). *)
 
 val outcome_digest : outcome -> string
-(** One line, fully deterministic: departure count, finish time and
-    every violation, floats rendered as hex ([%h]) so the digest is
-    exact, not rounded. *)
+(** One line, fully deterministic: departure count, finish time, the
+    drop count (printed only when non-zero, so loss-free digests are
+    byte-stable across versions) and every violation, floats rendered
+    as hex ([%h]) so the digest is exact, not rounded. *)
 
 val sweep_digest : cell list -> outcome array -> string
 (** One [label | outcome] line per cell, in cell order — the byte

@@ -17,10 +17,21 @@ let reweight_pool =
   Workload.deterministic_pool ~reweights:true ~rate_overrides:false ~seed:0xbee
     ~n:60 ()
 
+let stress_pool =
+  Workload.deterministic_pool ~rate_overrides:false ~churn:true ~overload:true
+    ~rate_fluct:true ~seed:0xd1e ~n:40 ()
+
 (* ------------------------------------------------------------------ *)
 (* Monitor sets                                                         *)
 
 let structural () = [ Monitor.work_conserving (); Monitor.flow_fifo () ]
+
+(* Structural invariants + the packet-conservation law, probing the
+   given scheduler's own backlog count. The only set sound under
+   drops, closures and server-rate fluctuation: the theorem monitors
+   presuppose a loss-free constant-rate server. *)
+let stress_set (s : Sched.t) =
+  structural () @ [ Monitor.conservation ~size:s.Sched.size () ]
 
 (* Full SFQ set: Theorems 1, 2 and 4 plus the structural invariants.
    Sound only when packets carry no rate overrides (Theorems 1 and 2
@@ -174,9 +185,36 @@ let reweight_cells ?(pool = reweight_pool) () =
          ])
        pool)
 
+let stress_cells ?(pool = stress_pool) () =
+  List.concat
+    (List.mapi
+       (fun i w ->
+         List.map
+           (fun (name, make) ->
+             {
+               Run.label = Printf.sprintf "%s+stress#%d" name i;
+               workload = w;
+               driver =
+                 (fun () ->
+                   let s = make () in
+                   { Run.sched = s; monitors = stress_set s; on_reweight = None });
+             })
+           (discipline_factories w))
+       pool)
+
 let all_cells () =
   sfq_cells () @ scfq_cells () @ sfq_override_cells () @ structural_cells ()
-  @ reweight_cells ()
+  @ reweight_cells () @ stress_cells ()
+
+(* The full SFQ theorem set presupposes a loss-free run, so the
+   buffer-overflow mutant gets the stress set (its expected monitor,
+   flow_fifo, is structural); every other mutant keeps the theorems. *)
+let mutant_monitors mode w ~vtime ~sched =
+  match (mode : Mutant.mode) with
+  | Wrong_queue_drop -> stress_set sched
+  | _ ->
+    sfq_set ~allow_idle_reset:true w ~vtime
+    @ [ Monitor.conservation ~size:sched.Sched.size () ]
 
 let mutant_cells () =
   List.map
@@ -191,7 +229,7 @@ let mutant_cells () =
               let sched, vtime = Mutant.sched mode (weights_of w) in
               {
                 Run.sched;
-                monitors = sfq_set ~allow_idle_reset:true w ~vtime;
+                monitors = mutant_monitors mode w ~vtime ~sched;
                 on_reweight = None;
               });
         } ))

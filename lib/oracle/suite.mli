@@ -25,9 +25,18 @@ val override_pool : Workload.t list
 val reweight_pool : Workload.t list
 (** 60 workloads, seed 0xbee, with mid-run weight changes. *)
 
+val stress_pool : Workload.t list
+(** 40 workloads, seed 0xd1e, with flow churn, finite-buffer overload
+    and server-rate fluctuation all enabled. *)
+
 (** {1 Monitor sets} (exposed for directed tests) *)
 
 val structural : unit -> Monitor.t list
+
+val stress_set : Sfq_base.Sched.t -> Monitor.t list
+(** {!structural} plus the packet-conservation law probing the given
+    scheduler's backlog — the only monitors sound under drops,
+    closures and rate fluctuation. *)
 
 val sfq_set :
   ?allow_idle_reset:bool -> Workload.t -> vtime:(unit -> float) -> Monitor.t list
@@ -56,12 +65,19 @@ val reweight_cells : ?pool:Workload.t list -> unit -> Run.cell list
 (** SFQ and SCFQ with dynamic weight tables under the structural
     invariants, over the reweight pool by default. *)
 
+val stress_cells : ?pool:Workload.t list -> unit -> Run.cell list
+(** All nine disciplines under {!stress_set} over the churn/overload
+    {!stress_pool} by default; labels ["<disc>+stress#i"]. *)
+
 val all_cells : unit -> Run.cell list
 (** The whole acceptance sweep, in a fixed order: {!sfq_cells},
     {!scfq_cells}, {!sfq_override_cells}, {!structural_cells},
-    {!reweight_cells} — 1320 cells. *)
+    {!reweight_cells}, {!stress_cells} — 1680 cells. Cells are only
+    ever appended, so registry indices (and the seeds derived from
+    them) stay stable across versions. *)
 
 val mutant_cells : unit -> (Mutant.mode * Run.cell) list
 (** One cell per seeded bug: the mutant scheduler under the full SFQ
-    set (idle resets allowed) on its crafted workload. The expected
-    verdict is [Mutant.expected_monitor]. *)
+    set (idle resets allowed) plus the conservation law on its crafted
+    workload — except [Wrong_queue_drop], whose lossy run only admits
+    {!stress_set}. The expected verdict is [Mutant.expected_monitor]. *)

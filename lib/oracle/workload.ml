@@ -1,11 +1,22 @@
 type arrival = { at : float; flow : int; len : int; rate : float option }
 type reweight = { at : float; flow : int; rate : float }
+type churn = { at : float; flow : int }
+type rate_change = { at : float; capacity : float }
+
+type buffer = {
+  per_flow : int option;
+  aggregate : int option;
+  policy : Sfq_base.Buffered.policy;
+}
 
 type t = {
   capacity : float;
   weights : (int * float) list;
   arrivals : arrival list;
   reweights : reweight list;
+  churn : churn list;
+  rate_changes : rate_change list;
+  buffer : buffer option;
 }
 
 let flows t = List.map fst t.weights
@@ -33,6 +44,20 @@ let pp ppf t =
     (fun (r : reweight) ->
       Format.fprintf ppf "t=%-8g reweight flow %d -> %g@," r.at r.flow r.rate)
     t.reweights;
+  List.iter
+    (fun (c : churn) -> Format.fprintf ppf "t=%-8g close flow %d@," c.at c.flow)
+    t.churn;
+  List.iter
+    (fun (r : rate_change) ->
+      Format.fprintf ppf "t=%-8g capacity -> %g@," r.at r.capacity)
+    t.rate_changes;
+  (match t.buffer with
+  | None -> ()
+  | Some b ->
+    Format.fprintf ppf "buffer %s per_flow=%s aggregate=%s@,"
+      (Sfq_base.Buffered.policy_name b.policy)
+      (match b.per_flow with None -> "inf" | Some n -> string_of_int n)
+      (match b.aggregate with None -> "inf" | Some n -> string_of_int n));
   Format.fprintf ppf "@]"
 
 let to_string t = Format.asprintf "%a" pp t
@@ -40,7 +65,8 @@ let to_string t = Format.asprintf "%a" pp t
 let max_len = 1000
 let len_choices = [ 100; 200; 500; 1000 ]
 
-let gen ?(reweights = false) ?(rate_overrides = true) () =
+let gen ?(reweights = false) ?(rate_overrides = true) ?(churn = false)
+    ?(overload = false) ?(rate_fluct = false) () =
   let open QCheck.Gen in
   let* capacity = oneofl [ 100.0; 1_000.0; 8_000.0 ] in
   let* nflows = int_range 1 5 in
@@ -99,11 +125,55 @@ let gen ?(reweights = false) ?(rate_overrides = true) () =
         (List.sort (fun (a : reweight) b -> compare a.at b.at))
         (list_repeat k one_rw)
   in
-  pure { capacity; weights; arrivals; reweights = rws }
+  (* The stress draws come AFTER every pre-existing draw and consume no
+     randomness when switched off ([pure]), so the frozen deterministic
+     pools (fixed seeds) stay byte-identical. *)
+  let span = Float.max horizon (5.0 *. srv) in
+  let* ch =
+    if not churn then pure []
+    else
+      let one_c =
+        let* at = float_bound_inclusive span in
+        let* flow = oneofl flow_ids in
+        pure ({ at; flow } : churn)
+      in
+      let* k = int_range 1 4 in
+      map (List.sort (fun (a : churn) b -> compare a.at b.at)) (list_repeat k one_c)
+  in
+  let* rcs =
+    if not rate_fluct then pure []
+    else
+      let one_rc =
+        let* at = float_bound_inclusive span in
+        let* factor = oneofl [ 0.5; 0.8; 1.25 ] in
+        pure { at; capacity = factor *. capacity }
+      in
+      let* k = int_range 0 2 in
+      map
+        (List.sort (fun (a : rate_change) b -> compare a.at b.at))
+        (list_repeat k one_rc)
+  in
+  let* buffer =
+    if not overload then pure None
+    else
+      let* per_flow = oneofl [ Some 1; Some 2; Some 4; None ] in
+      let* aggregate = oneofl [ Some 4; Some 8; Some 16 ] in
+      let* policy =
+        oneofl
+          Sfq_base.Buffered.[ Drop_tail; Drop_front; Longest_queue ]
+      in
+      pure (Some { per_flow; aggregate; policy })
+  in
+  pure
+    { capacity; weights; arrivals; reweights = rws; churn = ch;
+      rate_changes = rcs; buffer }
 
 let shrink t yield =
   QCheck.Shrink.list t.arrivals (fun arrivals -> yield { t with arrivals });
   if t.reweights <> [] then yield { t with reweights = [] };
+  if t.churn <> [] then yield { t with churn = [] };
+  if t.rate_changes <> [] then yield { t with rate_changes = [] };
+  if t.buffer <> None then yield { t with buffer = None };
   if List.exists (fun (a : arrival) -> a.rate <> None) t.arrivals then
     yield
       {
@@ -112,11 +182,13 @@ let shrink t yield =
           List.map (fun (a : arrival) -> { a with rate = None }) t.arrivals;
       }
 
-let arbitrary ?reweights ?rate_overrides () =
-  QCheck.make ~print:to_string ~shrink (gen ?reweights ?rate_overrides ())
+let arbitrary ?reweights ?rate_overrides ?churn ?overload ?rate_fluct () =
+  QCheck.make ~print:to_string ~shrink
+    (gen ?reweights ?rate_overrides ?churn ?overload ?rate_fluct ())
 
-let deterministic_pool ?reweights ?rate_overrides ~seed ~n () =
+let deterministic_pool ?reweights ?rate_overrides ?churn ?overload ?rate_fluct
+    ~seed ~n () =
   QCheck.Gen.generate
     ~rand:(Random.State.make [| seed |])
     ~n
-    (gen ?reweights ?rate_overrides ())
+    (gen ?reweights ?rate_overrides ?churn ?overload ?rate_fluct ())

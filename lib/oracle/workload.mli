@@ -20,11 +20,32 @@ type arrival = {
 
 type reweight = { at : float; flow : int; rate : float }
 
+type churn = { at : float; flow : int }
+(** Close the flow at [at]: its queued packets are flushed and its
+    scheduler state discarded, so later arrivals of the same id are a
+    {e reopened} flow that must re-enter at [S >= v(t)] (eq. 4). *)
+
+type rate_change = { at : float; capacity : float }
+(** Server-rate fluctuation (§2.3): from [at] on, the link serves at
+    [capacity] bits/s. The delay/throughput theorems assume a constant
+    rate — attach only structural monitors to fluctuating runs. *)
+
+type buffer = {
+  per_flow : int option;
+  aggregate : int option;
+  policy : Sfq_base.Buffered.policy;
+}
+(** Finite-buffer budgets for {!Run.fixed_rate} to enforce via
+    {!Sfq_base.Buffered}; [None] budgets are infinite. *)
+
 type t = {
   capacity : float;  (** link rate, bits/s *)
   weights : (int * float) list;  (** reserved rates; [Σ r <= capacity] *)
   arrivals : arrival list;
   reweights : reweight list;
+  churn : churn list;  (** time-ordered flow closures *)
+  rate_changes : rate_change list;  (** time-ordered capacity changes *)
+  buffer : buffer option;  (** [None]: the paper's infinite buffers *)
 }
 
 val flows : t -> int list
@@ -37,7 +58,13 @@ val lmax : t -> int -> float
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
-val gen : ?reweights:bool -> ?rate_overrides:bool -> unit -> t QCheck.Gen.t
+val gen :
+  ?reweights:bool ->
+  ?rate_overrides:bool ->
+  ?churn:bool ->
+  ?overload:bool ->
+  ?rate_fluct:bool ->
+  unit -> t QCheck.Gen.t
 (** 1–5 flows with weights drawn from a 16:1 spread and scaled to a
     50–95% total utilization; 5–80 arrivals whose inter-arrival gaps
     mix bursts (gap 0), fractions of a max-packet service time, a few
@@ -45,17 +72,36 @@ val gen : ?reweights:bool -> ?rate_overrides:bool -> unit -> t QCheck.Gen.t
     busy-period boundaries). [rate_overrides] (default [true]) lets
     ~10% of packets carry a rate override at 30–100% of the flow's
     reserved rate — never above it, so [Σ r <= C] is preserved.
-    [reweights] (default [false]) adds 0–2 mid-run weight changes. *)
+    [reweights] (default [false]) adds 0–2 mid-run weight changes.
+    [churn] (default [false]) adds 1–4 flow closures; [overload]
+    (default [false]) attaches a finite-buffer config (per-flow budget
+    1/2/4 or infinite, aggregate 4/8/16, any policy) so bursts actually
+    overflow; [rate_fluct] (default [false]) adds 0–2 server-rate
+    changes at 50–125% of nominal. The stress draws happen after every
+    pre-existing draw and consume no randomness when off, so frozen
+    pools keep their exact traces. *)
 
 val shrink : t QCheck.Shrink.t
-(** Candidates drop arrivals, clear rate overrides, drop reweights —
-    never reorder or invent events. *)
+(** Candidates drop arrivals, clear rate overrides, drop reweights,
+    drop churn/rate changes, lift the buffer limits — never reorder or
+    invent events. *)
 
-val arbitrary : ?reweights:bool -> ?rate_overrides:bool -> unit -> t QCheck.arbitrary
+val arbitrary :
+  ?reweights:bool ->
+  ?rate_overrides:bool ->
+  ?churn:bool ->
+  ?overload:bool ->
+  ?rate_fluct:bool ->
+  unit -> t QCheck.arbitrary
 (** {!gen} + printer + shrinker, for [QCheck.Test.make]. *)
 
 val deterministic_pool :
-  ?reweights:bool -> ?rate_overrides:bool -> seed:int -> n:int -> unit -> t list
+  ?reweights:bool ->
+  ?rate_overrides:bool ->
+  ?churn:bool ->
+  ?overload:bool ->
+  ?rate_fluct:bool ->
+  seed:int -> n:int -> unit -> t list
 (** [n] workloads from a private PRNG seeded with [seed] — the same
     list on every run, machine-independent; the acceptance sweeps use
     this so [dune runtest] is deterministic. *)

@@ -98,6 +98,17 @@ let schedulable specs ~capacity ?horizon () =
     end
   end
 
+let evict t victim flow = Tag_queue.evict t.queue victim flow
+
+(* The spec stays (it is configuration, not state); the EAT floor and
+   last deadline reset so a reopened flow is re-admitted against real
+   time, not its stale reserved-rate schedule. *)
+let close_flow t flow =
+  let flushed = Tag_queue.flush t.queue flow in
+  Eat.reset_flow t.eat flow;
+  Flow_table.remove t.last_deadline flow;
+  flushed
+
 let sched t =
   {
     Sched.name = "delay-edd";
@@ -106,4 +117,6 @@ let sched t =
     peek = (fun () -> peek t);
     size = (fun () -> size t);
     backlog = (fun flow -> backlog t flow);
+    evict = (fun ~now:_ victim flow -> evict t victim flow);
+    close_flow = (fun ~now:_ flow -> close_flow t flow);
   }

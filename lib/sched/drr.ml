@@ -131,6 +131,25 @@ let size t = Flow_queues.size t.queues
 let backlog t flow = Flow_queues.backlog t.queues flow
 let deficit t flow = Flow_table.find t.deficit flow
 
+(* Mirrors dequeue's turn-ending rule when the flow empties; the
+   stale entry a closed flow may leave in [active] is harmless —
+   find_next skips empty flows, and in_active stays truthful. *)
+let evict t victim flow =
+  match Flow_queues.evict t.queues victim flow with
+  | None -> None
+  | Some p ->
+    if Flow_queues.flow_is_empty t.queues flow then begin
+      Flow_table.set t.deficit flow 0.0;
+      if t.current = Some flow then t.current <- None
+    end;
+    Some p
+
+let close_flow t flow =
+  let flushed = Flow_queues.flush t.queues flow in
+  Flow_table.remove t.deficit flow;
+  if t.current = Some flow then t.current <- None;
+  flushed
+
 let sched t =
   {
     Sched.name = "drr";
@@ -139,4 +158,6 @@ let sched t =
     peek = (fun () -> peek t);
     size = (fun () -> size t);
     backlog = (fun flow -> backlog t flow);
+    evict = (fun ~now:_ victim flow -> evict t victim flow);
+    close_flow = (fun ~now:_ flow -> close_flow t flow);
   }

@@ -130,3 +130,71 @@ let size t = t.total
 let is_empty t = t.total = 0
 let backlog t flow = match Flow_table.find_opt t.rings flow with None -> 0 | Some r -> r.len
 let active_flows t = Fheap.length t.heap
+
+(* ------------------------------------------------------------------ *)
+(* Eviction and flow teardown. All off the per-packet hot path: the
+   O(F) heap scan only runs when a buffer policy or a flow closure
+   actually removes something. *)
+
+let heap_remove t flow =
+  ignore (Fheap.remove_matching t.heap ~pred:(fun f -> f = flow))
+
+let evict_front t flow =
+  match Flow_table.find_opt t.rings flow with
+  | None -> None
+  | Some r when r.len = 0 -> None
+  | Some r ->
+    let i = r.head in
+    let key = r.rkeys.(i) and aux = r.raux.(i) and uid = r.ruids.(i) and v = r.rdata.(i) in
+    r.head <- (i + 1) land (Array.length r.rdata - 1);
+    r.len <- r.len - 1;
+    t.total <- t.total - 1;
+    (* the head was the flow's heap representative: replace it *)
+    heap_remove t flow;
+    if r.len > 0 then begin
+      let j = r.head in
+      Fheap.add t.heap ~key:r.rkeys.(j) ~tie:r.rties.(j) ~uid:r.ruids.(j) flow
+    end;
+    Some { key; aux; uid; flow; value = v }
+
+let evict_back t flow =
+  match Flow_table.find_opt t.rings flow with
+  | None -> None
+  | Some r when r.len = 0 -> None
+  | Some r ->
+    let i = (r.head + r.len - 1) land (Array.length r.rdata - 1) in
+    let key = r.rkeys.(i) and aux = r.raux.(i) and uid = r.ruids.(i) and v = r.rdata.(i) in
+    r.len <- r.len - 1;
+    t.total <- t.total - 1;
+    (* the tail is the heap representative only when it was alone *)
+    if r.len = 0 then heap_remove t flow;
+    Some { key; aux; uid; flow; value = v }
+
+let flush_flow t flow =
+  match Flow_table.find_opt t.rings flow with
+  | None -> []
+  | Some r ->
+    let n = r.len in
+    let out =
+      if n = 0 then []
+      else begin
+        let mask = Array.length r.rdata - 1 in
+        List.init n (fun k ->
+            let i = (r.head + k) land mask in
+            { key = r.rkeys.(i); aux = r.raux.(i); uid = r.ruids.(i); flow;
+              value = r.rdata.(i) })
+      end
+    in
+    if n > 0 then begin
+      t.total <- t.total - n;
+      heap_remove t flow
+    end;
+    (* drop the ring itself: a recycled id re-grows from scratch and a
+       burst's peak capacity is not pinned forever *)
+    Flow_table.remove t.rings flow;
+    out
+
+let ring_capacity t flow =
+  match Flow_table.find_opt t.rings flow with
+  | None -> 0
+  | Some r -> Array.length r.rdata

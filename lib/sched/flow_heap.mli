@@ -56,3 +56,22 @@ val backlog : 'a t -> Packet.flow -> int
 
 val active_flows : 'a t -> int
 (** Number of backlogged flows (= current heap size). *)
+
+val evict_front : 'a t -> Packet.flow -> 'a popped option
+(** Remove [flow]'s oldest queued entry (its head), promoting the
+    successor into the heap; [None] if the flow has nothing queued.
+    O(F) heap scan — eviction is a buffer-overflow path, not the
+    per-packet hot path. *)
+
+val evict_back : 'a t -> Packet.flow -> 'a popped option
+(** Remove [flow]'s newest queued entry (its tail). O(1) unless the
+    flow empties (then its heap entry is removed, O(F)). *)
+
+val flush_flow : 'a t -> Packet.flow -> 'a popped list
+(** Remove every queued entry of [flow], oldest first, and discard the
+    flow's ring entirely so a recycled id re-grows from scratch.
+    Returns [[]] for an unknown or empty flow. *)
+
+val ring_capacity : 'a t -> Packet.flow -> int
+(** Allocated ring slots for [flow] (0 when it holds no ring) — exposed
+    so churn tests can assert {!flush_flow} releases burst capacity. *)

@@ -20,3 +20,36 @@ let pop t flow =
 let flow_is_empty t flow = Queue.is_empty (Flow_table.find t.queues flow)
 let backlog t flow = Queue.length (Flow_table.find t.queues flow)
 let size t = t.total
+
+let evict t victim flow =
+  match Flow_table.find_opt t.queues flow with
+  | None -> None
+  | Some q when Queue.is_empty q -> None
+  | Some q ->
+    let p =
+      match (victim : Sched.victim) with
+      | Sched.Oldest -> Queue.pop q
+      | Sched.Newest ->
+        (* Stdlib.Queue has no take-from-back: rebuild, O(backlog), off
+           the hot path. *)
+        let n = Queue.length q in
+        let keep = Queue.create () in
+        for _ = 1 to n - 1 do
+          Queue.push (Queue.pop q) keep
+        done;
+        let last = Queue.pop q in
+        Queue.transfer keep q;
+        last
+    in
+    t.total <- t.total - 1;
+    Some p
+
+let flush t flow =
+  match Flow_table.find_opt t.queues flow with
+  | None -> []
+  | Some q ->
+    let out = List.of_seq (Queue.to_seq q) in
+    t.total <- t.total - Queue.length q;
+    (* drop the queue so a recycled id starts from a fresh (empty) one *)
+    Flow_table.remove t.queues flow;
+    out

@@ -16,3 +16,12 @@ val flow_is_empty : t -> Packet.flow -> bool
 val backlog : t -> Packet.flow -> int
 val size : t -> int
 (** Total packets across all flows. *)
+
+val evict : t -> Sched.victim -> Packet.flow -> Packet.t option
+(** Remove [flow]'s oldest or newest queued packet without serving it;
+    [None] when the flow has no backlog. [Newest] rebuilds the queue
+    (O(backlog)) — fine off the hot path. *)
+
+val flush : t -> Packet.flow -> Packet.t list
+(** Remove all of [flow]'s packets, oldest first, discarding its queue
+    so a recycled id starts empty. *)

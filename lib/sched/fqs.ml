@@ -21,6 +21,16 @@ let peek t = match Tag_queue.peek t.queue with None -> None | Some (_, p) -> Som
 let size t = Tag_queue.size t.queue
 let backlog t flow = Tag_queue.backlog t.queue flow
 
+(* The fluid system is not told about evictions: the evicted packet's
+   fluid service stays charged to the flow (conservative, tags only
+   move later). Closing does forget the flow fluid-side. *)
+let evict t victim flow = Tag_queue.evict t.queue victim flow
+
+let close_flow t ~now flow =
+  let flushed = Tag_queue.flush t.queue flow in
+  Gps.forget_flow t.gps ~now flow;
+  flushed
+
 let sched t =
   {
     Sched.name = "fqs";
@@ -29,4 +39,6 @@ let sched t =
     peek = (fun () -> peek t);
     size = (fun () -> size t);
     backlog = (fun flow -> backlog t flow);
+    evict = (fun ~now:_ victim flow -> evict t victim flow);
+    close_flow = (fun ~now flow -> close_flow t ~now flow);
   }

@@ -93,3 +93,12 @@ let vtime t ~now =
   t.v
 
 let backlogged_flows t = Hashtbl.length t.backlogged
+
+let forget_flow t ~now flow =
+  advance t ~now;
+  (* Remaining fluid backlog of the flow vanishes (the flow closed);
+     its queued departure events go stale and are skipped on pop — a
+     later reuse of the id re-enters with finish tag 0, i.e. start tag
+     max(v, 0) = v. *)
+  if Hashtbl.mem t.backlogged flow then depart t flow;
+  Flow_table.remove t.finish flow

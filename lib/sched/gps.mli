@@ -44,3 +44,9 @@ val vtime : t -> now:float -> float
 
 val backlogged_flows : t -> int
 (** Size of the fluid backlogged set [B]; exposed for tests. *)
+
+val forget_flow : t -> now:float -> Packet.flow -> unit
+(** Flow closure: advance to [now], drop the flow from the fluid
+    backlogged set (its remaining fluid backlog vanishes) and forget
+    its finish tag, so a recycled id re-enters as a fresh flow. Stale
+    departure events are detected and skipped on pop. *)

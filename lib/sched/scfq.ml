@@ -43,6 +43,16 @@ let size t = Tag_queue.size t.queue
 let backlog t flow = Tag_queue.backlog t.queue flow
 let vtime t = t.v
 
+(* Same policy as SFQ: the evicted packet's virtual service stays
+   charged (finish tag untouched); closing forgets the tag so a
+   recycled id restarts from F = 0, i.e. start tag max(v, 0) = v. *)
+let evict t victim flow = Tag_queue.evict t.queue victim flow
+
+let close_flow t flow =
+  let flushed = Tag_queue.flush t.queue flow in
+  Flow_table.remove t.finish flow;
+  flushed
+
 let sched t =
   {
     Sched.name = "scfq";
@@ -51,4 +61,6 @@ let sched t =
     peek = (fun () -> peek t);
     size = (fun () -> size t);
     backlog = (fun flow -> backlog t flow);
+    evict = (fun ~now:_ victim flow -> evict t victim flow);
+    close_flow = (fun ~now:_ flow -> close_flow t flow);
   }

@@ -34,3 +34,13 @@ let peek t =
 let size t = Flow_heap.size t.fh
 let backlog t flow = Flow_heap.backlog t.fh flow
 let is_empty t = Flow_heap.is_empty t.fh
+
+let evict t victim flow =
+  let popped =
+    match (victim : Sched.victim) with
+    | Sched.Oldest -> Flow_heap.evict_front t.fh flow
+    | Sched.Newest -> Flow_heap.evict_back t.fh flow
+  in
+  match popped with None -> None | Some p -> Some p.Flow_heap.value
+
+let flush t flow = List.map (fun p -> p.Flow_heap.value) (Flow_heap.flush_flow t.fh flow)

@@ -39,3 +39,12 @@ val peek : t -> (float * Packet.t) option
 val size : t -> int
 val backlog : t -> Packet.flow -> int
 val is_empty : t -> bool
+
+val evict : t -> Sched.victim -> Packet.flow -> Packet.t option
+(** Remove one queued packet of [flow] — its oldest ([Oldest]) or
+    newest ([Newest]) — without serving it. [None] when the flow has
+    no backlog. Off the hot path (O(F) heap repair). *)
+
+val flush : t -> Packet.flow -> Packet.t list
+(** Remove all of [flow]'s queued packets, oldest first, releasing the
+    flow's ring storage. *)

@@ -20,6 +20,16 @@ let peek t = match Tag_queue.peek t.queue with None -> None | Some (_, p) -> Som
 let size t = Tag_queue.size t.queue
 let backlog t flow = Tag_queue.backlog t.queue flow
 
+let evict t victim flow = Tag_queue.evict t.queue victim flow
+
+(* Forgetting the EAT floor is what re-admits a returning flow at real
+   time instead of its stale reserved-rate schedule — Virtual Clock's
+   well-known memory of past idleness does not survive a close. *)
+let close_flow t flow =
+  let flushed = Tag_queue.flush t.queue flow in
+  Eat.reset_flow t.eat flow;
+  flushed
+
 let sched t =
   {
     Sched.name = "virtual-clock";
@@ -28,4 +38,6 @@ let sched t =
     peek = (fun () -> peek t);
     size = (fun () -> size t);
     backlog = (fun flow -> backlog t flow);
+    evict = (fun ~now:_ victim flow -> evict t victim flow);
+    close_flow = (fun ~now:_ flow -> close_flow t flow);
   }

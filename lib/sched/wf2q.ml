@@ -90,6 +90,48 @@ let peek t =
 let size t = Flow_heap.size t.pending + Fheap.length t.eligible
 let backlog t flow = Flow_table.find t.counts flow
 
+(* A flow's packets released to [eligible] are strictly older than its
+   packets still in [pending] (promotion pops the flow's FIFO head),
+   so Oldest looks in [eligible] first and Newest in [pending] first. *)
+let evict t victim flow =
+  let pred p = p.Packet.flow = flow in
+  let found =
+    match (victim : Sched.victim) with
+    | Sched.Oldest -> (
+      match Fheap.remove_matching t.eligible ~pred with
+      | Some (_, p) -> Some p
+      | None -> (
+        match Flow_heap.evict_front t.pending flow with
+        | Some e -> Some e.Flow_heap.value
+        | None -> None))
+    | Sched.Newest -> (
+      match Flow_heap.evict_back t.pending flow with
+      | Some e -> Some e.Flow_heap.value
+      | None -> (
+        match Fheap.remove_matching ~newest:true t.eligible ~pred with
+        | Some (_, p) -> Some p
+        | None -> None))
+  in
+  (match found with
+  | Some _ -> Flow_table.set t.counts flow (Flow_table.find t.counts flow - 1)
+  | None -> ());
+  found
+
+let close_flow t ~now flow =
+  let pred p = p.Packet.flow = flow in
+  let rec drain_eligible acc =
+    match Fheap.remove_matching t.eligible ~pred with
+    | Some (_, p) -> drain_eligible (p :: acc)
+    | None -> List.rev acc
+  in
+  (* remove_matching takes ascending uid, so [released] is oldest
+     first, and everything released precedes everything pending *)
+  let released = drain_eligible [] in
+  let waiting = List.map (fun e -> e.Flow_heap.value) (Flow_heap.flush_flow t.pending flow) in
+  Flow_table.remove t.counts flow;
+  Gps.forget_flow t.gps ~now flow;
+  released @ waiting
+
 let sched t =
   {
     Sched.name = "wf2q";
@@ -98,4 +140,6 @@ let sched t =
     peek = (fun () -> peek t);
     size = (fun () -> size t);
     backlog = (fun flow -> backlog t flow);
+    evict = (fun ~now:_ victim flow -> evict t victim flow);
+    close_flow = (fun ~now flow -> close_flow t ~now flow);
   }

@@ -102,6 +102,34 @@ let vtime t ~now =
     advance_real rc ~now;
     rc.v
 
+(* Removing a packet without serving it must mirror dequeue's
+   backlogged-set bookkeeping for the real clock, or [sum] would keep
+   counting a drained flow forever and v would run slow. *)
+let real_forget_one rc ~now flow =
+  advance_real rc ~now;
+  let n = Flow_table.find rc.counts flow - 1 in
+  Flow_table.set rc.counts flow n;
+  if n = 0 then begin
+    rc.sum <- rc.sum -. Weights.get rc.weights flow;
+    if rc.sum < 1e-9 then rc.sum <- 0.0
+  end
+
+let evict t ~now victim flow =
+  match Tag_queue.evict t.queue victim flow with
+  | None -> None
+  | Some p ->
+    (match t.clock with Fluid _ -> () | Real rc -> real_forget_one rc ~now flow);
+    Some p
+
+let close_flow t ~now flow =
+  let flushed = Tag_queue.flush t.queue flow in
+  (match t.clock with
+  | Fluid gps -> Gps.forget_flow gps ~now flow
+  | Real rc ->
+    List.iter (fun _ -> real_forget_one rc ~now flow) flushed;
+    Flow_table.remove rc.finish flow);
+  flushed
+
 let sched t =
   {
     Sched.name = "wfq";
@@ -110,4 +138,6 @@ let sched t =
     peek = (fun () -> peek t);
     size = (fun () -> size t);
     backlog = (fun flow -> backlog t flow);
+    evict = (fun ~now victim flow -> evict t ~now victim flow);
+    close_flow = (fun ~now flow -> close_flow t ~now flow);
   }

@@ -90,6 +90,23 @@ let peek t =
 let size t = Flow_queues.size t.queues
 let backlog t flow = Flow_queues.backlog t.queues flow
 
+let end_turn_if_empty t flow =
+  if Flow_queues.flow_is_empty t.queues flow then begin
+    match t.current with Some (c, _) when c = flow -> t.current <- None | _ -> ()
+  end
+
+let evict t victim flow =
+  match Flow_queues.evict t.queues victim flow with
+  | None -> None
+  | Some p ->
+    end_turn_if_empty t flow;
+    Some p
+
+let close_flow t flow =
+  let flushed = Flow_queues.flush t.queues flow in
+  (match t.current with Some (c, _) when c = flow -> t.current <- None | _ -> ());
+  flushed
+
 let sched t =
   {
     Sched.name = "wrr";
@@ -98,4 +115,6 @@ let sched t =
     peek = (fun () -> peek t);
     size = (fun () -> size t);
     backlog = (fun flow -> backlog t flow);
+    evict = (fun ~now:_ victim flow -> evict t victim flow);
+    close_flow = (fun ~now:_ flow -> close_flow t flow);
   }

@@ -168,6 +168,40 @@ let pop_elt h =
     Some v
   end
 
+(* Delete slot [i]: move the last element into the hole and sift it
+   whichever way restores the heap property. *)
+let delete_at h i =
+  let n = h.size - 1 in
+  h.size <- n;
+  if i < n then begin
+    h.keys.(i) <- h.keys.(n);
+    h.ties.(i) <- h.ties.(n);
+    h.uids.(i) <- h.uids.(n);
+    h.data.(i) <- h.data.(n);
+    if i > 0 && lt h i ((i - 1) / 2) then sift_up h i else sift_down h i
+  end
+
+let remove_matching ?(newest = false) h ~pred =
+  let best = ref (-1) in
+  for i = 0 to h.size - 1 do
+    if pred h.data.(i) then
+      match !best with
+      | -1 -> best := i
+      | b ->
+        let take =
+          if newest then h.uids.(i) > h.uids.(b) else h.uids.(i) < h.uids.(b)
+        in
+        if take then best := i
+  done;
+  match !best with
+  | -1 -> None
+  | i ->
+    let k = h.keys.(i) and v = h.data.(i) in
+    delete_at h i;
+    Some (k, v)
+
+let capacity h = Array.length h.data
+
 let clear h = h.size <- 0
 
 let iter h ~f =

@@ -52,6 +52,18 @@ val pop : 'a t -> (float * 'a) option
 val pop_elt : 'a t -> 'a option
 (** Remove the smallest element; returns just the payload. *)
 
+val remove_matching :
+  ?newest:bool -> 'a t -> pred:('a -> bool) -> (float * 'a) option
+(** Remove and return the matching element with the smallest [uid]
+    (the oldest insertion) — or the largest when [newest] is set.
+    O(n) scan plus an O(log n) repair: for eviction paths, which are
+    off the per-packet hot path by construction. [None] if nothing
+    matches. *)
+
+val capacity : 'a t -> int
+(** Allocated slots in the backing arrays (>= {!length}); 0 before the
+    first {!add}. Exposed for capacity-leak tests. *)
+
 val clear : 'a t -> unit
 (** Remove every element (backing arrays are retained). *)
 

@@ -35,6 +35,12 @@ let fold t ~init ~f =
 let to_list t = List.init t.size (fun i -> t.data.(i))
 let to_array t = Array.sub t.data 0 t.size
 let clear t = t.size <- 0
+let capacity t = Array.length t.data
+
+let compact t =
+  let cap = Array.length t.data in
+  if t.size = 0 then t.data <- [||]
+  else if t.size < cap then t.data <- Array.sub t.data 0 t.size
 
 let binary_search_last_le t ~key x =
   if t.size = 0 || key t.data.(0) > x then None

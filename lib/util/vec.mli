@@ -20,6 +20,15 @@ val to_list : 'a t -> 'a list
 val to_array : 'a t -> 'a array
 val clear : 'a t -> unit
 
+val capacity : 'a t -> int
+(** Allocated slots (>= {!length}); 0 for a never-pushed vector. *)
+
+val compact : 'a t -> unit
+(** Shrink the backing array to exactly {!length} slots (drop it
+    entirely when empty), releasing the doubling headroom — long-lived
+    vectors that grew during a burst and then emptied ({!clear}) would
+    otherwise pin their peak capacity forever. *)
+
 val binary_search_last_le : 'a t -> key:('a -> float) -> float -> int option
 (** Index of the last element whose [key] is [<= x], assuming keys are
     non-decreasing; [None] if even the first exceeds [x]. *)

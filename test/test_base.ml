@@ -137,6 +137,8 @@ let fifo_sched () =
     peek = (fun () -> Queue.peek_opt q);
     size = (fun () -> Queue.length q);
     backlog = (fun _ -> Queue.length q);
+    evict = Sched.no_evict;
+    close_flow = (fun ~now:_ _ -> []);
   }
 
 let test_sched_is_empty () =

@@ -33,6 +33,9 @@ let rr_workload ~flows ~pkts ~len =
     weights = List.init flows (fun f -> (f, 0.9 *. capacity /. float_of_int flows));
     arrivals;
     reweights = [];
+    churn = [];
+    rate_changes = [];
+    buffer = None;
   }
 
 (* SFQ with the tracer fully attached: wrapper for arrivals/dequeues
@@ -138,7 +141,8 @@ let test_wrap_events () =
       | Event.Dequeue -> check_float "v sampled at dequeue" 42.0 e.vtime
       | Event.Arrival -> check_bool "v not sampled at arrival" true (Float.is_nan e.vtime)
       | Event.Busy | Event.Idle -> check_int "no flow on transitions" (-1) e.flow
-      | Event.Tag -> Alcotest.fail "no tag events without a hook")
+      | Event.Tag -> Alcotest.fail "no tag events without a hook"
+      | Event.Drop -> Alcotest.fail "no drops without evictions")
     evs
 
 let test_wrap_transparent () =

@@ -122,6 +122,17 @@ let test_sfq_throughput_trips () =
 (* Acceptance sweeps                                                    *)
 
 let test_sfq_theorems () = assert_clean_sweep (Suite.sfq_cells ())
+
+let test_stress_all_disciplines () =
+  let cells = Suite.stress_cells () in
+  assert_clean_sweep cells;
+  (* the pool must actually exercise the drop machinery, or the clean
+     sweep is vacuous *)
+  let outcomes = Run.sweep cells in
+  let drops =
+    Array.fold_left (fun acc (o : Run.outcome) -> acc + o.Run.drops) 0 outcomes
+  in
+  check_bool "stress pool causes drops" true (drops > 0)
 let test_scfq_theorems () = assert_clean_sweep (Suite.scfq_cells ())
 let test_sfq_delay_under_overrides () = assert_clean_sweep (Suite.sfq_override_cells ())
 let test_structural_all_disciplines () = assert_clean_sweep (Suite.structural_cells ())
@@ -150,7 +161,13 @@ let test_real_sfq_passes_mutant_workloads () =
     (fun mode ->
       let w = Mutant.workload mode in
       let s = Sfq.create (weights_of w) in
-      let monitors = sfq_set w ~vtime:(fun () -> Sfq.vtime s) in
+      let monitors =
+        (* drops void the theorem premises: the lossy workload gets the
+           structural + conservation set, like Suite.mutant_cells *)
+        match mode with
+        | Mutant.Wrong_queue_drop -> Suite.stress_set (Sfq.sched s)
+        | _ -> sfq_set w ~vtime:(fun () -> Sfq.vtime s)
+      in
       match (Run.fixed_rate ~sched:(Sfq.sched s) ~monitors w).Run.violations with
       | [] -> ()
       | v :: _ ->
@@ -264,6 +281,8 @@ let () =
             test_structural_all_disciplines;
           Alcotest.test_case "sfq/scfq: structural under reweights" `Quick
             test_reweight_structural;
+          Alcotest.test_case "all disciplines: conservation under churn/overload"
+            `Quick test_stress_all_disciplines;
         ] );
       ( "mutants",
         [
