@@ -241,6 +241,94 @@ let check_overhead rows =
       [ "untraced"; "disabled"; "ring"; "jsonl" ]
   | _ -> raise (Bad (Printf.sprintf "%s must be an array" series))
 
+(* The fastpath series carries three hard promises of the fixed-point
+   layer, and the file is rejected the moment any of them decays:
+   - sfq-fast allocates nothing per packet in steady state (the column
+     is the measured minor-words rate, emitted at 1e-3 resolution, so
+     "zero" means exactly 0.000);
+   - sfq-fast is actually faster than float sfq at the largest flow
+     count — a fast path that stops being fast is a regression, not a
+     wobble;
+   - every sp-pifo row carries its measured fairness budget (worst
+     Theorem-1 H and the exact-SFQ bound it is compared against), so
+     the cost of approximate rank order is never reported without its
+     price tag. *)
+let check_fastpath rows =
+  let series = "fastpath" in
+  match rows with
+  | List [] -> raise (Bad (Printf.sprintf "%s is empty" series))
+  | List rows ->
+    List.iter
+      (fun row ->
+        (match field "discipline" row with
+        | Str _ -> ()
+        | _ -> raise (Bad (series ^ ": discipline must be a string")));
+        check_pos_int ~series ~name:"flows" row;
+        check_ns ~series ~name:"ns_per_packet" row;
+        check_ns ~series ~name:"ns_p50" row;
+        check_ns ~series ~name:"ns_p99" row;
+        (match field "allocations_per_packet" row with
+        | Num a when a >= 0.0 -> ()
+        | _ ->
+          raise (Bad (series ^ ": allocations_per_packet must be a non-negative number")));
+        match field "discipline" row with
+        | Str "sfq-fast" -> (
+          match field "allocations_per_packet" row with
+          | Num 0.0 -> ()
+          | Num a ->
+            raise
+              (Bad
+                 (Printf.sprintf
+                    "%s: sfq-fast allocates %.3f words/packet — the zero-allocation \
+                     contract is broken"
+                    series a))
+          | _ -> raise (Bad (series ^ ": sfq-fast allocations_per_packet must be a number")))
+        | Str "sp-pifo" ->
+          (match field "measured_unfairness" row with
+          | Num h when h > 0.0 -> ()
+          | _ ->
+            raise
+              (Bad
+                 (series
+                ^ ": sp-pifo rows must carry a positive measured_unfairness budget")));
+          (match field "fairness_bound" row with
+          | Num b when b > 0.0 -> ()
+          | _ -> raise (Bad (series ^ ": sp-pifo rows must carry a positive fairness_bound")))
+        | _ -> ())
+      rows;
+    let ns_of disc flows =
+      List.find_map
+        (fun row ->
+          if field "discipline" row = Str disc && field "flows" row = Num flows then
+            match field "ns_per_packet" row with Num ns -> Some ns | _ -> None
+          else None)
+        rows
+    in
+    let max_flows =
+      List.fold_left
+        (fun acc row -> match field "flows" row with Num f -> Float.max acc f | _ -> acc)
+        0.0 rows
+    in
+    (match (ns_of "sfq" max_flows, ns_of "sfq-fast" max_flows) with
+    | Some slow, Some fast when fast >= slow ->
+      raise
+        (Bad
+           (Printf.sprintf
+              "%s: sfq-fast (%.0f ns) does not beat sfq (%.0f ns) at %.0f flows — the \
+               fast path is not fast"
+              series fast slow max_flows))
+    | Some _, Some _ -> ()
+    | _ ->
+      raise
+        (Bad
+           (Printf.sprintf "%s: missing sfq or sfq-fast row at %.0f flows" series max_flows)));
+    List.iter
+      (fun disc ->
+        if not (List.exists (fun row -> field "discipline" row = Str disc) rows) then
+          raise (Bad (Printf.sprintf "%s: missing discipline %S" series disc)))
+      [ "sfq"; "sfq-fast"; "scfq"; "scfq-fast"; "virtual-clock"; "vc-fast"; "sp-pifo" ]
+  | _ -> raise (Bad (Printf.sprintf "%s must be an array" series))
+
 (* The parallel series is the trajectory's record of the sfq.par
    harness: wall time of the oracle acceptance sweep serially and
    through the pool. [identical] is the determinism witness — the two
@@ -284,11 +372,12 @@ let validate contents =
   match
     let json = parse contents in
     (match field "schema" json with
-    | Str "sfq-bench-sched/3" -> ()
+    | Str "sfq-bench-sched/4" -> ()
     | _ -> raise (Bad "unexpected schema"));
     check_meta (field "meta" json);
     check_rows ~series:"flow_scaling" ~depth:false (field "flow_scaling" json);
     check_rows ~series:"depth_scaling" ~depth:true (field "depth_scaling" json);
+    check_fastpath (field "fastpath" json);
     check_overhead (field "tracing_overhead" json);
     check_parallel (field "parallel" json)
   with

@@ -42,9 +42,14 @@ val disabled_overhead_limit_pct : float
 
 val validate : string -> (unit, string) result
 (** [validate contents] checks a whole document: well-formed JSON,
-    [schema = "sfq-bench-sched/3"], a [meta] block with non-empty
+    [schema = "sfq-bench-sched/4"], a [meta] block with non-empty
     [git_sha]/[timestamp_utc]/[hostname] and a positive-integer
     [domains], the [flow_scaling] and [depth_scaling] series, a
+    [fastpath] series carrying all seven fixed-point-vs-float
+    disciplines — in which sfq-fast must report exactly zero
+    allocations per packet and a lower ns/packet than float sfq at the
+    largest flow count, and every sp-pifo row must carry its positive
+    measured-unfairness budget and fairness bound — a
     [tracing_overhead] series carrying all four modes
     (untraced/disabled/ring/jsonl) whose disabled row must respect
     {!disabled_overhead_limit_pct}, and a [parallel] series (the

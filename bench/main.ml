@@ -107,6 +107,10 @@ let disciplines nflows =
     ("wrr", fun () -> Disc.make Disc.Wrr weights);
     ("virtual-clock", fun () -> Disc.make Disc.Virtual_clock weights);
     ("fair-airport", fun () -> Disc.make Disc.Fair_airport weights);
+    ("sfq-fast", fun () -> Disc.make Disc.Sfq_fast weights);
+    ("scfq-fast", fun () -> Disc.make Disc.Scfq_fast weights);
+    ("vc-fast", fun () -> Disc.make Disc.Virtual_clock_fast weights);
+    ("sp-pifo", fun () -> Disc.make (Disc.Sp_pifo { banks = 8 }) weights);
   ]
 
 (* Only the tag-ordered O(log .) disciplines are interesting for the
@@ -119,6 +123,8 @@ let depth_disciplines =
     ("sfq-ref", fun () -> sfq_ref_sched weights);
     ("scfq", fun () -> Disc.make Disc.Scfq weights);
     ("virtual-clock", fun () -> Disc.make Disc.Virtual_clock weights);
+    ("sfq-fast", fun () -> Disc.make Disc.Sfq_fast weights);
+    ("sp-pifo", fun () -> Disc.make (Disc.Sp_pifo { banks = 8 }) weights);
   ]
 
 type measurement = {
@@ -224,6 +230,159 @@ let fill_drain_samples ~quick ~nflows ~depth make_sched =
     samples := (elapsed_ns t0 t1 /. float_of_int npk) :: !samples
   done;
   !samples
+
+(* ------------------------------------------------------------------ *)
+(* E25: the fixed-point fast path — ns/packet and allocations/packet,
+   and the measured fairness budget of the approximate sp-pifo.        *)
+
+type fastpath_row = {
+  fp_disc : string;
+  fp_flows : int;
+  fp_ns : float;
+  fp_p50 : float;
+  fp_p99 : float;
+  fp_allocs : float;  (* minor-heap words per enqueue+dequeue *)
+  fp_budget : Sfq_oracle.Monitor.fairness_budget option;  (* sp-pifo only *)
+}
+
+let fastpath_flow_counts = [ 64; 512 ]
+
+(* Native steppers: preallocated packets, constant clock, exn-based
+   dequeues where the module offers them. The float schedulers run
+   through the very same stepper shape (their own native
+   enqueue/dequeue), so the sfq-vs-sfq-fast rows isolate the scheduler
+   interior — tag arithmetic, heap, per-flow state, option boxes — and
+   never charge packet construction to either side. Depth-1 prefill
+   matches the flow_scaling series. *)
+let fastpath_steppers nflows =
+  let weights = Weights.uniform 1000.0 in
+  let native enq deq =
+    let pkts =
+      Array.init nflows (fun f -> Packet.make ~flow:f ~seq:1 ~len:1000 ~born:0.0 ())
+    in
+    Array.iter enq pkts;
+    let flow = ref 0 in
+    fun () ->
+      let f = !flow in
+      flow := (f + 1) mod nflows;
+      enq pkts.(f);
+      deq ()
+  in
+  let open Sfq_fastpath in
+  [
+    ( "sfq",
+      fun () ->
+        let t = Sfq_core.Sfq.create weights in
+        native
+          (fun p -> Sfq_core.Sfq.enqueue t ~now:0.0 p)
+          (fun () -> ignore (Sfq_core.Sfq.dequeue t ~now:0.0)) );
+    ( "sfq-fast",
+      fun () ->
+        let t = Sfq_fast.create weights in
+        native
+          (fun p -> Sfq_fast.enqueue t ~now:0.0 p)
+          (fun () -> ignore (Sfq_fast.dequeue_exn t)) );
+    ( "scfq",
+      fun () ->
+        let t = Scfq.create weights in
+        native
+          (fun p -> Scfq.enqueue t ~now:0.0 p)
+          (fun () -> ignore (Scfq.dequeue t ~now:0.0)) );
+    ( "scfq-fast",
+      fun () ->
+        let t = Scfq_fast.create weights in
+        native
+          (fun p -> Scfq_fast.enqueue t ~now:0.0 p)
+          (fun () -> ignore (Scfq_fast.dequeue_exn t)) );
+    ( "virtual-clock",
+      fun () ->
+        let t = Virtual_clock.create weights in
+        native
+          (fun p -> Virtual_clock.enqueue t ~now:0.0 p)
+          (fun () -> ignore (Virtual_clock.dequeue t ~now:0.0)) );
+    ( "vc-fast",
+      fun () ->
+        let t = Virtual_clock_fast.create weights in
+        native
+          (fun p -> Virtual_clock_fast.enqueue t ~now:0.0 p)
+          (fun () -> ignore (Virtual_clock_fast.dequeue_exn t)) );
+    ( "sp-pifo",
+      fun () ->
+        let t = Sp_pifo.create weights in
+        native
+          (fun p -> Sp_pifo.enqueue t ~now:0.0 p)
+          (fun () -> ignore (Sp_pifo.dequeue_exn t)) );
+  ]
+
+(* Allocation rate measured over its own window, after warmup and a
+   compaction: cumulative minor words divided by ops. Gc.minor_words
+   itself boxes one float per call — a constant ~3 words across the
+   whole window, which the per-op division pushes below the 1e-3
+   resolution the JSON reports. A genuinely zero-allocation stepper
+   therefore prints 0.000 exactly; anything that allocates even one
+   word per op prints >= 1.000. *)
+let allocs_per_op step ops =
+  let w0 = Gc.minor_words () in
+  for _ = 1 to ops do
+    step ()
+  done;
+  let w1 = Gc.minor_words () in
+  (w1 -. w0) /. float_of_int ops
+
+(* The measured fairness budget of the approximate scheduler: replay
+   sp-pifo over frozen theorem-pool workloads under the relaxed
+   Theorem-1 oracle and keep the worst pair. This is the number the
+   trajectory carries next to sp-pifo's ns/packet — the price of the
+   approximation in the same file as its speed. *)
+let sp_pifo_budget ~quick () =
+  let module O = Sfq_oracle in
+  let pool = O.Suite.theorem_pool in
+  let n = if quick then 12 else List.length pool in
+  let worst = ref O.Monitor.empty_budget in
+  List.iteri
+    (fun i (w : O.Workload.t) ->
+      if i < n then begin
+        let s =
+          Sfq_fastpath.Sp_pifo.create (Weights.of_list ~default:1.0 w.O.Workload.weights)
+        in
+        let m, budget = O.Monitor.fairness_measured ~rate:(O.Workload.rate_of w) () in
+        ignore (O.Run.fixed_rate ~sched:(Sfq_fastpath.Sp_pifo.sched s) ~monitors:[ m ] w);
+        let b = budget () in
+        if b.O.Monitor.max_excess > !worst.O.Monitor.max_excess then worst := b
+      end)
+    pool;
+  !worst
+
+let fastpath_rows ~quick () =
+  let batches, batch_ops = if quick then (3, 1_000) else (5, 20_000) in
+  let alloc_ops = if quick then 10_000 else 100_000 in
+  let budget = sp_pifo_budget ~quick () in
+  List.concat_map
+    (fun nflows ->
+      List.map
+        (fun (name, make_step) ->
+          let step = make_step () in
+          for _ = 1 to batch_ops do
+            step ()
+          done;
+          Gc.compact ();
+          let allocs = allocs_per_op step alloc_ops in
+          let samples = ref [] in
+          for _ = 1 to batches do
+            samples := timed_batch step batch_ops :: !samples
+          done;
+          let ns, p50, p99 = stats_of !samples in
+          {
+            fp_disc = name;
+            fp_flows = nflows;
+            fp_ns = ns;
+            fp_p50 = p50;
+            fp_p99 = p99;
+            fp_allocs = allocs;
+            fp_budget = (if name = "sp-pifo" then Some budget else None);
+          })
+        (fastpath_steppers nflows))
+    fastpath_flow_counts
 
 (* ------------------------------------------------------------------ *)
 (* E22: cost of the sfq.obs tracer on the SFQ hot path                  *)
@@ -402,12 +561,13 @@ let utc_timestamp () =
 
 let hostname () = try Unix.gethostname () with Unix.Unix_error _ -> "unknown"
 
-let emit_json ~quick ~domains ~flow_scaling ~depth_scaling ~overhead ~parallel path =
+let emit_json ~quick ~domains ~flow_scaling ~depth_scaling ~fastpath ~overhead ~parallel
+    path =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
     (Printf.sprintf
-       "  \"schema\": \"sfq-bench-sched/3\",\n  \"quick\": %b,\n  \"unit\": \"ns per enqueue+dequeue\",\n"
+       "  \"schema\": \"sfq-bench-sched/4\",\n  \"quick\": %b,\n  \"unit\": \"ns per enqueue+dequeue\",\n"
        quick);
   Buffer.add_string buf
     (Printf.sprintf
@@ -435,6 +595,30 @@ let emit_json ~quick ~domains ~flow_scaling ~depth_scaling ~overhead ~parallel p
            m.disc m.flows m.depth (m.flows * m.depth) (json_float m.ns)
            (json_float m.p50) (json_float m.p99)))
     depth_scaling;
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"fastpath\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      let budget_fields =
+        match r.fp_budget with
+        | None -> ""
+        | Some (b : Sfq_oracle.Monitor.fairness_budget) ->
+          Printf.sprintf
+            ", \"measured_unfairness\": %s, \"fairness_bound\": %s, \
+             \"unfairness_excess\": %s, \"pairs_checked\": %d"
+            (json_float b.Sfq_oracle.Monitor.max_h)
+            (json_float b.Sfq_oracle.Monitor.max_bound)
+            (json_float b.Sfq_oracle.Monitor.max_excess)
+            b.Sfq_oracle.Monitor.pairs_checked
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"discipline\": %S, \"flows\": %d, \"ns_per_packet\": %s, \
+            \"ns_p50\": %s, \"ns_p99\": %s, \"allocations_per_packet\": %s%s}"
+           r.fp_disc r.fp_flows (json_float r.fp_ns) (json_float r.fp_p50)
+           (json_float r.fp_p99) (json_float r.fp_allocs) budget_fields))
+    fastpath;
   Buffer.add_string buf "\n  ],\n";
   Buffer.add_string buf "  \"tracing_overhead\": [\n";
   List.iteri
@@ -541,6 +725,41 @@ let run_micro ~quick ~domains () =
     \ heap grows with every queued packet and pays O(log Q), plus the GC\n\
     \ tax of one boxed heap entry per packet.)";
   print_newline ();
+  section "E25: fixed-point fast path — speed, allocations, fairness budget";
+  (* audit (parallel safety): deliberately serial at any domain count —
+     the allocation counter is a process-global Gc statistic, and the
+     sfq-vs-sfq-fast ns gate in bench_json is only honest when the two
+     rows contend with nothing but each other. *)
+  let fastpath = fastpath_rows ~quick () in
+  let ftable =
+    Text_table.create
+      [ "discipline"; "flows"; "ns/packet"; "allocs/packet"; "unfairness (bound)" ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row ftable
+        [
+          r.fp_disc;
+          string_of_int r.fp_flows;
+          Printf.sprintf "%.0f" r.fp_ns;
+          Printf.sprintf "%.3f" r.fp_allocs;
+          (match r.fp_budget with
+          | None -> "-"
+          | Some b ->
+            Printf.sprintf "%.3f (%.3f)" b.Sfq_oracle.Monitor.max_h
+              b.Sfq_oracle.Monitor.max_bound);
+        ])
+    fastpath;
+  Text_table.print ftable;
+  print_endline
+    "(Native-API steppers: preallocated packets, constant clock, exn dequeues,\n\
+    \ so the float-vs-fixed-point rows compare scheduler interiors only. The\n\
+    \ fast schedulers allocate nothing in steady state — the validator fails\n\
+    \ the file if sfq-fast's allocation column ever leaves 0.000, or if it\n\
+    \ stops beating float sfq at 512 flows. sp-pifo's unfairness column is the\n\
+    \ worst measured Theorem-1 excess over the frozen theorem pool: the price\n\
+    \ of approximate rank order, recorded next to its speed.)";
+  print_newline ();
   section
     (Printf.sprintf "E22: sfq.obs tracer overhead (SFQ, %d flows x %d deep)"
        overhead_flows overhead_depth);
@@ -601,7 +820,7 @@ let run_micro ~quick ~domains () =
     \ column can only be bought with real parallelism, never reordering.\n\
     \ Speedup tracks the number of cores actually online, not domains.)";
   print_newline ();
-  emit_json ~quick ~domains ~flow_scaling ~depth_scaling ~overhead ~parallel
+  emit_json ~quick ~domains ~flow_scaling ~depth_scaling ~fastpath ~overhead ~parallel
     "BENCH_sched.json"
 
 let () =

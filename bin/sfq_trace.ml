@@ -121,7 +121,7 @@ let workloads =
 
 let disciplines =
   [ "sfq"; "scfq"; "fifo"; "drr"; "wrr"; "virtual-clock"; "wfq"; "wfq-real";
-    "fqs"; "wf2q"; "fair-airport" ]
+    "fqs"; "wf2q"; "fair-airport"; "sfq-fast"; "scfq-fast"; "vc-fast"; "sp-pifo" ]
 
 (* Returns the sched, a v(t) sampler when the discipline has one, and
    — for SFQ — wires the tag hook so Tag events carry real tags. *)
@@ -138,6 +138,15 @@ let make_sched name tracer (w : Workload.t) =
   | "scfq" ->
     let t = Sfq_sched.Scfq.create weights in
     (Sfq_sched.Scfq.sched t, Some (fun () -> Sfq_sched.Scfq.vtime t))
+  | "sfq-fast" ->
+    let t = Sfq_fastpath.Sfq_fast.create weights in
+    (Sfq_fastpath.Sfq_fast.sched t, Some (fun () -> Sfq_fastpath.Sfq_fast.vtime t))
+  | "scfq-fast" ->
+    let t = Sfq_fastpath.Scfq_fast.create weights in
+    (Sfq_fastpath.Scfq_fast.sched t, Some (fun () -> Sfq_fastpath.Scfq_fast.vtime t))
+  | "sp-pifo" ->
+    let t = Sfq_fastpath.Sp_pifo.create weights in
+    (Sfq_fastpath.Sp_pifo.sched t, Some (fun () -> Sfq_fastpath.Sp_pifo.vtime t))
   | name ->
     let spec =
       match name with
@@ -150,6 +159,7 @@ let make_sched name tracer (w : Workload.t) =
       | "fqs" -> Sfq_experiments.Disc.Fqs { capacity = cap }
       | "wf2q" -> Sfq_experiments.Disc.Wf2q { capacity = cap }
       | "fair-airport" -> Sfq_experiments.Disc.Fair_airport
+      | "vc-fast" -> Sfq_experiments.Disc.Virtual_clock_fast
       | other -> raise (Arg.Bad (Printf.sprintf "unknown discipline %S" other))
     in
     (Sfq_experiments.Disc.make spec weights, None)

@@ -13,6 +13,10 @@ type spec =
   | Virtual_clock
   | Fair_airport
   | Fifo
+  | Sfq_fast
+  | Scfq_fast
+  | Virtual_clock_fast
+  | Sp_pifo of { banks : int }
 
 let name = function
   | Sfq -> "SFQ"
@@ -26,6 +30,10 @@ let name = function
   | Virtual_clock -> "VirtualClock"
   | Fair_airport -> "FairAirport"
   | Fifo -> "FIFO"
+  | Sfq_fast -> "SFQ-fast"
+  | Scfq_fast -> "SCFQ-fast"
+  | Virtual_clock_fast -> "VirtualClock-fast"
+  | Sp_pifo { banks } -> Printf.sprintf "SP-PIFO/%d" banks
 
 let make spec weights =
   match spec with
@@ -40,3 +48,9 @@ let make spec weights =
   | Virtual_clock -> Virtual_clock.sched (Virtual_clock.create weights)
   | Fair_airport -> Fair_airport.sched (Fair_airport.create weights)
   | Fifo -> Fifo.sched (Fifo.create ())
+  | Sfq_fast -> Sfq_fastpath.Sfq_fast.sched (Sfq_fastpath.Sfq_fast.create weights)
+  | Scfq_fast -> Sfq_fastpath.Scfq_fast.sched (Sfq_fastpath.Scfq_fast.create weights)
+  | Virtual_clock_fast ->
+    Sfq_fastpath.Virtual_clock_fast.sched (Sfq_fastpath.Virtual_clock_fast.create weights)
+  | Sp_pifo { banks } ->
+    Sfq_fastpath.Sp_pifo.sched (Sfq_fastpath.Sp_pifo.create ~banks weights)

@@ -18,6 +18,12 @@ type spec =
   | Virtual_clock
   | Fair_airport
   | Fifo
+  | Sfq_fast  (** fixed-point SFQ ({!Sfq_fastpath.Sfq_fast}), default quantum *)
+  | Scfq_fast
+  | Virtual_clock_fast
+  | Sp_pifo of { banks : int }
+      (** approximate rank order on [banks] strict-priority FIFOs
+          ({!Sfq_fastpath.Sp_pifo}) *)
 
 val name : spec -> string
 val make : spec -> Weights.t -> Sched.t

@@ -1,0 +1,145 @@
+open Sfq_base
+open Sfq_sched
+
+(* Fixed-point SCFQ: tag = finish tag, v(t) = finish tag of the packet
+   in service, and — SCFQ's signature — an idle server resets v to 0
+   and forgets every per-flow finish tag. Same array/ring layout as
+   Sfq_fast; see that module for the zero-allocation reasoning and the
+   quantization / rate-snapshot caveats. *)
+
+type t = {
+  weights : Weights.t;
+  tie : Tag_queue.tie;
+  codec : Tag.t;
+  fh : Packet.t Iflow_heap.t;
+  mutable finish : int array;
+  mutable sor : float array;
+  mutable ties : int array;
+  mutable v : int;
+  mutable high : int;
+}
+
+let create ?(tie = Tag_queue.Arrival) ?capacity ?frac_bits weights =
+  {
+    weights;
+    tie;
+    codec = Tag.make ?frac_bits ();
+    fh = Iflow_heap.create ?capacity ();
+    finish = [||];
+    sor = [||];
+    ties = [||];
+    v = 0;
+    high = 0;
+  }
+
+let tie_value tie flow =
+  match (tie : Tag_queue.tie) with
+  | Arrival -> 0.0
+  | Low_rate w -> w flow
+  | High_rate w -> -.w flow
+
+let grow t flow =
+  let n = Array.length t.finish in
+  let cap = Stdlib.max 16 (Stdlib.max (2 * n) (flow + 1)) in
+  let finish = Array.make cap 0 in
+  Array.blit t.finish 0 finish 0 n;
+  t.finish <- finish;
+  let sor = Array.make cap 0.0 in
+  Array.blit t.sor 0 sor 0 n;
+  t.sor <- sor;
+  let ties = Array.make cap 0 in
+  Array.blit t.ties 0 ties 0 n;
+  t.ties <- ties
+
+let activate t flow =
+  let s = Tag.scale_over t.codec ~rate:(Weights.get t.weights flow) in
+  t.sor.(flow) <- s;
+  t.ties.(flow) <- Tag.tie_encode (tie_value t.tie flow);
+  s
+
+let enqueue t ~now:_ pkt =
+  let flow = pkt.Packet.flow in
+  if flow < 0 then invalid_arg "Scfq_fast.enqueue: flow id must be >= 0";
+  if flow >= Array.length t.finish then grow t flow;
+  let sor = t.sor.(flow) in
+  let sor = if sor > 0.0 then sor else activate t flow in
+  (* SCFQ ignores per-packet rate overrides, as the float original does. *)
+  let d =
+    let x = Float.round (float_of_int pkt.Packet.len *. sor) in
+    if x >= Tag.max_tag_f then Tag.max_tag
+    else
+      let i = int_of_float x in
+      if i < 1 then 1 else i
+  in
+  let fprev = t.finish.(flow) in
+  let stag = if t.v > fprev then t.v else fprev in
+  let ftag =
+    let s = stag + d in
+    if s > Tag.max_tag then Tag.max_tag else s
+  in
+  t.finish.(flow) <- ftag;
+  if ftag > t.high then t.high <- ftag;
+  (* SCFQ serves in finish-tag order: the finish tag is the key. *)
+  Iflow_heap.push t.fh ~flow ~key:ftag ~aux:ftag ~tie:t.ties.(flow) pkt
+
+let dequeue_exn t =
+  let pkt = Iflow_heap.pop_exn t.fh in
+  (* Self-clocking: v(t) is the finish tag of the packet in service. *)
+  t.v <- Iflow_heap.last_key t.fh;
+  pkt
+
+let dequeue t ~now:_ =
+  if Iflow_heap.is_empty t.fh then begin
+    (* Busy period over: restart the clock and the per-flow tags (the
+       float original's Flow_table.clear, as an O(capacity) fill). The
+       cached scale/rate and ties survive — they depend only on the
+       weight function, not on the busy period. *)
+    t.v <- 0;
+    Array.fill t.finish 0 (Array.length t.finish) 0;
+    None
+  end
+  else Some (dequeue_exn t)
+
+let peek t =
+  match Iflow_heap.peek t.fh with None -> None | Some p -> Some p.Iflow_heap.value
+
+let size t = Iflow_heap.size t.fh
+let is_empty t = Iflow_heap.is_empty t.fh
+let backlog t flow = Iflow_heap.backlog t.fh flow
+
+let vtag t = t.v
+let vtime t = Tag.decode t.codec t.v
+let codec t = t.codec
+let saturated t = Tag.is_saturated t.high
+let headroom t = Tag.headroom t.codec t.high
+
+let evict t victim flow =
+  let popped =
+    match (victim : Sched.victim) with
+    | Sched.Oldest -> Iflow_heap.evict_front t.fh flow
+    | Sched.Newest -> Iflow_heap.evict_back t.fh flow
+  in
+  match popped with None -> None | Some p -> Some p.Iflow_heap.value
+
+let close_flow t flow =
+  let flushed =
+    List.map (fun p -> p.Iflow_heap.value) (Iflow_heap.flush_flow t.fh flow)
+  in
+  if flow >= 0 && flow < Array.length t.finish then begin
+    t.finish.(flow) <- 0;
+    t.sor.(flow) <- 0.0;
+    t.ties.(flow) <- 0
+  end;
+  flushed
+
+let sched t =
+  {
+    Sched.name = "scfq-fast";
+    enqueue = (fun ~now pkt -> enqueue t ~now pkt);
+    dequeue = (fun ~now -> dequeue t ~now);
+    peek = (fun () -> peek t);
+    size = (fun () -> size t);
+    backlog = (fun flow -> backlog t flow);
+    evict = (fun ~now:_ victim flow -> evict t victim flow);
+    close_flow = (fun ~now:_ flow -> close_flow t flow);
+  }

@@ -1,0 +1,40 @@
+(** Fixed-point SCFQ: self-clocked fair queueing on int tags.
+
+    Mirrors {!Sfq_sched.Scfq} — service in finish-tag order, v(t) =
+    finish tag of the packet in service, idle reset of the clock and
+    every per-flow finish tag, PR 5 evict/close semantics — with the
+    same fixed-point representation, zero-allocation steady path, and
+    caveats (quantization, per-activation rate snapshot, saturation)
+    as {!Sfq_fast}. Flow ids must be non-negative. *)
+
+open Sfq_base
+open Sfq_sched
+
+type t
+
+val create : ?tie:Tag_queue.tie -> ?capacity:int -> ?frac_bits:int -> Weights.t -> t
+
+val enqueue : t -> now:float -> Packet.t -> unit
+(** @raise Invalid_argument on a negative flow id. *)
+
+val dequeue : t -> now:float -> Packet.t option
+val dequeue_exn : t -> Packet.t
+(** Non-allocating dequeue; pair with {!is_empty}.
+    @raise Invalid_argument on an empty queue. *)
+
+val peek : t -> Packet.t option
+val size : t -> int
+val is_empty : t -> bool
+val backlog : t -> Packet.flow -> int
+
+val vtag : t -> int
+val vtime : t -> float
+val codec : t -> Tag.t
+val saturated : t -> bool
+val headroom : t -> float
+
+val evict : t -> Sched.victim -> Packet.flow -> Packet.t option
+val close_flow : t -> Packet.flow -> Packet.t list
+
+val sched : t -> Sched.t
+(** The discipline view, named ["scfq-fast"]. *)

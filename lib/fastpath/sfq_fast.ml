@@ -1,0 +1,189 @@
+open Sfq_base
+open Sfq_sched
+
+(* Fixed-point SFQ. Same algorithm as Sfq_core.Sfq — eqs. 4–5, serve in
+   start-tag order, v(t) = start tag of the packet in service, idle-poll
+   busy rule — but every tag is a Tag-scaled int and all per-flow state
+   lives in dense monomorphic arrays, so the steady-state enqueue and
+   dequeue paths allocate nothing:
+
+   - finish tags and ties are [int array]s, virtual lengths come from a
+     cached [float array] of scale/rate ([Flow_table] would box every
+     float read at a polymorphic 'a = float instantiation);
+   - the delta multiply+round is inlined here rather than calling
+     through Tag, so no float crosses a function boundary;
+   - the queue is Iflow_heap (pop via scratch slots, no option/record).
+
+   Divergences from the float original, both documented in the mli:
+   quantization (beyond-frac_bits precision rounds; dyadic workloads
+   are exact) and rate snapshotting (Weights.get is consulted once per
+   flow activation and cached; the float scheduler re-reads it per
+   packet, so mid-backlog reweights apply there immediately and here
+   only after close_flow). *)
+
+type busy_rule = Sfq_core.Sfq.busy_rule = Idle_poll | On_empty
+
+type t = {
+  weights : Weights.t;
+  busy_rule : busy_rule;
+  tie : Tag_queue.tie;
+  codec : Tag.t;
+  fh : Packet.t Iflow_heap.t;
+  (* Dense per-flow state, indexed by flow id (ids must be >= 0).
+     sor.(f) = scale/rate, 0.0 when the flow has not been seen since
+     creation/close; finish.(f) and ties.(f) are valid alongside it
+     (finish's 0 default matches the float scheduler's F = 0.0). *)
+  mutable finish : int array;
+  mutable sor : float array;
+  mutable ties : int array;
+  mutable v : int;
+  mutable max_finish_served : int;
+  mutable high : int;  (* largest finish tag ever issued *)
+}
+
+let create ?(tie = Tag_queue.Arrival) ?(busy_rule = Idle_poll) ?capacity
+    ?frac_bits weights =
+  {
+    weights;
+    busy_rule;
+    tie;
+    codec = Tag.make ?frac_bits ();
+    fh = Iflow_heap.create ?capacity ();
+    finish = [||];
+    sor = [||];
+    ties = [||];
+    v = 0;
+    max_finish_served = 0;
+    high = 0;
+  }
+
+let tie_value tie flow =
+  match (tie : Tag_queue.tie) with
+  | Arrival -> 0.0
+  | Low_rate w -> w flow
+  | High_rate w -> -.w flow
+
+let grow t flow =
+  let n = Array.length t.finish in
+  let cap = Stdlib.max 16 (Stdlib.max (2 * n) (flow + 1)) in
+  let finish = Array.make cap 0 in
+  Array.blit t.finish 0 finish 0 n;
+  t.finish <- finish;
+  let sor = Array.make cap 0.0 in
+  Array.blit t.sor 0 sor 0 n;
+  t.sor <- sor;
+  let ties = Array.make cap 0 in
+  Array.blit t.ties 0 ties 0 n;
+  t.ties <- ties
+
+(* Cold path: first packet of a flow activation. Reads the weight
+   function (a boxed-float closure call — allowed here, never on the
+   steady path) and caches scale/rate plus the encoded tie. *)
+let activate t flow =
+  let s = Tag.scale_over t.codec ~rate:(Weights.get t.weights flow) in
+  t.sor.(flow) <- s;
+  t.ties.(flow) <- Tag.tie_encode (tie_value t.tie flow);
+  s
+
+let enqueue t ~now:_ pkt =
+  let flow = pkt.Packet.flow in
+  if flow < 0 then invalid_arg "Sfq_fast.enqueue: flow id must be >= 0";
+  if flow >= Array.length t.finish then grow t flow;
+  let sor = t.sor.(flow) in
+  let sor = if sor > 0.0 then sor else activate t flow in
+  let d =
+    match pkt.Packet.rate with
+    | None ->
+      (* inline Tag.delta: one multiply + round, clamped to [1, max_tag] *)
+      let x = Float.round (float_of_int pkt.Packet.len *. sor) in
+      if x >= Tag.max_tag_f then Tag.max_tag
+      else
+        let i = int_of_float x in
+        if i < 1 then 1 else i
+    | Some r ->
+      let x = Float.round (float_of_int pkt.Packet.len *. (Tag.scale t.codec /. r)) in
+      if x >= Tag.max_tag_f then Tag.max_tag
+      else
+        let i = int_of_float x in
+        if i < 1 then 1 else i
+  in
+  let fprev = t.finish.(flow) in
+  let stag = if t.v > fprev then t.v else fprev in
+  let ftag =
+    let s = stag + d in
+    if s > Tag.max_tag then Tag.max_tag else s
+  in
+  t.finish.(flow) <- ftag;
+  if ftag > t.high then t.high <- ftag;
+  Iflow_heap.push t.fh ~flow ~key:stag ~aux:ftag ~tie:t.ties.(flow) pkt
+
+(* Non-allocating dequeue for callers that already know the queue is
+   non-empty (pair with [is_empty]). @raise Invalid_argument if empty. *)
+let dequeue_exn t =
+  let pkt = Iflow_heap.pop_exn t.fh in
+  let stag = Iflow_heap.last_key t.fh in
+  let ftag = Iflow_heap.last_aux t.fh in
+  t.v <- stag;
+  if ftag > t.max_finish_served then t.max_finish_served <- ftag;
+  if t.busy_rule = On_empty && Iflow_heap.is_empty t.fh then
+    (* The deliberately wrong ablation variant, as in the float Sfq. *)
+    t.v <- t.max_finish_served;
+  pkt
+
+let dequeue t ~now:_ =
+  if Iflow_heap.is_empty t.fh then begin
+    (* Busy period over (§2 step 2): v jumps to the max finish tag of
+       serviced packets so a reactivating flow can never lag v. *)
+    if t.max_finish_served > t.v then t.v <- t.max_finish_served;
+    None
+  end
+  else Some (dequeue_exn t)
+
+let peek t =
+  match Iflow_heap.peek t.fh with None -> None | Some p -> Some p.Iflow_heap.value
+
+let size t = Iflow_heap.size t.fh
+let is_empty t = Iflow_heap.is_empty t.fh
+let backlog t flow = Iflow_heap.backlog t.fh flow
+
+let vtag t = t.v
+let vtime t = Tag.decode t.codec t.v
+let codec t = t.codec
+let saturated t = Tag.is_saturated t.high
+let headroom t = Tag.headroom t.codec t.high
+
+(* Eviction keeps the flow's finish tag, exactly as in the float
+   scheduler: dropped virtual service stays charged to the flow. *)
+let evict t victim flow =
+  let popped =
+    match (victim : Sched.victim) with
+    | Sched.Oldest -> Iflow_heap.evict_front t.fh flow
+    | Sched.Newest -> Iflow_heap.evict_back t.fh flow
+  in
+  match popped with None -> None | Some p -> Some p.Iflow_heap.value
+
+(* Closing forgets F(p_f^{j-1}) — and, unlike the float scheduler which
+   has nothing cached, also the scale/rate + tie snapshot, so a
+   reopened id re-reads the weight function. *)
+let close_flow t flow =
+  let flushed =
+    List.map (fun p -> p.Iflow_heap.value) (Iflow_heap.flush_flow t.fh flow)
+  in
+  if flow >= 0 && flow < Array.length t.finish then begin
+    t.finish.(flow) <- 0;
+    t.sor.(flow) <- 0.0;
+    t.ties.(flow) <- 0
+  end;
+  flushed
+
+let sched t =
+  {
+    Sched.name = "sfq-fast";
+    enqueue = (fun ~now pkt -> enqueue t ~now pkt);
+    dequeue = (fun ~now -> dequeue t ~now);
+    peek = (fun () -> peek t);
+    size = (fun () -> size t);
+    backlog = (fun flow -> backlog t flow);
+    evict = (fun ~now:_ victim flow -> evict t victim flow);
+    close_flow = (fun ~now:_ flow -> close_flow t flow);
+  }

@@ -1,0 +1,92 @@
+(** Fixed-point SFQ: the zero-allocation fast path for eqs. 4–5.
+
+    Algorithmically identical to {!Sfq_core.Sfq} — start/finish tags
+    per eq. 4–5, service in start-tag order, v(t) = start tag of the
+    packet in service, configurable busy rule, PR 5 eviction/closure
+    semantics (evict keeps the finish tag, close forgets it) — but all
+    tags are {!Tag} fixed-point ints, per-flow state lives in dense
+    monomorphic arrays, and the queue is {!Sfq_sched.Iflow_heap}. The
+    steady-state [enqueue] / [dequeue_exn] pair allocates nothing once
+    rings and tables reach peak capacity, which the bench's
+    [allocations_per_packet = 0] gate enforces.
+
+    Equivalence contract (exercised by the differential suite): on
+    workloads whose arrival times, lengths and rates are dyadic
+    rationals representable in [frac_bits], the served sequence is
+    packet-for-packet identical to the float scheduler under every tie
+    rule and busy rule, including across evictions and closures.
+    Caveats: (1) non-dyadic values quantize to the nearest 2{^-frac}
+    — two float tags closer than a quantum may collapse into an exact
+    int tie, resolved FIFO by uid exactly as float ties are; (2) the
+    weight function is read once per flow activation and cached
+    (re-read after [close_flow]), whereas the float scheduler consults
+    it on every packet, so mid-backlog reweighting diverges; (3) past
+    {!Tag.max_tag} tags saturate and ordering degrades to
+    (tie, arrival) — see [saturated]/[headroom].
+
+    Flow ids must be non-negative (dense array indexing). *)
+
+open Sfq_base
+open Sfq_sched
+
+type busy_rule = Sfq_core.Sfq.busy_rule = Idle_poll | On_empty
+
+type t
+
+val create :
+  ?tie:Tag_queue.tie ->
+  ?busy_rule:busy_rule ->
+  ?capacity:int ->
+  ?frac_bits:int ->
+  Weights.t ->
+  t
+(** Defaults mirror {!Sfq_core.Sfq.create}: [Arrival] ties, [Idle_poll]
+    busy rule; [frac_bits] defaults to {!Tag.make}'s 20. *)
+
+val enqueue : t -> now:float -> Packet.t -> unit
+(** Tag per eqs. 4–5 (fixed-point) and queue. Zero allocations on the
+    steady-state path. @raise Invalid_argument on a negative flow id. *)
+
+val dequeue : t -> now:float -> Packet.t option
+(** Serve the minimum start tag; updates v(t). Allocates the [Some]
+    box only — use [is_empty] + {!dequeue_exn} on an allocation
+    budget. *)
+
+val dequeue_exn : t -> Packet.t
+(** Non-allocating dequeue. @raise Invalid_argument on an empty queue
+    (pair with {!is_empty}). *)
+
+val peek : t -> Packet.t option
+val size : t -> int
+val is_empty : t -> bool
+val backlog : t -> Packet.flow -> int
+
+val vtag : t -> int
+(** Current virtual time as a raw fixed-point tag. *)
+
+val vtime : t -> float
+(** Current virtual time in virtual-time units ({!Tag.decode} of
+    [vtag]) — comparable with {!Sfq_core.Sfq.vtime}. *)
+
+val codec : t -> Tag.t
+
+val saturated : t -> bool
+(** True once any issued tag has hit {!Tag.max_tag}; from then on tag
+    order degrades to (tie, arrival). *)
+
+val headroom : t -> float
+(** Virtual-time units between the largest issued tag and the
+    saturation rail. *)
+
+val evict : t -> Sched.victim -> Packet.flow -> Packet.t option
+(** Drop one queued packet; the flow's finish tag is kept (virtual
+    service stays charged), as in the float scheduler. *)
+
+val close_flow : t -> Packet.flow -> Packet.t list
+(** Flush the flow and forget its finish tag {e and} its cached
+    weight, so a reopened id re-enters at v(t) with a fresh rate. *)
+
+val sched : t -> Sched.t
+(** The discipline view, named ["sfq-fast"]. Its [dequeue] pays the
+    option box; the zero-allocation contract applies to the native
+    API. *)

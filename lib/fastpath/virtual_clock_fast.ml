@@ -1,0 +1,144 @@
+open Sfq_base
+open Sfq_sched
+
+(* Fixed-point Virtual Clock: per-flow EAT floors as int tags, stamp =
+   eat + len/rate, service in stamp order. Unlike the virtual-time
+   disciplines this one reads real time, so enqueue also encodes [now]
+   (one multiply + round, inline). The float original's floor default
+   is -infinity; here it is 0, which is equivalent for the non-negative
+   clocks every driver in this repo uses (documented in the mli). *)
+
+type t = {
+  weights : Weights.t;
+  tie : Tag_queue.tie;
+  codec : Tag.t;
+  fh : Packet.t Iflow_heap.t;
+  mutable floor : int array;  (* EAT(prev) + l_prev/r_prev, 0 = unset *)
+  mutable sor : float array;
+  mutable ties : int array;
+  mutable high : int;
+}
+
+let create ?(tie = Tag_queue.Arrival) ?capacity ?frac_bits weights =
+  {
+    weights;
+    tie;
+    codec = Tag.make ?frac_bits ();
+    fh = Iflow_heap.create ?capacity ();
+    floor = [||];
+    sor = [||];
+    ties = [||];
+    high = 0;
+  }
+
+let tie_value tie flow =
+  match (tie : Tag_queue.tie) with
+  | Arrival -> 0.0
+  | Low_rate w -> w flow
+  | High_rate w -> -.w flow
+
+let grow t flow =
+  let n = Array.length t.floor in
+  let cap = Stdlib.max 16 (Stdlib.max (2 * n) (flow + 1)) in
+  let floor = Array.make cap 0 in
+  Array.blit t.floor 0 floor 0 n;
+  t.floor <- floor;
+  let sor = Array.make cap 0.0 in
+  Array.blit t.sor 0 sor 0 n;
+  t.sor <- sor;
+  let ties = Array.make cap 0 in
+  Array.blit t.ties 0 ties 0 n;
+  t.ties <- ties
+
+let activate t flow =
+  let s = Tag.scale_over t.codec ~rate:(Weights.get t.weights flow) in
+  t.sor.(flow) <- s;
+  t.ties.(flow) <- Tag.tie_encode (tie_value t.tie flow);
+  s
+
+let enqueue t ~now pkt =
+  let flow = pkt.Packet.flow in
+  if flow < 0 then invalid_arg "Virtual_clock_fast.enqueue: flow id must be >= 0";
+  if flow >= Array.length t.floor then grow t flow;
+  let sor = t.sor.(flow) in
+  let sor = if sor > 0.0 then sor else activate t flow in
+  let d =
+    match pkt.Packet.rate with
+    | None ->
+      let x = Float.round (float_of_int pkt.Packet.len *. sor) in
+      if x >= Tag.max_tag_f then Tag.max_tag
+      else
+        let i = int_of_float x in
+        if i < 1 then 1 else i
+    | Some r ->
+      let x = Float.round (float_of_int pkt.Packet.len *. (Tag.scale t.codec /. r)) in
+      if x >= Tag.max_tag_f then Tag.max_tag
+      else
+        let i = int_of_float x in
+        if i < 1 then 1 else i
+  in
+  (* encode now inline (negative clocks clamp to 0, the floor default) *)
+  let nt =
+    let x = Float.round (now *. Tag.scale t.codec) in
+    if x >= Tag.max_tag_f then Tag.max_tag
+    else if x <= 0.0 then 0
+    else int_of_float x
+  in
+  let fl = t.floor.(flow) in
+  let eat = if nt > fl then nt else fl in
+  let stamp =
+    let s = eat + d in
+    if s > Tag.max_tag then Tag.max_tag else s
+  in
+  t.floor.(flow) <- stamp;
+  if stamp > t.high then t.high <- stamp;
+  Iflow_heap.push t.fh ~flow ~key:stamp ~aux:eat ~tie:t.ties.(flow) pkt
+
+let dequeue_exn t = Iflow_heap.pop_exn t.fh
+
+let dequeue t ~now:_ =
+  if Iflow_heap.is_empty t.fh then None else Some (Iflow_heap.pop_exn t.fh)
+
+let peek t =
+  match Iflow_heap.peek t.fh with None -> None | Some p -> Some p.Iflow_heap.value
+
+let size t = Iflow_heap.size t.fh
+let is_empty t = Iflow_heap.is_empty t.fh
+let backlog t flow = Iflow_heap.backlog t.fh flow
+
+let codec t = t.codec
+let saturated t = Tag.is_saturated t.high
+let headroom t = Tag.headroom t.codec t.high
+
+let evict t victim flow =
+  let popped =
+    match (victim : Sched.victim) with
+    | Sched.Oldest -> Iflow_heap.evict_front t.fh flow
+    | Sched.Newest -> Iflow_heap.evict_back t.fh flow
+  in
+  match popped with None -> None | Some p -> Some p.Iflow_heap.value
+
+(* Forgetting the EAT floor re-admits a returning flow at real time —
+   Virtual Clock's memory of past idleness does not survive a close. *)
+let close_flow t flow =
+  let flushed =
+    List.map (fun p -> p.Iflow_heap.value) (Iflow_heap.flush_flow t.fh flow)
+  in
+  if flow >= 0 && flow < Array.length t.floor then begin
+    t.floor.(flow) <- 0;
+    t.sor.(flow) <- 0.0;
+    t.ties.(flow) <- 0
+  end;
+  flushed
+
+let sched t =
+  {
+    Sched.name = "vc-fast";
+    enqueue = (fun ~now pkt -> enqueue t ~now pkt);
+    dequeue = (fun ~now -> dequeue t ~now);
+    peek = (fun () -> peek t);
+    size = (fun () -> size t);
+    backlog = (fun flow -> backlog t flow);
+    evict = (fun ~now:_ victim flow -> evict t victim flow);
+    close_flow = (fun ~now:_ flow -> close_flow t flow);
+  }

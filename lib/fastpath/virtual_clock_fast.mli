@@ -1,0 +1,40 @@
+(** Fixed-point Virtual Clock: EAT floors and stamps as int tags.
+
+    Mirrors {!Sfq_sched.Virtual_clock} — eat = max(now, floor), stamp =
+    eat + len/rate, service in stamp order, close forgets the floor —
+    with the {!Sfq_fast} representation and caveats. Two extra notes:
+    arrival clocks are encoded at [frac_bits] precision (dyadic clocks
+    are exact), and the unset-floor default is tag 0 rather than
+    -infinity, equivalent for the non-negative clocks all drivers in
+    this repo produce (negative [now] values clamp to 0). Flow ids
+    must be non-negative. *)
+
+open Sfq_base
+open Sfq_sched
+
+type t
+
+val create : ?tie:Tag_queue.tie -> ?capacity:int -> ?frac_bits:int -> Weights.t -> t
+
+val enqueue : t -> now:float -> Packet.t -> unit
+(** @raise Invalid_argument on a negative flow id. *)
+
+val dequeue : t -> now:float -> Packet.t option
+val dequeue_exn : t -> Packet.t
+(** Non-allocating dequeue; pair with {!is_empty}.
+    @raise Invalid_argument on an empty queue. *)
+
+val peek : t -> Packet.t option
+val size : t -> int
+val is_empty : t -> bool
+val backlog : t -> Packet.flow -> int
+
+val codec : t -> Tag.t
+val saturated : t -> bool
+val headroom : t -> float
+
+val evict : t -> Sched.victim -> Packet.flow -> Packet.t option
+val close_flow : t -> Packet.flow -> Packet.t list
+
+val sched : t -> Sched.t
+(** The discipline view, named ["vc-fast"]. *)

@@ -216,6 +216,88 @@ let fairness ?(name = "fairness") ?(bound = Bounds.h_sfq) ~rate () =
       pairs flows)
     ()
 
+(* Relaxed Theorem 1: same service-log bookkeeping and pairwise H
+   computation as [fairness], but instead of latching a violation it
+   records the worst measured unfairness against the exact-SFQ bound.
+   For approximate schedulers (Sp_pifo) the bound does not hold by
+   construction; what matters is how far outside it the scheduler
+   actually lands — the "fairness budget" the bench publishes. *)
+
+type fairness_budget = {
+  pairs_checked : int;
+  max_h : float;
+  max_bound : float;
+  max_excess : float;
+  worst_pair : (Packet.flow * Packet.flow) option;
+}
+
+let empty_budget =
+  {
+    pairs_checked = 0;
+    max_h = 0.0;
+    max_bound = 0.0;
+    max_excess = neg_infinity;
+    worst_pair = None;
+  }
+
+let fairness_measured ?(name = "fairness_budget") ?(bound = Bounds.h_sfq) ~rate ()
+    =
+  let log = Service_log.create () in
+  let lmax : (Packet.flow, float) Hashtbl.t = Hashtbl.create 16 in
+  let budget = ref empty_budget in
+  let m =
+    make ~name
+      ~observe:(fun _report -> function
+        | Arrival { at; pkt } ->
+          Service_log.note_arrival log ~at pkt.Packet.flow;
+          let l = float_of_int pkt.Packet.len in
+          let cur =
+            Option.value (Hashtbl.find_opt lmax pkt.Packet.flow) ~default:0.0
+          in
+          if l > cur then Hashtbl.replace lmax pkt.Packet.flow l
+        | Departure { start; finish; pkt } ->
+          Service_log.note_completion log ~flow:pkt.Packet.flow ~start ~finish
+            ~len:pkt.Packet.len
+        | Drop { at; pkt; _ } -> Service_log.note_removal log ~at pkt.Packet.flow
+        | Idle _ -> ())
+      ~finalize:(fun _report ~until ->
+        let flows = List.sort compare (Service_log.flows log) in
+        let lmax_of f = Option.value (Hashtbl.find_opt lmax f) ~default:0.0 in
+        let acc = ref empty_budget in
+        let check f m =
+          let r_f = rate f and r_m = rate m in
+          if r_f > 0.0 && r_m > 0.0 then begin
+            let h = Fairness.exact_h log ~f ~m ~r_f ~r_m ~until in
+            let b = bound ~lmax_f:(lmax_of f) ~r_f ~lmax_m:(lmax_of m) ~r_m in
+            let excess = h -. b in
+            let cur = !acc in
+            let cur = { cur with pairs_checked = cur.pairs_checked + 1 } in
+            let cur =
+              if excess > cur.max_excess then
+                {
+                  cur with
+                  max_h = h;
+                  max_bound = b;
+                  max_excess = excess;
+                  worst_pair = Some (f, m);
+                }
+              else cur
+            in
+            acc := cur
+          end
+        in
+        let rec pairs = function
+          | [] -> ()
+          | f :: rest ->
+            List.iter (check f) rest;
+            pairs rest
+        in
+        pairs flows;
+        budget := !acc)
+      ()
+  in
+  (m, fun () -> !budget)
+
 (* ------------------------------------------------------------------ *)
 (* Departure-time bounds (Theorem 4 / eq. 56)                           *)
 

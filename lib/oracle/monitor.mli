@@ -103,6 +103,34 @@ val fairness :
     (default {!Sfq_core.Bounds.h_sfq}) instantiated with the largest
     packet length observed per flow. *)
 
+type fairness_budget = {
+  pairs_checked : int;  (** flow pairs with both rates positive *)
+  max_h : float;  (** measured H of the worst pair *)
+  max_bound : float;  (** Theorem 1 bound for that pair *)
+  max_excess : float;
+      (** worst [H - bound] over all pairs — negative means the run
+          stayed inside the exact-SFQ bound; [neg_infinity] when no
+          pair was checked *)
+  worst_pair : (Packet.flow * Packet.flow) option;
+}
+
+val empty_budget : fairness_budget
+
+val fairness_measured :
+  ?name:string ->
+  ?bound:(lmax_f:float -> r_f:float -> lmax_m:float -> r_m:float -> float) ->
+  rate:(Packet.flow -> float) ->
+  unit ->
+  t * (unit -> fairness_budget)
+(** Relaxed Theorem 1: identical bookkeeping to {!fairness}, but never
+    reports a violation — instead, {!finalize} computes the worst
+    measured unfairness relative to [bound] (default
+    {!Sfq_core.Bounds.h_sfq}) and makes it available through the
+    returned thunk (valid after {!finalize}; {!empty_budget} before).
+    This is the audit channel for approximate schedulers such as
+    {!Sfq_fastpath.Sp_pifo}, whose fairness loss is a measured budget
+    rather than a guaranteed bound. *)
+
 val sfq_delay :
   flows:Packet.flow list ->
   lmax:(Packet.flow -> float) ->

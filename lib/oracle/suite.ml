@@ -202,9 +202,50 @@ let stress_cells ?(pool = stress_pool) () =
            (discipline_factories w))
        pool)
 
+(* Fast-path cells: the exact fixed-point schedulers face the same
+   theorem sets as their float originals (equivalence is the point, so
+   any quantization-induced violation must surface); vc-fast, like the
+   float Virtual Clock, only carries structural invariants; sp-pifo is
+   approximate by design, so it gets the structural/conservation checks
+   plus the *relaxed* fairness oracle, which measures a budget and
+   never fails. *)
+let fastpath_cells ?(pool = theorem_pool) () =
+  let open Sfq_fastpath in
+  cells ~what:"sfq-fast" pool ~driver:(fun w ->
+      let s = Sfq_fast.create (weights_of w) in
+      {
+        Run.sched = Sfq_fast.sched s;
+        monitors = sfq_set w ~vtime:(fun () -> Sfq_fast.vtime s);
+        on_reweight = None;
+      })
+  @ cells ~what:"scfq-fast" pool ~driver:(fun w ->
+        let s = Scfq_fast.create (weights_of w) in
+        {
+          Run.sched = Scfq_fast.sched s;
+          monitors = scfq_set w ~vtime:(fun () -> Scfq_fast.vtime s);
+          on_reweight = None;
+        })
+  @ cells ~what:"vc-fast" pool ~driver:(fun w ->
+        let s = Virtual_clock_fast.create (weights_of w) in
+        { Run.sched = Virtual_clock_fast.sched s; monitors = structural (); on_reweight = None })
+  @ cells ~what:"sp-pifo" pool ~driver:(fun w ->
+        let s = Sp_pifo.create (weights_of w) in
+        let sched = Sp_pifo.sched s in
+        let budget, _ = Monitor.fairness_measured ~rate:(Workload.rate_of w) () in
+        {
+          Run.sched = sched;
+          monitors =
+            [
+              Monitor.work_conserving ();
+              Monitor.conservation ~size:sched.Sched.size ();
+              budget;
+            ];
+          on_reweight = None;
+        })
+
 let all_cells () =
   sfq_cells () @ scfq_cells () @ sfq_override_cells () @ structural_cells ()
-  @ reweight_cells () @ stress_cells ()
+  @ reweight_cells () @ stress_cells () @ fastpath_cells ()
 
 (* The full SFQ theorem set presupposes a loss-free run, so the
    buffer-overflow mutant gets the stress set (its expected monitor,

@@ -1,0 +1,234 @@
+open Sfq_util
+open Sfq_base
+
+(* Int-keyed sibling of Flow_heap for the fixed-point fast path: same
+   per-flow circular rings + heads-only heap, but every ordering field
+   is an int (scaled tag / encoded tie / arrival uid) and the pop path
+   deposits the removed entry's fields into scratch slots instead of
+   allocating a [popped] record. Steady-state push/pop therefore
+   allocate nothing once rings and heap have reached peak capacity. *)
+type 'a ring = {
+  mutable rkeys : int array;
+  mutable raux : int array;
+  mutable rties : int array;
+  mutable ruids : int array;
+  mutable rdata : 'a array;  (* allocated lazily: no ['a] dummy exists *)
+  mutable head : int;
+  mutable len : int;
+}
+
+let ring_make () =
+  {
+    rkeys = [||];
+    raux = [||];
+    rties = [||];
+    ruids = [||];
+    rdata = [||];
+    head = 0;
+    len = 0;
+  }
+
+let ring_grow r v =
+  let cur = Array.length r.rdata in
+  if cur = 0 then begin
+    r.rkeys <- Array.make 8 0;
+    r.raux <- Array.make 8 0;
+    r.rties <- Array.make 8 0;
+    r.ruids <- Array.make 8 0;
+    r.rdata <- Array.make 8 v
+  end
+  else if r.len = cur then begin
+    let cap = 2 * cur in
+    let rkeys = Array.make cap 0
+    and raux = Array.make cap 0
+    and rties = Array.make cap 0
+    and ruids = Array.make cap 0
+    and rdata = Array.make cap v in
+    (* Unwrap: oldest entry moves to index 0. *)
+    let tail = cur - r.head in
+    Array.blit r.rkeys r.head rkeys 0 tail;
+    Array.blit r.raux r.head raux 0 tail;
+    Array.blit r.rties r.head rties 0 tail;
+    Array.blit r.ruids r.head ruids 0 tail;
+    Array.blit r.rdata r.head rdata 0 tail;
+    Array.blit r.rkeys 0 rkeys tail r.head;
+    Array.blit r.raux 0 raux tail r.head;
+    Array.blit r.rties 0 rties tail r.head;
+    Array.blit r.ruids 0 ruids tail r.head;
+    Array.blit r.rdata 0 rdata tail r.head;
+    r.rkeys <- rkeys;
+    r.raux <- raux;
+    r.rties <- rties;
+    r.ruids <- ruids;
+    r.rdata <- rdata;
+    r.head <- 0
+  end
+
+let ring_push r ~key ~aux ~tie ~uid v =
+  ring_grow r v;
+  let i = (r.head + r.len) land (Array.length r.rdata - 1) in
+  r.rkeys.(i) <- key;
+  r.raux.(i) <- aux;
+  r.rties.(i) <- tie;
+  r.ruids.(i) <- uid;
+  r.rdata.(i) <- v;
+  r.len <- r.len + 1
+
+type 'a popped = { key : int; aux : int; uid : int; flow : Packet.flow; value : 'a }
+
+type 'a t = {
+  heap : Packet.flow Iheap.t;  (* one entry per backlogged flow: its head *)
+  rings : 'a ring Flow_table.t;
+  mutable next_uid : int;
+  mutable total : int;
+  (* Scratch slots holding the fields of the entry removed by the last
+     [pop_exn]; read them via [last_key]/[last_aux]/[last_uid]/[last_flow]
+     before the next pop. This is what keeps the hot dequeue path free
+     of [popped] record allocation. *)
+  mutable last_key : int;
+  mutable last_aux : int;
+  mutable last_uid : int;
+  mutable last_flow : Packet.flow;
+}
+
+let create ?capacity () =
+  {
+    heap = Iheap.create ?capacity ();
+    rings = Flow_table.create ~default:(fun _ -> ring_make ());
+    next_uid = 0;
+    total = 0;
+    last_key = 0;
+    last_aux = 0;
+    last_uid = 0;
+    last_flow = 0;
+  }
+
+(* [aux] is a required label: an optional argument would box its value
+   in [Some] at every call site, which the zero-allocation gate on the
+   fast schedulers cannot afford. *)
+let push t ~flow ~key ~aux ~tie v =
+  let uid = t.next_uid in
+  t.next_uid <- uid + 1;
+  t.total <- t.total + 1;
+  let r = Flow_table.find t.rings flow in
+  let was_empty = r.len = 0 in
+  ring_push r ~key ~aux ~tie ~uid v;
+  (* Only an idle flow's arrival enters the heap: a backlogged flow is
+     already represented by its head packet, and this library's
+     disciplines assign non-decreasing tags within a flow, so the head
+     stays the flow's minimum. *)
+  if was_empty then Iheap.add t.heap ~key ~tie ~uid flow
+
+let pop_exn t =
+  let flow = Iheap.min_elt_exn t.heap in
+  Iheap.remove_root t.heap;
+  let r = Flow_table.find t.rings flow in
+  let i = r.head in
+  t.last_key <- r.rkeys.(i);
+  t.last_aux <- r.raux.(i);
+  t.last_uid <- r.ruids.(i);
+  t.last_flow <- flow;
+  let v = r.rdata.(i) in
+  r.head <- (i + 1) land (Array.length r.rdata - 1);
+  r.len <- r.len - 1;
+  t.total <- t.total - 1;
+  (* Promote the successor: it becomes the flow's representative. *)
+  if r.len > 0 then begin
+    let j = r.head in
+    Iheap.add t.heap ~key:r.rkeys.(j) ~tie:r.rties.(j) ~uid:r.ruids.(j) flow
+  end;
+  v
+
+let last_key t = t.last_key
+let last_aux t = t.last_aux
+let last_uid t = t.last_uid
+let last_flow t = t.last_flow
+
+let pop t =
+  if t.total = 0 then None
+  else begin
+    let v = pop_exn t in
+    Some { key = t.last_key; aux = t.last_aux; uid = t.last_uid;
+           flow = t.last_flow; value = v }
+  end
+
+let peek t =
+  match Iheap.min t.heap with
+  | None -> None
+  | Some (key, flow) ->
+    let r = Flow_table.find t.rings flow in
+    let i = r.head in
+    Some { key; aux = r.raux.(i); uid = r.ruids.(i); flow; value = r.rdata.(i) }
+
+let size t = t.total
+let is_empty t = t.total = 0
+let backlog t flow = match Flow_table.find_opt t.rings flow with None -> 0 | Some r -> r.len
+let active_flows t = Iheap.length t.heap
+
+(* ------------------------------------------------------------------ *)
+(* Eviction and flow teardown. All off the per-packet hot path: the
+   O(F) heap scan only runs when a buffer policy or a flow closure
+   actually removes something. *)
+
+let heap_remove t flow =
+  ignore (Iheap.remove_matching t.heap ~pred:(fun f -> f = flow))
+
+let evict_front t flow =
+  match Flow_table.find_opt t.rings flow with
+  | None -> None
+  | Some r when r.len = 0 -> None
+  | Some r ->
+    let i = r.head in
+    let key = r.rkeys.(i) and aux = r.raux.(i) and uid = r.ruids.(i) and v = r.rdata.(i) in
+    r.head <- (i + 1) land (Array.length r.rdata - 1);
+    r.len <- r.len - 1;
+    t.total <- t.total - 1;
+    (* the head was the flow's heap representative: replace it *)
+    heap_remove t flow;
+    if r.len > 0 then begin
+      let j = r.head in
+      Iheap.add t.heap ~key:r.rkeys.(j) ~tie:r.rties.(j) ~uid:r.ruids.(j) flow
+    end;
+    Some { key; aux; uid; flow; value = v }
+
+let evict_back t flow =
+  match Flow_table.find_opt t.rings flow with
+  | None -> None
+  | Some r when r.len = 0 -> None
+  | Some r ->
+    let i = (r.head + r.len - 1) land (Array.length r.rdata - 1) in
+    let key = r.rkeys.(i) and aux = r.raux.(i) and uid = r.ruids.(i) and v = r.rdata.(i) in
+    r.len <- r.len - 1;
+    t.total <- t.total - 1;
+    (* the tail is the heap representative only when it was alone *)
+    if r.len = 0 then heap_remove t flow;
+    Some { key; aux; uid; flow; value = v }
+
+let flush_flow t flow =
+  match Flow_table.find_opt t.rings flow with
+  | None -> []
+  | Some r ->
+    let n = r.len in
+    let out =
+      if n = 0 then []
+      else begin
+        let mask = Array.length r.rdata - 1 in
+        List.init n (fun k ->
+            let i = (r.head + k) land mask in
+            { key = r.rkeys.(i); aux = r.raux.(i); uid = r.ruids.(i); flow;
+              value = r.rdata.(i) })
+      end
+    in
+    if n > 0 then begin
+      t.total <- t.total - n;
+      heap_remove t flow
+    end;
+    (* drop the ring itself: a recycled id re-grows from scratch and a
+       burst's peak capacity is not pinned forever *)
+    Flow_table.remove t.rings flow;
+    out
+
+let ring_capacity t flow =
+  match Flow_table.find_opt t.rings flow with
+  | None -> 0
+  | Some r -> Array.length r.rdata

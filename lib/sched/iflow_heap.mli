@@ -1,0 +1,96 @@
+(** Int-keyed sibling of {!Flow_heap} for the fixed-point fast path.
+
+    Same structure — one FIFO ring per flow, heads-only min-heap, O(log
+    F) pops flat in queued packets — but every ordering field is an int
+    (a {!Sfq_fastpath.Tag} scaled virtual time, an order-preserving int
+    encoding of the tie value, and the push-order uid), and the hot
+    dequeue path is allocation-free: {!pop_exn} returns the payload
+    directly and deposits the removed entry's ordering fields in
+    scratch slots readable via {!last_key} / {!last_aux} / {!last_uid}
+    / {!last_flow}.
+
+    Tie order is FIFO-stable exactly as in {!Flow_heap}: pop order is
+    ascending [(key, tie, uid)] with uids assigned in push order, so
+    entries equal on [(key, tie)] leave in arrival order. The
+    differential suite relies on this matching the float heap's order.
+
+    Precondition: keys pushed to the {e same flow} must be
+    non-decreasing, and [tie] must be constant per flow while the flow
+    is backlogged. *)
+
+open Sfq_base
+
+type 'a t
+
+type 'a popped = {
+  key : int;  (** ordering tag the entry was pushed with *)
+  aux : int;  (** caller's auxiliary int (e.g. SFQ's finish tag) *)
+  uid : int;  (** push-order number, unique across the whole store *)
+  flow : Packet.flow;
+  value : 'a;
+}
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] pre-sizes the flow-head heap (one slot per backlogged
+    flow, not per packet). *)
+
+val push : 'a t -> flow:Packet.flow -> key:int -> aux:int -> tie:int -> 'a -> unit
+(** Append to [flow]'s FIFO. [tie] refines ordering among equal keys of
+    different flows (ascending, then push order); [aux] is stored and
+    returned untouched ([aux] is required rather than optional because
+    an optional int argument boxes at every call site). Allocation-free
+    once the flow's ring and the heap have reached peak capacity. *)
+
+val pop_exn : 'a t -> 'a
+(** Remove the entry with the smallest [(key, tie, uid)] and return its
+    payload without allocating. Its ordering fields are left in the
+    scratch slots ({!last_key}, {!last_aux}, {!last_uid}, {!last_flow})
+    until the next pop. @raise Invalid_argument on an empty store. *)
+
+val last_key : 'a t -> int
+(** Key of the entry removed by the most recent {!pop_exn}. *)
+
+val last_aux : 'a t -> int
+(** Aux of the entry removed by the most recent {!pop_exn}. *)
+
+val last_uid : 'a t -> int
+(** Uid of the entry removed by the most recent {!pop_exn}. *)
+
+val last_flow : 'a t -> Packet.flow
+(** Flow of the entry removed by the most recent {!pop_exn}. *)
+
+val pop : 'a t -> 'a popped option
+(** Allocating convenience wrapper over {!pop_exn}. *)
+
+val peek : 'a t -> 'a popped option
+(** Like {!pop} without removing. *)
+
+val size : 'a t -> int
+(** Total queued entries across all flows. *)
+
+val is_empty : 'a t -> bool
+
+val backlog : 'a t -> Packet.flow -> int
+(** Queued entries of one flow. *)
+
+val active_flows : 'a t -> int
+(** Number of backlogged flows (= current heap size). *)
+
+val evict_front : 'a t -> Packet.flow -> 'a popped option
+(** Remove [flow]'s oldest queued entry (its head), promoting the
+    successor into the heap; [None] if the flow has nothing queued.
+    O(F) heap scan — eviction is a buffer-overflow path, not the
+    per-packet hot path. *)
+
+val evict_back : 'a t -> Packet.flow -> 'a popped option
+(** Remove [flow]'s newest queued entry (its tail). O(1) unless the
+    flow empties (then its heap entry is removed, O(F)). *)
+
+val flush_flow : 'a t -> Packet.flow -> 'a popped list
+(** Remove every queued entry of [flow], oldest first, and discard the
+    flow's ring entirely so a recycled id re-grows from scratch.
+    Returns [[]] for an unknown or empty flow. *)
+
+val ring_capacity : 'a t -> Packet.flow -> int
+(** Allocated ring slots for [flow] (0 when it holds no ring) — exposed
+    so churn tests can assert {!flush_flow} releases burst capacity. *)

@@ -1,0 +1,80 @@
+(** Monomorphic int-keyed binary min-heap (structure of arrays).
+
+    The integer sibling of {!Fheap}, built for the fixed-point fast
+    path: tags are scaled int63 virtual times, ties are an
+    order-preserving int encoding of the float tie value, and [uid] is
+    the usual arrival counter. Every ordering field lives in its own
+    [int array] slab, so a sift step compiles to integer loads and
+    compares — no float compares, no boxing, no closure dispatch.
+
+    Ordering: ascending [key], then ascending [tie], then ascending
+    [uid]. As with {!Fheap}, [uid] must be unique per element whenever
+    pop order must be deterministic; with distinct uids the order is
+    total. Equal-[(key, tie)] elements therefore pop in ascending [uid]
+    — i.e. insertion (FIFO) order when uids come from an arrival
+    counter. This FIFO-stable tie order is part of the contract: the
+    differential suite relies on int-tag ties resolving exactly like
+    float-tag ties, and both heaps delegate that resolution to the same
+    uid field.
+
+    Beyond the {!Fheap} surface this heap exposes a non-allocating
+    removal triple — {!min_key_exn} / {!min_elt_exn} / {!remove_root} —
+    so callers on a zero-allocation budget can take the root without
+    constructing an option or a tuple. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is an empty heap. [capacity] (default 16) pre-sizes the
+    backing arrays so a heap of known peak size never pays the
+    grow-and-copy doubling. @raise Invalid_argument if [capacity < 1]. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:int -> tie:int -> uid:int -> 'a -> unit
+(** Insert a payload under the given ordering fields. Allocation-free
+    once the backing arrays have reached their peak size. *)
+
+val min_key_exn : 'a t -> int
+(** Smallest key, without allocation.
+    @raise Invalid_argument on an empty heap. *)
+
+val min_elt_exn : 'a t -> 'a
+(** Payload of the smallest element, without removing it and without
+    allocation. @raise Invalid_argument on an empty heap. *)
+
+val min_elt : 'a t -> 'a option
+(** Payload of the smallest element, without removing it. *)
+
+val min : 'a t -> (int * 'a) option
+(** Key and payload of the smallest element, without removing it. *)
+
+val remove_root : 'a t -> unit
+(** Remove the smallest element without returning it (read it first via
+    {!min_elt_exn}/{!min_key_exn}). The non-allocating companion of
+    {!pop}. @raise Invalid_argument on an empty heap. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove the smallest element; returns its key and payload. *)
+
+val pop_elt : 'a t -> 'a option
+(** Remove the smallest element; returns just the payload. *)
+
+val remove_matching :
+  ?newest:bool -> 'a t -> pred:('a -> bool) -> (int * 'a) option
+(** Remove and return the matching element with the smallest [uid]
+    (the oldest insertion) — or the largest when [newest] is set.
+    O(n) scan plus an O(log n) repair: for eviction paths, which are
+    off the per-packet hot path by construction. [None] if nothing
+    matches. *)
+
+val capacity : 'a t -> int
+(** Allocated slots in the backing arrays (>= {!length}); 0 before the
+    first {!add}. Exposed for capacity-leak tests. *)
+
+val clear : 'a t -> unit
+(** Remove every element (backing arrays are retained). *)
+
+val iter : 'a t -> f:(int -> 'a -> unit) -> unit
+(** Apply [f key payload] to every element in unspecified order. *)

@@ -9,7 +9,7 @@ let check_bool = Alcotest.(check bool)
 
 let valid_doc =
   {|{
-  "schema": "sfq-bench-sched/3",
+  "schema": "sfq-bench-sched/4",
   "quick": true,
   "unit": "ns per enqueue+dequeue",
   "meta": {"git_sha": "deadbeef", "timestamp_utc": "2026-08-06T00:00:00Z", "hostname": "box", "domains": 2},
@@ -19,6 +19,15 @@ let valid_doc =
   ],
   "depth_scaling": [
     {"discipline": "sfq", "flows": 8, "depth": 1024, "ns_per_packet": 3.2e2, "ns_p50": 318.0, "ns_p99": 330.0}
+  ],
+  "fastpath": [
+    {"discipline": "sfq", "flows": 512, "ns_per_packet": 210.0, "ns_p50": 210.0, "ns_p99": 220.0, "allocations_per_packet": 14.0},
+    {"discipline": "sfq-fast", "flows": 512, "ns_per_packet": 100.0, "ns_p50": 100.0, "ns_p99": 110.0, "allocations_per_packet": 0.000},
+    {"discipline": "scfq", "flows": 512, "ns_per_packet": 190.0, "ns_p50": 190.0, "ns_p99": 200.0, "allocations_per_packet": 12.0},
+    {"discipline": "scfq-fast", "flows": 512, "ns_per_packet": 95.0, "ns_p50": 95.0, "ns_p99": 105.0, "allocations_per_packet": 0.000},
+    {"discipline": "virtual-clock", "flows": 512, "ns_per_packet": 180.0, "ns_p50": 180.0, "ns_p99": 190.0, "allocations_per_packet": 12.0},
+    {"discipline": "vc-fast", "flows": 512, "ns_per_packet": 90.0, "ns_p50": 90.0, "ns_p99": 100.0, "allocations_per_packet": 0.000},
+    {"discipline": "sp-pifo", "flows": 512, "ns_per_packet": 80.0, "ns_p50": 80.0, "ns_p99": 90.0, "allocations_per_packet": 0.000, "measured_unfairness": 2.5, "fairness_bound": 4.0, "unfairness_excess": -1.5, "pairs_checked": 28}
   ],
   "tracing_overhead": [
     {"mode": "untraced", "flows": 512, "depth": 64, "ns_per_packet": 300.0, "ns_p50": 300.0, "ns_p99": 310.0, "overhead_pct": null},
@@ -51,11 +60,24 @@ let overhead_frag =
 let parallel_frag =
   {|[{"series": "oracle-sweep", "cells": 1320, "domains": 2, "serial_s": 2.0, "parallel_s": 1.9, "speedup": 1.05, "identical": true}]|}
 
-let mk ?(schema = "sfq-bench-sched/3") ?(meta = meta_frag) ?(flow = flow_frag)
-    ?(depth = depth_frag) ?(overhead = overhead_frag) ?(parallel = parallel_frag) () =
+(* A minimal fastpath series that satisfies every gate: all seven
+   disciplines present, sfq-fast at exactly zero allocations and
+   faster than sfq at the largest flow count, sp-pifo with a budget. *)
+let fastpath_frag =
+  {|[{"discipline": "sfq", "flows": 512, "ns_per_packet": 210.0, "ns_p50": 210.0, "ns_p99": 220.0, "allocations_per_packet": 14.0},
+     {"discipline": "sfq-fast", "flows": 512, "ns_per_packet": 100.0, "ns_p50": 100.0, "ns_p99": 110.0, "allocations_per_packet": 0.000},
+     {"discipline": "scfq", "flows": 512, "ns_per_packet": 190.0, "ns_p50": 190.0, "ns_p99": 200.0, "allocations_per_packet": 12.0},
+     {"discipline": "scfq-fast", "flows": 512, "ns_per_packet": 95.0, "ns_p50": 95.0, "ns_p99": 105.0, "allocations_per_packet": 0.000},
+     {"discipline": "virtual-clock", "flows": 512, "ns_per_packet": 180.0, "ns_p50": 180.0, "ns_p99": 190.0, "allocations_per_packet": 12.0},
+     {"discipline": "vc-fast", "flows": 512, "ns_per_packet": 90.0, "ns_p50": 90.0, "ns_p99": 100.0, "allocations_per_packet": 0.000},
+     {"discipline": "sp-pifo", "flows": 512, "ns_per_packet": 80.0, "ns_p50": 80.0, "ns_p99": 90.0, "allocations_per_packet": 0.000, "measured_unfairness": 2.5, "fairness_bound": 4.0, "unfairness_excess": -1.5, "pairs_checked": 28}]|}
+
+let mk ?(schema = "sfq-bench-sched/4") ?(meta = meta_frag) ?(flow = flow_frag)
+    ?(depth = depth_frag) ?(fastpath = fastpath_frag) ?(overhead = overhead_frag)
+    ?(parallel = parallel_frag) () =
   Printf.sprintf
-    {|{"schema": %S, "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s, "parallel": %s}|}
-    schema meta flow depth overhead parallel
+    {|{"schema": %S, "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "tracing_overhead": %s, "parallel": %s}|}
+    schema meta flow depth fastpath overhead parallel
 
 let expect_error name needle contents =
   match Bench_json.validate contents with
@@ -132,13 +154,14 @@ let test_rejects_missing_fields () =
     {|{"flow_scaling": [], "depth_scaling": []}|};
   expect_error "wrong schema" "unexpected schema" (mk ~schema:"sfq-bench-sched/1" ());
   expect_error "stale schema/2" "unexpected schema" (mk ~schema:"sfq-bench-sched/2" ());
+  expect_error "stale schema/3" "unexpected schema" (mk ~schema:"sfq-bench-sched/3" ());
   expect_error "meta without domains" "missing field \"domains\""
     (mk
        ~meta:{|{"git_sha": "deadbeef", "timestamp_utc": "2026-08-06T00:00:00Z", "hostname": "box"}|}
        ());
   expect_error "no meta" "missing field \"meta\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/3", "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
+       {|{"schema": "sfq-bench-sched/4", "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
        flow_frag depth_frag overhead_frag);
   expect_error "empty git_sha" "git_sha"
     (mk
@@ -146,8 +169,12 @@ let test_rejects_missing_fields () =
        ());
   expect_error "no depth_scaling" "missing field \"depth_scaling\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/3", "meta": %s, "flow_scaling": %s, "tracing_overhead": %s}|}
+       {|{"schema": "sfq-bench-sched/4", "meta": %s, "flow_scaling": %s, "tracing_overhead": %s}|}
        meta_frag flow_frag overhead_frag);
+  expect_error "no fastpath" "missing field \"fastpath\""
+    (Printf.sprintf
+       {|{"schema": "sfq-bench-sched/4", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
+       meta_frag flow_frag depth_frag overhead_frag);
   expect_error "row without flows" "missing field \"flows\""
     (mk ~flow:{|[{"discipline": "sfq", "ns_per_packet": 1.0, "ns_p50": 1.0, "ns_p99": 1.2}]|} ());
   expect_error "non-integer flows" "flows must be a positive integer"
@@ -197,8 +224,8 @@ let test_rejects_bad_overhead () =
 let test_rejects_bad_parallel () =
   expect_error "missing parallel" "missing field \"parallel\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/3", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
-       meta_frag flow_frag depth_frag overhead_frag);
+       {|{"schema": "sfq-bench-sched/4", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "tracing_overhead": %s}|}
+       meta_frag flow_frag depth_frag fastpath_frag overhead_frag);
   expect_error "empty parallel" "parallel is empty" (mk ~parallel:"[]" ());
   (* the determinism witness: a file recording a parallel sweep that
      diverged from the serial reference is itself invalid *)
@@ -216,6 +243,83 @@ let test_rejects_bad_parallel () =
     (mk
        ~parallel:
          {|[{"series": "oracle-sweep", "cells": 10, "domains": 1.5, "serial_s": 2.0, "parallel_s": 1.9, "speedup": 1.05, "identical": true}]|}
+       ())
+
+(* A row-swap helper for the fastpath gates: replace one discipline's
+   row inside the otherwise-valid fragment. *)
+let fastpath_with row disc =
+  let keep =
+    [
+      ( "sfq",
+        {|{"discipline": "sfq", "flows": 512, "ns_per_packet": 210.0, "ns_p50": 210.0, "ns_p99": 220.0, "allocations_per_packet": 14.0}|}
+      );
+      ( "sfq-fast",
+        {|{"discipline": "sfq-fast", "flows": 512, "ns_per_packet": 100.0, "ns_p50": 100.0, "ns_p99": 110.0, "allocations_per_packet": 0.000}|}
+      );
+      ( "scfq",
+        {|{"discipline": "scfq", "flows": 512, "ns_per_packet": 190.0, "ns_p50": 190.0, "ns_p99": 200.0, "allocations_per_packet": 12.0}|}
+      );
+      ( "scfq-fast",
+        {|{"discipline": "scfq-fast", "flows": 512, "ns_per_packet": 95.0, "ns_p50": 95.0, "ns_p99": 105.0, "allocations_per_packet": 0.000}|}
+      );
+      ( "virtual-clock",
+        {|{"discipline": "virtual-clock", "flows": 512, "ns_per_packet": 180.0, "ns_p50": 180.0, "ns_p99": 190.0, "allocations_per_packet": 12.0}|}
+      );
+      ( "vc-fast",
+        {|{"discipline": "vc-fast", "flows": 512, "ns_per_packet": 90.0, "ns_p50": 90.0, "ns_p99": 100.0, "allocations_per_packet": 0.000}|}
+      );
+      ( "sp-pifo",
+        {|{"discipline": "sp-pifo", "flows": 512, "ns_per_packet": 80.0, "ns_p50": 80.0, "ns_p99": 90.0, "allocations_per_packet": 0.000, "measured_unfairness": 2.5, "fairness_bound": 4.0, "unfairness_excess": -1.5, "pairs_checked": 28}|}
+      );
+    ]
+  in
+  let rows =
+    List.filter_map
+      (fun (d, default) ->
+        if d = disc then match row with Some r -> Some r | None -> None
+        else Some default)
+      keep
+  in
+  "[" ^ String.concat ",\n" rows ^ "]"
+
+let test_rejects_bad_fastpath () =
+  expect_error "empty fastpath" "fastpath is empty" (mk ~fastpath:"[]" ());
+  (* the zero-allocation contract: any nonzero sfq-fast column fails *)
+  expect_error "allocating sfq-fast" "zero-allocation contract"
+    (mk
+       ~fastpath:
+         (fastpath_with
+            (Some
+               {|{"discipline": "sfq-fast", "flows": 512, "ns_per_packet": 100.0, "ns_p50": 100.0, "ns_p99": 110.0, "allocations_per_packet": 2.001}|})
+            "sfq-fast")
+       ());
+  (* the fast path must actually be fast at the largest flow count *)
+  expect_error "slow sfq-fast" "does not beat sfq"
+    (mk
+       ~fastpath:
+         (fastpath_with
+            (Some
+               {|{"discipline": "sfq-fast", "flows": 512, "ns_per_packet": 210.0, "ns_p50": 210.0, "ns_p99": 220.0, "allocations_per_packet": 0.000}|})
+            "sfq-fast")
+       ());
+  (* sp-pifo without its fairness budget is an unpriced approximation *)
+  expect_error "sp-pifo without budget" "measured_unfairness"
+    (mk
+       ~fastpath:
+         (fastpath_with
+            (Some
+               {|{"discipline": "sp-pifo", "flows": 512, "ns_per_packet": 80.0, "ns_p50": 80.0, "ns_p99": 90.0, "allocations_per_packet": 0.000}|})
+            "sp-pifo")
+       ());
+  expect_error "missing vc-fast row" "missing discipline \"vc-fast\""
+    (mk ~fastpath:(fastpath_with None "vc-fast") ());
+  expect_error "negative allocations" "non-negative"
+    (mk
+       ~fastpath:
+         (fastpath_with
+            (Some
+               {|{"discipline": "scfq-fast", "flows": 512, "ns_per_packet": 95.0, "ns_p50": 95.0, "ns_p99": 105.0, "allocations_per_packet": -0.5}|})
+            "scfq-fast")
        ())
 
 let test_rejects_empty_series () =
@@ -253,6 +357,7 @@ let () =
           Alcotest.test_case "nan / inf / negative" `Quick test_rejects_nan;
           Alcotest.test_case "missing fields" `Quick test_rejects_missing_fields;
           Alcotest.test_case "bad tracing overhead" `Quick test_rejects_bad_overhead;
+          Alcotest.test_case "bad fastpath series" `Quick test_rejects_bad_fastpath;
           Alcotest.test_case "bad parallel series" `Quick test_rejects_bad_parallel;
           Alcotest.test_case "empty series" `Quick test_rejects_empty_series;
           Alcotest.test_case "trailing garbage" `Quick test_rejects_trailing_garbage;

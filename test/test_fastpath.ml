@@ -1,0 +1,696 @@
+(* The fixed-point fast path: Tag codec unit tests, Iheap model
+   properties mirroring the Fheap trio, a cross-heap tie-order check
+   (int-tag ties must resolve exactly like float-tag ties), dyadic
+   differential equivalence of every fast scheduler against its float
+   original, digest equality across domain counts, the zero-allocation
+   budget, the saturation rail, and SP-PIFO's adaptation rule. *)
+
+open Sfq_base
+open Sfq_fastpath
+module Fheap = Sfq_util.Fheap
+module Iheap = Sfq_util.Iheap
+module Rng = Sfq_util.Rng
+module Tag_queue = Sfq_sched.Tag_queue
+module Sfq = Sfq_core.Sfq
+module Scfq = Sfq_sched.Scfq
+module Vc = Sfq_sched.Virtual_clock
+module O = Sfq_oracle
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-12))
+let check_string = Alcotest.(check string)
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+(* ------------------------------------------------------------------ *)
+(* Tag codec                                                            *)
+
+let c20 = Tag.make ()
+
+let test_tag_codec_basics () =
+  check_int "default frac_bits" 20 (Tag.frac_bits c20);
+  check_float "scale" 1048576.0 (Tag.scale c20);
+  Alcotest.check_raises "frac_bits 53 rejected"
+    (Invalid_argument "Tag.make: frac_bits must be in [0, 52]") (fun () ->
+      ignore (Tag.make ~frac_bits:53 ()));
+  Alcotest.check_raises "negative frac_bits rejected"
+    (Invalid_argument "Tag.make: frac_bits must be in [0, 52]") (fun () ->
+      ignore (Tag.make ~frac_bits:(-1) ()))
+
+let test_tag_dyadic_roundtrip () =
+  (* Dyadic rationals within 20 fractional bits encode exactly. *)
+  List.iter
+    (fun v -> check_float (Printf.sprintf "roundtrip %g" v) v Tag.(decode c20 (encode c20 v)))
+    [ 0.0; 1.0; 0.5; 0.25; 3.125; 1024.0; 1e6 +. (1.0 /. 1048576.0) ];
+  (* Non-dyadic values land within half a quantum. *)
+  List.iter
+    (fun v ->
+      let err = Float.abs (Tag.(decode c20 (encode c20 v)) -. v) in
+      check_bool
+        (Printf.sprintf "%g within half a quantum (err %g)" v err)
+        true
+        (err <= 0.5 /. 1048576.0))
+    [ 0.1; 1.0 /. 3.0; 123.456 ]
+
+let test_tag_codec_clamps () =
+  check_int "negative clamps to 0" 0 (Tag.encode c20 (-5.0));
+  check_int "rail clamp" Tag.max_tag (Tag.encode c20 1e30);
+  check_int "infinity clamp" Tag.max_tag (Tag.encode c20 infinity)
+
+let test_tag_delta () =
+  let sor = Tag.scale_over c20 ~rate:100.0 in
+  check_int "exact delta" (1 lsl 20) (Tag.delta ~sor ~len:100);
+  check_int "sub-quantum clamps to 1" 1
+    (Tag.delta ~sor:(Tag.scale_over c20 ~rate:1e18) ~len:100);
+  check_int "huge delta clamps to rail" Tag.max_tag
+    (Tag.delta ~sor:(Tag.scale_over c20 ~rate:1e-10) ~len:1000);
+  Alcotest.check_raises "non-positive rate rejected"
+    (Invalid_argument "Tag.scale_over: rate must be positive") (fun () ->
+      ignore (Tag.scale_over c20 ~rate:0.0))
+
+let test_tag_saturation () =
+  check_int "max_tag is half max_int" (max_int / 2) Tag.max_tag;
+  check_int "sat_add saturates" Tag.max_tag (Tag.sat_add Tag.max_tag 1);
+  check_int "sat_add below rail is exact" (Tag.max_tag - 2)
+    (Tag.sat_add (Tag.max_tag - 5) 3);
+  check_bool "rail is saturated" true (Tag.is_saturated Tag.max_tag);
+  check_bool "below rail is not" false (Tag.is_saturated (Tag.max_tag - 1));
+  check_float "no headroom at the rail" 0.0 (Tag.headroom c20 Tag.max_tag);
+  check_float "full headroom at 0" (Tag.decode c20 Tag.max_tag) (Tag.headroom c20 0)
+
+let test_tie_encode_directed () =
+  check_int "zero maps to zero" 0 (Tag.tie_encode 0.0);
+  check_int "antisymmetric" (-Tag.tie_encode 2.5) (Tag.tie_encode (-2.5));
+  check_bool "sign order" true (Tag.tie_encode (-1.0) < Tag.tie_encode 1.0);
+  Alcotest.check_raises "NaN rejected" (Invalid_argument "Tag.tie_encode: NaN tie")
+    (fun () -> ignore (Tag.tie_encode Float.nan))
+
+let prop_tie_encode_monotone =
+  QCheck.Test.make ~name:"tag: tie_encode is monotone" ~count:1000
+    QCheck.(pair (float_range (-1e9) 1e9) (float_range (-1e9) 1e9))
+    (fun (a, b) ->
+      if a <= b then Tag.tie_encode a <= Tag.tie_encode b
+      else Tag.tie_encode a >= Tag.tie_encode b)
+
+(* ------------------------------------------------------------------ *)
+(* Iheap: the int sibling of Fheap, same model properties               *)
+
+let iheap_drain h =
+  let rec go acc =
+    match Iheap.pop h with None -> List.rev acc | Some (_, v) -> go (v :: acc)
+  in
+  go []
+
+let test_iheap_empty () =
+  let h : int Iheap.t = Iheap.create () in
+  check_int "length" 0 (Iheap.length h);
+  check_bool "is_empty" true (Iheap.is_empty h);
+  check_bool "pop" true (Iheap.pop h = None);
+  check_bool "min" true (Iheap.min h = None);
+  Alcotest.check_raises "min_key_exn" (Invalid_argument "Iheap.min_key_exn: empty heap")
+    (fun () -> ignore (Iheap.min_key_exn h))
+
+let test_iheap_basics () =
+  let h = Iheap.create ~capacity:1 () in
+  List.iteri (fun i k -> Iheap.add h ~key:k ~tie:0 ~uid:i k) [ 3; 1; 4; 2 ];
+  check_int "min_key_exn" 1 (Iheap.min_key_exn h);
+  check_int "min_elt_exn" 1 (Iheap.min_elt_exn h);
+  check_bool "min" true (Iheap.min h = Some (1, 1));
+  check_bool "min_elt" true (Iheap.min_elt h = Some 1);
+  (* The non-allocating removal pair agrees with pop. *)
+  Iheap.remove_root h;
+  check_bool "pop after remove_root" true (Iheap.pop h = Some (2, 2));
+  check_bool "pop_elt" true (Iheap.pop_elt h = Some 3);
+  check_int "length" 1 (Iheap.length h);
+  check_bool "capacity covers length" true (Iheap.capacity h >= Iheap.length h);
+  Iheap.clear h;
+  check_bool "cleared" true (Iheap.is_empty h)
+
+let test_iheap_remove_matching () =
+  let h = Iheap.create () in
+  List.iteri (fun i v -> Iheap.add h ~key:5 ~tie:0 ~uid:i v) [ 10; 20; 10; 30 ];
+  check_bool "oldest match" true
+    (Iheap.remove_matching h ~pred:(fun v -> v = 10) = Some (5, 10));
+  check_bool "newest match" true
+    (Iheap.remove_matching ~newest:true h ~pred:(fun v -> v >= 10) = Some (5, 30));
+  check_bool "no match" true (Iheap.remove_matching h ~pred:(fun v -> v = 99) = None);
+  check_int "two left" 2 (Iheap.length h)
+
+let iheap_entries_gen = QCheck.Gen.(list_size (0 -- 80) (pair (0 -- 5) (0 -- 3)))
+let iheap_entries_print = QCheck.Print.(list (pair int int))
+
+let prop_iheap_pop_order_matches_reference =
+  (* Pop order is ascending (key, tie, uid) — the reference is a plain
+     sort of the insertion triples, as in the Fheap property. *)
+  QCheck.Test.make ~name:"iheap: drains in (key, tie, uid) order" ~count:300
+    (QCheck.make iheap_entries_gen ~print:iheap_entries_print)
+    (fun entries ->
+      let h = Iheap.create ~capacity:1 () in
+      List.iteri (fun uid (k, t) -> Iheap.add h ~key:k ~tie:t ~uid uid) entries;
+      let reference =
+        List.mapi (fun uid (k, t) -> (k, t, uid)) entries
+        |> List.sort compare
+        |> List.map (fun (_, _, uid) -> uid)
+      in
+      iheap_drain h = reference)
+
+let prop_iheap_tie_uid_stability =
+  (* With key and tie fully degenerate, uid alone must make the order
+     total: pops come out in insertion (FIFO) order. *)
+  QCheck.Test.make ~name:"iheap: equal keys and ties pop in uid order" ~count:300
+    QCheck.(0 -- 60)
+    (fun n ->
+      let h = Iheap.create () in
+      for uid = 0 to n - 1 do
+        Iheap.add h ~key:7 ~tie:2 ~uid uid
+      done;
+      iheap_drain h = List.init n (fun i -> i))
+
+let prop_iheap_interleaved =
+  QCheck.Test.make ~name:"iheap: matches sorted-list model under interleaving"
+    ~count:200
+    QCheck.(list (pair bool (pair (0 -- 5) (0 -- 3))))
+    (fun ops ->
+      let h = Iheap.create () in
+      let model = ref [] in
+      let uid = ref 0 in
+      List.for_all
+        (fun (is_pop, (k, t)) ->
+          if is_pop then begin
+            let expected =
+              match List.sort compare !model with
+              | [] -> None
+              | ((key, _, u) as min) :: _ ->
+                model := List.filter (fun x -> x <> min) !model;
+                Some (key, u)
+            in
+            Iheap.pop h = expected
+          end
+          else begin
+            Iheap.add h ~key:k ~tie:t ~uid:!uid !uid;
+            model := (k, t, !uid) :: !model;
+            incr uid;
+            true
+          end)
+        ops
+      && Iheap.length h = List.length !model)
+
+let prop_cross_heap_tie_agreement =
+  (* Satellite check for the differential suite's premise: feed the
+     same (key, tie) stream to Fheap as floats and to Iheap through
+     the fixed-point codec / tie_encode, and the two heaps must drain
+     identically — int-tag ties resolve exactly like float-tag ties,
+     both falling through to the uid. Keys in small integers so the
+     encoding is exact. *)
+  QCheck.Test.make ~name:"fheap/iheap: identical drain order on encoded keys"
+    ~count:300
+    (QCheck.make iheap_entries_gen ~print:iheap_entries_print)
+    (fun entries ->
+      let fh = Fheap.create () and ih = Iheap.create () in
+      List.iteri
+        (fun uid (k, t) ->
+          let kf = float_of_int k and tf = float_of_int t /. 4.0 in
+          Fheap.add fh ~key:kf ~tie:tf ~uid uid;
+          Iheap.add ih ~key:(Tag.encode c20 kf) ~tie:(Tag.tie_encode tf) ~uid uid)
+        entries;
+      let rec fdrain acc =
+        match Fheap.pop fh with None -> List.rev acc | Some (_, v) -> fdrain (v :: acc)
+      in
+      fdrain [] = iheap_drain ih)
+
+(* ------------------------------------------------------------------ *)
+(* Differential equivalence: fast schedulers vs float originals         *)
+
+(* Dyadic workload material: rates are 100·2^k and lengths multiples of
+   100, so every len/rate is k/2^j — exact at 20 fractional bits — and
+   clocks advance in quarter steps. On such inputs the fast schedulers
+   promise packet-for-packet identity with the float originals. *)
+let dyadic_rates = [| 100.0; 200.0; 400.0; 800.0; 1600.0; 3200.0 |]
+
+type action =
+  | Enq of Packet.t
+  | Deq
+  | Evict of Sched.victim * int
+  | Close of int
+
+let gen_scenario seed =
+  let r = Rng.create seed in
+  let nflows = 1 + Rng.int r 4 in
+  let weights =
+    List.init nflows (fun f -> (f, dyadic_rates.(Rng.int r (Array.length dyadic_rates))))
+  in
+  let seqs = Array.make nflows 0 in
+  let now = ref 0.0 in
+  let nops = 40 + Rng.int r 120 in
+  (* explicit loop: clocks must be generated in ascending op order *)
+  let ops = ref [] in
+  for _ = 1 to nops do
+    now := !now +. (0.25 *. float_of_int (Rng.int r 5));
+    let t = !now in
+    let a =
+      let roll = Rng.int r 100 in
+      if roll < 55 then begin
+        let f = Rng.int r nflows in
+        seqs.(f) <- seqs.(f) + 1;
+        let len = 100 * (1 + Rng.int r 15) in
+        let rate =
+          if Rng.int r 4 = 0 then
+            Some dyadic_rates.(Rng.int r (Array.length dyadic_rates))
+          else None
+        in
+        Enq (Packet.make ?rate ~flow:f ~seq:seqs.(f) ~len ~born:t ())
+      end
+      else if roll < 85 then Deq
+      else if roll < 93 then
+        Evict ((if Rng.bool r then Sched.Oldest else Sched.Newest), Rng.int r nflows)
+      else Close (Rng.int r nflows)
+    in
+    ops := (t, a) :: !ops
+  done;
+  (weights, List.rev !ops, !now)
+
+let pkt_str = function
+  | None -> "None"
+  | Some p -> Printf.sprintf "flow %d seq %d len %d" p.Packet.flow p.Packet.seq p.Packet.len
+
+let popt_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some p, Some q -> p == q
+  | _ -> false
+
+(* Both schedulers see the same physical packets, so equivalence is
+   physical equality of every dequeue/evict/close result. *)
+let run_differential ~name mk_float mk_fast (weights, ops, final) =
+  let w = Weights.of_list ~default:1.0 weights in
+  let a = mk_float w in
+  let b = mk_fast w in
+  List.iteri
+    (fun i (now, action) ->
+      match action with
+      | Enq p ->
+        a.Sched.enqueue ~now p;
+        b.Sched.enqueue ~now p
+      | Deq ->
+        let x = a.Sched.dequeue ~now in
+        let y = b.Sched.dequeue ~now in
+        if not (popt_equal x y) then
+          Alcotest.failf "%s: op %d dequeue at %g: float %s, fast %s" name i now
+            (pkt_str x) (pkt_str y)
+      | Evict (v, f) ->
+        let x = a.Sched.evict ~now v f in
+        let y = b.Sched.evict ~now v f in
+        if not (popt_equal x y) then
+          Alcotest.failf "%s: op %d evict flow %d: float %s, fast %s" name i f
+            (pkt_str x) (pkt_str y)
+      | Close f ->
+        let x = a.Sched.close_flow ~now f in
+        let y = b.Sched.close_flow ~now f in
+        if List.length x <> List.length y || not (List.for_all2 ( == ) x y) then
+          Alcotest.failf "%s: op %d close flow %d: %d vs %d packets (or order differs)"
+            name i f (List.length x) (List.length y))
+    ops;
+  check_int (name ^ ": residual backlog") (a.Sched.size ()) (b.Sched.size ());
+  let da = Sched.drain a ~now:final in
+  let db = Sched.drain b ~now:final in
+  if List.length da <> List.length db || not (List.for_all2 ( == ) da db) then
+    Alcotest.failf "%s: final drain order diverges" name
+
+let tie_of w = function
+  | `Arrival -> Tag_queue.Arrival
+  | `Low -> Tag_queue.Low_rate (Weights.get w)
+  | `High -> Tag_queue.High_rate (Weights.get w)
+
+let tie_name = function `Arrival -> "arrival" | `Low -> "low" | `High -> "high"
+
+let test_sfq_fast_differential () =
+  List.iter
+    (fun tie ->
+      List.iter
+        (fun (bname, busy) ->
+          for seed = 1 to 20 do
+            let name = Printf.sprintf "sfq[%s/%s] seed %d" (tie_name tie) bname seed in
+            run_differential ~name
+              (fun w -> Sfq.sched (Sfq.create ~tie:(tie_of w tie) ~busy_rule:busy w))
+              (fun w ->
+                Sfq_fast.sched (Sfq_fast.create ~tie:(tie_of w tie) ~busy_rule:busy w))
+              (gen_scenario (seed * 7919))
+          done)
+        [ ("idle_poll", Sfq.Idle_poll); ("on_empty", Sfq.On_empty) ])
+    [ `Arrival; `Low; `High ]
+
+let test_scfq_fast_differential () =
+  List.iter
+    (fun tie ->
+      for seed = 1 to 20 do
+        let name = Printf.sprintf "scfq[%s] seed %d" (tie_name tie) seed in
+        run_differential ~name
+          (fun w -> Scfq.sched (Scfq.create ~tie:(tie_of w tie) w))
+          (fun w -> Scfq_fast.sched (Scfq_fast.create ~tie:(tie_of w tie) w))
+          (gen_scenario ((seed * 7919) + 1))
+      done)
+    [ `Arrival; `Low; `High ]
+
+let test_vc_fast_differential () =
+  List.iter
+    (fun tie ->
+      for seed = 1 to 20 do
+        let name = Printf.sprintf "vc[%s] seed %d" (tie_name tie) seed in
+        run_differential ~name
+          (fun w -> Vc.sched (Vc.create ~tie:(tie_of w tie) w))
+          (fun w -> Virtual_clock_fast.sched (Virtual_clock_fast.create ~tie:(tie_of w tie) w))
+          (gen_scenario ((seed * 7919) + 2))
+      done)
+    [ `Arrival; `Low; `High ]
+
+(* ------------------------------------------------------------------ *)
+(* Oracle digests: sfq-fast ≡ sfq across domain counts                  *)
+
+let test_digests_match_across_domains () =
+  (* A slice of the frozen theorem pool keeps the sweep quick; the full
+     pool runs in the sfq-sweep fastpath CLI and in CI. *)
+  let pool = take 24 O.Suite.theorem_pool in
+  let base = O.Suite.sfq_cells ~pool () in
+  let fast =
+    List.filter
+      (fun (c : O.Run.cell) -> String.starts_with ~prefix:"sfq-fast#" c.O.Run.label)
+      (O.Suite.fastpath_cells ~pool ())
+  in
+  check_int "cell counts line up" (List.length base) (List.length fast);
+  let digests ~domains cells =
+    Array.map O.Run.outcome_digest (O.Run.sweep ~domains cells)
+  in
+  let reference = digests ~domains:1 base in
+  List.iter
+    (fun domains ->
+      let fd = digests ~domains fast in
+      Array.iteri
+        (fun i expected ->
+          check_string (Printf.sprintf "cell %d at %d domains" i domains) expected fd.(i))
+        reference)
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Zero-allocation steady state                                         *)
+
+let alloc_pkts n = Array.init n (fun f -> Packet.make ~flow:f ~seq:1 ~len:1000 ~born:0.0 ())
+
+(* Warm (so rings and tables reach peak capacity), compact, then count
+   minor words over 10k enqueue/dequeue pairs. The Gc.minor_words calls
+   themselves box one float each (~3 words), hence the slack in the
+   budget — still 4 orders of magnitude below one word per operation. *)
+let alloc_delta step =
+  for _ = 1 to 2_000 do
+    step ()
+  done;
+  Gc.compact ();
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    step ()
+  done;
+  Gc.minor_words () -. before
+
+let test_zero_alloc_steady_state () =
+  let n = 32 in
+  let stepper_sfq_fast () =
+    let t = Sfq_fast.create ~capacity:64 (Weights.uniform 100.0) in
+    let pkts = alloc_pkts n in
+    Array.iter (Sfq_fast.enqueue t ~now:0.0) pkts;
+    let i = ref 0 in
+    fun () ->
+      Sfq_fast.enqueue t ~now:0.0 pkts.(!i);
+      i := (!i + 1) land (n - 1);
+      ignore (Sfq_fast.dequeue_exn t)
+  in
+  let stepper_scfq_fast () =
+    let t = Scfq_fast.create ~capacity:64 (Weights.uniform 100.0) in
+    let pkts = alloc_pkts n in
+    Array.iter (Scfq_fast.enqueue t ~now:0.0) pkts;
+    let i = ref 0 in
+    fun () ->
+      Scfq_fast.enqueue t ~now:0.0 pkts.(!i);
+      i := (!i + 1) land (n - 1);
+      ignore (Scfq_fast.dequeue_exn t)
+  in
+  let stepper_vc_fast () =
+    let t = Virtual_clock_fast.create ~capacity:64 (Weights.uniform 100.0) in
+    let pkts = alloc_pkts n in
+    Array.iter (Virtual_clock_fast.enqueue t ~now:0.0) pkts;
+    let i = ref 0 in
+    fun () ->
+      Virtual_clock_fast.enqueue t ~now:0.0 pkts.(!i);
+      i := (!i + 1) land (n - 1);
+      ignore (Virtual_clock_fast.dequeue_exn t)
+  in
+  let stepper_sp_pifo () =
+    let t = Sp_pifo.create (Weights.uniform 100.0) in
+    let pkts = alloc_pkts n in
+    Array.iter (Sp_pifo.enqueue t ~now:0.0) pkts;
+    let i = ref 0 in
+    fun () ->
+      Sp_pifo.enqueue t ~now:0.0 pkts.(!i);
+      i := (!i + 1) land (n - 1);
+      ignore (Sp_pifo.dequeue_exn t)
+  in
+  List.iter
+    (fun (name, mk) ->
+      let d = alloc_delta (mk ()) in
+      check_bool (Printf.sprintf "%s: %.0f minor words over 10k op pairs" name d) true
+        (d <= 64.0))
+    [
+      ("sfq-fast", stepper_sfq_fast);
+      ("scfq-fast", stepper_scfq_fast);
+      ("vc-fast", stepper_vc_fast);
+      ("sp-pifo", stepper_sp_pifo);
+    ];
+  (* Contrast: the float scheduler allocates on every operation, which
+     is the whole point of the fast path. *)
+  let float_step =
+    let t = Sfq.create (Weights.uniform 100.0) in
+    let pkts = alloc_pkts n in
+    Array.iter (Sfq.enqueue t ~now:0.0) pkts;
+    let i = ref 0 in
+    fun () ->
+      Sfq.enqueue t ~now:0.0 pkts.(!i);
+      i := (!i + 1) land (n - 1);
+      ignore (Sfq.dequeue t ~now:0.0)
+  in
+  check_bool "float sfq allocates" true (alloc_delta float_step > 1000.0)
+
+(* ------------------------------------------------------------------ *)
+(* Saturation rail                                                      *)
+
+let test_saturation_boundary () =
+  (* A rate so small the very first delta clamps to the rail. *)
+  let t = Sfq_fast.create (Weights.uniform 1e-10) in
+  check_bool "fresh scheduler unsaturated" false (Sfq_fast.saturated t);
+  check_bool "fresh headroom positive" true (Sfq_fast.headroom t > 0.0);
+  let p1 = Packet.make ~flow:0 ~seq:1 ~len:1000 ~born:0.0 () in
+  let p2 = Packet.make ~flow:0 ~seq:2 ~len:1000 ~born:0.0 () in
+  let p3 = Packet.make ~flow:1 ~seq:1 ~len:1000 ~born:0.0 () in
+  Sfq_fast.enqueue t ~now:0.0 p1;
+  (* S(p1) = 0, F(p1) saturates immediately. *)
+  check_bool "saturated after first finish tag" true (Sfq_fast.saturated t);
+  check_float "no headroom at the rail" 0.0 (Sfq_fast.headroom t);
+  Sfq_fast.enqueue t ~now:0.0 p2;
+  Sfq_fast.enqueue t ~now:0.0 p3;
+  (* Order degrades to (tie, arrival) but stays total and loss-free:
+     p1 and p3 carry start tag 0 (flows enter at v = 0), p2 rides its
+     flow's saturated finish tag. No wrap-around: tags clamp, so p2
+     cannot jump ahead of anything. *)
+  let a = Sfq_fast.dequeue_exn t in
+  let b = Sfq_fast.dequeue_exn t in
+  let c = Sfq_fast.dequeue_exn t in
+  check_bool "p1 first" true (a == p1);
+  check_bool "p3 second" true (b == p3);
+  check_bool "p2 last" true (c == p2);
+  check_bool "drained" true (Sfq_fast.is_empty t);
+  check_int "vtag clamped at the rail, not wrapped" Tag.max_tag (Sfq_fast.vtag t)
+
+(* ------------------------------------------------------------------ *)
+(* SP-PIFO                                                              *)
+
+let opt_is p = function Some q -> q == p | None -> false
+
+let drain_n t n =
+  let rec go acc n = if n = 0 then List.rev acc else go (Sp_pifo.dequeue_exn t :: acc) (n - 1) in
+  go [] n
+
+let test_sp_pifo_create_validation () =
+  Alcotest.check_raises "banks 0 rejected"
+    (Invalid_argument "Sp_pifo.create: banks must be >= 1") (fun () ->
+      ignore (Sp_pifo.create ~banks:0 (Weights.uniform 1.0)))
+
+let test_sp_pifo_single_bank_is_fifo () =
+  (* One bank: every admission lands in the same FIFO, so service is
+     exactly arrival order no matter how wild the ranks are. *)
+  let w = Weights.of_list ~default:1.0 [ (0, 3200.0); (1, 100.0); (2, 800.0) ] in
+  let t = Sp_pifo.create ~banks:1 w in
+  let r = Rng.create 42 in
+  let seqs = Array.make 3 0 in
+  let pkts = ref [] in
+  for _ = 1 to 40 do
+    let f = Rng.int r 3 in
+    seqs.(f) <- seqs.(f) + 1;
+    let pk =
+      Packet.make ~flow:f ~seq:seqs.(f) ~len:(100 * (1 + Rng.int r 10)) ~born:0.0 ()
+    in
+    Sp_pifo.enqueue t ~now:0.0 pk;
+    pkts := pk :: !pkts
+  done;
+  let pkts = List.rev !pkts in
+  check_int "one bank" 1 (Sp_pifo.banks t);
+  let out = drain_n t 40 in
+  check_bool "global FIFO" true (List.for_all2 ( == ) pkts out);
+  check_bool "drained" true (Sp_pifo.is_empty t)
+
+let ascending a =
+  let ok = ref true in
+  for i = 1 to Array.length a - 1 do
+    if a.(i - 1) > a.(i) then ok := false
+  done;
+  !ok
+
+let test_sp_pifo_bounds_stay_sorted () =
+  let w = Weights.of_list ~default:1.0 [ (0, 3200.0); (1, 100.0) ] in
+  let t = Sp_pifo.create ~banks:4 w in
+  let r = Rng.create 7 in
+  let seqs = Array.make 2 0 in
+  for i = 1 to 60 do
+    let f = Rng.int r 2 in
+    seqs.(f) <- seqs.(f) + 1;
+    Sp_pifo.enqueue t ~now:0.0
+      (Packet.make ~flow:f ~seq:seqs.(f) ~len:(100 * (1 + Rng.int r 10)) ~born:0.0 ());
+    check_bool
+      (Printf.sprintf "bounds ascending after admission %d" i)
+      true
+      (ascending (Sp_pifo.bounds t));
+    (* Every admission is exactly one push-up or one push-down. *)
+    check_int "admissions accounted" i (Sp_pifo.pushups t + Sp_pifo.pushdowns t);
+    if Rng.int r 3 = 0 && not (Sp_pifo.is_empty t) then ignore (Sp_pifo.dequeue_exn t)
+  done
+
+let test_sp_pifo_pushdown_adaptation () =
+  (* Directed replay of the NSDI'20 adaptation rule at 20 fractional
+     bits, two banks: a slow flow (rate 100) drives bank 1's bound up,
+     a fast flow (rate 3200) occupies bank 0, and a fresh flow arriving
+     at v — below both bounds — must trigger the collective push-down
+     by exactly bound_0 - v. Every quantity is dyadic, so the bound
+     values are exact. *)
+  let q = 1 lsl 20 in
+  let w = Weights.of_list ~default:1.0 [ (0, 100.0); (1, 3200.0) ] in
+  let t = Sp_pifo.create ~banks:2 ~frac_bits:20 w in
+  let p f seq len = Packet.make ~flow:f ~seq ~len ~born:0.0 () in
+  let s1 = p 0 1 1000 in
+  let s2 = p 0 2 1000 in
+  let s3 = p 0 3 1000 in
+  let f1 = p 1 1 100 in
+  let s4 = p 0 4 1000 in
+  let f2 = p 1 2 100 in
+  let f3 = p 1 3 100 in
+  let g1 = p 2 1 100 in
+  (* Slow-flow deltas are 10q, fast-flow deltas q/32. *)
+  List.iter (Sp_pifo.enqueue t ~now:0.0) [ s1; s2; s3; f1 ];
+  check_bool "bounds after warmup" true (Sp_pifo.bounds t = [| 0; 20 * q |]);
+  check_bool "f1 from bank 0" true (Sp_pifo.dequeue_exn t == f1);
+  check_bool "s1 next" true (Sp_pifo.dequeue_exn t == s1);
+  check_bool "s2 next" true (Sp_pifo.dequeue_exn t == s2);
+  (* v is now 10q (s2's rank). *)
+  check_int "v tracks served rank" (10 * q) (Sp_pifo.vtag t);
+  List.iter (Sp_pifo.enqueue t ~now:0.0) [ s4; f2; f3 ];
+  check_bool "bounds before inversion" true
+    (Sp_pifo.bounds t = [| (10 * q) + (q / 32); 30 * q |]);
+  check_int "no pushdowns yet" 0 (Sp_pifo.pushdowns t);
+  check_bool "f2 from bank 0" true (Sp_pifo.dequeue_exn t == f2);
+  (* g1 enters at rank v = 10q, below every bound: push-down. *)
+  Sp_pifo.enqueue t ~now:0.0 g1;
+  check_int "one pushdown" 1 (Sp_pifo.pushdowns t);
+  check_int "seven pushups" 7 (Sp_pifo.pushups t);
+  check_bool "bounds dropped by the overshoot" true
+    (Sp_pifo.bounds t = [| 10 * q; (30 * q) - (q / 32) |]);
+  check_bool "bounds still ascending" true (ascending (Sp_pifo.bounds t));
+  (* Strict-priority service: bank 0 (f3 then the pushed-down g1),
+     then bank 1's slow-flow tail. *)
+  let order = drain_n t 4 in
+  check_bool "service order" true (List.for_all2 ( == ) order [ f3; g1; s3; s4 ]);
+  check_bool "drained" true (Sp_pifo.is_empty t)
+
+let test_sp_pifo_evict_close () =
+  let t = Sp_pifo.create ~banks:4 (Weights.uniform 100.0) in
+  let p f seq = Packet.make ~flow:f ~seq ~len:100 ~born:0.0 () in
+  let p00 = p 0 1 in
+  let p01 = p 0 2 in
+  let p02 = p 0 3 in
+  let p10 = p 1 1 in
+  let p11 = p 1 2 in
+  List.iter (Sp_pifo.enqueue t ~now:0.0) [ p00; p10; p01; p11; p02 ];
+  check_int "size" 5 (Sp_pifo.size t);
+  check_int "backlog flow 0" 3 (Sp_pifo.backlog t 0);
+  check_bool "evict oldest of flow 0" true (opt_is p00 (Sp_pifo.evict t Sched.Oldest 0));
+  check_bool "evict newest of flow 0" true (opt_is p02 (Sp_pifo.evict t Sched.Newest 0));
+  check_int "backlog after evictions" 1 (Sp_pifo.backlog t 0);
+  let closed = Sp_pifo.close_flow t 1 in
+  check_bool "close returns oldest first" true
+    (List.length closed = 2 && List.for_all2 ( == ) closed [ p10; p11 ]);
+  check_int "backlog of closed flow" 0 (Sp_pifo.backlog t 1);
+  check_bool "last survivor" true (opt_is p01 (Sp_pifo.peek t));
+  check_bool "dequeues it" true (Sp_pifo.dequeue_exn t == p01);
+  (* conservation: 5 enqueued = 2 evicted + 2 closed + 1 dequeued *)
+  check_bool "empty" true (Sp_pifo.is_empty t);
+  check_bool "evict on empty flow" true (Sp_pifo.evict t Sched.Oldest 0 = None);
+  check_bool "close on empty flow" true (Sp_pifo.close_flow t 0 = []);
+  Alcotest.check_raises "dequeue_exn on empty"
+    (Invalid_argument "Sp_pifo.dequeue_exn: empty queue") (fun () ->
+      ignore (Sp_pifo.dequeue_exn t))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "fastpath"
+    [
+      ( "tag",
+        [
+          Alcotest.test_case "codec basics" `Quick test_tag_codec_basics;
+          Alcotest.test_case "dyadic roundtrip" `Quick test_tag_dyadic_roundtrip;
+          Alcotest.test_case "clamps" `Quick test_tag_codec_clamps;
+          Alcotest.test_case "delta" `Quick test_tag_delta;
+          Alcotest.test_case "saturation" `Quick test_tag_saturation;
+          Alcotest.test_case "tie_encode directed" `Quick test_tie_encode_directed;
+          q prop_tie_encode_monotone;
+        ] );
+      ( "iheap",
+        [
+          Alcotest.test_case "empty" `Quick test_iheap_empty;
+          Alcotest.test_case "basics" `Quick test_iheap_basics;
+          Alcotest.test_case "remove_matching" `Quick test_iheap_remove_matching;
+          q prop_iheap_pop_order_matches_reference;
+          q prop_iheap_tie_uid_stability;
+          q prop_iheap_interleaved;
+          q prop_cross_heap_tie_agreement;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "sfq-fast == sfq (dyadic)" `Quick test_sfq_fast_differential;
+          Alcotest.test_case "scfq-fast == scfq (dyadic)" `Quick
+            test_scfq_fast_differential;
+          Alcotest.test_case "vc-fast == vc (dyadic)" `Quick test_vc_fast_differential;
+          Alcotest.test_case "digests match at 1/2/4/8 domains" `Slow
+            test_digests_match_across_domains;
+        ] );
+      ( "allocation",
+        [ Alcotest.test_case "zero-alloc steady state" `Quick test_zero_alloc_steady_state ] );
+      ( "saturation",
+        [ Alcotest.test_case "rail behaviour" `Quick test_saturation_boundary ] );
+      ( "sp_pifo",
+        [
+          Alcotest.test_case "create validation" `Quick test_sp_pifo_create_validation;
+          Alcotest.test_case "single bank is FIFO" `Quick test_sp_pifo_single_bank_is_fifo;
+          Alcotest.test_case "bounds stay sorted" `Quick test_sp_pifo_bounds_stay_sorted;
+          Alcotest.test_case "push-down adaptation" `Quick test_sp_pifo_pushdown_adaptation;
+          Alcotest.test_case "evict and close" `Quick test_sp_pifo_evict_close;
+        ] );
+    ]
