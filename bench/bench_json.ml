@@ -329,6 +329,88 @@ let check_fastpath rows =
       [ "sfq"; "sfq-fast"; "scfq"; "scfq-fast"; "virtual-clock"; "vc-fast"; "sp-pifo" ]
   | _ -> raise (Bad (Printf.sprintf "%s must be an array" series))
 
+(* The pifo series prices the programmable runtime against the
+   hand-written fast path it absorbs. Generality is allowed to cost a
+   bounded dispatch premium, never an allocation: pifo-sfq must report
+   exactly zero allocations per packet, and its ns/packet must stay
+   within [pifo_overhead_limit] of sfq-fast's at the largest flow
+   count the series measures (the sfq-fast reference comes from the
+   fastpath series of the same file). *)
+let pifo_overhead_limit = 1.15
+
+let check_pifo ~fastpath rows =
+  let series = "pifo" in
+  let ns_of rows disc flows =
+    List.find_map
+      (fun row ->
+        if field "discipline" row = Str disc && field "flows" row = Num flows then
+          match field "ns_per_packet" row with Num ns -> Some ns | _ -> None
+        else None)
+      rows
+  in
+  match rows with
+  | List [] -> raise (Bad (Printf.sprintf "%s is empty" series))
+  | List rows ->
+    List.iter
+      (fun row ->
+        (match field "discipline" row with
+        | Str _ -> ()
+        | _ -> raise (Bad (series ^ ": discipline must be a string")));
+        check_pos_int ~series ~name:"flows" row;
+        check_ns ~series ~name:"ns_per_packet" row;
+        check_ns ~series ~name:"ns_p50" row;
+        check_ns ~series ~name:"ns_p99" row;
+        (match field "allocations_per_packet" row with
+        | Num a when a >= 0.0 -> ()
+        | _ ->
+          raise (Bad (series ^ ": allocations_per_packet must be a non-negative number")));
+        match field "discipline" row with
+        | Str "pifo-sfq" -> (
+          match field "allocations_per_packet" row with
+          | Num 0.0 -> ()
+          | Num a ->
+            raise
+              (Bad
+                 (Printf.sprintf
+                    "%s: pifo-sfq allocates %.3f words/packet — the rank-program \
+                     zero-allocation contract is broken"
+                    series a))
+          | _ -> raise (Bad (series ^ ": pifo-sfq allocations_per_packet must be a number")))
+        | _ -> ())
+      rows;
+    List.iter
+      (fun disc ->
+        if not (List.exists (fun row -> field "discipline" row = Str disc) rows) then
+          raise (Bad (Printf.sprintf "%s: missing discipline %S" series disc)))
+      [ "pifo-sfq"; "pifo-scfq"; "pifo-vc" ];
+    let max_flows =
+      List.fold_left
+        (fun acc row -> match field "flows" row with Num f -> Float.max acc f | _ -> acc)
+        0.0 rows
+    in
+    let fast_ns =
+      match fastpath with List frows -> ns_of frows "sfq-fast" max_flows | _ -> None
+    in
+    (match (ns_of rows "pifo-sfq" max_flows, fast_ns) with
+    | Some p, Some f when p > pifo_overhead_limit *. f ->
+      raise
+        (Bad
+           (Printf.sprintf
+              "%s: pifo-sfq (%.0f ns) exceeds the %.0f%% budget over sfq-fast (%.0f \
+               ns) at %.0f flows — the runtime premium is over budget"
+              series p
+              (100.0 *. (pifo_overhead_limit -. 1.0))
+              f max_flows))
+    | Some _, Some _ -> ()
+    | None, _ ->
+      raise (Bad (Printf.sprintf "%s: missing pifo-sfq row at %.0f flows" series max_flows))
+    | _, None ->
+      raise
+        (Bad
+           (Printf.sprintf
+              "%s: no sfq-fast reference row in fastpath at %.0f flows" series max_flows)))
+  | _ -> raise (Bad (Printf.sprintf "%s must be an array" series))
+
 (* The parallel series is the trajectory's record of the sfq.par
    harness: wall time of the oracle acceptance sweep serially and
    through the pool. [identical] is the determinism witness — the two
@@ -372,12 +454,13 @@ let validate contents =
   match
     let json = parse contents in
     (match field "schema" json with
-    | Str "sfq-bench-sched/4" -> ()
+    | Str "sfq-bench-sched/5" -> ()
     | _ -> raise (Bad "unexpected schema"));
     check_meta (field "meta" json);
     check_rows ~series:"flow_scaling" ~depth:false (field "flow_scaling" json);
     check_rows ~series:"depth_scaling" ~depth:true (field "depth_scaling" json);
     check_fastpath (field "fastpath" json);
+    check_pifo ~fastpath:(field "fastpath" json) (field "pifo" json);
     check_overhead (field "tracing_overhead" json);
     check_parallel (field "parallel" json)
   with

@@ -40,20 +40,28 @@ val disabled_overhead_limit_pct : float
     observability layer's promise that leaving the wrapper installed in
     a production build costs nothing measurable. *)
 
+val pifo_overhead_limit : float
+(** The multiplicative budget the rank-program SFQ must stay within of
+    hand-written sfq-fast ns/packet (1.15): programmability may cost a
+    bounded dispatch premium, never more. *)
+
 val validate : string -> (unit, string) result
 (** [validate contents] checks a whole document: well-formed JSON,
-    [schema = "sfq-bench-sched/4"], a [meta] block with non-empty
+    [schema = "sfq-bench-sched/5"], a [meta] block with non-empty
     [git_sha]/[timestamp_utc]/[hostname] and a positive-integer
     [domains], the [flow_scaling] and [depth_scaling] series, a
     [fastpath] series carrying all seven fixed-point-vs-float
     disciplines — in which sfq-fast must report exactly zero
     allocations per packet and a lower ns/packet than float sfq at the
     largest flow count, and every sp-pifo row must carry its positive
-    measured-unfairness budget and fairness bound — a
-    [tracing_overhead] series carrying all four modes
-    (untraced/disabled/ring/jsonl) whose disabled row must respect
-    {!disabled_overhead_limit_pct}, and a [parallel] series (the
-    serial-vs-pool oracle-sweep timing) every row of which must carry
-    [identical = true] — the witness that the parallel sweep
-    reproduced the serial digest byte for byte. Returns [Error msg]
-    instead of raising. *)
+    measured-unfairness budget and fairness bound — a [pifo] series
+    carrying the pifo-sfq/pifo-scfq/pifo-vc rank-program rows, in
+    which pifo-sfq must report exactly zero allocations per packet and
+    stay within {!pifo_overhead_limit} of the fastpath series'
+    sfq-fast at the largest flow count, a [tracing_overhead] series
+    carrying all four modes (untraced/disabled/ring/jsonl) whose
+    disabled row must respect {!disabled_overhead_limit_pct}, and a
+    [parallel] series (the serial-vs-pool oracle-sweep timing) every
+    row of which must carry [identical = true] — the witness that the
+    parallel sweep reproduced the serial digest byte for byte. Returns
+    [Error msg] instead of raising. *)

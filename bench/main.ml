@@ -314,6 +314,35 @@ let fastpath_steppers nflows =
           (fun () -> ignore (Sp_pifo.dequeue_exn t)) );
   ]
 
+(* E26: the same disciplines as rank programs on the shared PIFO
+   runtime (lib/pifo). Identical stepper shape and flow counts as the
+   fastpath series, so pifo-sfq vs sfq-fast isolates the runtime
+   premium — closure dispatch per rank call, the regs cell, the
+   runtime's own tie cache — on top of the very same tag arithmetic
+   and heap. The validator holds this premium to 15% and the
+   allocation column to exactly zero. *)
+let pifo_steppers nflows =
+  let weights = Weights.uniform 1000.0 in
+  let open Sfq_pifo in
+  let native prog =
+    let t = Pifo_sched.create prog in
+    let pkts =
+      Array.init nflows (fun f -> Packet.make ~flow:f ~seq:1 ~len:1000 ~born:0.0 ())
+    in
+    Array.iter (fun p -> Pifo_sched.enqueue t ~now:0.0 p) pkts;
+    let flow = ref 0 in
+    fun () ->
+      let f = !flow in
+      flow := (f + 1) mod nflows;
+      Pifo_sched.enqueue t ~now:0.0 pkts.(f);
+      ignore (Pifo_sched.dequeue_exn t)
+  in
+  [
+    ("pifo-sfq", fun () -> native (Programs.sfq weights));
+    ("pifo-scfq", fun () -> native (Programs.scfq weights));
+    ("pifo-vc", fun () -> native (Programs.virtual_clock weights));
+  ]
+
 (* Allocation rate measured over its own window, after warmup and a
    compaction: cumulative minor words divided by ops. Gc.minor_words
    itself boxes one float per call — a constant ~3 words across the
@@ -382,6 +411,36 @@ let fastpath_rows ~quick () =
             fp_budget = (if name = "sp-pifo" then Some budget else None);
           })
         (fastpath_steppers nflows))
+    fastpath_flow_counts
+
+let pifo_rows ~quick () =
+  let batches, batch_ops = if quick then (3, 1_000) else (5, 20_000) in
+  let alloc_ops = if quick then 10_000 else 100_000 in
+  List.concat_map
+    (fun nflows ->
+      List.map
+        (fun (name, make_step) ->
+          let step = make_step () in
+          for _ = 1 to batch_ops do
+            step ()
+          done;
+          Gc.compact ();
+          let allocs = allocs_per_op step alloc_ops in
+          let samples = ref [] in
+          for _ = 1 to batches do
+            samples := timed_batch step batch_ops :: !samples
+          done;
+          let ns, p50, p99 = stats_of !samples in
+          {
+            fp_disc = name;
+            fp_flows = nflows;
+            fp_ns = ns;
+            fp_p50 = p50;
+            fp_p99 = p99;
+            fp_allocs = allocs;
+            fp_budget = None;
+          })
+        (pifo_steppers nflows))
     fastpath_flow_counts
 
 (* ------------------------------------------------------------------ *)
@@ -561,13 +620,13 @@ let utc_timestamp () =
 
 let hostname () = try Unix.gethostname () with Unix.Unix_error _ -> "unknown"
 
-let emit_json ~quick ~domains ~flow_scaling ~depth_scaling ~fastpath ~overhead ~parallel
-    path =
+let emit_json ~quick ~domains ~flow_scaling ~depth_scaling ~fastpath ~pifo ~overhead
+    ~parallel path =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
     (Printf.sprintf
-       "  \"schema\": \"sfq-bench-sched/4\",\n  \"quick\": %b,\n  \"unit\": \"ns per enqueue+dequeue\",\n"
+       "  \"schema\": \"sfq-bench-sched/5\",\n  \"quick\": %b,\n  \"unit\": \"ns per enqueue+dequeue\",\n"
        quick);
   Buffer.add_string buf
     (Printf.sprintf
@@ -619,6 +678,18 @@ let emit_json ~quick ~domains ~flow_scaling ~depth_scaling ~fastpath ~overhead ~
            r.fp_disc r.fp_flows (json_float r.fp_ns) (json_float r.fp_p50)
            (json_float r.fp_p99) (json_float r.fp_allocs) budget_fields))
     fastpath;
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"pifo\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"discipline\": %S, \"flows\": %d, \"ns_per_packet\": %s, \
+            \"ns_p50\": %s, \"ns_p99\": %s, \"allocations_per_packet\": %s}"
+           r.fp_disc r.fp_flows (json_float r.fp_ns) (json_float r.fp_p50)
+           (json_float r.fp_p99) (json_float r.fp_allocs)))
+    pifo;
   Buffer.add_string buf "\n  ],\n";
   Buffer.add_string buf "  \"tracing_overhead\": [\n";
   List.iteri
@@ -760,6 +831,33 @@ let run_micro ~quick ~domains () =
     \ worst measured Theorem-1 excess over the frozen theorem pool: the price\n\
     \ of approximate rank order, recorded next to its speed.)";
   print_newline ();
+  section "E26: PIFO rank-program runtime vs the hand-written fast path";
+  (* audit (parallel safety): serial for the same reason as E25 — the
+     allocation counter is process-global and the 15% pifo-sfq-vs-
+     sfq-fast gate in bench_json needs an uncontended core. *)
+  let pifo = pifo_rows ~quick () in
+  let ptable0 =
+    Text_table.create [ "discipline"; "flows"; "ns/packet"; "allocs/packet" ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row ptable0
+        [
+          r.fp_disc;
+          string_of_int r.fp_flows;
+          Printf.sprintf "%.0f" r.fp_ns;
+          Printf.sprintf "%.3f" r.fp_allocs;
+        ])
+    pifo;
+  Text_table.print ptable0;
+  print_endline
+    "(The same disciplines expressed as ~20-line rank programs on the shared\n\
+    \ PIFO runtime (lib/pifo), under the same stepper as E25. The gap to the\n\
+    \ corresponding -fast row is the price of programmability: one closure\n\
+    \ dispatch per rank call against preallocated per-flow state. The\n\
+    \ validator rejects the file if pifo-sfq drifts more than 15% above\n\
+    \ sfq-fast at the largest flow count or ever allocates per packet.)";
+  print_newline ();
   section
     (Printf.sprintf "E22: sfq.obs tracer overhead (SFQ, %d flows x %d deep)"
        overhead_flows overhead_depth);
@@ -820,8 +918,8 @@ let run_micro ~quick ~domains () =
     \ column can only be bought with real parallelism, never reordering.\n\
     \ Speedup tracks the number of cores actually online, not domains.)";
   print_newline ();
-  emit_json ~quick ~domains ~flow_scaling ~depth_scaling ~fastpath ~overhead ~parallel
-    "BENCH_sched.json"
+  emit_json ~quick ~domains ~flow_scaling ~depth_scaling ~fastpath ~pifo ~overhead
+    ~parallel "BENCH_sched.json"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

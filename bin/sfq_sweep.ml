@@ -358,6 +358,96 @@ let fastpath_cmd domains =
     1
   end
 
+(* ------------------------------------------------------------------ *)
+(* pifo: the same digest-equivalence contract for the programmable
+   runtime — every Programs rank program against its hand-written
+   original, over the pifo_cells slice of the theorem pool. *)
+
+let pifo_cmd domains =
+  let domains = env_domains domains in
+  let pool = List.filteri (fun i _ -> i < 90) Suite.theorem_pool in
+  let pifo = Suite.pifo_cells () in
+  let prefixed p =
+    List.filter
+      (fun (c : Run.cell) ->
+        String.length c.Run.label >= String.length p
+        && String.sub c.Run.label 0 (String.length p) = p)
+      pifo
+  in
+  let weights_of (w : Workload.t) =
+    Sfq_base.Weights.of_list ~default:1.0 w.Workload.weights
+  in
+  (* float counterparts of the structurally-monitored ports, over the
+     same pool slice (Suite's structural_cells use the override pool) *)
+  let structural_cells what mk =
+    List.mapi
+      (fun i w ->
+        {
+          Run.label = Printf.sprintf "%s#%d" what i;
+          workload = w;
+          driver =
+            (fun () ->
+              { Run.sched = mk w; monitors = Suite.structural (); on_reweight = None });
+        })
+      pool
+  in
+  let specs (w : Workload.t) =
+    List.map
+      (fun (f, r) ->
+        (f, { Sfq_sched.Delay_edd.rate = r; deadline = 1.0; max_len = 1000 }))
+      w.Workload.weights
+  in
+  let failures = ref 0 in
+  let table = Text_table.create [ "pair"; "cells"; "identical"; "wall s" ] in
+  let check name base_cells pifo_cells =
+    let (base, pifo_out), wall_s =
+      wall_time (fun () ->
+          (Run.sweep ~domains base_cells, Run.sweep ~domains pifo_cells))
+    in
+    let n = Array.length base in
+    let ok = ref 0 in
+    for i = 0 to n - 1 do
+      let db = Run.outcome_digest base.(i) and dp = Run.outcome_digest pifo_out.(i) in
+      if db = dp then incr ok
+      else begin
+        incr failures;
+        Printf.eprintf "pifo: MISMATCH %s cell %d:\n  float: %s\n  pifo:  %s\n" name i
+          db dp
+      end
+    done;
+    Text_table.add_row table
+      [ name; string_of_int n; Printf.sprintf "%d/%d" !ok n; Printf.sprintf "%.3f" wall_s ]
+  in
+  check "sfq = pifo-sfq" (Suite.sfq_cells ~pool ()) (prefixed "pifo-sfq#");
+  check "scfq = pifo-scfq" (Suite.scfq_cells ~pool ()) (prefixed "pifo-scfq#");
+  check "vc = pifo-vc"
+    (structural_cells "vc" (fun w ->
+         Sfq_sched.Virtual_clock.sched (Sfq_sched.Virtual_clock.create (weights_of w))))
+    (prefixed "pifo-vc#");
+  check "edd = pifo-edd"
+    (structural_cells "edd" (fun w ->
+         Sfq_sched.Delay_edd.sched (Sfq_sched.Delay_edd.create (specs w))))
+    (prefixed "pifo-edd#");
+  check "fqs = pifo-fqs"
+    (structural_cells "fqs" (fun w ->
+         Sfq_sched.Fqs.sched
+           (Sfq_sched.Fqs.create ~capacity:w.Workload.capacity (weights_of w))))
+    (prefixed "pifo-fqs#");
+  check "wf2q = pifo-wf2q"
+    (structural_cells "wf2q" (fun w ->
+         Sfq_sched.Wf2q.sched
+           (Sfq_sched.Wf2q.create ~capacity:w.Workload.capacity (weights_of w))))
+    (prefixed "pifo-wf2q#");
+  Text_table.print table;
+  if !failures = 0 then begin
+    Printf.printf "pifo: OK (%d domain(s))\n" domains;
+    0
+  end
+  else begin
+    Printf.eprintf "pifo: %d failure(s)\n" !failures;
+    1
+  end
+
 open Cmdliner
 
 let domains_arg =
@@ -456,10 +546,21 @@ let fastpath_cmd_t =
           theorem pool, and a clean-verdict check on the approximate sp-pifo cells")
     fastpath_t
 
+let pifo_t = Term.(const (fun d -> Stdlib.exit (pifo_cmd d)) $ fastpath_domains_arg)
+
+let pifo_cmd_t =
+  Cmd.v
+    (Cmd.info "pifo"
+       ~doc:
+         "Check the programmable PIFO runtime: cell-by-cell outcome-digest equality \
+          of every rank-program port (pifo-sfq/scfq/vc/edd/fqs/wf2q) against its \
+          hand-written original over the frozen theorem pool")
+    pifo_t
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info = Cmd.info "sfq-sweep" ~doc:"Domain-parallel experiment sweep CLI" in
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ run_cmd_t; list_cmd_t; golden_cmd_t; churn_cmd_t; fastpath_cmd_t ]))
+          [ run_cmd_t; list_cmd_t; golden_cmd_t; churn_cmd_t; fastpath_cmd_t; pifo_cmd_t ]))

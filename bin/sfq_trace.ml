@@ -121,7 +121,8 @@ let workloads =
 
 let disciplines =
   [ "sfq"; "scfq"; "fifo"; "drr"; "wrr"; "virtual-clock"; "wfq"; "wfq-real";
-    "fqs"; "wf2q"; "fair-airport"; "sfq-fast"; "scfq-fast"; "vc-fast"; "sp-pifo" ]
+    "fqs"; "wf2q"; "fair-airport"; "sfq-fast"; "scfq-fast"; "vc-fast"; "sp-pifo";
+    "pifo-sfq"; "pifo-scfq"; "pifo-vc"; "pifo-fqs"; "pifo-wf2q" ]
 
 (* Returns the sched, a v(t) sampler when the discipline has one, and
    — for SFQ — wires the tag hook so Tag events carry real tags. *)
@@ -147,6 +148,12 @@ let make_sched name tracer (w : Workload.t) =
   | "sp-pifo" ->
     let t = Sfq_fastpath.Sp_pifo.create weights in
     (Sfq_fastpath.Sp_pifo.sched t, Some (fun () -> Sfq_fastpath.Sp_pifo.vtime t))
+  | "pifo-sfq" ->
+    let t = Sfq_pifo.Pifo_sched.create (Sfq_pifo.Programs.sfq weights) in
+    (Sfq_pifo.Pifo_sched.sched t, Some (fun () -> Sfq_pifo.Pifo_sched.vtime t))
+  | "pifo-scfq" ->
+    let t = Sfq_pifo.Pifo_sched.create (Sfq_pifo.Programs.scfq weights) in
+    (Sfq_pifo.Pifo_sched.sched t, Some (fun () -> Sfq_pifo.Pifo_sched.vtime t))
   | name ->
     let spec =
       match name with
@@ -160,6 +167,9 @@ let make_sched name tracer (w : Workload.t) =
       | "wf2q" -> Sfq_experiments.Disc.Wf2q { capacity = cap }
       | "fair-airport" -> Sfq_experiments.Disc.Fair_airport
       | "vc-fast" -> Sfq_experiments.Disc.Virtual_clock_fast
+      | "pifo-vc" -> Sfq_experiments.Disc.Pifo_vc
+      | "pifo-fqs" -> Sfq_experiments.Disc.Pifo_fqs { capacity = cap }
+      | "pifo-wf2q" -> Sfq_experiments.Disc.Pifo_wf2q { capacity = cap }
       | other -> raise (Arg.Bad (Printf.sprintf "unknown discipline %S" other))
     in
     (Sfq_experiments.Disc.make spec weights, None)

@@ -17,6 +17,11 @@ type spec =
   | Scfq_fast
   | Virtual_clock_fast
   | Sp_pifo of { banks : int }
+  | Pifo_sfq
+  | Pifo_scfq
+  | Pifo_vc
+  | Pifo_fqs of { capacity : float }
+  | Pifo_wf2q of { capacity : float }
 
 let name = function
   | Sfq -> "SFQ"
@@ -34,6 +39,13 @@ let name = function
   | Scfq_fast -> "SCFQ-fast"
   | Virtual_clock_fast -> "VirtualClock-fast"
   | Sp_pifo { banks } -> Printf.sprintf "SP-PIFO/%d" banks
+  | Pifo_sfq -> "PIFO-SFQ"
+  | Pifo_scfq -> "PIFO-SCFQ"
+  | Pifo_vc -> "PIFO-VC"
+  | Pifo_fqs _ -> "PIFO-FQS"
+  | Pifo_wf2q _ -> "PIFO-WF2Q"
+
+let pifo prog = Sfq_pifo.Pifo_sched.sched (Sfq_pifo.Pifo_sched.create prog)
 
 let make spec weights =
   match spec with
@@ -54,3 +66,8 @@ let make spec weights =
     Sfq_fastpath.Virtual_clock_fast.sched (Sfq_fastpath.Virtual_clock_fast.create weights)
   | Sp_pifo { banks } ->
     Sfq_fastpath.Sp_pifo.sched (Sfq_fastpath.Sp_pifo.create ~banks weights)
+  | Pifo_sfq -> pifo (Sfq_pifo.Programs.sfq weights)
+  | Pifo_scfq -> pifo (Sfq_pifo.Programs.scfq weights)
+  | Pifo_vc -> pifo (Sfq_pifo.Programs.virtual_clock weights)
+  | Pifo_fqs { capacity } -> pifo (Sfq_pifo.Programs.fqs ~capacity weights)
+  | Pifo_wf2q { capacity } -> pifo (Sfq_pifo.Programs.wf2q ~capacity weights)

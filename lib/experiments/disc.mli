@@ -24,6 +24,12 @@ type spec =
   | Sp_pifo of { banks : int }
       (** approximate rank order on [banks] strict-priority FIFOs
           ({!Sfq_fastpath.Sp_pifo}) *)
+  | Pifo_sfq  (** SFQ as a rank program on the PIFO runtime ({!Sfq_pifo.Programs}) *)
+  | Pifo_scfq
+  | Pifo_vc
+  | Pifo_fqs of { capacity : float }
+  | Pifo_wf2q of { capacity : float }
+      (** shaped rank program: eligibility-gated by the GPS start tag *)
 
 val name : spec -> string
 val make : spec -> Weights.t -> Sched.t

@@ -1,0 +1,21 @@
+(** E26: rank-program ports vs hand-written originals.
+
+    Replays one frozen dyadic scenario per discipline (rates and
+    overrides from 100·2^k, lengths multiples of 100, quarter-step
+    clocks) through both the float original and its PIFO rank-program
+    port, and records the port's service order as an MD5 hash plus a
+    packet-for-packet physical-identity flag. The golden corpus pins
+    these rows: a quantization regression in the runtime or any port
+    flips [identical] or moves the hash. *)
+
+type row = {
+  disc : string;  (** sfq | scfq | vc | edd | fqs | wf2q | hsfq *)
+  departures : int;
+  order_hash : string;  (** MD5 of the "flow.seq" service order *)
+  identical : bool;  (** port == original, by physical packet identity *)
+}
+
+type result = { seed : int; rows : row list }
+
+val run : ?seed:int -> unit -> result
+val print : unit -> unit

@@ -76,6 +76,11 @@ let all =
       title = "E24 overload & churn robustness";
       run = fixed Churn_stress.run;
     };
+    {
+      id = "pifo-port";
+      title = "E26 PIFO rank-program ports vs originals";
+      run = seeded Pifo_port.run;
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
@@ -157,26 +162,38 @@ let compact_churn () =
         (List.length row.Churn_stress.violations))
     r.Churn_stress.rows
 
+let compact_pifo ?seed () =
+  let r = Pifo_port.run ?seed () in
+  List.map
+    (fun (row : Pifo_port.row) ->
+      Printf.sprintf "pifo-port.%s departures=%d order_hash=%s identical=%b"
+        row.Pifo_port.disc row.Pifo_port.departures row.Pifo_port.order_hash
+        row.Pifo_port.identical)
+    r.Pifo_port.rows
+
 let compact ~id ?seed ~quick () =
   match id with
   | "example-1" -> Some (String.concat "\n" (compact_example1 ()))
   | "fig-1b" -> Some (String.concat "\n" (compact_fig1b ?seed ()))
   | "table-1" -> Some (String.concat "\n" (compact_table1 ~quick ()))
   | "churn-stress" -> Some (String.concat "\n" (compact_churn ()))
+  | "pifo-port" -> Some (String.concat "\n" (compact_pifo ?seed ()))
   | _ -> None
 
 let golden_corpus () =
   String.concat "\n"
     ([
        "# Golden compact digests: E1 (example-1), E3/Fig-1(b) (fig-1b, default";
-       "# seed), Table 1 (table-1, quick mode), E24 (churn-stress). Per-flow";
-       "# packet counts, service order hashes, drop counts and %h-exact";
-       "# headline numbers under the default seeds.";
+       "# seed), Table 1 (table-1, quick mode), E24 (churn-stress), E26";
+       "# (pifo-port, one service-order hash + identity flag per rank-program";
+       "# discipline). Per-flow packet counts, service order hashes, drop";
+       "# counts and %h-exact headline numbers under the default seeds.";
        "# Regenerate after an intentional behavioral change with:";
        "#   dune exec bin/sfq_sweep.exe -- golden > test/golden/digests.expected";
      ]
     @ compact_example1 ()
     @ compact_fig1b ()
     @ compact_table1 ~quick:true ()
-    @ compact_churn ())
+    @ compact_churn ()
+    @ compact_pifo ())
   ^ "\n"

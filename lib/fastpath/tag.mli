@@ -80,4 +80,14 @@ val tie_encode : float -> int
 (** Order-preserving int image of a float tie value, for {!Iheap} tie
     slots. Non-strict: doubles 1 ulp apart may collapse onto the same
     int, in which case ordering falls through to the uid (arrival
-    order). @raise Invalid_argument on NaN. *)
+    order).
+
+    Saturation boundary: the image never wraps. The encoding shifts
+    the IEEE-754 bit pattern into 62 significant bits, so even
+    [infinity] (the largest representable input) maps to a positive
+    int above every finite image, [neg_infinity] to its exact
+    negation below every finite image, and [-0.0] to [0] — monotone
+    order is preserved across the whole extended real line rather
+    than overflowing to the opposite sign. The only rejected input is
+    NaN, which has no place in a total order.
+    @raise Invalid_argument on NaN. *)

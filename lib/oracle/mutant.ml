@@ -9,10 +9,13 @@ type mode =
   | Lazy_idle
   | Wrong_queue_drop
   | Stale_reopen
+  | Pifo_wrong_rank
+  | Pifo_stale_state
+  | Pifo_no_vtime
 
 let all =
   [ Stale_vtime; No_weight; Finish_key; Lifo; Lazy_idle; Wrong_queue_drop;
-    Stale_reopen ]
+    Stale_reopen; Pifo_wrong_rank; Pifo_stale_state; Pifo_no_vtime ]
 
 let name = function
   | Stale_vtime -> "stale_vtime"
@@ -22,11 +25,63 @@ let name = function
   | Lazy_idle -> "lazy_idle"
   | Wrong_queue_drop -> "wrong_queue_drop"
   | Stale_reopen -> "stale_reopen"
+  | Pifo_wrong_rank -> "pifo_wrong_rank"
+  | Pifo_stale_state -> "pifo_stale_state"
+  | Pifo_no_vtime -> "pifo_no_vtime"
+
+(* The rank-program mutants run through the real Pifo_sched runtime —
+   each is Programs.sfq with exactly one line broken, so a kill here
+   certifies that the oracle suite sees through the runtime, not just
+   through the hand-written clone below. *)
+let pifo_sched mode weights =
+  let open Sfq_fastpath in
+  let open Sfq_pifo in
+  let fs = Flow_state.create weights in
+  let v = ref 0 and mfs = ref 0 in
+  let regs = Rank_program.regs () in
+  let prog =
+    {
+      Rank_program.name = "pifo-mutant-" ^ name mode;
+      regs;
+      shaped = false;
+      rank =
+        (fun ~now:_ pkt ->
+          let d = Flow_state.delta fs pkt in
+          let fprev = Flow_state.get fs pkt.Packet.flow in
+          let stag = if !v > fprev then !v else fprev in
+          let ftag = Tag.sat_add stag d in
+          (* the bug: Pifo_stale_state never advances the per-flow
+             finish tag, so every packet re-enters at S = v and the
+             weight normalization in eq. 4 is lost *)
+          if mode <> Pifo_stale_state then Flow_state.set fs pkt.Packet.flow ftag;
+          regs.aux <- ftag;
+          (* the bug: Pifo_wrong_rank emits the finish tag as the rank
+             — the §2.3 serve-by-F pitfall, now one token in a rank
+             program instead of a heap-key rewrite *)
+          if mode = Pifo_wrong_rank then ftag else stag);
+      on_dequeue =
+        (fun ~key ~aux ~empty:_ ->
+          (* the bug: Pifo_no_vtime drops the virtual-time update, so
+             v(t) sticks at 0 and late-waking flows re-enter at S ≈ 0 *)
+          if mode <> Pifo_no_vtime then begin
+            v := key;
+            if aux > !mfs then mfs := aux
+          end);
+      on_idle =
+        (fun () -> if mode <> Pifo_no_vtime && !mfs > !v then v := !mfs);
+      horizon = Rank_program.no_horizon;
+      attach = Rank_program.no_attach;
+      on_close = (fun ~now:_ flow -> Flow_state.forget fs flow);
+      vtime = (fun () -> Tag.decode (Flow_state.codec fs) !v);
+    }
+  in
+  let s = Pifo_sched.create prog in
+  (Pifo_sched.sched s, fun () -> Pifo_sched.vtime s)
 
 (* An SFQ clone small enough to break on purpose: a single Fheap over
    every queued packet (no per-flow rings — Flow_heap's FIFO structure
    would make the Lifo mutant unrepresentable). *)
-let sched mode weights =
+let float_sched mode weights =
   let heap : (float * Packet.t) Fheap.t = Fheap.create () in
   let finish : (Packet.flow, float) Hashtbl.t = Hashtbl.create 16 in
   let counts : (Packet.flow, int) Hashtbl.t = Hashtbl.create 16 in
@@ -133,6 +188,12 @@ let sched mode weights =
   in
   (s, fun () -> !v)
 
+let sched mode weights =
+  match mode with
+  | Pifo_wrong_rank | Pifo_stale_state | Pifo_no_vtime ->
+    pifo_sched mode weights
+  | _ -> float_sched mode weights
+
 let burst ?rate ~at ~flow ~len n : Workload.arrival list =
   List.init n (fun _ -> { Workload.at; flow; len; rate })
 
@@ -147,8 +208,14 @@ let base ~capacity ~weights arrivals : Workload.t =
     buffer = None;
   }
 
-let workload mode : Workload.t =
+let rec workload mode : Workload.t =
   match mode with
+  (* Each rank-program mutant reproduces a classic bug whose crafted
+     kill-trace already exists: reuse it, the violation margins carry
+     over unchanged (the fixed-point quantization is ~1e-6 of them). *)
+  | Pifo_wrong_rank -> workload Finish_key
+  | Pifo_stale_state -> workload No_weight
+  | Pifo_no_vtime -> workload Stale_vtime
   | Stale_vtime ->
     (* f2 wakes at t=50 with v stuck at 0: its start tags restart at 0
        and it monopolizes the link until they catch up — during the
@@ -213,3 +280,6 @@ let expected_monitor = function
   | Lazy_idle -> "work_conserving"
   | Wrong_queue_drop -> "flow_fifo"
   | Stale_reopen -> "fairness"
+  | Pifo_wrong_rank -> "sfq_delay"
+  | Pifo_stale_state -> "fairness"
+  | Pifo_no_vtime -> "fairness"

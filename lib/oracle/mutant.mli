@@ -42,6 +42,19 @@ type mode =
           instead of [v(t)] (eq. 4 after state discard) and is starved
           while the other flow drains: breaks Theorem 1. Its workload
           carries a churn event. *)
+  | Pifo_wrong_rank
+      (** Rank-program mutant (runs through the real
+          {!Sfq_pifo.Pifo_sched} runtime): the SFQ rank program emits
+          the {e finish} tag as the rank — the §2.3 serve-by-F pitfall
+          as a one-token program edit: breaks Theorem 4. *)
+  | Pifo_stale_state
+      (** Rank-program mutant: the program never writes the per-flow
+          finish tag back, so every packet re-enters at [S = v] and
+          eq. 4's weight normalization is lost: breaks Theorem 1. *)
+  | Pifo_no_vtime
+      (** Rank-program mutant: the program drops the virtual-time
+          update in its dequeue hook, so [v] sticks at 0 and a flow
+          waking mid-busy-period steals service: breaks Theorem 1. *)
 
 val all : mode list
 val name : mode -> string

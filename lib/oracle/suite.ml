@@ -243,9 +243,52 @@ let fastpath_cells ?(pool = theorem_pool) () =
           on_reweight = None;
         })
 
+(* Rank-program cells: every Programs port through the Pifo_sched
+   runtime faces the same monitor set as its hand-written counterpart
+   over a 90-trace slice of the theorem pool — pifo-sfq/pifo-scfq keep
+   the full theorem sets (equivalence with the fast path is the
+   point), the clock- and GPS-driven ports carry the structural
+   invariants like their float originals in [structural_cells]. *)
+let pifo_cells ?(pool = theorem_pool) () =
+  let open Sfq_pifo in
+  let pool = List.filteri (fun i _ -> i < 90) pool in
+  let specs (w : Workload.t) =
+    List.map
+      (fun (f, r) -> (f, { Delay_edd.rate = r; deadline = 1.0; max_len = 1000 }))
+      w.Workload.weights
+  in
+  let structural_cell what mk =
+    cells ~what pool ~driver:(fun w ->
+        {
+          Run.sched = Pifo_sched.sched (Pifo_sched.create (mk w));
+          monitors = structural ();
+          on_reweight = None;
+        })
+  in
+  cells ~what:"pifo-sfq" pool ~driver:(fun w ->
+      let s = Pifo_sched.create (Programs.sfq (weights_of w)) in
+      {
+        Run.sched = Pifo_sched.sched s;
+        monitors = sfq_set w ~vtime:(fun () -> Pifo_sched.vtime s);
+        on_reweight = None;
+      })
+  @ cells ~what:"pifo-scfq" pool ~driver:(fun w ->
+        let s = Pifo_sched.create (Programs.scfq (weights_of w)) in
+        {
+          Run.sched = Pifo_sched.sched s;
+          monitors = scfq_set w ~vtime:(fun () -> Pifo_sched.vtime s);
+          on_reweight = None;
+        })
+  @ structural_cell "pifo-vc" (fun w -> Programs.virtual_clock (weights_of w))
+  @ structural_cell "pifo-edd" (fun w -> Programs.delay_edd (specs w))
+  @ structural_cell "pifo-fqs" (fun w ->
+        Programs.fqs ~capacity:w.Workload.capacity (weights_of w))
+  @ structural_cell "pifo-wf2q" (fun w ->
+        Programs.wf2q ~capacity:w.Workload.capacity (weights_of w))
+
 let all_cells () =
   sfq_cells () @ scfq_cells () @ sfq_override_cells () @ structural_cells ()
-  @ reweight_cells () @ stress_cells () @ fastpath_cells ()
+  @ reweight_cells () @ stress_cells () @ fastpath_cells () @ pifo_cells ()
 
 (* The full SFQ theorem set presupposes a loss-free run, so the
    buffer-overflow mutant gets the stress set (its expected monitor,

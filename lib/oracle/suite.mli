@@ -78,12 +78,22 @@ val fastpath_cells : ?pool:Workload.t list -> unit -> Run.cell list
     fails). Labels ["sfq-fast#i"], ["scfq-fast#i"], ["vc-fast#i"],
     ["sp-pifo#i"]. *)
 
+val pifo_cells : ?pool:Workload.t list -> unit -> Run.cell list
+(** Every {!Sfq_pifo.Programs} rank program through the
+    {!Sfq_pifo.Pifo_sched} runtime, over the first 90 traces of [pool]
+    (default {!theorem_pool}): pifo-sfq under the full SFQ theorem
+    set, pifo-scfq under the SCFQ set, and the clock-/GPS-driven ports
+    (pifo-vc, pifo-edd, pifo-fqs, pifo-wf2q) under the structural
+    invariants, mirroring their float originals' sets. Labels
+    ["pifo-<disc>#i"]. *)
+
 val all_cells : unit -> Run.cell list
 (** The whole acceptance sweep, in a fixed order: {!sfq_cells},
     {!scfq_cells}, {!sfq_override_cells}, {!structural_cells},
-    {!reweight_cells}, {!stress_cells}, {!fastpath_cells} — 2160
-    cells. Cells are only ever appended, so registry indices (and the
-    seeds derived from them) stay stable across versions. *)
+    {!reweight_cells}, {!stress_cells}, {!fastpath_cells},
+    {!pifo_cells} — 2700 cells. Cells are only ever appended, so
+    registry indices (and the seeds derived from them) stay stable
+    across versions. *)
 
 val mutant_cells : unit -> (Mutant.mode * Run.cell) list
 (** One cell per seeded bug: the mutant scheduler under the full SFQ

@@ -1,0 +1,84 @@
+(** Dense fixed-point per-flow state for rank programs.
+
+    The factored-out array layout of {!Sfq_fastpath.Sfq_fast}: one int
+    tag slot per flow (finish tag, EAT floor — whatever the program
+    stores) and a cached [scale /. rate] float so a packet's virtual
+    length is one multiply + round. Every operation keeps its floats
+    internal — arguments and results are ints or pointers — so a rank
+    program built on this module stays allocation-free in steady state
+    even across the module boundary (nothing here forces a float box).
+
+    Growth, activation (first packet of a flow since creation or
+    close) and the [Weights.get] snapshot behave exactly as in the
+    hand-written fast-path schedulers: the weight function is read
+    once per flow activation and cached until {!forget}, which is the
+    documented fast-path divergence from the float originals under
+    mid-backlog reweighting. *)
+
+open Sfq_base
+
+type t
+
+val create : ?frac_bits:int -> Weights.t -> t
+(** Fresh state over a {!Sfq_fastpath.Tag} codec with [frac_bits]
+    fractional bits (default 20). *)
+
+val codec : t -> Sfq_fastpath.Tag.t
+
+val delta : t -> Packet.t -> int
+(** The packet's tag increment [round (len * scale / rate)], clamped to
+    [[1, Tag.max_tag]]. Uses the cached flow rate, activating the flow
+    (one [Weights.get] call) if this is its first packet; a per-packet
+    rate override ([pkt.rate = Some r]) replaces the flow rate for this
+    packet only. Grows the arrays as needed.
+    @raise Invalid_argument if the flow's rate is [<= 0]. *)
+
+val delta_reserved : t -> Packet.t -> int
+(** Like {!delta} but ignoring per-packet rate overrides — SCFQ prices
+    every packet at the flow's reserved rate, as the float original
+    does. *)
+
+val advance : t -> floor:int -> Packet.t -> int
+(** Fused SFQ-shape update in one call: grow/activate as needed,
+    compute the packet's {!delta} [d] (honouring a per-packet rate
+    override), read the flow's previous tag [fprev], take
+    [stag = max floor fprev], store [sat_add stag d] back into the
+    slot, and return [stag]. The stored finish tag is readable via
+    {!last}. Semantically identical to
+    [delta]/[get]/[max]/[sat_add]/[set] but one module-boundary call
+    and one bounds check instead of three of each — the rank-program
+    hot path's answer to the hand-written schedulers' inlined
+    enqueue. *)
+
+val advance_reserved : t -> floor:int -> Packet.t -> int
+(** {!advance} pricing every packet at the flow's reserved rate
+    (ignoring per-packet overrides) — the SCFQ convention. *)
+
+val advance_eat : t -> now:float -> Packet.t -> int
+(** Fused Virtual-Clock-shape update: compute [d] (honouring rate
+    overrides) and [nt = now_tag now], read the flow's EAT floor
+    [fl], take [eat = max nt fl], store [sat_add eat d], and return
+    [eat]. The stored stamp is readable via {!last}. *)
+
+val last : t -> int
+(** The tag stored by the most recent [advance]/[advance_reserved]/
+    [advance_eat] call (0 before the first) — lets a rank program
+    publish the secondary output without tupling. *)
+
+val get : t -> Packet.flow -> int
+(** The flow's tag slot (0 if never written — matching the float
+    schedulers' [F = 0] / clamped EAT-floor defaults). *)
+
+val set : t -> Packet.flow -> int -> unit
+
+val now_tag : t -> float -> int
+(** Real time encoded as a tag: [round (now * scale)], negative clocks
+    clamping to 0 (the slot default) and the rail saturating — the
+    {!Sfq_fastpath.Virtual_clock_fast} convention. *)
+
+val clear : t -> unit
+(** Zero every tag slot, keeping rate caches — SCFQ's idle reset. *)
+
+val forget : t -> Packet.flow -> unit
+(** Flow closure: zero the flow's tag slot and drop its cached rate so
+    a reopened id re-reads the weight function. *)

@@ -1,0 +1,78 @@
+(** The shared PIFO runtime: one push-in-first-out queue serving any
+    {!Rank_program}.
+
+    The runtime owns everything that is {e not} discipline logic —
+    which, per Alcoz & Vass et al. ("Everything Matters in Programmable
+    Packet Scheduling"), is where scheduler correctness actually
+    lives: admission (rank clamping at the {!Sfq_fastpath.Tag}
+    saturation rail — ranks saturate, never wrap), FIFO-stable tie
+    resolution (the {!Sfq_sched.Iflow_heap} [(key, tie, uid)] contract,
+    with per-flow tie values cached at activation exactly like the
+    hand-written fast path), the PR 5 evict/close lifecycle, and the
+    optional two-stage shaper for {!Rank_program.shaped} disciplines.
+
+    Layout per stage:
+    - unshaped: a single {!Sfq_sched.Iflow_heap} (per-flow FIFO rings,
+      heads-only int heap). [enqueue]/[dequeue_exn] allocate nothing in
+      steady state — the rank call is closure dispatch with int
+      arguments, per-packet outputs travel through the program's
+      pre-allocated {!Rank_program.regs} cell.
+    - shaped (WF²Q): packets wait in a shaper [Iflow_heap] keyed by
+      eligibility rank and move to a service {!Sfq_util.Iheap} keyed by
+      service rank once {!Rank_program.t.horizon} passes their
+      eligibility — carrying their original arrival uid, so ties
+      resolve exactly as in the hand-written two-stage scheduler. When
+      nothing is eligible the earliest eligibility rank is served
+      instead (work conservation).
+
+    Eviction removes packets without rolling tags back (the flow keeps
+    its virtual-time charge, eq. 4); closing flushes the flow, resets
+    the runtime's tie cache and then hands the flow id to the
+    program's [on_close]. *)
+
+open Sfq_base
+
+type t
+
+val create :
+  ?tie:Sfq_sched.Tag_queue.tie -> ?capacity:int -> Rank_program.t -> t
+(** Build a runtime instance around a rank program. [tie] refines
+    ordering among equal ranks of different flows (default
+    [Arrival]); [capacity] pre-sizes the flow-head heap. Calls the
+    program's [attach] hook with this instance's [size] thunk. *)
+
+val enqueue : t -> now:float -> Packet.t -> unit
+(** Rank and admit one packet.
+    @raise Invalid_argument if [pkt.flow < 0]. *)
+
+val dequeue : t -> now:float -> Packet.t option
+(** Serve the smallest [(rank, tie, uid)] entry; [None] (after firing
+    the program's [on_idle] busy-period hook) when empty. *)
+
+val dequeue_exn : t -> Packet.t
+(** Non-allocating dequeue for callers that already know the queue is
+    non-empty (pair with {!is_empty}); shaped programs promote against
+    the last observed clock. @raise Invalid_argument if empty. *)
+
+val peek : t -> Packet.t option
+val size : t -> int
+val is_empty : t -> bool
+val backlog : t -> Packet.flow -> int
+
+val evict : t -> Sched.victim -> Packet.flow -> Packet.t option
+val close_flow : t -> now:float -> Packet.flow -> Packet.t list
+
+val vtime : t -> float
+(** The program's decoded virtual time (0 for clockless programs). *)
+
+val high_tag : t -> int
+(** Largest (clamped) rank ever admitted. *)
+
+val saturated : t -> bool
+(** Has any admitted rank hit the {!Sfq_fastpath.Tag.max_tag} rail? *)
+
+val program : t -> Rank_program.t
+
+val sched : t -> Sched.t
+(** The full {!Sched.t} surface under the program's name, so [Disc],
+    the netsim server, sweeps, tracing and [Buffered] work unchanged. *)

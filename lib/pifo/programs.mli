@@ -1,0 +1,52 @@
+(** The paper's disciplines as rank programs.
+
+    Each constructor below is the ~20-line port of one hand-written
+    scheduler onto the {!Pifo_sched} runtime; the equivalence harness
+    ([test/test_pifo_equiv.ml]) holds every port to its original —
+    packet-for-packet on dyadic workloads for the pure fixed-point
+    programs, outcome-digest over the frozen pools for the GPS-clocked
+    ones (whose tags involve non-dyadic fluid divisions).
+
+    Quantization and rate-snapshot caveats are those of the fixed-point
+    fast path (see {!Sfq_fastpath.Tag} and {!Flow_state}). Tie-breaking
+    configuration ([Tag_queue.tie]) belongs to the runtime, not the
+    program: pass it to {!Pifo_sched.create}. *)
+
+open Sfq_base
+
+val sfq :
+  ?busy_rule:Sfq_core.Sfq.busy_rule -> ?frac_bits:int -> Weights.t -> Rank_program.t
+(** Start-time fair queueing, eqs. 4–5: rank = start tag
+    [max (v, F_prev)], [v] follows the served start tag, busy rule as
+    in the float original (default [Idle_poll]). Honors per-packet
+    rate overrides. Name ["pifo-sfq"]. *)
+
+val scfq : ?frac_bits:int -> Weights.t -> Rank_program.t
+(** Self-clocked fair queueing (eq. 56): rank = finish tag, [v] =
+    finish tag in service, idle reset clears [v] and every per-flow
+    finish tag. Ignores rate overrides. Name ["pifo-scfq"]. *)
+
+val virtual_clock : ?frac_bits:int -> Weights.t -> Rank_program.t
+(** Virtual Clock: rank = [max (now, EAT_floor) + len/rate], the floor
+    advancing to the rank. Reads real time; no virtual clock to
+    expose. Name ["pifo-vc"]. *)
+
+val delay_edd :
+  ?frac_bits:int -> (Packet.flow * Sfq_sched.Delay_edd.flow_spec) list -> Rank_program.t
+(** Delay EDD: rank = [EAT + deadline] against each flow's declared
+    spec; the spec is configuration and survives close, the EAT floor
+    does not.
+    @raise Invalid_argument on an invalid spec, or (at enqueue) on a
+    packet of an undeclared flow. Name ["pifo-edd"]. *)
+
+val fqs : capacity:float -> ?frac_bits:int -> Weights.t -> Rank_program.t
+(** Fair queueing based on start time: rank = the GPS fluid start tag
+    (eq. 1). The program attaches the runtime's size thunk as the
+    fluid clock's busy-period guard. Name ["pifo-fqs"]. *)
+
+val wf2q : capacity:float -> ?frac_bits:int -> Weights.t -> Rank_program.t
+(** Worst-case fair weighted fair queueing, as a {e shaped} program:
+    service rank = GPS finish tag, eligibility rank = GPS start tag,
+    horizon = the GPS virtual time — the runtime's shaper stage
+    reproduces the hand-written two-stage scheduler. Name
+    ["pifo-wf2q"]. *)

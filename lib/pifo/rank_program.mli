@@ -1,0 +1,91 @@
+(** A scheduling discipline as a {e rank program}.
+
+    Sivaraman et al., "Programmable Packet Scheduling at Line Rate"
+    observe that most per-flow scheduling disciplines decompose into
+    (a) a tiny per-packet {e rank computation} executed at enqueue and
+    (b) one shared priority-queue runtime that serves packets in rank
+    order. This module is the interface of part (a); {!Pifo_sched} is
+    part (b). A discipline port is a value of {!t}: a record of
+    closures over the program's hidden per-flow state, mirroring the
+    repo's {!Sfq_base.Sched} convention so the runtime can call the
+    hooks without functor plumbing and — critically for the SFQ fast
+    path — without allocating.
+
+    The hot contract: {!t.rank} returns the packet's int service rank
+    (a {!Sfq_fastpath.Tag}-scaled virtual time in every shipped
+    program, though the runtime only requires ranks to be
+    order-meaningful ints). Additional per-packet outputs travel
+    through the pre-allocated {!regs} cell rather than a result record,
+    so a rank call is closure dispatch + int stores — no tuple, no
+    boxing. The runtime clamps returned ranks into [[0, Tag.max_tag]]
+    (saturate, never wrap; see the {!Sfq_fastpath.Tag} overflow
+    discussion).
+
+    Virtual-time bookkeeping happens in {!t.on_dequeue} (called with
+    the served entry's ordering fields — SFQ sets [v] to the served
+    start tag here) and {!t.on_idle} (called whenever the runtime is
+    polled while empty — the busy-period rules of §2 of the paper).
+    The PR 5 lifecycle arrives through {!t.on_close}; eviction needs no
+    hook because no shipped discipline rolls tags back on evict.
+
+    Two-stage (shaped) disciplines such as WF²Q set {!t.shaped}: the
+    rank call then also deposits an {e eligibility} rank in
+    [regs.eligible], and the runtime holds the packet in a shaper stage
+    until {!t.horizon} (e.g. the GPS virtual time) passes that rank. *)
+
+open Sfq_base
+
+type regs = {
+  mutable aux : int;
+      (** second per-packet output of {!t.rank}: stored next to the
+          packet and handed back to {!t.on_dequeue} (SFQ's finish
+          tag). *)
+  mutable eligible : int;
+      (** eligibility rank, read only when the program is {!t.shaped}
+          (WF²Q's start tag). *)
+}
+
+type t = {
+  name : string;  (** becomes [Sched.name] of the runtime instance *)
+  regs : regs;  (** out-parameter cell written by [rank] *)
+  shaped : bool;
+      (** two-stage discipline: packets wait in a shaper until
+          [horizon] reaches their [regs.eligible] rank *)
+  rank : now:float -> Packet.t -> int;
+      (** per-packet rank computation (enqueue time). Returns the
+          service rank; may write {!regs}. *)
+  on_dequeue : key:int -> aux:int -> empty:bool -> unit;
+      (** served-packet hook: [key] is the entry's service rank, [aux]
+          the value [rank] left in [regs.aux] at enqueue, [empty]
+          whether the queue drained with this removal. *)
+  on_idle : unit -> unit;
+      (** the runtime was polled ([dequeue]) while empty — busy period
+          over. *)
+  horizon : now:float -> int;
+      (** shaped programs: the current eligibility horizon; entries
+          with [regs.eligible <= horizon ~now] may be served. Consulted
+          once per dequeue/peek, never for unshaped programs. *)
+  attach : (unit -> int) -> unit;
+      (** called once by {!Pifo_sched.create} with the runtime's
+          [size] thunk, for programs whose clock needs to observe real
+          queue occupancy (the GPS busy-period guard). *)
+  on_close : now:float -> Packet.flow -> unit;
+      (** forget the flow's per-flow state (finish tag, EAT floor,
+          fluid backlog) after the runtime flushed its packets. *)
+  vtime : unit -> float;
+      (** decoded virtual time, for the oracle monitors; programs
+          without a virtual clock return 0. *)
+}
+
+val regs : unit -> regs
+(** A fresh zeroed out-parameter cell. *)
+
+val no_dequeue : key:int -> aux:int -> empty:bool -> unit
+val no_idle : unit -> unit
+
+val no_horizon : now:float -> int
+(** Always 0; placeholder for unshaped programs. *)
+
+val no_attach : (unit -> int) -> unit
+val no_close : now:float -> Packet.flow -> unit
+val no_vtime : unit -> float

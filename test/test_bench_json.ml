@@ -9,7 +9,7 @@ let check_bool = Alcotest.(check bool)
 
 let valid_doc =
   {|{
-  "schema": "sfq-bench-sched/4",
+  "schema": "sfq-bench-sched/5",
   "quick": true,
   "unit": "ns per enqueue+dequeue",
   "meta": {"git_sha": "deadbeef", "timestamp_utc": "2026-08-06T00:00:00Z", "hostname": "box", "domains": 2},
@@ -28,6 +28,11 @@ let valid_doc =
     {"discipline": "virtual-clock", "flows": 512, "ns_per_packet": 180.0, "ns_p50": 180.0, "ns_p99": 190.0, "allocations_per_packet": 12.0},
     {"discipline": "vc-fast", "flows": 512, "ns_per_packet": 90.0, "ns_p50": 90.0, "ns_p99": 100.0, "allocations_per_packet": 0.000},
     {"discipline": "sp-pifo", "flows": 512, "ns_per_packet": 80.0, "ns_p50": 80.0, "ns_p99": 90.0, "allocations_per_packet": 0.000, "measured_unfairness": 2.5, "fairness_bound": 4.0, "unfairness_excess": -1.5, "pairs_checked": 28}
+  ],
+  "pifo": [
+    {"discipline": "pifo-sfq", "flows": 512, "ns_per_packet": 110.0, "ns_p50": 110.0, "ns_p99": 120.0, "allocations_per_packet": 0.000},
+    {"discipline": "pifo-scfq", "flows": 512, "ns_per_packet": 105.0, "ns_p50": 105.0, "ns_p99": 115.0, "allocations_per_packet": 0.000},
+    {"discipline": "pifo-vc", "flows": 512, "ns_per_packet": 100.0, "ns_p50": 100.0, "ns_p99": 110.0, "allocations_per_packet": 0.000}
   ],
   "tracing_overhead": [
     {"mode": "untraced", "flows": 512, "depth": 64, "ns_per_packet": 300.0, "ns_p50": 300.0, "ns_p99": 310.0, "overhead_pct": null},
@@ -72,12 +77,20 @@ let fastpath_frag =
      {"discipline": "vc-fast", "flows": 512, "ns_per_packet": 90.0, "ns_p50": 90.0, "ns_p99": 100.0, "allocations_per_packet": 0.000},
      {"discipline": "sp-pifo", "flows": 512, "ns_per_packet": 80.0, "ns_p50": 80.0, "ns_p99": 90.0, "allocations_per_packet": 0.000, "measured_unfairness": 2.5, "fairness_bound": 4.0, "unfairness_excess": -1.5, "pairs_checked": 28}]|}
 
-let mk ?(schema = "sfq-bench-sched/4") ?(meta = meta_frag) ?(flow = flow_frag)
-    ?(depth = depth_frag) ?(fastpath = fastpath_frag) ?(overhead = overhead_frag)
-    ?(parallel = parallel_frag) () =
+(* A minimal pifo series that satisfies the rank-program gates against
+   fastpath_frag's sfq-fast at 100 ns: pifo-sfq within the 15% budget
+   and allocation-free, all three disciplines present. *)
+let pifo_frag =
+  {|[{"discipline": "pifo-sfq", "flows": 512, "ns_per_packet": 110.0, "ns_p50": 110.0, "ns_p99": 120.0, "allocations_per_packet": 0.000},
+     {"discipline": "pifo-scfq", "flows": 512, "ns_per_packet": 105.0, "ns_p50": 105.0, "ns_p99": 115.0, "allocations_per_packet": 0.000},
+     {"discipline": "pifo-vc", "flows": 512, "ns_per_packet": 100.0, "ns_p50": 100.0, "ns_p99": 110.0, "allocations_per_packet": 0.000}]|}
+
+let mk ?(schema = "sfq-bench-sched/5") ?(meta = meta_frag) ?(flow = flow_frag)
+    ?(depth = depth_frag) ?(fastpath = fastpath_frag) ?(pifo = pifo_frag)
+    ?(overhead = overhead_frag) ?(parallel = parallel_frag) () =
   Printf.sprintf
-    {|{"schema": %S, "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "tracing_overhead": %s, "parallel": %s}|}
-    schema meta flow depth fastpath overhead parallel
+    {|{"schema": %S, "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "pifo": %s, "tracing_overhead": %s, "parallel": %s}|}
+    schema meta flow depth fastpath pifo overhead parallel
 
 let expect_error name needle contents =
   match Bench_json.validate contents with
@@ -155,13 +168,14 @@ let test_rejects_missing_fields () =
   expect_error "wrong schema" "unexpected schema" (mk ~schema:"sfq-bench-sched/1" ());
   expect_error "stale schema/2" "unexpected schema" (mk ~schema:"sfq-bench-sched/2" ());
   expect_error "stale schema/3" "unexpected schema" (mk ~schema:"sfq-bench-sched/3" ());
+  expect_error "stale schema/4" "unexpected schema" (mk ~schema:"sfq-bench-sched/4" ());
   expect_error "meta without domains" "missing field \"domains\""
     (mk
        ~meta:{|{"git_sha": "deadbeef", "timestamp_utc": "2026-08-06T00:00:00Z", "hostname": "box"}|}
        ());
   expect_error "no meta" "missing field \"meta\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/4", "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
+       {|{"schema": "sfq-bench-sched/5", "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
        flow_frag depth_frag overhead_frag);
   expect_error "empty git_sha" "git_sha"
     (mk
@@ -169,11 +183,11 @@ let test_rejects_missing_fields () =
        ());
   expect_error "no depth_scaling" "missing field \"depth_scaling\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/4", "meta": %s, "flow_scaling": %s, "tracing_overhead": %s}|}
+       {|{"schema": "sfq-bench-sched/5", "meta": %s, "flow_scaling": %s, "tracing_overhead": %s}|}
        meta_frag flow_frag overhead_frag);
   expect_error "no fastpath" "missing field \"fastpath\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/4", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
+       {|{"schema": "sfq-bench-sched/5", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
        meta_frag flow_frag depth_frag overhead_frag);
   expect_error "row without flows" "missing field \"flows\""
     (mk ~flow:{|[{"discipline": "sfq", "ns_per_packet": 1.0, "ns_p50": 1.0, "ns_p99": 1.2}]|} ());
@@ -224,8 +238,8 @@ let test_rejects_bad_overhead () =
 let test_rejects_bad_parallel () =
   expect_error "missing parallel" "missing field \"parallel\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/4", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "tracing_overhead": %s}|}
-       meta_frag flow_frag depth_frag fastpath_frag overhead_frag);
+       {|{"schema": "sfq-bench-sched/5", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "pifo": %s, "tracing_overhead": %s}|}
+       meta_frag flow_frag depth_frag fastpath_frag pifo_frag overhead_frag);
   expect_error "empty parallel" "parallel is empty" (mk ~parallel:"[]" ());
   (* the determinism witness: a file recording a parallel sweep that
      diverged from the serial reference is itself invalid *)
@@ -322,6 +336,43 @@ let test_rejects_bad_fastpath () =
             "scfq-fast")
        ())
 
+let test_rejects_bad_pifo () =
+  expect_error "missing pifo series" "missing field \"pifo\""
+    (Printf.sprintf
+       {|{"schema": "sfq-bench-sched/5", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "tracing_overhead": %s, "parallel": %s}|}
+       meta_frag flow_frag depth_frag fastpath_frag overhead_frag parallel_frag);
+  expect_error "empty pifo" "pifo is empty" (mk ~pifo:"[]" ());
+  (* rank programs may pay a bounded dispatch premium, never an allocation *)
+  expect_error "allocating pifo-sfq" "zero-allocation contract"
+    (mk
+       ~pifo:
+         {|[{"discipline": "pifo-sfq", "flows": 512, "ns_per_packet": 110.0, "ns_p50": 110.0, "ns_p99": 120.0, "allocations_per_packet": 2.0},
+            {"discipline": "pifo-scfq", "flows": 512, "ns_per_packet": 105.0, "ns_p50": 105.0, "ns_p99": 115.0, "allocations_per_packet": 0.000},
+            {"discipline": "pifo-vc", "flows": 512, "ns_per_packet": 100.0, "ns_p50": 100.0, "ns_p99": 110.0, "allocations_per_packet": 0.000}]|}
+       ());
+  (* fastpath_frag's sfq-fast sits at 100 ns: 116 ns breaches the 15% budget *)
+  expect_error "slow pifo-sfq" "over budget"
+    (mk
+       ~pifo:
+         {|[{"discipline": "pifo-sfq", "flows": 512, "ns_per_packet": 116.0, "ns_p50": 116.0, "ns_p99": 120.0, "allocations_per_packet": 0.000},
+            {"discipline": "pifo-scfq", "flows": 512, "ns_per_packet": 105.0, "ns_p50": 105.0, "ns_p99": 115.0, "allocations_per_packet": 0.000},
+            {"discipline": "pifo-vc", "flows": 512, "ns_per_packet": 100.0, "ns_p50": 100.0, "ns_p99": 110.0, "allocations_per_packet": 0.000}]|}
+       ());
+  expect_error "missing pifo-vc row" "missing discipline \"pifo-vc\""
+    (mk
+       ~pifo:
+         {|[{"discipline": "pifo-sfq", "flows": 512, "ns_per_packet": 110.0, "ns_p50": 110.0, "ns_p99": 120.0, "allocations_per_packet": 0.000},
+            {"discipline": "pifo-scfq", "flows": 512, "ns_per_packet": 105.0, "ns_p50": 105.0, "ns_p99": 115.0, "allocations_per_packet": 0.000}]|}
+       ());
+  (* the gate has no reference without an sfq-fast row at the pifo flow count *)
+  expect_error "no sfq-fast reference" "no sfq-fast reference row"
+    (mk
+       ~pifo:
+         {|[{"discipline": "pifo-sfq", "flows": 1024, "ns_per_packet": 110.0, "ns_p50": 110.0, "ns_p99": 120.0, "allocations_per_packet": 0.000},
+            {"discipline": "pifo-scfq", "flows": 1024, "ns_per_packet": 105.0, "ns_p50": 105.0, "ns_p99": 115.0, "allocations_per_packet": 0.000},
+            {"discipline": "pifo-vc", "flows": 1024, "ns_per_packet": 100.0, "ns_p50": 100.0, "ns_p99": 110.0, "allocations_per_packet": 0.000}]|}
+       ())
+
 let test_rejects_empty_series () =
   expect_error "empty flow_scaling" "flow_scaling is empty" (mk ~flow:"[]" ())
 
@@ -358,6 +409,7 @@ let () =
           Alcotest.test_case "missing fields" `Quick test_rejects_missing_fields;
           Alcotest.test_case "bad tracing overhead" `Quick test_rejects_bad_overhead;
           Alcotest.test_case "bad fastpath series" `Quick test_rejects_bad_fastpath;
+          Alcotest.test_case "bad pifo series" `Quick test_rejects_bad_pifo;
           Alcotest.test_case "bad parallel series" `Quick test_rejects_bad_parallel;
           Alcotest.test_case "empty series" `Quick test_rejects_empty_series;
           Alcotest.test_case "trailing garbage" `Quick test_rejects_trailing_garbage;

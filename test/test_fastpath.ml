@@ -88,6 +88,27 @@ let test_tie_encode_directed () =
   Alcotest.check_raises "NaN rejected" (Invalid_argument "Tag.tie_encode: NaN tie")
     (fun () -> ignore (Tag.tie_encode Float.nan))
 
+(* The saturation boundary of the tie codec: the extremes of the float
+   line must saturate the int image in order, never wrap to the
+   opposite sign. A wrap here would silently invert tie priority for
+   the largest weights — exactly the kind of bug the mli promises
+   away, so it gets its own directed test. *)
+let test_tie_encode_saturation_boundary () =
+  let inf = Tag.tie_encode Float.infinity in
+  let max_f = Tag.tie_encode Float.max_float in
+  check_bool "infinity image is positive (no wrap)" true (inf > 0);
+  check_bool "infinity above max_float" true (inf > max_f);
+  check_bool "max_float above any ordinary tie" true (max_f > Tag.tie_encode 1e30);
+  check_int "neg_infinity is the exact negation" (-inf)
+    (Tag.tie_encode Float.neg_infinity);
+  check_bool "neg_infinity below -max_float" true
+    (Tag.tie_encode Float.neg_infinity < Tag.tie_encode (-.Float.max_float));
+  check_int "negative zero collapses onto zero" 0 (Tag.tie_encode (-0.0));
+  check_bool "subnormals stay above zero" true (Tag.tie_encode Float.min_float > 0);
+  (* headroom sanity: the whole image fits an OCaml int, so negating
+     the rail (the antisymmetric branch) cannot overflow either *)
+  check_bool "rail fits with room to negate" true (inf < max_int)
+
 let prop_tie_encode_monotone =
   QCheck.Test.make ~name:"tag: tie_encode is monotone" ~count:1000
     QCheck.(pair (float_range (-1e9) 1e9) (float_range (-1e9) 1e9))
@@ -660,6 +681,8 @@ let () =
           Alcotest.test_case "delta" `Quick test_tag_delta;
           Alcotest.test_case "saturation" `Quick test_tag_saturation;
           Alcotest.test_case "tie_encode directed" `Quick test_tie_encode_directed;
+          Alcotest.test_case "tie_encode saturation boundary" `Quick
+            test_tie_encode_saturation_boundary;
           q prop_tie_encode_monotone;
         ] );
       ( "iheap",
