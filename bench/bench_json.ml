@@ -450,11 +450,55 @@ let check_parallel rows =
       rows
   | _ -> raise (Bad (Printf.sprintf "%s must be an array" series))
 
+(* The netsim series records whole-network simulation scale (E27): a
+   churned star draining 10^5-10^6 flows per discipline. Two promises
+   are gated: the three disciplines that share the composed Thm 8/9
+   oracle are all present (a row that silently vanishes would hide a
+   scale regression), and the recorded peak RSS stays under the bound
+   the row itself carries — the "memory is bounded by the window, not
+   the flow count" claim, checked on every trajectory. peak_rss_kb may
+   be null only when /proc is unavailable (non-Linux), never silently
+   absent. *)
+let check_netsim rows =
+  let series = "netsim" in
+  match rows with
+  | List [] -> raise (Bad (Printf.sprintf "%s is empty" series))
+  | List rows ->
+    List.iter
+      (fun row ->
+        (match field "discipline" row with
+        | Str _ -> ()
+        | _ -> raise (Bad (series ^ ": discipline must be a string")));
+        check_pos_int ~series ~name:"flows" row;
+        check_pos_int ~series ~name:"hops" row;
+        (match field "packets_per_sec" row with
+        | Num pps when pps > 0.0 -> ()
+        | _ -> raise (Bad (series ^ ": packets_per_sec must be positive")));
+        check_pos_int ~series ~name:"rss_bound_kb" row;
+        match (field "peak_rss_kb" row, field "rss_bound_kb" row) with
+        | Null, _ -> ()  (* /proc unavailable: allowed, but explicit *)
+        | Num peak, Num bound when Float.is_integer peak && peak > 0.0 ->
+          if peak > bound then
+            raise
+              (Bad
+                 (Printf.sprintf
+                    "%s: peak_rss_kb %.0f exceeds the %.0f kB bound — netsim memory \
+                     is no longer window-bounded"
+                    series peak bound))
+        | _ -> raise (Bad (series ^ ": peak_rss_kb must be a positive integer or null")))
+      rows;
+    List.iter
+      (fun disc ->
+        if not (List.exists (fun row -> field "discipline" row = Str disc) rows) then
+          raise (Bad (Printf.sprintf "%s: missing discipline %S" series disc)))
+      [ "sfq"; "sfq-fast"; "pifo-sfq" ]
+  | _ -> raise (Bad (Printf.sprintf "%s must be an array" series))
+
 let validate contents =
   match
     let json = parse contents in
     (match field "schema" json with
-    | Str "sfq-bench-sched/5" -> ()
+    | Str "sfq-bench-sched/6" -> ()
     | _ -> raise (Bad "unexpected schema"));
     check_meta (field "meta" json);
     check_rows ~series:"flow_scaling" ~depth:false (field "flow_scaling" json);
@@ -462,7 +506,8 @@ let validate contents =
     check_fastpath (field "fastpath" json);
     check_pifo ~fastpath:(field "fastpath" json) (field "pifo" json);
     check_overhead (field "tracing_overhead" json);
-    check_parallel (field "parallel" json)
+    check_parallel (field "parallel" json);
+    check_netsim (field "netsim" json)
   with
   | () -> Ok ()
   | exception Bad msg -> Error msg

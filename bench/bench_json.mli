@@ -47,7 +47,7 @@ val pifo_overhead_limit : float
 
 val validate : string -> (unit, string) result
 (** [validate contents] checks a whole document: well-formed JSON,
-    [schema = "sfq-bench-sched/5"], a [meta] block with non-empty
+    [schema = "sfq-bench-sched/6"], a [meta] block with non-empty
     [git_sha]/[timestamp_utc]/[hostname] and a positive-integer
     [domains], the [flow_scaling] and [depth_scaling] series, a
     [fastpath] series carrying all seven fixed-point-vs-float
@@ -63,5 +63,11 @@ val validate : string -> (unit, string) result
     disabled row must respect {!disabled_overhead_limit_pct}, and a
     [parallel] series (the serial-vs-pool oracle-sweep timing) every
     row of which must carry [identical = true] — the witness that the
-    parallel sweep reproduced the serial digest byte for byte. Returns
+    parallel sweep reproduced the serial digest byte for byte — and a
+    [netsim] series (E27 whole-network scale: churned-star rows for
+    sfq, sfq-fast and pifo-sfq, all three required) whose
+    [packets_per_sec] must be positive and whose [peak_rss_kb] (a
+    positive integer, or null only where /proc is unavailable) must
+    not exceed the row's own [rss_bound_kb] — the "memory is bounded
+    by the churn window, not the flow count" gate. Returns
     [Error msg] instead of raising. *)

@@ -594,6 +594,75 @@ let parallel_sweep ~domains () =
     identical = String.equal serial_digest par_digest;
   }
 
+(* ------------------------------------------------------------------ *)
+(* E27: network-scale simulation throughput and memory (netsim)        *)
+
+type netsim_row = {
+  nt_disc : string;
+  nt_flows : int;
+  nt_hops : int;
+  nt_pps : float;  (** delivered packets per wall-clock second *)
+  nt_peak_rss_kb : int option;  (** VmRSS after the run ([None] off Linux) *)
+  nt_bound_kb : int;
+}
+
+(* The RSS ceiling the netsim rows are gated against (validator:
+   peak_rss_kb <= rss_bound_kb). Live state is bounded by the churn
+   window, not the flow count; the slack above it is GC pacing at the
+   netsim allocation rate — measured ~110 MB for the 10^5-flow star,
+   so 1 GiB holds with an order of magnitude to spare. *)
+let netsim_rss_bound_kb = 1_048_576
+
+let vm_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let rec go () =
+      match input_line ic with
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmRSS:" then
+          Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" Option.some
+        else go ()
+      | exception End_of_file -> None
+    in
+    let r = go () in
+    close_in ic;
+    r
+
+(* One churned scaling star per discipline (the E27 cell with the
+   composed Thm 8/9 oracle attached): wall-clock throughput of the
+   whole network simulation — event loop, two hops of scheduling,
+   monitors, registry churn — not a scheduler-interior stepper. Rows
+   run serially: RSS is a process-global reading. A monitor violation
+   fails the bench run outright; a trajectory must never record
+   throughput from a simulation that broke its own oracle. *)
+let netsim_rows ~quick () =
+  let flows = if quick then 20_000 else 100_000 in
+  List.map
+    (fun (name, disc) ->
+      let s = Net_sweep.scale_star ~flows ~disc () in
+      Gc.compact ();
+      let t0 = Monotonic_clock.now () in
+      let o = Net_sweep.run_scenario s in
+      let wall_s = elapsed_ns t0 (Monotonic_clock.now ()) /. 1e9 in
+      (match o.Net_sweep.violations with
+      | [] -> ()
+      | v :: _ ->
+        failwith
+          (Printf.sprintf "netsim %s: monitor violation at %g: %s: %s" s.Net_sweep.label
+             v.Sfq_oracle.Monitor.at v.Sfq_oracle.Monitor.monitor
+             v.Sfq_oracle.Monitor.what));
+      Gc.compact ();
+      {
+        nt_disc = name;
+        nt_flows = flows;
+        nt_hops = 2;  (* star: access link + core link *)
+        nt_pps = float_of_int o.Net_sweep.delivered /. Float.max wall_s 1e-9;
+        nt_peak_rss_kb = vm_rss_kb ();
+        nt_bound_kb = netsim_rss_bound_kb;
+      })
+    [ ("sfq", Disc.Sfq); ("sfq-fast", Disc.Sfq_fast); ("pifo-sfq", Disc.Pifo_sfq) ]
+
 (* --- JSON emission (by hand: no JSON library in the allowed set) --- *)
 
 (* JSON numbers cannot be NaN/inf; a failed estimate becomes null. *)
@@ -621,12 +690,12 @@ let utc_timestamp () =
 let hostname () = try Unix.gethostname () with Unix.Unix_error _ -> "unknown"
 
 let emit_json ~quick ~domains ~flow_scaling ~depth_scaling ~fastpath ~pifo ~overhead
-    ~parallel path =
+    ~parallel ~netsim path =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
     (Printf.sprintf
-       "  \"schema\": \"sfq-bench-sched/5\",\n  \"quick\": %b,\n  \"unit\": \"ns per enqueue+dequeue\",\n"
+       "  \"schema\": \"sfq-bench-sched/6\",\n  \"quick\": %b,\n  \"unit\": \"ns per enqueue+dequeue\",\n"
        quick);
   Buffer.add_string buf
     (Printf.sprintf
@@ -717,6 +786,19 @@ let emit_json ~quick ~domains ~flow_scaling ~depth_scaling ~fastpath ~pifo ~over
            r.p_series r.p_cells r.p_domains (json_float r.serial_s)
            (json_float r.parallel_s) (json_float r.speedup) r.identical))
     parallel;
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"netsim\": [\n";
+  List.iteri
+    (fun i (r : netsim_row) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"discipline\": %S, \"flows\": %d, \"hops\": %d, \
+            \"packets_per_sec\": %s, \"peak_rss_kb\": %s, \"rss_bound_kb\": %d}"
+           r.nt_disc r.nt_flows r.nt_hops (json_float r.nt_pps)
+           (match r.nt_peak_rss_kb with None -> "null" | Some kb -> string_of_int kb)
+           r.nt_bound_kb))
+    netsim;
   Buffer.add_string buf "\n  ]\n}\n";
   let oc = open_out path in
   Buffer.output_buffer oc buf;
@@ -918,8 +1000,37 @@ let run_micro ~quick ~domains () =
     \ column can only be bought with real parallelism, never reordering.\n\
     \ Speedup tracks the number of cores actually online, not domains.)";
   print_newline ();
+  section "E27: network-scale simulation throughput (churned star, netsim)";
+  (* audit (parallel safety): serial — the peak_rss_kb column is a
+     process-global /proc reading and only means something when one
+     simulation owns the heap at a time. *)
+  let netsim = netsim_rows ~quick () in
+  let ntable =
+    Text_table.create [ "discipline"; "flows"; "hops"; "pkts/s"; "rss kB (bound)" ]
+  in
+  List.iter
+    (fun (r : netsim_row) ->
+      Text_table.add_row ntable
+        [
+          r.nt_disc;
+          string_of_int r.nt_flows;
+          string_of_int r.nt_hops;
+          Printf.sprintf "%.0f" r.nt_pps;
+          (match r.nt_peak_rss_kb with
+          | None -> Printf.sprintf "- (%d)" r.nt_bound_kb
+          | Some kb -> Printf.sprintf "%d (%d)" kb r.nt_bound_kb);
+        ])
+    netsim;
+  Text_table.print ntable;
+  print_endline
+    "(Whole-simulation throughput: a 64-leaf star draining the given number of\n\
+    \ churned flows through a 4096-id window, with the composed Thm 8/9 delay\n\
+    \ oracle and the network conservation probes attached — a violation fails\n\
+    \ the bench run. Live state is bounded by the window, not the flow count;\n\
+    \ the validator rejects the file if peak RSS crosses the recorded bound.)";
+  print_newline ();
   emit_json ~quick ~domains ~flow_scaling ~depth_scaling ~fastpath ~pifo ~overhead
-    ~parallel "BENCH_sched.json"
+    ~parallel ~netsim "BENCH_sched.json"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -448,6 +448,95 @@ let pifo_cmd domains =
     1
   end
 
+(* ------------------------------------------------------------------ *)
+(* net: the network-scale sweep (E27). Two checks in one command: the
+   topology x discipline grid must be digest-identical serial vs
+   sharded (the Net_sweep determinism contract), and the optional
+   --scale star must drain 10^5..10^6 churned flows with the composed
+   Thm 8/9 oracle silent and process RSS growth under a bound. *)
+
+let net_cmd domains seed scale rss_limit_kb =
+  let domains = env_domains domains in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let cells = Sfq_experiments.Net_sweep.default_cells ?root:seed () in
+  let serial, wall_serial =
+    wall_time (fun () -> Sfq_experiments.Net_sweep.sweep cells)
+  in
+  let serial_digest = Sfq_experiments.Net_sweep.sweep_digest cells serial in
+  let table = Text_table.create [ "cell"; "delivered"; "dropped"; "digest"; "viol" ] in
+  List.iteri
+    (fun i (c : Sfq_experiments.Net_sweep.scenario) ->
+      let o = serial.(i) in
+      let nv = List.length o.Sfq_experiments.Net_sweep.violations in
+      if nv > 0 then begin
+        fail "cell %s: %d monitor violation(s)" c.Sfq_experiments.Net_sweep.label nv;
+        List.iter
+          (fun v -> Format.eprintf "net: %s: %a@." c.Sfq_experiments.Net_sweep.label
+              Monitor.pp_violation v)
+          o.Sfq_experiments.Net_sweep.violations
+      end;
+      Text_table.add_row table
+        [
+          c.Sfq_experiments.Net_sweep.label;
+          string_of_int o.Sfq_experiments.Net_sweep.delivered;
+          string_of_int o.Sfq_experiments.Net_sweep.dropped;
+          Digest.to_hex
+            (Digest.string (Sfq_experiments.Net_sweep.outcome_digest o));
+          string_of_int nv;
+        ])
+    cells;
+  Text_table.print table;
+  let sharded, wall_sharded =
+    wall_time (fun () -> Sfq_experiments.Net_sweep.sweep ~domains cells)
+  in
+  let sharded_digest = Sfq_experiments.Net_sweep.sweep_digest cells sharded in
+  let identical = sharded_digest = serial_digest in
+  if not identical then
+    fail "sharded sweep digest differs from serial at %d domain(s)" domains;
+  Printf.printf
+    "grid: %d cells, serial %.3f s, %d domain(s) %.3f s, digests %s.\n"
+    (List.length cells) wall_serial domains wall_sharded
+    (if identical then "identical" else "DIFFER");
+  if scale > 0 then begin
+    Gc.compact ();
+    let rss0 = rss_kb () in
+    let s = Sfq_experiments.Net_sweep.scale_star ~flows:scale () in
+    let o, wall = wall_time (fun () -> Sfq_experiments.Net_sweep.run_scenario s) in
+    Gc.compact ();
+    let rss1 = rss_kb () in
+    let open Sfq_experiments.Net_sweep in
+    Printf.printf
+      "scale: %s: %d delivered in %.1f s (%.0f pkt/s), ids %d (window-bounded), \
+       e2e checked=%d lost=%d min_slack=%g, hash=%016Lx\n"
+      s.label o.delivered wall
+      (float_of_int o.delivered /. Float.max wall 1e-9)
+      o.high_water o.e2e_checked o.e2e_lost o.min_slack o.order_hash;
+    if o.violations <> [] then begin
+      fail "scale cell %s: %d monitor violation(s)" s.label (List.length o.violations);
+      List.iter
+        (fun v -> Format.eprintf "net: scale: %a@." Monitor.pp_violation v)
+        o.violations
+    end;
+    if o.in_flight <> 0 then
+      fail "scale cell %s: %d packet(s) left in flight after drain" s.label o.in_flight;
+    match (rss0, rss1) with
+    | Some kb0, Some kb1 ->
+      let growth = kb1 - kb0 in
+      Printf.printf "scale: rss %d kB -> %d kB (growth %d kB, bound %d kB)\n" kb0 kb1
+        growth rss_limit_kb;
+      if growth > rss_limit_kb then
+        fail "scale rss grew by %d kB over the %d kB bound" growth rss_limit_kb
+    | _ -> print_endline "scale: rss unavailable, growth check skipped"
+  end;
+  match !failures with
+  | [] ->
+    print_endline "net: OK";
+    0
+  | fs ->
+    List.iter (fun m -> Printf.eprintf "net: FAIL: %s\n" m) (List.rev fs);
+    1
+
 open Cmdliner
 
 let domains_arg =
@@ -546,6 +635,42 @@ let fastpath_cmd_t =
           theorem pool, and a clean-verdict check on the approximate sp-pifo cells")
     fastpath_t
 
+let net_seed_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "seed" ] ~docv:"S"
+        ~doc:"Root seed for the grid cells (cell #i derives from (S, i)). Omit for \
+              the default grid.")
+
+let scale_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "scale" ] ~docv:"FLOWS"
+        ~doc:"Also run the churned scaling star with this many total flows (0 = \
+              skip). The composed end-to-end oracle must stay silent.")
+
+let net_rss_limit_arg =
+  Arg.(
+    value & opt int 1_048_576
+    & info [ "rss-limit-kb" ] ~docv:"KB"
+        ~doc:"Fail the --scale run if process RSS grows by more than this many kB.")
+
+let net_t =
+  Term.(
+    const (fun d s sc r -> Stdlib.exit (net_cmd d s sc r))
+    $ fastpath_domains_arg $ net_seed_arg $ scale_arg $ net_rss_limit_arg)
+
+let net_cmd_t =
+  Cmd.v
+    (Cmd.info "net"
+       ~doc:
+         "Network-scale topology sweep (E27): run the star/line/tree/dumbbell x \
+          discipline grid serially and sharded over the domain pool, check the \
+          delivery digests are identical, and optionally scale a churned star to \
+          --scale flows under an RSS growth bound with the composed Thm 8/9 \
+          delay oracle attached")
+    net_t
+
 let pifo_t = Term.(const (fun d -> Stdlib.exit (pifo_cmd d)) $ fastpath_domains_arg)
 
 let pifo_cmd_t =
@@ -563,4 +688,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ run_cmd_t; list_cmd_t; golden_cmd_t; churn_cmd_t; fastpath_cmd_t; pifo_cmd_t ]))
+          [
+            run_cmd_t;
+            list_cmd_t;
+            golden_cmd_t;
+            churn_cmd_t;
+            fastpath_cmd_t;
+            pifo_cmd_t;
+            net_cmd_t;
+          ]))

@@ -1,0 +1,437 @@
+open Sfq_base
+open Sfq_netsim
+module Monitor = Sfq_oracle.Monitor
+module E2e = Sfq_oracle.E2e_oracle
+module Bounds = Sfq_core.Bounds
+module Rng = Sfq_util.Rng
+
+type scenario = {
+  label : string;
+  spec : Topo.spec;
+  disc : Disc.spec;
+  seed : int;
+  flows : int;
+  window : int;
+  pkts_per_flow : int;
+  len : int;
+  reserved : int;
+  reserved_pkts : int option;
+  churn : bool;
+  buffer : Buffered.config option;
+  load : float;
+  access_rate : float;
+  core_rate : float;
+  prop_delay : float;
+  monitors : bool;
+  checkpoints : int;
+  skip_hop : int option;
+}
+
+let scenario ?(flows = 48) ?(window = 16) ?(pkts_per_flow = 2) ?(len = 8192)
+    ?(reserved = 2) ?reserved_pkts ?(churn = false) ?buffer ?(load = 0.5)
+    ?(access_rate = 1_048_576.0) ?(core_rate = 1_048_576.0)
+    ?(prop_delay = 0.0009765625) ?(monitors = true) ?(checkpoints = 4) ?skip_hop
+    ?(seed = 0x5eed) ~label ~spec ~disc () =
+  if flows < 0 || window < 0 || pkts_per_flow < 1 || len < 1 || reserved < 0 then
+    invalid_arg "Net_sweep.scenario: negative or empty sizing";
+  if load <= 0.0 then invalid_arg "Net_sweep.scenario: load must be positive";
+  if churn && window < 1 then
+    invalid_arg "Net_sweep.scenario: churn needs a window >= 1";
+  {
+    label;
+    spec;
+    disc;
+    seed;
+    flows;
+    window;
+    pkts_per_flow;
+    len;
+    reserved;
+    reserved_pkts;
+    churn;
+    buffer;
+    load;
+    access_rate;
+    core_rate;
+    prop_delay;
+    monitors;
+    checkpoints;
+    skip_hop;
+  }
+
+let directed ?(disc = Disc.Sfq) ?skip_hop ~spec () =
+  (* One reserved CBR flow per entry, no background population: the
+     Thm 8/9 composition checked in isolation, where the per-hop
+     constants are exact and a forgotten hop is guaranteed fatal. *)
+  scenario ~flows:0 ~window:0 ~reserved:(Topo.spec_entries spec) ~reserved_pkts:8
+    ?skip_hop
+    ~label:(Printf.sprintf "directed/%s/%s" (Topo.spec_name spec) (Disc.name disc))
+    ~spec ~disc ()
+
+type outcome = {
+  injected : int;
+  delivered : int;
+  dropped : int;
+  closed : int;
+  in_flight : int;
+  finished_at : float;
+  high_water : int;
+  peak_live : int;
+  order_hash : int64;
+  e2e_checked : int;
+  e2e_lost : int;
+  min_slack : float;
+  violations : Monitor.violation list;
+}
+
+(* FNV-1a over the little-endian bytes of each mixed word: an order-
+   and value-sensitive hash of the delivery stream that needs no
+   buffering (a million-flow run must not accumulate a digest
+   transcript). *)
+let fnv_prime = 0x100000001b3L
+
+let mix h v =
+  let h = ref h in
+  for i = 0 to 7 do
+    let byte = Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff in
+    h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) fnv_prime
+  done;
+  !h
+
+let bound_kind = function
+  | Disc.Sfq | Disc.Sfq_fast | Disc.Pifo_sfq -> Some `Sfq
+  | Disc.Scfq | Disc.Scfq_fast | Disc.Pifo_scfq -> Some `Scfq
+  | _ -> None
+
+let run_scenario (s : scenario) =
+  (* Audit (parallel safety): every mutable structure — simulator,
+     topology, registry, RNG, monitors, hash state — is created here,
+     inside the call, so scenarios can execute on worker domains
+     concurrently; the returned outcome is immutable. *)
+  let sim = Sim.create () in
+  let rng = Rng.create s.seed in
+  let reg = Flow_registry.create () in
+  let len_f = float_of_int s.len in
+  let bg_ids = if s.churn then min s.window s.flows else s.flows in
+  let static_ids = s.reserved + bg_ids in
+  (* Reservations are sized against the slowest link so the Σ r_n <= C
+     premise of Thm 4 holds at every hop, not just the core. *)
+  let c_min = Float.min s.access_rate s.core_rate in
+  let r_res = if s.reserved = 0 then 0.0 else c_min /. (4.0 *. float_of_int s.reserved) in
+  let r_bg = c_min /. (4.0 *. float_of_int (max 1 bg_ids)) in
+  let weights =
+    Weights.of_list ~default:r_bg (List.init s.reserved (fun i -> (i, r_res)))
+  in
+  let all_monitors = ref [] in
+  let mk_sched ~rate =
+    let inner = Disc.make s.disc weights in
+    if not s.monitors then inner
+    else begin
+      let ms =
+        [
+          Monitor.flow_fifo ();
+          Monitor.conservation ~size:(fun () -> inner.Sched.size ()) ();
+        ]
+      in
+      all_monitors := ms :: !all_monitors;
+      Monitor.wrap inner ~capacity:(fun () -> rate) ~monitors:ms
+    end
+  in
+  let topo =
+    Topo.build sim s.spec ~access_rate:s.access_rate ~core_rate:s.core_rate
+      ~mk_sched ~prop_delay:s.prop_delay ?buffer:s.buffer ()
+  in
+  let net = Topo.net topo in
+  let entries = Topo.entries topo in
+  (* Reserved flows take ids 0..reserved-1 (opened first), entry i mod
+     entries. *)
+  for i = 0 to s.reserved - 1 do
+    let f = Flow_registry.open_flow reg in
+    assert (f = i);
+    Topo.route_flow topo ~flow:f ~entry:(i mod entries)
+  done;
+  (* Composed-bound oracle: per-hop SFQ/SCFQ constants along the
+     flow's route. |Q| is read live (never below the static sizing) so
+     ids past the recycling window — draining flows — widen the bound
+     instead of invalidating it. *)
+  let oracle =
+    match (bound_kind s.disc, s.reserved) with
+    | None, _ | _, 0 -> None
+    | Some kind, _ ->
+      let sum_other () =
+        float_of_int (max static_ids (Flow_registry.high_water reg) - 1) *. len_f
+      in
+      let betas flow =
+        let hops = Topo.hops topo ~entry:(flow mod entries) in
+        let all =
+          List.map
+            (fun (h : Topo.hop) ->
+              match kind with
+              | `Sfq ->
+                Bounds.sfq_beta ~sum_other_lmax:(sum_other ()) ~len:len_f
+                  ~capacity:h.Topo.capacity ~delta:0.0
+              | `Scfq ->
+                Bounds.scfq_departure ~eat:0.0 ~sum_other_lmax:(sum_other ())
+                  ~len:len_f ~rate:r_res ~capacity:h.Topo.capacity)
+            hops
+        in
+        match s.skip_hop with
+        | None -> all
+        | Some i ->
+          let skip = i mod List.length all in
+          List.filteri (fun j _ -> j <> skip) all
+      in
+      let taus flow =
+        List.map (fun (h : Topo.hop) -> h.Topo.prop_delay)
+          (Topo.hops topo ~entry:(flow mod entries))
+      in
+      Some
+        (E2e.create ~name:"e2e-delay" ~rate:(fun f -> Weights.get weights f) ~betas
+           ~taus ())
+  in
+  (* Background population: ids recycled through the registry, routes
+     and scheduler state torn down only once the flow has nothing in
+     flight — the conservation law stays exact under churn. *)
+  let outstanding : (Packet.flow, int) Hashtbl.t = Hashtbl.create 64 in
+  let draining : (Packet.flow, unit) Hashtbl.t = Hashtbl.create 16 in
+  let recycle f =
+    Hashtbl.remove outstanding f;
+    Hashtbl.remove draining f;
+    Net.unroute net ~flow:f;
+    Flow_registry.close_flow reg f
+  in
+  let settle f n =
+    if f >= s.reserved && n > 0 then
+      match Hashtbl.find_opt outstanding f with
+      | None -> ()
+      | Some c ->
+        let c = c - n in
+        Hashtbl.replace outstanding f c;
+        if c <= 0 && Hashtbl.mem draining f then recycle f
+  in
+  List.iter
+    (fun srv -> Server.on_drop srv (fun p -> settle p.Packet.flow 1))
+    (Topo.servers topo);
+  let order_hash = ref 0xcbf29ce484222325L in
+  Net.on_delivered net (fun p ~at ->
+      order_hash :=
+        mix
+          (mix (mix !order_hash (Int64.of_int p.Packet.flow)) (Int64.of_int p.Packet.seq))
+          (Int64.bits_of_float at);
+      match oracle with
+      | Some o when p.Packet.flow < s.reserved -> E2e.deliver o p ~at
+      | _ -> settle p.Packet.flow 1);
+  let live : (Packet.flow * int) Queue.t = Queue.create () in
+  let dt = float_of_int (s.pkts_per_flow * s.len) /. s.core_rate /. s.load in
+  let rec open_next k () =
+    if k < s.flows then begin
+      if s.churn then
+        while Queue.length live >= s.window do
+          let f, entry = Queue.pop live in
+          let flushed = Topo.close_flow topo ~flow:f ~entry in
+          if
+            flushed
+            >= (match Hashtbl.find_opt outstanding f with Some c -> c | None -> 0)
+          then recycle f
+          else begin
+            Hashtbl.replace draining f ();
+            settle f flushed
+          end
+        done;
+      let f = Flow_registry.open_flow reg in
+      let entry = Rng.int rng entries in
+      Topo.route_flow topo ~flow:f ~entry;
+      Hashtbl.replace outstanding f s.pkts_per_flow;
+      Queue.push (f, entry) live;
+      let now = Sim.now sim in
+      for j = 1 to s.pkts_per_flow do
+        Net.inject net (Packet.make ~flow:f ~seq:j ~len:s.len ~born:now ())
+      done;
+      Sim.schedule_after sim ~delay:dt (open_next (k + 1))
+    end
+  in
+  if s.flows > 0 then Sim.schedule sim ~at:0.0 (open_next 0);
+  (* Reserved CBR sources: full reserved rate, so EAT tracks arrival. *)
+  let t_open = float_of_int s.flows *. dt in
+  let interval = if s.reserved = 0 then 0.0 else len_f /. r_res in
+  let res_pkts =
+    match s.reserved_pkts with
+    | Some n -> n
+    | None -> max 4 (int_of_float (t_open /. Float.max interval 1e-9))
+  in
+  for i = 0 to s.reserved - 1 do
+    let rec send k () =
+      if k < res_pkts then begin
+        let now = Sim.now sim in
+        let p = Packet.make ~flow:i ~seq:(k + 1) ~len:s.len ~born:now () in
+        (match oracle with Some o -> E2e.inject o p ~at:now | None -> ());
+        Net.inject net p;
+        Sim.schedule_after sim ~delay:interval (send (k + 1))
+      end
+    in
+    Sim.schedule sim ~at:0.0 (send 0)
+  done;
+  (* Network-wide conservation probes at quiesce points mid-run: the
+     in-flight count derived from the edge counters can never be
+     negative, nor smaller than the packets demonstrably queued. *)
+  let net_violation = ref None in
+  let check_conservation ~final () =
+    let in_flight =
+      Net.injected net - Net.delivered net - Topo.dropped topo - Topo.closed topo
+    in
+    let queued = Topo.queued topo in
+    let bad =
+      if in_flight < 0 then Some "in-flight negative"
+      else if in_flight < queued then Some "in-flight below queued backlog"
+      else if final && in_flight <> 0 then Some "packets left in flight after drain"
+      else None
+    in
+    match bad with
+    | Some what when !net_violation = None ->
+      net_violation :=
+        Some
+          {
+            Monitor.monitor = "net-conservation";
+            at = Sim.now sim;
+            what =
+              Printf.sprintf "%s: injected=%d delivered=%d dropped=%d closed=%d queued=%d"
+                what (Net.injected net) (Net.delivered net) (Topo.dropped topo)
+                (Topo.closed topo) queued;
+          }
+    | _ -> ()
+  in
+  for i = 1 to s.checkpoints do
+    if t_open > 0.0 then
+      Sim.schedule sim
+        ~at:(t_open *. float_of_int i /. float_of_int (s.checkpoints + 1))
+        (check_conservation ~final:false)
+  done;
+  Sim.run_all sim ();
+  let finished_at = Sim.now sim in
+  check_conservation ~final:true ();
+  (match oracle with Some o -> E2e.finalize o ~until:finished_at | None -> ());
+  let hop_monitors = List.concat (List.rev !all_monitors) in
+  List.iter (fun m -> Monitor.finalize m ~until:finished_at) hop_monitors;
+  let violations =
+    Option.to_list !net_violation
+    @ (match oracle with Some o -> Option.to_list (E2e.result o) | None -> [])
+    @ List.filter_map Monitor.result hop_monitors
+  in
+  {
+    injected = Net.injected net;
+    delivered = Net.delivered net;
+    dropped = Topo.dropped topo;
+    closed = Topo.closed topo;
+    in_flight =
+      Net.injected net - Net.delivered net - Topo.dropped topo - Topo.closed topo;
+    finished_at;
+    high_water = Flow_registry.high_water reg;
+    peak_live = Flow_registry.peak_live reg;
+    order_hash = !order_hash;
+    e2e_checked = (match oracle with Some o -> E2e.checked o | None -> 0);
+    e2e_lost = (match oracle with Some o -> E2e.lost o | None -> 0);
+    min_slack = (match oracle with Some o -> E2e.min_slack o | None -> infinity);
+    violations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sharded sweeps: same contract as Sfq_oracle.Run.sweep — positional
+   reduction over independent cells, digest-identical at every domain
+   count. *)
+
+let sweep ?(domains = 1) ?pool cells =
+  let tasks = Array.of_list cells in
+  let f _i c = run_scenario c in
+  match pool with
+  | Some p -> Sfq_par.Pool.map p ~f tasks
+  | None -> Sfq_par.Pool.run ~domains ~f tasks
+
+let outcome_digest (o : outcome) =
+  let b = Buffer.create 96 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "injected=%d delivered=%d dropped=%d closed=%d finished=%h ids=%d hash=%016Lx"
+       o.injected o.delivered o.dropped o.closed o.finished_at o.high_water
+       o.order_hash);
+  if o.in_flight <> 0 then
+    Buffer.add_string b (Printf.sprintf " in_flight=%d" o.in_flight);
+  if o.e2e_checked > 0 || o.e2e_lost > 0 then
+    Buffer.add_string b
+      (Printf.sprintf " e2e=%d lost=%d slack=%h" o.e2e_checked o.e2e_lost o.min_slack);
+  List.iter
+    (fun (v : Monitor.violation) ->
+      Buffer.add_string b
+        (Printf.sprintf " violation=%s@%h:%s" v.Monitor.monitor v.Monitor.at
+           v.Monitor.what))
+    o.violations;
+  Buffer.contents b
+
+let sweep_digest cells outcomes =
+  let b = Buffer.create 512 in
+  List.iteri
+    (fun i (c : scenario) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s | %s\n" c.label (outcome_digest outcomes.(i))))
+    cells;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* The standard cell grid: (topology × discipline × seed replicate),
+   plus one churn-heavy overloaded star. Append-only — test_par and the
+   golden corpus digest these labels. *)
+
+let grid_specs =
+  [
+    Topo.Star { leaves = 4 };
+    Topo.Line { hops = 3 };
+    Topo.Tree { arity = 2; depth = 2 };
+    Topo.Dumbbell { left = 3; right = 2 };
+  ]
+
+let grid_discs =
+  [
+    Disc.Sfq;
+    Disc.Scfq;
+    Disc.Sfq_fast;
+    Disc.Pifo_sfq;
+    Disc.Drr { quantum = 8192.0 };
+  ]
+
+let default_cells ?(root = 0x7e57) () =
+  let reps = 2 in
+  let grid =
+    List.concat_map
+      (fun (ti, spec) ->
+        List.concat_map
+          (fun (di, disc) ->
+            List.init reps (fun rep ->
+                let index = (((ti * List.length grid_discs) + di) * reps) + rep in
+                (* Access links at a quarter of the core rate: bursts
+                   queue at the edge, so the seed's entry assignment is
+                   visible in the digests (symmetric equal-rate shapes
+                   would make every replicate identical). *)
+                scenario
+                  ~label:
+                    (Printf.sprintf "%s/%s/r%d" (Topo.spec_name spec) (Disc.name disc)
+                       rep)
+                  ~spec ~disc ~access_rate:262_144.0
+                  ~seed:(Sfq_par.Seed.derive ~root ~index)
+                  ()))
+          (List.mapi (fun i d -> (i, d)) grid_discs))
+      (List.mapi (fun i t -> (i, t)) grid_specs)
+  in
+  let churn_star =
+    scenario ~label:"star8/sfq-fast/churn" ~spec:(Topo.Star { leaves = 8 })
+      ~disc:Disc.Sfq_fast ~churn:true ~flows:160 ~window:24 ~load:1.25
+      ~buffer:(Buffered.config ~per_flow:8 ~aggregate:96 ~policy:Buffered.Drop_front ())
+      ~seed:(Sfq_par.Seed.derive ~root ~index:1000)
+      ()
+  in
+  grid @ [ churn_star ]
+
+let scale_star ?(flows = 1_000_000) ?(window = 4096) ?(leaves = 64) ?(reserved = 4)
+    ?(disc = Disc.Sfq_fast) ?(seed = 0x5ca1e) () =
+  scenario
+    ~label:(Printf.sprintf "scale/star%d/%s/%dflows" leaves (Disc.name disc) flows)
+    ~spec:(Topo.Star { leaves }) ~disc ~churn:true ~flows ~window ~reserved
+    ~pkts_per_flow:2 ~load:0.75 ~monitors:false ~checkpoints:8 ~seed ()

@@ -1,0 +1,139 @@
+(** Network-scale scenario sweeps: topologies × disciplines × seeds,
+    sharded over the domain pool with deterministic positional
+    reduction (E27, DESIGN.md §13).
+
+    A {e scenario cell} is one closed simulation: a {!Sfq_netsim.Topo}
+    shape whose links all run one {!Disc} discipline, a churn-driven
+    background flow population recycled through a
+    {!Sfq_base.Flow_registry} (ids — and with them every dense per-flow
+    array — bounded by the live window, not the total flow count), and
+    a handful of {e reserved} CBR flows whose end-to-end delays are
+    checked against the composed Thm 8/9 bound by
+    {!Sfq_oracle.E2e_oracle}. Per-hop structural monitors (flow-FIFO,
+    per-server conservation) ride along, plus network-wide conservation
+    probes: at every checkpoint and after the final drain,
+    [injected = delivered + dropped + closed + in-flight].
+
+    Determinism contract (same as {!Sfq_oracle.Run.sweep}): a cell
+    builds all of its mutable state inside {!run_scenario}, its RNG
+    stream is a pure function of the cell's seed, and {!sweep} reduces
+    positionally — so {!sweep_digest} is byte-identical at every domain
+    count, which test_par and the netsim-scale CI job both enforce. *)
+
+open Sfq_base
+open Sfq_netsim
+module Monitor = Sfq_oracle.Monitor
+
+type scenario = {
+  label : string;
+  spec : Topo.spec;
+  disc : Disc.spec;
+  seed : int;
+  flows : int;  (** background flows opened over the run *)
+  window : int;  (** max concurrently-live background flows (churn) *)
+  pkts_per_flow : int;
+  len : int;  (** packet length, bits (also every flow's l^max) *)
+  reserved : int;  (** CBR flows under the composed-delay oracle *)
+  reserved_pkts : int option;  (** [None]: span the open phase *)
+  churn : bool;  (** recycle ids once the window fills *)
+  buffer : Buffered.config option;  (** per-link switch memory *)
+  load : float;  (** offered background load on the core link *)
+  access_rate : float;
+  core_rate : float;
+  prop_delay : float;
+  monitors : bool;  (** attach per-hop monitors (off for scale runs) *)
+  checkpoints : int;  (** mid-run network-conservation probes *)
+  skip_hop : int option;
+      (** mutant: forget hop [i mod nhops]'s β in the composed bound —
+          the oracle must then report a violation *)
+}
+
+val scenario :
+  ?flows:int ->
+  ?window:int ->
+  ?pkts_per_flow:int ->
+  ?len:int ->
+  ?reserved:int ->
+  ?reserved_pkts:int ->
+  ?churn:bool ->
+  ?buffer:Buffered.config ->
+  ?load:float ->
+  ?access_rate:float ->
+  ?core_rate:float ->
+  ?prop_delay:float ->
+  ?monitors:bool ->
+  ?checkpoints:int ->
+  ?skip_hop:int ->
+  ?seed:int ->
+  label:string ->
+  spec:Topo.spec ->
+  disc:Disc.spec ->
+  unit ->
+  scenario
+(** Defaults: 48 flows, window 16, 2 pkts/flow of 8192 bits, 2 reserved
+    flows, no churn, unbuffered, load 0.5 on a 2{^20} b/s core with
+    equal access links, 2{^-10} s propagation, monitors on, 4
+    checkpoints, seed [0x5eed]. Rates and lengths are dyadic so the
+    fixed-point fast paths tag exactly. Reserved rates sum to C/4 and
+    background reservations to at most C/4 — the [Σ r_n <= C] premise
+    of Thm 4 holds with 2x headroom for draining ids.
+    @raise Invalid_argument on degenerate sizing. *)
+
+val directed : ?disc:Disc.spec -> ?skip_hop:int -> spec:Topo.spec -> unit -> scenario
+(** The satellite Thm 8/9 cell: one reserved CBR flow per entry, no
+    background population, 8 packets each. With no competitors every
+    per-hop β is exact, so the composed bound holds with zero slack on
+    a line — and a [skip_hop] mutant is short by at least the dropped
+    hop's service time, which the oracle must flag. *)
+
+type outcome = {
+  injected : int;
+  delivered : int;
+  dropped : int;
+  closed : int;
+  in_flight : int;  (** 0 after a full drain — checked, and digested *)
+  finished_at : float;
+  high_water : int;  (** registry id bound — the RSS story at 10⁶ flows *)
+  peak_live : int;
+  order_hash : int64;  (** FNV-1a over the delivery stream *)
+  e2e_checked : int;
+  e2e_lost : int;
+  min_slack : float;
+  violations : Monitor.violation list;
+}
+
+val run_scenario : scenario -> outcome
+
+val sweep : ?domains:int -> ?pool:Sfq_par.Pool.t -> scenario list -> outcome array
+(** Fan the cells over the pool ({!Sfq_par.Pool.run}, or [pool] when
+    given); results land positionally. [domains = 1] (default) runs
+    serially with no spawn. *)
+
+val outcome_digest : outcome -> string
+(** Exact ([%h] floats, full hash) one-line rendering. *)
+
+val sweep_digest : scenario list -> outcome array -> string
+(** One [label | digest] line per cell, in cell order — the
+    serial≡parallel witness. *)
+
+val default_cells : ?root:int -> unit -> scenario list
+(** The standard grid — {star4, line3, tree2x2, dumbbell3x2} × {sfq,
+    scfq, sfq-fast, pifo-sfq, drr} × 2 seed replicates — plus one
+    churn-heavy overloaded star8 cell with finite Drop_front buffers.
+    Cell seeds derive from [root] (default [0x7e57]) by index.
+    Append-only: test_par and the golden corpus digest these labels. *)
+
+val scale_star :
+  ?flows:int ->
+  ?window:int ->
+  ?leaves:int ->
+  ?reserved:int ->
+  ?disc:Disc.spec ->
+  ?seed:int ->
+  unit ->
+  scenario
+(** The E27 scaling cell: a churned star, default 10⁶ flows through a
+    4096-id window on 64 leaves, per-hop monitors off (the composed
+    oracle and the conservation probes stay on), load 0.75. Memory is
+    bounded by the window, not the flow count — the CI job runs the
+    10⁵-flow variant under an RSS ceiling. *)

@@ -81,6 +81,18 @@ let all =
       title = "E26 PIFO rank-program ports vs originals";
       run = seeded Pifo_port.run;
     };
+    {
+      id = "net-sweep";
+      title = "E27 network-scale topology sweep";
+      (* Registry entries already execute inside pool tasks when the CLI
+         shards experiments, and Pool.map rejects nested submission — so
+         this sweep always runs its cells serially. The sharded path is
+         exercised by [sfq_sweep net] and test_par instead. *)
+      run =
+        (fun ?seed ~quick:_ () ->
+          let cells = Net_sweep.default_cells ?root:seed () in
+          marshal (Net_sweep.sweep_digest cells (Net_sweep.sweep cells)));
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
@@ -171,6 +183,15 @@ let compact_pifo ?seed () =
         row.Pifo_port.identical)
     r.Pifo_port.rows
 
+let compact_netsweep ?seed () =
+  let cells = Net_sweep.default_cells ?root:seed () in
+  let outcomes = Net_sweep.sweep cells in
+  List.mapi
+    (fun i (c : Net_sweep.scenario) ->
+      Printf.sprintf "net-sweep.%s %s" c.Net_sweep.label
+        (Net_sweep.outcome_digest outcomes.(i)))
+    cells
+
 let compact ~id ?seed ~quick () =
   match id with
   | "example-1" -> Some (String.concat "\n" (compact_example1 ()))
@@ -178,6 +199,7 @@ let compact ~id ?seed ~quick () =
   | "table-1" -> Some (String.concat "\n" (compact_table1 ~quick ()))
   | "churn-stress" -> Some (String.concat "\n" (compact_churn ()))
   | "pifo-port" -> Some (String.concat "\n" (compact_pifo ?seed ()))
+  | "net-sweep" -> Some (String.concat "\n" (compact_netsweep ?seed ()))
   | _ -> None
 
 let golden_corpus () =
@@ -186,8 +208,10 @@ let golden_corpus () =
        "# Golden compact digests: E1 (example-1), E3/Fig-1(b) (fig-1b, default";
        "# seed), Table 1 (table-1, quick mode), E24 (churn-stress), E26";
        "# (pifo-port, one service-order hash + identity flag per rank-program";
-       "# discipline). Per-flow packet counts, service order hashes, drop";
-       "# counts and %h-exact headline numbers under the default seeds.";
+       "# discipline), E27 (net-sweep, one delivery-order digest per topology";
+       "# x discipline x seed cell). Per-flow packet counts, service order";
+       "# hashes, drop counts and %h-exact headline numbers under the";
+       "# default seeds.";
        "# Regenerate after an intentional behavioral change with:";
        "#   dune exec bin/sfq_sweep.exe -- golden > test/golden/digests.expected";
      ]
@@ -195,5 +219,6 @@ let golden_corpus () =
     @ compact_fig1b ()
     @ compact_table1 ~quick:true ()
     @ compact_churn ()
-    @ compact_pifo ())
+    @ compact_pifo ()
+    @ compact_netsweep ())
   ^ "\n"

@@ -8,9 +8,11 @@ type t = {
   sim : Sim.t;
   nodes : (string, node) Hashtbl.t;
   links : (int * int, link_state) Hashtbl.t;
+  link_ends : (int * int, node * node) Hashtbl.t;
   routes : (Packet.flow, node array) Hashtbl.t;
   mutable delivered_handlers : (Packet.t -> at:float -> unit) list;
   mutable delivered : int;
+  mutable injected : int;
   mutable next_index : int;
 }
 
@@ -19,9 +21,11 @@ let create sim =
     sim;
     nodes = Hashtbl.create 16;
     links = Hashtbl.create 16;
+    link_ends = Hashtbl.create 16;
     routes = Hashtbl.create 16;
     delivered_handlers = [];
     delivered = 0;
+    injected = 0;
     next_index = 0;
   }
 
@@ -70,17 +74,18 @@ and forward t ls ~src ~dst p =
       Sim.schedule_after t.sim ~delay:ls.prop_delay (fun () -> send_from t route i p)
   end
 
-let link t ~src ~dst ~rate ~sched ?(prop_delay = 0.0) ?flow_buffer_limit () =
+let link t ~src ~dst ~rate ~sched ?(prop_delay = 0.0) ?flow_buffer_limit ?buffer () =
   if prop_delay < 0.0 then invalid_arg "Net.link: negative propagation delay";
   if Hashtbl.mem t.links (src.index, dst.index) then
     invalid_arg (Printf.sprintf "Net.link: %s->%s already exists" src.name dst.name);
   let server =
     Server.create t.sim
       ~name:(Printf.sprintf "%s->%s" src.name dst.name)
-      ~rate ~sched ?flow_buffer_limit ()
+      ~rate ~sched ?flow_buffer_limit ?buffer ()
   in
   let ls = { server; prop_delay } in
   Hashtbl.replace t.links (src.index, dst.index) ls;
+  Hashtbl.replace t.link_ends (src.index, dst.index) (src, dst);
   Server.on_depart server (fun p ~start:_ ~departed:_ -> forward t ls ~src ~dst p);
   server
 
@@ -99,10 +104,25 @@ let route t ~flow path =
   done;
   Hashtbl.replace t.routes flow arr
 
+let unroute t ~flow = Hashtbl.remove t.routes flow
+
 let inject t p =
   match Hashtbl.find_opt t.routes p.Packet.flow with
   | None -> invalid_arg (Printf.sprintf "Net.inject: no route for flow %d" p.Packet.flow)
-  | Some route -> send_from t route 0 p
+  | Some route ->
+    t.injected <- t.injected + 1;
+    send_from t route 0 p
 
 let on_delivered t h = t.delivered_handlers <- h :: t.delivered_handlers
 let delivered t = t.delivered
+let injected t = t.injected
+
+let iter_links t ~f =
+  (* Hashtbl order depends on hashing internals; sort by the (src, dst)
+     index pair so callers folding over links (digests, counter sums)
+     see a deterministic sequence. *)
+  Hashtbl.fold (fun key ls acc -> (key, ls) :: acc) t.links []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (key, ls) ->
+         let src, dst = Hashtbl.find t.link_ends key in
+         f ~src ~dst ls.server)

@@ -25,9 +25,12 @@ val node_name : node -> string
 
 val link :
   t -> src:node -> dst:node -> rate:Rate_process.t -> sched:Sched.t ->
-  ?prop_delay:float -> ?flow_buffer_limit:int -> unit -> Server.t
+  ?prop_delay:float -> ?flow_buffer_limit:int -> ?buffer:Buffered.config ->
+  unit -> Server.t
 (** Create the directed link src→dst and return its server (for
-    attaching traces, handlers, priority traffic).
+    attaching traces, handlers, priority traffic). [buffer] is the
+    link's finite switch memory ({!Server.create}'s admission gate);
+    [flow_buffer_limit] is the per-flow drop-tail shorthand.
     @raise Invalid_argument if the link already exists or
     [prop_delay < 0]. *)
 
@@ -39,6 +42,14 @@ val route : t -> flow:Packet.flow -> node list -> unit
     @raise Invalid_argument on a path shorter than 2 nodes or with a
     missing link. *)
 
+val unroute : t -> flow:Packet.flow -> unit
+(** Forget the flow's path (no-op when absent). Part of the flow-id
+    recycling contract ({!Sfq_base.Flow_registry}): a closed id's route
+    must not leak, and must not be visible to a later flow that reuses
+    the id. Only call once the flow has no packets in flight — a packet
+    between hops whose route has vanished would be dropped silently,
+    breaking the conservation law the property tests check. *)
+
 val inject : t -> Packet.t -> unit
 (** Send a packet down its flow's route from the first node.
     @raise Invalid_argument if the flow has no route. *)
@@ -48,3 +59,13 @@ val on_delivered : t -> (Packet.t -> at:float -> unit) -> unit
     service and propagation). *)
 
 val delivered : t -> int
+
+val injected : t -> int
+(** Total {!inject} calls — the left-hand side of the network-wide
+    conservation law
+    [injected = delivered + dropped + closed + in-flight]. *)
+
+val iter_links : t -> f:(src:node -> dst:node -> Server.t -> unit) -> unit
+(** Visit every link's server in deterministic (creation-index) order —
+    for attaching monitors or summing per-hop counters without
+    depending on hash-table iteration order. *)

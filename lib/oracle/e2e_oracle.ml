@@ -1,0 +1,108 @@
+open Sfq_base
+
+type flow_state = {
+  mutable eat : float;  (* EAT of the previous packet (eq. 37) *)
+  mutable len_prev : float;
+  mutable seen : bool;
+  pending : (int * float) Queue.t;  (* (seq, EAT at first server) *)
+}
+
+type t = {
+  name : string;
+  rate : Packet.flow -> float;
+  betas : Packet.flow -> float list;
+  taus : Packet.flow -> float list;
+  flows : (Packet.flow, flow_state) Hashtbl.t;
+  mutable violation : Monitor.violation option;
+  mutable checked : int;
+  mutable lost : int;
+  mutable min_slack : float;
+}
+
+let create ~name ~rate ~betas ~taus () =
+  {
+    name;
+    rate;
+    betas;
+    taus;
+    flows = Hashtbl.create 16;
+    violation = None;
+    checked = 0;
+    lost = 0;
+    min_slack = infinity;
+  }
+
+let state t flow =
+  match Hashtbl.find_opt t.flows flow with
+  | Some s -> s
+  | None ->
+    let s = { eat = 0.0; len_prev = 0.0; seen = false; pending = Queue.create () } in
+    Hashtbl.replace t.flows flow s;
+    s
+
+let violate t ~at what =
+  if t.violation = None then t.violation <- Some { Monitor.monitor = t.name; at; what }
+
+(* Same relative tolerance as the single-server monitors. *)
+let slack b = 1e-9 *. Float.max 1.0 (Float.abs b)
+
+let inject t (p : Packet.t) ~at =
+  let s = state t p.Packet.flow in
+  let r =
+    match p.Packet.rate with Some r -> r | None -> t.rate p.Packet.flow
+  in
+  let eat = if s.seen then Float.max at (s.eat +. (s.len_prev /. r)) else at in
+  s.eat <- eat;
+  s.len_prev <- float_of_int p.Packet.len;
+  s.seen <- true;
+  Queue.push (p.Packet.seq, eat) s.pending
+
+let deliver t (p : Packet.t) ~at =
+  let s = state t p.Packet.flow in
+  (* Per-flow FIFO delivery: pending packets with smaller seq than the
+     one delivered were lost along the route (buffer drop / closure
+     flush) — skip them, they have no delivery to bound. *)
+  let rec pop () =
+    match Queue.peek_opt s.pending with
+    | None ->
+      violate t ~at
+        (Printf.sprintf "flow %d: delivery of seq %d was never injected" p.Packet.flow
+           p.Packet.seq);
+      None
+    | Some (seq, _) when seq > p.Packet.seq ->
+      violate t ~at
+        (Printf.sprintf "flow %d: delivery of seq %d out of order (next pending %d)"
+           p.Packet.flow p.Packet.seq seq);
+      None
+    | Some (seq, eat) ->
+      ignore (Queue.pop s.pending);
+      if seq = p.Packet.seq then Some eat
+      else begin
+        t.lost <- t.lost + 1;
+        pop ()
+      end
+  in
+  match pop () with
+  | None -> ()
+  | Some eat ->
+    let bound =
+      Sfq_core.Bounds.e2e_departure ~eat_first:eat ~betas:(t.betas p.Packet.flow)
+        ~taus:(t.taus p.Packet.flow)
+    in
+    t.checked <- t.checked + 1;
+    t.min_slack <- Float.min t.min_slack (bound -. at);
+    if at > bound +. slack bound then
+      violate t ~at
+        (Printf.sprintf
+           "flow %d seq %d: delivered at %.9g > composed bound %.9g (EAT %.9g)"
+           p.Packet.flow p.Packet.seq at bound eat)
+
+let finalize t ~until:_ =
+  (* Packets still pending were dropped en route; they have no delivery
+     time to check, only the loss count to report. *)
+  Hashtbl.iter (fun _ s -> t.lost <- t.lost + Queue.length s.pending) t.flows
+
+let checked t = t.checked
+let lost t = t.lost
+let min_slack t = t.min_slack
+let result t = t.violation

@@ -1,0 +1,68 @@
+(** The composed end-to-end delay oracle: Corollary 1 (Thm 8/9's
+    network-of-servers argument) as an executable invariant.
+
+    A single SFQ server bounds a packet's departure by
+    [EAT + Σ_{n≠f} l_n^max/C + l/C] (Theorem 4; eq. 56 is the SCFQ
+    analogue). Corollary 1 composes the per-server constants: across a
+    route of servers with per-hop constants [β^n] and propagation
+    delays [τ^n], every packet of a reserved flow is delivered by
+    [EAT¹(p) + Σ_n β^n + Σ_n τ^n], where [EAT¹] is the earliest
+    arrival time at the {e first} hop (eq. 37, maintained here from
+    injection times and the flow's reserved rate).
+
+    The oracle is fed from the network edge only — {!inject} when the
+    packet enters the first hop, {!deliver} from
+    {!Sfq_netsim.Net.on_delivered} — so it cannot accidentally reuse
+    the scheduler's own bookkeeping; the per-hop [β] list is supplied
+    by the caller from the topology (capacities, competing-flow
+    [l^max] sums: {!Sfq_core.Bounds.sfq_beta}) and must cover {e every}
+    hop. A mutant that forgets one hop's [β] produces a bound short by
+    at least that hop's service time, which a packet that actually
+    crosses the hop must violate — the "forgets a hop's bound" kill
+    the directed tests demand.
+
+    Lost packets (buffer drops, closure flushes en route) have no
+    delivery to bound; they are skipped per-flow-FIFO and counted in
+    {!lost}. Like {!Monitor}, the first violation latches. *)
+
+open Sfq_base
+
+type t
+
+val create :
+  name:string ->
+  rate:(Packet.flow -> float) ->
+  betas:(Packet.flow -> float list) ->
+  taus:(Packet.flow -> float list) ->
+  unit ->
+  t
+(** [rate] is the reserved rate used for EAT chaining (a per-packet
+    {!Packet.rate} override wins, mirroring generalized SFQ).
+    [betas]/[taus] give the per-hop constants of the flow's route, in
+    route order; [taus] includes the final hop's propagation to the
+    sink (delivery fires after it). Both are consulted per delivery, so
+    they may be closures over topology state. *)
+
+val inject : t -> Packet.t -> at:float -> unit
+(** Record the packet's arrival at the network edge and advance the
+    flow's EAT (eq. 37). Call in injection order per flow. *)
+
+val deliver : t -> Packet.t -> at:float -> unit
+(** Check the composed bound for a delivered packet. Out-of-order or
+    never-injected deliveries are violations in their own right. *)
+
+val finalize : t -> until:float -> unit
+(** Count never-delivered packets into {!lost}. Call once, after the
+    simulation drains. *)
+
+val checked : t -> int
+(** Deliveries whose bound was checked. *)
+
+val lost : t -> int
+(** Injected packets that never reached the sink. *)
+
+val min_slack : t -> float
+(** Tightest observed [bound - measured] over checked deliveries
+    ([infinity] before the first); negative iff a violation latched. *)
+
+val result : t -> Monitor.violation option

@@ -9,7 +9,7 @@ let check_bool = Alcotest.(check bool)
 
 let valid_doc =
   {|{
-  "schema": "sfq-bench-sched/5",
+  "schema": "sfq-bench-sched/6",
   "quick": true,
   "unit": "ns per enqueue+dequeue",
   "meta": {"git_sha": "deadbeef", "timestamp_utc": "2026-08-06T00:00:00Z", "hostname": "box", "domains": 2},
@@ -42,6 +42,11 @@ let valid_doc =
   ],
   "parallel": [
     {"series": "oracle-sweep", "cells": 1320, "domains": 4, "serial_s": 2.1, "parallel_s": 0.8, "speedup": 2.62, "identical": true}
+  ],
+  "netsim": [
+    {"discipline": "sfq", "flows": 100000, "hops": 2, "packets_per_sec": 350000.0, "peak_rss_kb": 110000, "rss_bound_kb": 1048576},
+    {"discipline": "sfq-fast", "flows": 100000, "hops": 2, "packets_per_sec": 400000.0, "peak_rss_kb": 105000, "rss_bound_kb": 1048576},
+    {"discipline": "pifo-sfq", "flows": 100000, "hops": 2, "packets_per_sec": 380000.0, "peak_rss_kb": null, "rss_bound_kb": 1048576}
   ]
 }|}
 
@@ -85,12 +90,20 @@ let pifo_frag =
      {"discipline": "pifo-scfq", "flows": 512, "ns_per_packet": 105.0, "ns_p50": 105.0, "ns_p99": 115.0, "allocations_per_packet": 0.000},
      {"discipline": "pifo-vc", "flows": 512, "ns_per_packet": 100.0, "ns_p50": 100.0, "ns_p99": 110.0, "allocations_per_packet": 0.000}]|}
 
-let mk ?(schema = "sfq-bench-sched/5") ?(meta = meta_frag) ?(flow = flow_frag)
+(* A minimal netsim series that satisfies the E27 gates: all three
+   oracle-bearing disciplines present, peak RSS under its own bound
+   (null allowed — the explicit "/proc unavailable" marker). *)
+let netsim_frag =
+  {|[{"discipline": "sfq", "flows": 100000, "hops": 2, "packets_per_sec": 350000.0, "peak_rss_kb": 110000, "rss_bound_kb": 1048576},
+     {"discipline": "sfq-fast", "flows": 100000, "hops": 2, "packets_per_sec": 400000.0, "peak_rss_kb": null, "rss_bound_kb": 1048576},
+     {"discipline": "pifo-sfq", "flows": 100000, "hops": 2, "packets_per_sec": 380000.0, "peak_rss_kb": 120000, "rss_bound_kb": 1048576}]|}
+
+let mk ?(schema = "sfq-bench-sched/6") ?(meta = meta_frag) ?(flow = flow_frag)
     ?(depth = depth_frag) ?(fastpath = fastpath_frag) ?(pifo = pifo_frag)
-    ?(overhead = overhead_frag) ?(parallel = parallel_frag) () =
+    ?(overhead = overhead_frag) ?(parallel = parallel_frag) ?(netsim = netsim_frag) () =
   Printf.sprintf
-    {|{"schema": %S, "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "pifo": %s, "tracing_overhead": %s, "parallel": %s}|}
-    schema meta flow depth fastpath pifo overhead parallel
+    {|{"schema": %S, "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "pifo": %s, "tracing_overhead": %s, "parallel": %s, "netsim": %s}|}
+    schema meta flow depth fastpath pifo overhead parallel netsim
 
 let expect_error name needle contents =
   match Bench_json.validate contents with
@@ -169,13 +182,14 @@ let test_rejects_missing_fields () =
   expect_error "stale schema/2" "unexpected schema" (mk ~schema:"sfq-bench-sched/2" ());
   expect_error "stale schema/3" "unexpected schema" (mk ~schema:"sfq-bench-sched/3" ());
   expect_error "stale schema/4" "unexpected schema" (mk ~schema:"sfq-bench-sched/4" ());
+  expect_error "stale schema/5" "unexpected schema" (mk ~schema:"sfq-bench-sched/5" ());
   expect_error "meta without domains" "missing field \"domains\""
     (mk
        ~meta:{|{"git_sha": "deadbeef", "timestamp_utc": "2026-08-06T00:00:00Z", "hostname": "box"}|}
        ());
   expect_error "no meta" "missing field \"meta\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/5", "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
+       {|{"schema": "sfq-bench-sched/6", "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
        flow_frag depth_frag overhead_frag);
   expect_error "empty git_sha" "git_sha"
     (mk
@@ -183,11 +197,11 @@ let test_rejects_missing_fields () =
        ());
   expect_error "no depth_scaling" "missing field \"depth_scaling\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/5", "meta": %s, "flow_scaling": %s, "tracing_overhead": %s}|}
+       {|{"schema": "sfq-bench-sched/6", "meta": %s, "flow_scaling": %s, "tracing_overhead": %s}|}
        meta_frag flow_frag overhead_frag);
   expect_error "no fastpath" "missing field \"fastpath\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/5", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
+       {|{"schema": "sfq-bench-sched/6", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
        meta_frag flow_frag depth_frag overhead_frag);
   expect_error "row without flows" "missing field \"flows\""
     (mk ~flow:{|[{"discipline": "sfq", "ns_per_packet": 1.0, "ns_p50": 1.0, "ns_p99": 1.2}]|} ());
@@ -238,7 +252,7 @@ let test_rejects_bad_overhead () =
 let test_rejects_bad_parallel () =
   expect_error "missing parallel" "missing field \"parallel\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/5", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "pifo": %s, "tracing_overhead": %s}|}
+       {|{"schema": "sfq-bench-sched/6", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "pifo": %s, "tracing_overhead": %s}|}
        meta_frag flow_frag depth_frag fastpath_frag pifo_frag overhead_frag);
   expect_error "empty parallel" "parallel is empty" (mk ~parallel:"[]" ());
   (* the determinism witness: a file recording a parallel sweep that
@@ -339,7 +353,7 @@ let test_rejects_bad_fastpath () =
 let test_rejects_bad_pifo () =
   expect_error "missing pifo series" "missing field \"pifo\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/5", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "tracing_overhead": %s, "parallel": %s}|}
+       {|{"schema": "sfq-bench-sched/6", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "tracing_overhead": %s, "parallel": %s}|}
        meta_frag flow_frag depth_frag fastpath_frag overhead_frag parallel_frag);
   expect_error "empty pifo" "pifo is empty" (mk ~pifo:"[]" ());
   (* rank programs may pay a bounded dispatch premium, never an allocation *)
@@ -371,6 +385,43 @@ let test_rejects_bad_pifo () =
          {|[{"discipline": "pifo-sfq", "flows": 1024, "ns_per_packet": 110.0, "ns_p50": 110.0, "ns_p99": 120.0, "allocations_per_packet": 0.000},
             {"discipline": "pifo-scfq", "flows": 1024, "ns_per_packet": 105.0, "ns_p50": 105.0, "ns_p99": 115.0, "allocations_per_packet": 0.000},
             {"discipline": "pifo-vc", "flows": 1024, "ns_per_packet": 100.0, "ns_p50": 100.0, "ns_p99": 110.0, "allocations_per_packet": 0.000}]|}
+       ())
+
+let test_rejects_bad_netsim () =
+  expect_error "missing netsim series" "missing field \"netsim\""
+    (Printf.sprintf
+       {|{"schema": "sfq-bench-sched/6", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "pifo": %s, "tracing_overhead": %s, "parallel": %s}|}
+       meta_frag flow_frag depth_frag fastpath_frag pifo_frag overhead_frag
+       parallel_frag);
+  expect_error "empty netsim" "netsim is empty" (mk ~netsim:"[]" ());
+  (* a vanished discipline row would hide a scale regression *)
+  expect_error "missing pifo-sfq row" "missing discipline \"pifo-sfq\""
+    (mk
+       ~netsim:
+         {|[{"discipline": "sfq", "flows": 100000, "hops": 2, "packets_per_sec": 350000.0, "peak_rss_kb": 110000, "rss_bound_kb": 1048576},
+            {"discipline": "sfq-fast", "flows": 100000, "hops": 2, "packets_per_sec": 400000.0, "peak_rss_kb": 105000, "rss_bound_kb": 1048576}]|}
+       ());
+  (* the window-bounded-memory gate: peak RSS over the recorded bound *)
+  expect_error "rss over bound" "exceeds the 1048576 kB bound"
+    (mk
+       ~netsim:
+         {|[{"discipline": "sfq", "flows": 100000, "hops": 2, "packets_per_sec": 350000.0, "peak_rss_kb": 2097152, "rss_bound_kb": 1048576},
+            {"discipline": "sfq-fast", "flows": 100000, "hops": 2, "packets_per_sec": 400000.0, "peak_rss_kb": 105000, "rss_bound_kb": 1048576},
+            {"discipline": "pifo-sfq", "flows": 100000, "hops": 2, "packets_per_sec": 380000.0, "peak_rss_kb": 120000, "rss_bound_kb": 1048576}]|}
+       ());
+  expect_error "zero pps" "packets_per_sec must be positive"
+    (mk
+       ~netsim:
+         {|[{"discipline": "sfq", "flows": 100000, "hops": 2, "packets_per_sec": 0.0, "peak_rss_kb": 110000, "rss_bound_kb": 1048576},
+            {"discipline": "sfq-fast", "flows": 100000, "hops": 2, "packets_per_sec": 400000.0, "peak_rss_kb": 105000, "rss_bound_kb": 1048576},
+            {"discipline": "pifo-sfq", "flows": 100000, "hops": 2, "packets_per_sec": 380000.0, "peak_rss_kb": 120000, "rss_bound_kb": 1048576}]|}
+       ());
+  expect_error "absent peak_rss_kb" "missing field \"peak_rss_kb\""
+    (mk
+       ~netsim:
+         {|[{"discipline": "sfq", "flows": 100000, "hops": 2, "packets_per_sec": 350000.0, "rss_bound_kb": 1048576},
+            {"discipline": "sfq-fast", "flows": 100000, "hops": 2, "packets_per_sec": 400000.0, "peak_rss_kb": 105000, "rss_bound_kb": 1048576},
+            {"discipline": "pifo-sfq", "flows": 100000, "hops": 2, "packets_per_sec": 380000.0, "peak_rss_kb": 120000, "rss_bound_kb": 1048576}]|}
        ())
 
 let test_rejects_empty_series () =
@@ -411,6 +462,7 @@ let () =
           Alcotest.test_case "bad fastpath series" `Quick test_rejects_bad_fastpath;
           Alcotest.test_case "bad pifo series" `Quick test_rejects_bad_pifo;
           Alcotest.test_case "bad parallel series" `Quick test_rejects_bad_parallel;
+          Alcotest.test_case "bad netsim series" `Quick test_rejects_bad_netsim;
           Alcotest.test_case "empty series" `Quick test_rejects_empty_series;
           Alcotest.test_case "trailing garbage" `Quick test_rejects_trailing_garbage;
         ] );

@@ -57,6 +57,36 @@ let test_oracle_sweep_deterministic () =
     (List.length (String.split_on_char '\n' reference) - 1)
 
 (* ------------------------------------------------------------------ *)
+(* Net-sweep determinism: whole-network scenario cells (E27) — every
+   cell is a closed multi-hop simulation with its own event queue,
+   registry and oracle, so this exercises a much deeper state machine
+   per task than the oracle cells above. The grid's churn-heavy star
+   (finite Drop_front buffers, id recycling under overload) rides along
+   in [default_cells], making drop ordering and registry reuse part of
+   the digest. *)
+
+module Net_sweep = Sfq_experiments.Net_sweep
+
+let test_net_sweep_deterministic () =
+  let cells = Net_sweep.default_cells () in
+  let digests =
+    List.map
+      (fun domains ->
+        ( domains,
+          Net_sweep.sweep_digest cells (Net_sweep.sweep ~domains cells) ))
+      domain_counts
+  in
+  assert_identical ~what:"net sweep" digests;
+  let _, reference = List.hd digests in
+  check_int "one line per net cell"
+    (List.length cells)
+    (List.length (String.split_on_char '\n' reference) - 1);
+  check_bool "churn-heavy star cell is in the digested grid" true
+    (List.exists
+       (fun (c : Net_sweep.scenario) -> c.Net_sweep.churn)
+       cells)
+
+(* ------------------------------------------------------------------ *)
 (* Bench-row determinism: the E14 steady-state loop, replayed per
    discipline in parallel, digesting the departure order and a CSV
    rendering of the per-row summaries. Timings are not digestable;
@@ -306,6 +336,8 @@ let () =
         [
           Alcotest.test_case "oracle sweep digests are domain-count invariant" `Quick
             test_oracle_sweep_deterministic;
+          Alcotest.test_case "net sweep digests are domain-count invariant" `Quick
+            test_net_sweep_deterministic;
           Alcotest.test_case "bench row replay + CSV are domain-count invariant"
             `Quick test_bench_row_deterministic;
           Alcotest.test_case "mutants caught at 1/2/4/8 domains" `Quick
