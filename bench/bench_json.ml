@@ -494,11 +494,66 @@ let check_netsim rows =
       [ "sfq"; "sfq-fast"; "pifo-sfq" ]
   | _ -> raise (Bad (Printf.sprintf "%s must be an array" series))
 
+(* The replay series is E28's universality scoreboard: per-tier cell
+   and ok counts from the schedule-replay harness. The counts are
+   deterministic (frozen pools, fixed grid seeds), so the gates are
+   exact: the single/net/kills tiers must be all-ok — LSTF replays
+   every recording and both seeded mutants die — and the control tier
+   (SFQ re-running DRR recordings) must have at least one diverging
+   cell, or the negative control is vacuous and the net rows prove
+   nothing. *)
+let check_replay rows =
+  let series = "replay" in
+  match rows with
+  | List [] -> raise (Bad (Printf.sprintf "%s is empty" series))
+  | List rows ->
+    List.iter
+      (fun row ->
+        (match field "tier" row with
+        | Str ("single" | "net" | "control" | "kills") -> ()
+        | Str s -> raise (Bad (Printf.sprintf "%s: unknown tier %S" series s))
+        | _ -> raise (Bad (series ^ ": tier must be a string")));
+        check_pos_int ~series ~name:"cells" row;
+        let ok =
+          match field "ok" row with
+          | Num f when Float.is_integer f && f >= 0.0 -> f
+          | _ -> raise (Bad (series ^ ": ok must be a non-negative integer"))
+        in
+        let cells = match field "cells" row with Num f -> f | _ -> 0.0 in
+        if ok > cells then
+          raise (Bad (series ^ ": ok exceeds cells"));
+        match field "tier" row with
+        | Str "control" ->
+          if ok < 1.0 then
+            raise
+              (Bad
+                 (series
+                ^ ": no control cell diverged — the negative control is \
+                   vacuous and the replay rows prove nothing"))
+        | Str tier ->
+          if ok <> cells then
+            raise
+              (Bad
+                 (Printf.sprintf
+                    "%s: %s tier has %.0f/%.0f cells ok — a replay \
+                     regression or a surviving mutant"
+                    series tier ok cells))
+        | _ -> ())
+      rows;
+    List.iter
+      (fun tier ->
+        if not (List.exists (fun row -> field "tier" row = Str tier) rows) then
+          raise (Bad (Printf.sprintf "%s: missing tier %S" series tier)))
+      [ "single"; "net"; "control"; "kills" ]
+  | _ -> raise (Bad (Printf.sprintf "%s must be an array" series))
+
 let validate contents =
   match
     let json = parse contents in
     (match field "schema" json with
-    | Str "sfq-bench-sched/6" -> ()
+    | Str "sfq-bench-sched/7" -> ()
+    | Str "sfq-bench-sched/6" ->
+      raise (Bad "stale schema sfq-bench-sched/6: regenerate with bench main.exe micro")
     | _ -> raise (Bad "unexpected schema"));
     check_meta (field "meta" json);
     check_rows ~series:"flow_scaling" ~depth:false (field "flow_scaling" json);
@@ -507,7 +562,8 @@ let validate contents =
     check_pifo ~fastpath:(field "fastpath" json) (field "pifo" json);
     check_overhead (field "tracing_overhead" json);
     check_parallel (field "parallel" json);
-    check_netsim (field "netsim" json)
+    check_netsim (field "netsim" json);
+    check_replay (field "replay" json)
   with
   | () -> Ok ()
   | exception Bad msg -> Error msg

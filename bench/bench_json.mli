@@ -47,7 +47,8 @@ val pifo_overhead_limit : float
 
 val validate : string -> (unit, string) result
 (** [validate contents] checks a whole document: well-formed JSON,
-    [schema = "sfq-bench-sched/6"], a [meta] block with non-empty
+    [schema = "sfq-bench-sched/7"] (the previous /6 is
+    rejected as stale — a /7 file must carry the replay series), a [meta] block with non-empty
     [git_sha]/[timestamp_utc]/[hostname] and a positive-integer
     [domains], the [flow_scaling] and [depth_scaling] series, a
     [fastpath] series carrying all seven fixed-point-vs-float
@@ -69,5 +70,11 @@ val validate : string -> (unit, string) result
     [packets_per_sec] must be positive and whose [peak_rss_kb] (a
     positive integer, or null only where /proc is unavailable) must
     not exceed the row's own [rss_bound_kb] — the "memory is bounded
-    by the churn window, not the flow count" gate. Returns
-    [Error msg] instead of raising. *)
+    by the churn window, not the flow count" gate — and a [replay]
+    series (E28's schedule-replay scoreboard: one row per tier with
+    integer [cells]/[ok] counts, all four tiers
+    single/net/control/kills required) in which the single, net and
+    kills tiers must be all-ok (LSTF replays every recording; both
+    seeded mutants die) and the control tier must have at least one
+    diverging cell — a vacuous negative control invalidates the file.
+    Returns [Error msg] instead of raising. *)

@@ -663,6 +663,36 @@ let netsim_rows ~quick () =
       })
     [ ("sfq", Disc.Sfq); ("sfq-fast", Disc.Sfq_fast); ("pifo-sfq", Disc.Pifo_sfq) ]
 
+(* ------------------------------------------------------------------ *)
+(* E28: schedule-replay universality scoreboard (replay)               *)
+
+type replay_row = {
+  rp_tier : string;  (** single | net | control | kills *)
+  rp_cells : int;
+  rp_ok : int;
+}
+
+(* One row per E28 tier: how many cells ran and how many met the
+   tier's expectation (single/net/kills: replay succeeds, mutants die;
+   control: SFQ delivers late). The counts are deterministic — the
+   same frozen pools and grid seeds as the golden corpus — so the
+   trajectory gates on them exactly: single, net and kills must be
+   all-ok, and at least one control cell must diverge, or the
+   universality claim (and its negative control) has regressed. *)
+let replay_rows () =
+  let r = Lstf_replay.run () in
+  let count rows = (List.length rows, List.length (List.filter (fun (x : Lstf_replay.row) -> x.Lstf_replay.ok) rows)) in
+  List.map
+    (fun (tier, rows) ->
+      let cells, ok = count rows in
+      { rp_tier = tier; rp_cells = cells; rp_ok = ok })
+    [
+      ("single", r.Lstf_replay.single);
+      ("net", r.Lstf_replay.net);
+      ("control", r.Lstf_replay.control);
+      ("kills", r.Lstf_replay.kills);
+    ]
+
 (* --- JSON emission (by hand: no JSON library in the allowed set) --- *)
 
 (* JSON numbers cannot be NaN/inf; a failed estimate becomes null. *)
@@ -690,12 +720,12 @@ let utc_timestamp () =
 let hostname () = try Unix.gethostname () with Unix.Unix_error _ -> "unknown"
 
 let emit_json ~quick ~domains ~flow_scaling ~depth_scaling ~fastpath ~pifo ~overhead
-    ~parallel ~netsim path =
+    ~parallel ~netsim ~replay path =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
     (Printf.sprintf
-       "  \"schema\": \"sfq-bench-sched/6\",\n  \"quick\": %b,\n  \"unit\": \"ns per enqueue+dequeue\",\n"
+       "  \"schema\": \"sfq-bench-sched/7\",\n  \"quick\": %b,\n  \"unit\": \"ns per enqueue+dequeue\",\n"
        quick);
   Buffer.add_string buf
     (Printf.sprintf
@@ -799,6 +829,15 @@ let emit_json ~quick ~domains ~flow_scaling ~depth_scaling ~fastpath ~pifo ~over
            (match r.nt_peak_rss_kb with None -> "null" | Some kb -> string_of_int kb)
            r.nt_bound_kb))
     netsim;
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"replay\": [\n";
+  List.iteri
+    (fun i (r : replay_row) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"tier\": %S, \"cells\": %d, \"ok\": %d}" r.rp_tier
+           r.rp_cells r.rp_ok))
+    replay;
   Buffer.add_string buf "\n  ]\n}\n";
   let oc = open_out path in
   Buffer.output_buffer oc buf;
@@ -1029,8 +1068,24 @@ let run_micro ~quick ~domains () =
     \ the bench run. Live state is bounded by the window, not the flow count;\n\
     \ the validator rejects the file if peak RSS crosses the recorded bound.)";
   print_newline ();
+  section "E28: LSTF schedule-replay universality scoreboard";
+  let replay = replay_rows () in
+  let rtable = Text_table.create [ "tier"; "cells"; "ok" ] in
+  List.iter
+    (fun (r : replay_row) ->
+      Text_table.add_row rtable
+        [ r.rp_tier; string_of_int r.rp_cells; string_of_int r.rp_ok ])
+    replay;
+  Text_table.print rtable;
+  print_endline
+    "(Each tier counts its E28 cells and how many met the tier's expectation:\n\
+    \ single/net replays succeed, seeded mutants die, and at least one SFQ\n\
+    \ negative-control cell delivers late. The counts are deterministic, so\n\
+    \ the validator gates on them exactly — a replay regression or a vacuous\n\
+    \ control flips the file to invalid.)";
+  print_newline ();
   emit_json ~quick ~domains ~flow_scaling ~depth_scaling ~fastpath ~pifo ~overhead
-    ~parallel ~netsim "BENCH_sched.json"
+    ~parallel ~netsim ~replay "BENCH_sched.json"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

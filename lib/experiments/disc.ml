@@ -22,6 +22,14 @@ type spec =
   | Pifo_vc
   | Pifo_fqs of { capacity : float }
   | Pifo_wf2q of { capacity : float }
+  | Lstf of {
+      deadline : Sfq_base.Packet.t -> float;
+      residual : Sfq_base.Packet.t -> float;
+    }
+  | Pifo_lstf of {
+      deadline : Sfq_base.Packet.t -> float;
+      residual : Sfq_base.Packet.t -> float;
+    }
 
 let name = function
   | Sfq -> "SFQ"
@@ -44,6 +52,8 @@ let name = function
   | Pifo_vc -> "PIFO-VC"
   | Pifo_fqs _ -> "PIFO-FQS"
   | Pifo_wf2q _ -> "PIFO-WF2Q"
+  | Lstf _ -> "LSTF"
+  | Pifo_lstf _ -> "PIFO-LSTF"
 
 let pifo prog = Sfq_pifo.Pifo_sched.sched (Sfq_pifo.Pifo_sched.create prog)
 
@@ -71,3 +81,6 @@ let make spec weights =
   | Pifo_vc -> pifo (Sfq_pifo.Programs.virtual_clock weights)
   | Pifo_fqs { capacity } -> pifo (Sfq_pifo.Programs.fqs ~capacity weights)
   | Pifo_wf2q { capacity } -> pifo (Sfq_pifo.Programs.wf2q ~capacity weights)
+  | Lstf { deadline; residual } -> Lstf.sched (Lstf.create ~residual ~deadline ())
+  | Pifo_lstf { deadline; residual } ->
+    pifo (Sfq_pifo.Programs.lstf ~residual ~deadline ())

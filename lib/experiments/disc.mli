@@ -30,6 +30,18 @@ type spec =
   | Pifo_fqs of { capacity : float }
   | Pifo_wf2q of { capacity : float }
       (** shaped rank program: eligibility-gated by the GPS start tag *)
+  | Lstf of {
+      deadline : Sfq_base.Packet.t -> float;
+      residual : Sfq_base.Packet.t -> float;
+    }
+      (** Least-Slack-Time-First ({!Sfq_sched.Lstf}): serves by
+          [deadline − residual]. Ignores the weights — deadlines are
+          the whole policy. Carries closures, so unlike the other
+          specs it is not structurally comparable. *)
+  | Pifo_lstf of {
+      deadline : Sfq_base.Packet.t -> float;
+      residual : Sfq_base.Packet.t -> float;
+    }  (** the same discipline as a rank program on the PIFO runtime *)
 
 val name : spec -> string
 val make : spec -> Weights.t -> Sched.t

@@ -103,7 +103,14 @@ let bound_kind = function
   | Disc.Scfq | Disc.Scfq_fast | Disc.Pifo_scfq -> Some `Scfq
   | _ -> None
 
-let run_scenario (s : scenario) =
+(* [run_raw] is [run_scenario] with two replay hooks: [mk_link]
+   overrides the inner discipline per link (by creation index — the
+   deterministic order [Topo.build] calls [mk_sched], which is how an
+   LSTF replay gives every hop its own residual), and [tap] observes
+   the delivery stream (the schedule recorder). Monitors, oracles,
+   churn and conservation probes are identical either way. *)
+let run_raw ?mk_link ?(tap = fun (_ : Packet.t) ~at:(_ : float) -> ()) (s : scenario)
+    =
   (* Audit (parallel safety): every mutable structure — simulator,
      topology, registry, RNG, monitors, hash state — is created here,
      inside the call, so scenarios can execute on worker domains
@@ -123,8 +130,14 @@ let run_scenario (s : scenario) =
     Weights.of_list ~default:r_bg (List.init s.reserved (fun i -> (i, r_res)))
   in
   let all_monitors = ref [] in
+  let link_ix = ref (-1) in
   let mk_sched ~rate =
-    let inner = Disc.make s.disc weights in
+    incr link_ix;
+    let inner =
+      match mk_link with
+      | None -> Disc.make s.disc weights
+      | Some f -> f !link_ix ~rate
+    in
     if not s.monitors then inner
     else begin
       let ms =
@@ -214,6 +227,7 @@ let run_scenario (s : scenario) =
     (Topo.servers topo);
   let order_hash = ref 0xcbf29ce484222325L in
   Net.on_delivered net (fun p ~at ->
+      tap p ~at;
       order_hash :=
         mix
           (mix (mix !order_hash (Int64.of_int p.Packet.flow)) (Int64.of_int p.Packet.seq))
@@ -334,6 +348,8 @@ let run_scenario (s : scenario) =
     violations;
   }
 
+let run_scenario s = run_raw s
+
 (* ------------------------------------------------------------------ *)
 (* Sharded sweeps: same contract as Sfq_oracle.Run.sweep — positional
    reduction over independent cells, digest-identical at every domain
@@ -435,3 +451,222 @@ let scale_star ?(flows = 1_000_000) ?(window = 4096) ?(leaves = 64) ?(reserved =
     ~label:(Printf.sprintf "scale/star%d/%s/%dflows" leaves (Disc.name disc) flows)
     ~spec:(Topo.Star { leaves }) ~disc ~churn:true ~flows ~window ~reserved
     ~pkts_per_flow:2 ~load:0.75 ~monitors:false ~checkpoints:8 ~seed ()
+
+(* ------------------------------------------------------------------ *)
+(* Multi-hop schedule replay: the network half of Replay's UPS
+   harness. Record the delivery stream of any scenario, derive each
+   packet's deadline (its recorded delivery time) and each link's
+   residual (Topo.residuals — tx + propagation from that link to the
+   sink), then re-run the same arrivals with every link scheduling by
+   least slack. *)
+
+module Replay = Sfq_oracle.Replay
+
+type net_schedule = {
+  rs : scenario;
+  rorder : Replay.key array;
+  rout : (Replay.key, float) Hashtbl.t;
+  rresiduals : float array;
+  rnhops : (int, int) Hashtbl.t;
+}
+
+type under =
+  | Under_lstf
+  | Under_mutant of Replay.mutant
+  | Under_disc of Disc.spec
+
+let replay_guard ~what (s : scenario) =
+  if s.churn then invalid_arg (what ^ ": churned scenarios recycle flow ids");
+  if s.buffer <> None then invalid_arg (what ^ ": buffered scenarios drop packets")
+
+(* A scratch build of the same shape (FIFO links, nothing injected)
+   yields the per-link residual table and the per-entry hop counts
+   without disturbing the recording run. *)
+let scratch_topo (s : scenario) =
+  Topo.build (Sim.create ()) s.spec ~access_rate:s.access_rate
+    ~core_rate:s.core_rate
+    ~mk_sched:(fun ~rate:_ -> Sfq_sched.Fifo.sched (Sfq_sched.Fifo.create ()))
+    ~prop_delay:s.prop_delay ()
+
+(* Entry assignment is a pure function of the seed: reserved flow i
+   enters at [i mod entries], and the k-th background flow (id
+   reserved + k, never recycled — churn is guarded off) takes the k-th
+   draw of the scenario RNG, which [run_raw] consumes for nothing
+   else. *)
+let flow_entries (s : scenario) ~entries =
+  let rng = Rng.create s.seed in
+  let tbl = Hashtbl.create 64 in
+  for i = 0 to s.reserved - 1 do
+    Hashtbl.replace tbl i (i mod entries)
+  done;
+  for k = 0 to s.flows - 1 do
+    Hashtbl.replace tbl (s.reserved + k) (Rng.int rng entries)
+  done;
+  tbl
+
+let record_net (s : scenario) =
+  replay_guard ~what:"Net_sweep.record_net" s;
+  let order = ref [] in
+  let out : (Replay.key, float) Hashtbl.t = Hashtbl.create 256 in
+  let outcome =
+    run_raw s ~tap:(fun p ~at ->
+        let k = { Replay.flow = p.Packet.flow; seq = p.Packet.seq } in
+        Hashtbl.replace out k at;
+        order := k :: !order)
+  in
+  let topo = scratch_topo s in
+  let rnhops = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun f e -> Hashtbl.replace rnhops f (Topo.nhops topo ~entry:e))
+    (flow_entries s ~entries:(Topo.entries topo));
+  ( {
+      rs = s;
+      rorder = Array.of_list (List.rev !order);
+      rout = out;
+      rresiduals = Topo.residuals topo ~len:s.len;
+      rnhops;
+    },
+    outcome )
+
+let net_schedule_order ns = Array.copy ns.rorder
+let net_schedule_scenario ns = ns.rs
+
+let net_schedule_hash ns =
+  Digest.to_hex
+    (Digest.string
+       (String.concat ";"
+          (Array.to_list
+             (Array.map
+                (fun (k : Replay.key) -> Printf.sprintf "%d.%d" k.Replay.flow k.Replay.seq)
+                ns.rorder))))
+
+type net_verdict =
+  | Exact of int
+  | On_time of { delivered : int; swapped : Replay.witness }
+  | Late of Replay.witness
+
+let missing_key = { Replay.flow = -1; seq = -1 }
+
+(* Two-tier comparison. Exact packet-for-packet order is the single-hop
+   theorem's criterion, and 19 of the 20 E27 grid cells meet it; but no
+   such theorem exists across hops (a later-deadline packet can reach a
+   free server before its rival has crossed the upstream link), so the
+   network criterion of record is the UPS paper's: the replay succeeds
+   iff no packet is delivered {e later} than its recorded time. An
+   order permutation among on-time packets is [On_time] with the first
+   swap as witness; a genuinely late packet is [Late], witnessed by the
+   packet with the largest lateness. All link rates, lengths and
+   propagation delays are dyadic, so delivery times are exact floats
+   and the lateness test needs no epsilon. *)
+let compare_delivery ns got =
+  let exp = ns.rorder in
+  let nhops_of (k : Replay.key) =
+    match Hashtbl.find_opt ns.rnhops k.Replay.flow with Some n -> n | None -> 0
+  in
+  let got_out : (Replay.key, float) Hashtbl.t = Hashtbl.create (Array.length got) in
+  Array.iter (fun (k, at) -> Hashtbl.replace got_out k at) got;
+  let late = ref None in
+  Array.iteri
+    (fun i k ->
+      match (Hashtbl.find_opt ns.rout k, Hashtbl.find_opt got_out k) with
+      | Some o, Some o' when o' > o ->
+        let l = o' -. o in
+        if match !late with Some (_, _, _, worst) -> l > worst | None -> true then
+          late := Some (i, k, o', l)
+      | Some _, Some _ -> ()
+      | _, None | None, _ ->
+        (* a packet of the recording absent from the replay (or vice
+           versa) can only mean dropped traffic, which the guard
+           excludes — treat as infinitely late *)
+        late := Some (i, k, nan, infinity))
+    exp;
+  let first_swap () =
+    let n = min (Array.length exp) (Array.length got) in
+    let rec go i =
+      if i >= n then
+        if Array.length exp = Array.length got then None
+        else
+          let expected = if n < Array.length exp then exp.(n) else missing_key in
+          let g, at = if n < Array.length got then got.(n) else (missing_key, nan) in
+          let probe = if expected = missing_key then g else expected in
+          Some
+            { Replay.index = n; expected; got = g; at; hop = nhops_of probe; margin = 0.0 }
+      else begin
+        let g, at = got.(i) in
+        let e = exp.(i) in
+        if e = g then go (i + 1)
+        else
+          (* margin in recorded-delivery-time currency — positive
+             means the replay served a packet whose true deadline was
+             later *)
+          let margin =
+            match (Hashtbl.find_opt ns.rout g, Hashtbl.find_opt ns.rout e) with
+            | Some rg, Some re -> rg -. re
+            | _ -> 0.0
+          in
+          Some { Replay.index = i; expected = e; got = g; at; hop = nhops_of g; margin }
+      end
+    in
+    go 0
+  in
+  match !late with
+  | Some (index, k, at, lateness) ->
+    Late { Replay.index; expected = k; got = k; at; hop = nhops_of k; margin = lateness }
+  | None -> (
+    match first_swap () with
+    | None -> Exact (Array.length got)
+    | Some swapped -> On_time { delivered = Array.length got; swapped })
+
+let net_verdict_digest = function
+  | Exact n -> Printf.sprintf "exact=%d" n
+  | On_time { delivered; swapped = x } ->
+    Printf.sprintf "on-time=%d swap@%d expected=%d.%d got=%d.%d margin=%h" delivered
+      x.Replay.index x.Replay.expected.Replay.flow x.Replay.expected.Replay.seq
+      x.Replay.got.Replay.flow x.Replay.got.Replay.seq x.Replay.margin
+  | Late x ->
+    Printf.sprintf "late@%d packet=%d.%d at=%h hop=%d lateness=%h" x.Replay.index
+      x.Replay.expected.Replay.flow x.Replay.expected.Replay.seq x.Replay.at
+      x.Replay.hop x.Replay.margin
+
+let replay_net ns under =
+  let s = ns.rs in
+  let got = ref [] in
+  let tap p ~at =
+    got := ({ Replay.flow = p.Packet.flow; seq = p.Packet.seq }, at) :: !got
+  in
+  (match under with
+  | Under_disc d -> ignore (run_raw { s with disc = d } ~tap : outcome)
+  | Under_lstf | Under_mutant _ ->
+    let mutant = match under with Under_mutant m -> Some m | _ -> None in
+    let deadline (p : Packet.t) =
+      match
+        Hashtbl.find_opt ns.rout { Replay.flow = p.Packet.flow; seq = p.Packet.seq }
+      with
+      | Some o -> o
+      | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Net_sweep.replay_net: packet %d.%d absent from the recorded schedule"
+             p.Packet.flow p.Packet.seq)
+    in
+    let mk_link ix ~rate:(_ : float) =
+      (* rank = deadline − residuals.(ix): the latest service-start
+         time at this link that still meets the recorded delivery
+         time, assuming no further queueing downstream. *)
+      let residual (_ : Packet.t) = ns.rresiduals.(ix) in
+      let open Sfq_sched in
+      match mutant with
+      | None -> Lstf.sched (Lstf.create ~residual ~deadline ())
+      | Some Replay.Wrong_slack ->
+        Lstf.sched
+          (Lstf.create ~residual
+             ~deadline:(fun p -> deadline p -. p.Packet.born)
+             ())
+      | Some Replay.Priority_tie ->
+        Lstf.sched
+          (Lstf.create
+             ~tie:(Sfq_sched.Tag_queue.High_rate (fun f -> float_of_int (f + 1)))
+             ~residual ~deadline ())
+    in
+    ignore (run_raw s ~mk_link ~tap : outcome));
+  compare_delivery ns (Array.of_list (List.rev !got))

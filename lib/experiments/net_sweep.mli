@@ -104,6 +104,19 @@ type outcome = {
 
 val run_scenario : scenario -> outcome
 
+val run_raw :
+  ?mk_link:(int -> rate:float -> Sched.t) ->
+  ?tap:(Packet.t -> at:float -> unit) ->
+  scenario ->
+  outcome
+(** {!run_scenario} with the two replay hooks: [mk_link i ~rate]
+    overrides the scenario's discipline on the i-th link created (the
+    deterministic order {!Sfq_netsim.Topo.build} calls [mk_sched] —
+    i.e. {!Sfq_netsim.Topo.servers} order), and [tap] observes every
+    sink delivery before it is folded into [order_hash]. Monitors,
+    oracles, churn and the conservation probes behave exactly as in
+    {!run_scenario}. *)
+
 val sweep : ?domains:int -> ?pool:Sfq_par.Pool.t -> scenario list -> outcome array
 (** Fan the cells over the pool ({!Sfq_par.Pool.run}, or [pool] when
     given); results land positionally. [domains = 1] (default) runs
@@ -137,3 +150,70 @@ val scale_star :
     oracle and the conservation probes stay on), load 0.75. Memory is
     bounded by the window, not the flow count — the CI job runs the
     10⁵-flow variant under an RSS ceiling. *)
+
+(** {1 Multi-hop schedule replay}
+
+    The network half of {!Sfq_oracle.Replay}'s UPS harness (DESIGN.md
+    §14). {!record_net} runs a scenario and records its delivery
+    stream; {!replay_net} re-runs the same arrivals with every link
+    scheduling by least slack — rank = recorded delivery time −
+    {!Sfq_netsim.Topo.residuals} of the link — and compares the two
+    delivery streams. Restrictions: no churn (id recycling breaks
+    keying) and no finite buffers (drops have no delivery time); the
+    E27 grid minus its churn cell satisfies both.
+
+    Unlike the single hop, exact packet-for-packet order is not a
+    theorem across hops (a later-deadline packet can reach a free
+    server before its rival has crossed the upstream link — observed
+    on exactly one E27 cell), so the network success criterion is the
+    UPS paper's: no packet delivered later than its recorded time,
+    with exact order reported as the stronger {!Exact} tier. *)
+
+type net_schedule
+(** A recorded delivery schedule: the sink stream plus per-packet
+    delivery times, the per-link residual table and per-flow path
+    lengths of the shape, and the originating scenario (replay re-runs
+    its arrivals verbatim). *)
+
+type under =
+  | Under_lstf  (** per-link LSTF on the recorded deadlines *)
+  | Under_mutant of Sfq_oracle.Replay.mutant
+      (** LSTF with the named seeded defect at every link *)
+  | Under_disc of Disc.spec
+      (** negative control: re-run under a plain discipline (e.g. SFQ
+          replaying a DRR recording must diverge somewhere on the
+          grid) *)
+
+type net_verdict =
+  | Exact of int  (** packet-for-packet, with the delivery count *)
+  | On_time of { delivered : int; swapped : Sfq_oracle.Replay.witness }
+      (** every packet delivered at or before its recorded time (the
+          UPS replay criterion) but the order permuted; [swapped] is
+          the first order mismatch ([margin] in recorded-delivery-time
+          currency) *)
+  | Late of Sfq_oracle.Replay.witness
+      (** replay failed: some packet beyond its recorded delivery
+          time. The witness carries the worst offender — [expected] =
+          [got] = the late packet, [at] its replay delivery time,
+          [margin] its lateness, [hop] its path length. *)
+
+val record_net : scenario -> net_schedule * outcome
+(** Run the scenario ({!run_raw} with a recording tap) and keep its
+    delivery schedule. The outcome is the ordinary E27 outcome of the
+    recording run — digests stay comparable with {!run_scenario}.
+    @raise Invalid_argument on churned or buffered scenarios. *)
+
+val replay_net : net_schedule -> under -> net_verdict
+(** Re-run the recorded scenario's arrivals under [under] and compare
+    delivery streams (see {!net_verdict}). *)
+
+val net_verdict_digest : net_verdict -> string
+(** One deterministic token, [%h] floats — ["exact=N"],
+    ["on-time=N swap@i ..."] or ["late@i packet=f.s ..."]. *)
+
+val net_schedule_order : net_schedule -> Sfq_oracle.Replay.key array
+val net_schedule_scenario : net_schedule -> scenario
+
+val net_schedule_hash : net_schedule -> string
+(** MD5 of the ["flow.seq"] delivery order — same currency as
+    {!Sfq_oracle.Replay.schedule_hash}. *)

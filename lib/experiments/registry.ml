@@ -93,6 +93,11 @@ let all =
           let cells = Net_sweep.default_cells ?root:seed () in
           marshal (Net_sweep.sweep_digest cells (Net_sweep.sweep cells)));
     };
+    {
+      id = "lstf-replay";
+      title = "E28 LSTF schedule-replay universality";
+      run = (fun ?seed ~quick:_ () -> marshal (Lstf_replay.run ?seed ()));
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
@@ -192,6 +197,15 @@ let compact_netsweep ?seed () =
         (Net_sweep.outcome_digest outcomes.(i)))
     cells
 
+let compact_lstf ?seed () =
+  let r = Lstf_replay.run ?seed () in
+  List.map
+    (fun (x : Lstf_replay.row) ->
+      Printf.sprintf "lstf-replay.%s %s ok=%b" x.Lstf_replay.cell
+        x.Lstf_replay.verdict x.Lstf_replay.ok)
+    (r.Lstf_replay.single @ r.Lstf_replay.net @ r.Lstf_replay.control
+   @ r.Lstf_replay.kills)
+
 let compact ~id ?seed ~quick () =
   match id with
   | "example-1" -> Some (String.concat "\n" (compact_example1 ()))
@@ -200,6 +214,7 @@ let compact ~id ?seed ~quick () =
   | "churn-stress" -> Some (String.concat "\n" (compact_churn ()))
   | "pifo-port" -> Some (String.concat "\n" (compact_pifo ?seed ()))
   | "net-sweep" -> Some (String.concat "\n" (compact_netsweep ?seed ()))
+  | "lstf-replay" -> Some (String.concat "\n" (compact_lstf ?seed ()))
   | _ -> None
 
 let golden_corpus () =
@@ -209,8 +224,10 @@ let golden_corpus () =
        "# seed), Table 1 (table-1, quick mode), E24 (churn-stress), E26";
        "# (pifo-port, one service-order hash + identity flag per rank-program";
        "# discipline), E27 (net-sweep, one delivery-order digest per topology";
-       "# x discipline x seed cell). Per-flow packet counts, service order";
-       "# hashes, drop counts and %h-exact headline numbers under the";
+       "# x discipline x seed cell), E28 (lstf-replay, one replay verdict per";
+       "# recorded schedule: single-hop cells, grid cells, SFQ negative";
+       "# controls and seeded-mutant kills). Per-flow packet counts, service";
+       "# order hashes, drop counts and %h-exact headline numbers under the";
        "# default seeds.";
        "# Regenerate after an intentional behavioral change with:";
        "#   dune exec bin/sfq_sweep.exe -- golden > test/golden/digests.expected";
@@ -220,5 +237,6 @@ let golden_corpus () =
     @ compact_table1 ~quick:true ()
     @ compact_churn ()
     @ compact_pifo ()
-    @ compact_netsweep ())
+    @ compact_netsweep ()
+    @ compact_lstf ())
   ^ "\n"

@@ -1,5 +1,5 @@
 (** A uniform, machine-consumable index of every experiment module —
-    the E1–E27 data behind EXPERIMENTS.md — so the domain-parallel
+    the E1–E28 data behind EXPERIMENTS.md — so the domain-parallel
     sweep engine ([bin/sfq_sweep], DESIGN.md §9) can regenerate all of
     it from one place and digest the results.
 
@@ -42,14 +42,15 @@ val compact : id:string -> ?seed:int -> quick:bool -> unit -> string option
     counts, order hashes and [%h]-rendered headline numbers — compact
     enough to check in, exact enough to catch silent behavioral drift.
     Provided for ["example-1"] (E1), ["fig-1b"] (E3), ["table-1"]
-    (Table 1), ["churn-stress"] (E24), ["pifo-port"] (E26) and
-    ["net-sweep"] (E27, one delivery-order digest per topology cell);
-    [None] for other ids. *)
+    (Table 1), ["churn-stress"] (E24), ["pifo-port"] (E26),
+    ["net-sweep"] (E27, one delivery-order digest per topology cell)
+    and ["lstf-replay"] (E28, one replay verdict per recorded
+    schedule); [None] for other ids. *)
 
 val golden_corpus : unit -> string
 (** The checked-in golden block ([test/golden/digests.expected]):
-    {!compact} of example-1, fig-1b, table-1, churn-stress, pifo-port
-    and net-sweep under their default seeds (table-1 in quick mode, so
+    {!compact} of example-1, fig-1b, table-1, churn-stress, pifo-port,
+    net-sweep and lstf-replay under their default seeds (table-1 in quick mode, so
     [dune runtest] stays fast), plus [#]-comment header lines. Regenerate with
     [sfq-sweep golden > test/golden/digests.expected]; the regression
     test compares everything except [#] lines. *)

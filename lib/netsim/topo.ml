@@ -130,6 +130,38 @@ let close_flow t ~flow ~entry =
     (fun n (h : hop) -> n + List.length (Server.close_flow h.server flow))
     0 t.hop_lists.(entry)
 
+(* Every generated shape is an in-tree toward one sink, so the
+   downstream path of a link — and with it the no-queueing time from
+   service start at that link to delivery — is a function of the link
+   alone. Walking each entry's hop list right-to-left accumulates the
+   suffix (tx + propagation) sums; shared links are visited once per
+   entry but always receive the same value. *)
+let residuals t ~len =
+  let servers = Array.of_list t.servers in
+  let n = Array.length servers in
+  let res = Array.make n nan in
+  let index srv =
+    let rec go i =
+      if i >= n then invalid_arg "Topo.residuals: unknown server"
+      else if servers.(i) == srv then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let len_f = float_of_int len in
+  Array.iter
+    (fun hops ->
+      ignore
+        (List.fold_right
+           (fun (h : hop) acc ->
+             let acc = acc +. (len_f /. h.capacity) +. h.prop_delay in
+             res.(index h.server) <- acc;
+             acc)
+           hops 0.0
+          : float))
+    t.hop_lists;
+  res
+
 let dropped t = List.fold_left (fun n s -> n + Server.drops s) 0 t.servers
 let closed t = List.fold_left (fun n s -> n + Server.closed s) 0 t.servers
 let queued t = List.fold_left (fun n s -> n + (Server.sched s).Sched.size ()) 0 t.servers

@@ -81,6 +81,17 @@ val core : t -> Server.t
 val servers : t -> Server.t list
 (** Every link's server, in creation order (deterministic). *)
 
+val residuals : t -> len:int -> float array
+(** Route-aware slack constants: [residuals.(i)] is the no-queueing
+    time from the moment a packet of [len] bits starts service at the
+    i-th link (in {!servers}' creation order — the order {!build}
+    calls [mk_sched]) until its delivery at the sink: the link's own
+    transmission and propagation plus those of every downstream hop.
+    Well-defined because every generated shape is an in-tree — a
+    link's downstream path is unique. This is the [residual] input an
+    LSTF replay wants per hop: rank = deadline − residual is the
+    latest service-start time that still meets the deadline. *)
+
 val route_flow : t -> flow:Packet.flow -> entry:int -> unit
 (** Register the flow's route with the {!Net}. *)
 

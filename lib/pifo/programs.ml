@@ -119,6 +119,38 @@ let delay_edd ?frac_bits specs =
     vtime = no_vtime;
   }
 
+let lstf ?frac_bits ?(residual = fun _ -> 0.0) ~deadline () =
+  let codec = Tag.make ?frac_bits () in
+  (* Monotone per-flow rank floor, mirroring the float Lstf: deadlines
+     are caller data with no ordering promise, and the runtime's
+     Iflow_heap needs non-decreasing ranks within a flow. *)
+  let floor : (Packet.flow, int) Hashtbl.t = Hashtbl.create 16 in
+  let regs = Rank_program.regs () in
+  {
+    name = "pifo-lstf";
+    regs;
+    shaped = false;
+    rank =
+      (fun ~now:_ pkt ->
+        let r = Tag.encode codec (deadline pkt -. residual pkt) in
+        let r =
+          match Hashtbl.find_opt floor pkt.Packet.flow with
+          | Some f when f > r -> f
+          | _ -> r
+        in
+        Hashtbl.replace floor pkt.Packet.flow r;
+        r);
+    on_dequeue = no_dequeue;
+    on_idle = no_idle;
+    horizon = no_horizon;
+    attach = no_attach;
+    (* evict needs no hook (the floor stays — tags never roll back);
+       closing forgets it so a reopened flow re-enters on raw
+       deadlines *)
+    on_close = (fun ~now:_ flow -> Hashtbl.remove floor flow);
+    vtime = no_vtime;
+  }
+
 let fqs ~capacity ?frac_bits weights =
   let codec = Tag.make ?frac_bits () in
   let size_ref = ref (fun () -> 0) in

@@ -39,6 +39,19 @@ val delay_edd :
     @raise Invalid_argument on an invalid spec, or (at enqueue) on a
     packet of an undeclared flow. Name ["pifo-edd"]. *)
 
+val lstf :
+  ?frac_bits:int ->
+  ?residual:(Packet.t -> float) ->
+  deadline:(Packet.t -> float) ->
+  unit ->
+  Rank_program.t
+(** Least-Slack-Time-First ({!Sfq_sched.Lstf} as a rank program): rank
+    = [deadline − residual], quantized through the codec and clamped to
+    a per-flow monotone floor (forgotten on close, kept on evict) so
+    the runtime's within-flow rank invariant holds under arbitrary
+    caller-supplied deadlines. [residual] defaults to [fun _ -> 0.0].
+    Name ["pifo-lstf"]. *)
+
 val fqs : capacity:float -> ?frac_bits:int -> Weights.t -> Rank_program.t
 (** Fair queueing based on start time: rank = the GPS fluid start tag
     (eq. 1). The program attaches the runtime's size thunk as the

@@ -1,0 +1,63 @@
+open Sfq_base
+
+type t = {
+  deadline : Packet.t -> float;
+  residual : Packet.t -> float;
+  queue : Tag_queue.t;
+  (* Monotone per-flow rank floor (nan = unset). Caller-supplied
+     deadlines carry no ordering promise, but Tag_queue's Flow_heap
+     backing requires non-decreasing tags within a flow; clamping to
+     the flow's last rank restores the invariant and per-flow FIFO. *)
+  floor : float Flow_table.t;
+}
+
+let create ?tie ?(residual = fun _ -> 0.0) ~deadline () =
+  {
+    deadline;
+    residual;
+    queue = Tag_queue.create ?tie ();
+    floor = Flow_table.create ~default:(fun _ -> nan);
+  }
+
+let rank t pkt =
+  let r = t.deadline pkt -. t.residual pkt in
+  match Flow_table.find_opt t.floor pkt.Packet.flow with
+  | Some f when r < f -> f
+  | _ -> r
+
+let enqueue t ~now:_ pkt =
+  let r = rank t pkt in
+  Flow_table.set t.floor pkt.Packet.flow r;
+  Tag_queue.push t.queue ~tag:r pkt
+
+let dequeue t ~now:_ =
+  match Tag_queue.pop t.queue with None -> None | Some (_, p) -> Some p
+
+let peek t = match Tag_queue.peek t.queue with None -> None | Some (_, p) -> Some p
+let size t = Tag_queue.size t.queue
+let backlog t flow = Tag_queue.backlog t.queue flow
+
+let last_rank t flow = Flow_table.find_opt t.floor flow
+
+(* The floor stays: the evicted packet's rank remains the flow's
+   monotone watermark, so later enqueues cannot slip in front of where
+   it would have served (tags never roll back, as in eq. 4's treatment
+   of the finish tag). *)
+let evict t victim flow = Tag_queue.evict t.queue victim flow
+
+let close_flow t flow =
+  let flushed = Tag_queue.flush t.queue flow in
+  Flow_table.remove t.floor flow;
+  flushed
+
+let sched t =
+  {
+    Sched.name = "lstf";
+    enqueue = (fun ~now pkt -> enqueue t ~now pkt);
+    dequeue = (fun ~now -> dequeue t ~now);
+    peek = (fun () -> peek t);
+    size = (fun () -> size t);
+    backlog = (fun flow -> backlog t flow);
+    evict = (fun ~now:_ victim flow -> evict t victim flow);
+    close_flow = (fun ~now:_ flow -> close_flow t flow);
+  }

@@ -1,0 +1,70 @@
+(** Least-Slack-Time-First (Mittal et al., "Universal Packet
+    Scheduling", NSDI '16).
+
+    Every packet carries a {e deadline} — the absolute time by which it
+    should be delivered under some target schedule — and a {e residual}
+    — the remaining no-queueing time between the moment it starts
+    service here and its delivery (its own transmission plus every
+    downstream transmission and propagation). The slack of a queued
+    packet at time [t] is [deadline − residual − t]: the queueing time
+    it can still afford. Serving the smallest slack first is, at any
+    single instant, the same order as serving the smallest
+    [deadline − residual], so the discipline reduces to a static
+    per-packet priority — which is what makes it expressible both here
+    (a {!Tag_queue} tag) and as a {!Sfq_pifo.Rank_program} rank.
+
+    The replay-universality result motivating the port: with deadlines
+    set to the output times of a recorded schedule and residuals
+    computed over the route, LSTF re-produces that schedule
+    packet-for-packet (see {!Sfq_oracle.Replay} for the single-hop
+    harness and [Net_sweep] for the multi-hop one).
+
+    Deadlines are caller-supplied, so nothing forces them to be
+    non-decreasing within a flow. To honor the {!Sfq_base.Sched}
+    contract (per-flow FIFO; the {!Sfq_sched.Flow_heap} monotone-tag
+    invariant), each flow's rank is clamped to a monotone floor: a
+    packet whose raw rank would undercut its flow's last rank enters at
+    that floor instead. Eviction keeps the floor (tags never roll
+    back); {!close_flow} forgets it, so a reopened flow re-enters on
+    its raw deadlines. *)
+
+open Sfq_base
+
+type t
+
+val create :
+  ?tie:Tag_queue.tie ->
+  ?residual:(Packet.t -> float) ->
+  deadline:(Packet.t -> float) ->
+  unit ->
+  t
+(** [deadline] and [residual] are evaluated once per packet, at
+    enqueue. [residual] defaults to [fun _ -> 0.0] (a pure
+    earliest-deadline order); [tie] refines ordering among equal ranks
+    of different flows (default [Arrival] — FIFO, which the replay
+    contract requires). *)
+
+val enqueue : t -> now:float -> Packet.t -> unit
+val dequeue : t -> now:float -> Packet.t option
+val peek : t -> Packet.t option
+val size : t -> int
+val backlog : t -> Packet.flow -> int
+
+val rank : t -> Packet.t -> float
+(** The rank the packet would enqueue at right now —
+    [max (deadline − residual) floor] — without enqueueing it. *)
+
+val last_rank : t -> Packet.flow -> float option
+(** The flow's monotone floor: the rank of its most recent enqueue.
+    [None] before the first enqueue or after {!close_flow}. *)
+
+val evict : t -> Sched.victim -> Packet.flow -> Packet.t option
+(** Remove one queued packet without serving it. The flow's rank floor
+    is untouched: tags never roll back. *)
+
+val close_flow : t -> Packet.flow -> Packet.t list
+(** Flush the flow's queued packets (oldest first) and forget its rank
+    floor — a reopened flow re-enters on its raw deadlines. *)
+
+val sched : t -> Sched.t
+(** The {!Sfq_base.Sched} view, named ["lstf"]. *)

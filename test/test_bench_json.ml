@@ -3,13 +3,13 @@
    BENCH_sched.json and a minimal valid document, and reject the
    failure shapes a broken emitter actually produces — truncation,
    bare NaN, missing fields, empty series, a wrong schema tag, a
-   disabled-tracer overhead over budget. *)
+   disabled-tracer overhead over budget, a replay-series regression. *)
 
 let check_bool = Alcotest.(check bool)
 
 let valid_doc =
   {|{
-  "schema": "sfq-bench-sched/6",
+  "schema": "sfq-bench-sched/7",
   "quick": true,
   "unit": "ns per enqueue+dequeue",
   "meta": {"git_sha": "deadbeef", "timestamp_utc": "2026-08-06T00:00:00Z", "hostname": "box", "domains": 2},
@@ -47,6 +47,12 @@ let valid_doc =
     {"discipline": "sfq", "flows": 100000, "hops": 2, "packets_per_sec": 350000.0, "peak_rss_kb": 110000, "rss_bound_kb": 1048576},
     {"discipline": "sfq-fast", "flows": 100000, "hops": 2, "packets_per_sec": 400000.0, "peak_rss_kb": 105000, "rss_bound_kb": 1048576},
     {"discipline": "pifo-sfq", "flows": 100000, "hops": 2, "packets_per_sec": 380000.0, "peak_rss_kb": null, "rss_bound_kb": 1048576}
+  ],
+  "replay": [
+    {"tier": "single", "cells": 32, "ok": 32},
+    {"tier": "net", "cells": 20, "ok": 20},
+    {"tier": "control", "cells": 4, "ok": 4},
+    {"tier": "kills", "cells": 5, "ok": 5}
   ]
 }|}
 
@@ -98,12 +104,22 @@ let netsim_frag =
      {"discipline": "sfq-fast", "flows": 100000, "hops": 2, "packets_per_sec": 400000.0, "peak_rss_kb": null, "rss_bound_kb": 1048576},
      {"discipline": "pifo-sfq", "flows": 100000, "hops": 2, "packets_per_sec": 380000.0, "peak_rss_kb": 120000, "rss_bound_kb": 1048576}]|}
 
-let mk ?(schema = "sfq-bench-sched/6") ?(meta = meta_frag) ?(flow = flow_frag)
+(* A minimal replay series that satisfies the E28 gates: all four
+   tiers present, single/net/kills all-ok, at least one control cell
+   diverging. *)
+let replay_frag =
+  {|[{"tier": "single", "cells": 32, "ok": 32},
+     {"tier": "net", "cells": 20, "ok": 20},
+     {"tier": "control", "cells": 4, "ok": 1},
+     {"tier": "kills", "cells": 5, "ok": 5}]|}
+
+let mk ?(schema = "sfq-bench-sched/7") ?(meta = meta_frag) ?(flow = flow_frag)
     ?(depth = depth_frag) ?(fastpath = fastpath_frag) ?(pifo = pifo_frag)
-    ?(overhead = overhead_frag) ?(parallel = parallel_frag) ?(netsim = netsim_frag) () =
+    ?(overhead = overhead_frag) ?(parallel = parallel_frag) ?(netsim = netsim_frag)
+    ?(replay = replay_frag) () =
   Printf.sprintf
-    {|{"schema": %S, "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "pifo": %s, "tracing_overhead": %s, "parallel": %s, "netsim": %s}|}
-    schema meta flow depth fastpath pifo overhead parallel netsim
+    {|{"schema": %S, "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "pifo": %s, "tracing_overhead": %s, "parallel": %s, "netsim": %s, "replay": %s}|}
+    schema meta flow depth fastpath pifo overhead parallel netsim replay
 
 let expect_error name needle contents =
   match Bench_json.validate contents with
@@ -183,13 +199,14 @@ let test_rejects_missing_fields () =
   expect_error "stale schema/3" "unexpected schema" (mk ~schema:"sfq-bench-sched/3" ());
   expect_error "stale schema/4" "unexpected schema" (mk ~schema:"sfq-bench-sched/4" ());
   expect_error "stale schema/5" "unexpected schema" (mk ~schema:"sfq-bench-sched/5" ());
+  expect_error "stale schema/6" "stale schema" (mk ~schema:"sfq-bench-sched/6" ());
   expect_error "meta without domains" "missing field \"domains\""
     (mk
        ~meta:{|{"git_sha": "deadbeef", "timestamp_utc": "2026-08-06T00:00:00Z", "hostname": "box"}|}
        ());
   expect_error "no meta" "missing field \"meta\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/6", "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
+       {|{"schema": "sfq-bench-sched/7", "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
        flow_frag depth_frag overhead_frag);
   expect_error "empty git_sha" "git_sha"
     (mk
@@ -197,11 +214,11 @@ let test_rejects_missing_fields () =
        ());
   expect_error "no depth_scaling" "missing field \"depth_scaling\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/6", "meta": %s, "flow_scaling": %s, "tracing_overhead": %s}|}
+       {|{"schema": "sfq-bench-sched/7", "meta": %s, "flow_scaling": %s, "tracing_overhead": %s}|}
        meta_frag flow_frag overhead_frag);
   expect_error "no fastpath" "missing field \"fastpath\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/6", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
+       {|{"schema": "sfq-bench-sched/7", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "tracing_overhead": %s}|}
        meta_frag flow_frag depth_frag overhead_frag);
   expect_error "row without flows" "missing field \"flows\""
     (mk ~flow:{|[{"discipline": "sfq", "ns_per_packet": 1.0, "ns_p50": 1.0, "ns_p99": 1.2}]|} ());
@@ -252,7 +269,7 @@ let test_rejects_bad_overhead () =
 let test_rejects_bad_parallel () =
   expect_error "missing parallel" "missing field \"parallel\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/6", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "pifo": %s, "tracing_overhead": %s}|}
+       {|{"schema": "sfq-bench-sched/7", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "pifo": %s, "tracing_overhead": %s}|}
        meta_frag flow_frag depth_frag fastpath_frag pifo_frag overhead_frag);
   expect_error "empty parallel" "parallel is empty" (mk ~parallel:"[]" ());
   (* the determinism witness: a file recording a parallel sweep that
@@ -353,7 +370,7 @@ let test_rejects_bad_fastpath () =
 let test_rejects_bad_pifo () =
   expect_error "missing pifo series" "missing field \"pifo\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/6", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "tracing_overhead": %s, "parallel": %s}|}
+       {|{"schema": "sfq-bench-sched/7", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "tracing_overhead": %s, "parallel": %s}|}
        meta_frag flow_frag depth_frag fastpath_frag overhead_frag parallel_frag);
   expect_error "empty pifo" "pifo is empty" (mk ~pifo:"[]" ());
   (* rank programs may pay a bounded dispatch premium, never an allocation *)
@@ -390,7 +407,7 @@ let test_rejects_bad_pifo () =
 let test_rejects_bad_netsim () =
   expect_error "missing netsim series" "missing field \"netsim\""
     (Printf.sprintf
-       {|{"schema": "sfq-bench-sched/6", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "pifo": %s, "tracing_overhead": %s, "parallel": %s}|}
+       {|{"schema": "sfq-bench-sched/7", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "pifo": %s, "tracing_overhead": %s, "parallel": %s}|}
        meta_frag flow_frag depth_frag fastpath_frag pifo_frag overhead_frag
        parallel_frag);
   expect_error "empty netsim" "netsim is empty" (mk ~netsim:"[]" ());
@@ -422,6 +439,66 @@ let test_rejects_bad_netsim () =
          {|[{"discipline": "sfq", "flows": 100000, "hops": 2, "packets_per_sec": 350000.0, "rss_bound_kb": 1048576},
             {"discipline": "sfq-fast", "flows": 100000, "hops": 2, "packets_per_sec": 400000.0, "peak_rss_kb": 105000, "rss_bound_kb": 1048576},
             {"discipline": "pifo-sfq", "flows": 100000, "hops": 2, "packets_per_sec": 380000.0, "peak_rss_kb": 120000, "rss_bound_kb": 1048576}]|}
+       ())
+
+let test_rejects_bad_replay () =
+  expect_error "missing replay series" "missing field \"replay\""
+    (Printf.sprintf
+       {|{"schema": "sfq-bench-sched/7", "meta": %s, "flow_scaling": %s, "depth_scaling": %s, "fastpath": %s, "pifo": %s, "tracing_overhead": %s, "parallel": %s, "netsim": %s}|}
+       meta_frag flow_frag depth_frag fastpath_frag pifo_frag overhead_frag
+       parallel_frag netsim_frag);
+  expect_error "empty replay" "replay is empty" (mk ~replay:"[]" ());
+  (* a tier whose rows stop being all-ok is a replay regression *)
+  expect_error "net regression" "replay regression"
+    (mk
+       ~replay:
+         {|[{"tier": "single", "cells": 32, "ok": 32},
+            {"tier": "net", "cells": 20, "ok": 19},
+            {"tier": "control", "cells": 4, "ok": 1},
+            {"tier": "kills", "cells": 5, "ok": 5}]|}
+       ());
+  (* a surviving mutant is the same failure shape *)
+  expect_error "surviving mutant" "replay regression"
+    (mk
+       ~replay:
+         {|[{"tier": "single", "cells": 32, "ok": 32},
+            {"tier": "net", "cells": 20, "ok": 20},
+            {"tier": "control", "cells": 4, "ok": 1},
+            {"tier": "kills", "cells": 5, "ok": 4}]|}
+       ());
+  (* SFQ replaying everything means the control proves nothing *)
+  expect_error "vacuous control" "vacuous"
+    (mk
+       ~replay:
+         {|[{"tier": "single", "cells": 32, "ok": 32},
+            {"tier": "net", "cells": 20, "ok": 20},
+            {"tier": "control", "cells": 4, "ok": 0},
+            {"tier": "kills", "cells": 5, "ok": 5}]|}
+       ());
+  expect_error "missing control tier" "missing tier \"control\""
+    (mk
+       ~replay:
+         {|[{"tier": "single", "cells": 32, "ok": 32},
+            {"tier": "net", "cells": 20, "ok": 20},
+            {"tier": "kills", "cells": 5, "ok": 5}]|}
+       ());
+  expect_error "unknown tier" "unknown tier"
+    (mk ~replay:{|[{"tier": "mystery", "cells": 1, "ok": 1}]|} ());
+  expect_error "ok over cells" "ok exceeds cells"
+    (mk
+       ~replay:
+         {|[{"tier": "single", "cells": 32, "ok": 33},
+            {"tier": "net", "cells": 20, "ok": 20},
+            {"tier": "control", "cells": 4, "ok": 1},
+            {"tier": "kills", "cells": 5, "ok": 5}]|}
+       ());
+  expect_error "fractional ok" "non-negative integer"
+    (mk
+       ~replay:
+         {|[{"tier": "single", "cells": 32, "ok": 31.5},
+            {"tier": "net", "cells": 20, "ok": 20},
+            {"tier": "control", "cells": 4, "ok": 1},
+            {"tier": "kills", "cells": 5, "ok": 5}]|}
        ())
 
 let test_rejects_empty_series () =
@@ -463,6 +540,7 @@ let () =
           Alcotest.test_case "bad pifo series" `Quick test_rejects_bad_pifo;
           Alcotest.test_case "bad parallel series" `Quick test_rejects_bad_parallel;
           Alcotest.test_case "bad netsim series" `Quick test_rejects_bad_netsim;
+          Alcotest.test_case "bad replay series" `Quick test_rejects_bad_replay;
           Alcotest.test_case "empty series" `Quick test_rejects_empty_series;
           Alcotest.test_case "trailing garbage" `Quick test_rejects_trailing_garbage;
         ] );
